@@ -1,0 +1,23 @@
+//! Regenerates Fig. 8: the communication-time sweep of Fig. 7 on the
+//! one-class-per-client CIFAR-10-like dataset.
+
+use agsfl_bench::{banner, cifar_base};
+use agsfl_core::figures::sweep::{self, SweepConfig};
+
+fn main() {
+    banner("Fig. 8 — communication-time sweep with cross-applied k sequences (CIFAR-10, one class per client)");
+    let config = SweepConfig {
+        base: cifar_base(10.0),
+        comm_times: vec![0.1, 1.0, 10.0, 100.0],
+        adaptation_rounds: 300,
+        replay_time_fraction: 0.8,
+    };
+    let result = sweep::run_cifar(&config);
+    println!("{}", result.render());
+    println!(
+        "Shape checks (paper): adapted k decreases as the communication time grows -> {}; \
+         differences between sequences shrink at small communication times due to the \
+         strongly non-i.i.d. one-class-per-client partition.",
+        result.k_decreases_with_comm_time()
+    );
+}

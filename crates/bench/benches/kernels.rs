@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the computational kernels behind the
+//! simulator: top-k selection, the FAB-top-k server selection and a full FL
+//! round. These quantify the overhead the sparsification layer adds per
+//! round (the paper treats server computation as negligible; this bench
+//! backs that assumption for the reproduction).
+
+use agsfl_bench::femnist_base;
+use agsfl_core::{Experiment, StopCondition};
+use agsfl_sparse::{topk, ClientUpload, FabTopK, Sparsifier};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_topk_selection(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let dims = [10_000usize, 100_000];
+    let mut group = c.benchmark_group("topk_selection");
+    for &dim in &dims {
+        let values: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let k = dim / 100;
+        group.bench_function(format!("top_{k}_of_{dim}"), |b| {
+            b.iter(|| black_box(topk::top_k_entries(black_box(&values), k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fab_selection(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let dim = 100_000usize;
+    let clients = 50usize;
+    let k = 1_000usize;
+    let uploads: Vec<ClientUpload> = (0..clients)
+        .map(|i| {
+            let dense: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            ClientUpload::new(i, 1.0 / clients as f64, topk::top_k_entries(&dense, k))
+        })
+        .collect();
+    c.bench_function("fab_select_50clients_k1000_d100k", |b| {
+        b.iter(|| black_box(FabTopK::new().select(black_box(&uploads), dim, k)))
+    });
+}
+
+fn bench_fl_round(c: &mut Criterion) {
+    c.bench_function("fl_round_femnist_bench_k2pct", |b| {
+        b.iter_batched(
+            || Experiment::new(&femnist_base(10.0)),
+            |mut experiment| {
+                let k = experiment.dim() / 50;
+                black_box(experiment.run_fixed_k(k, &StopCondition::after_rounds(1)))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_topk_selection, bench_fab_selection, bench_fl_round
+}
+criterion_main!(kernels);

@@ -1,0 +1,23 @@
+//! Empirically checks the regret bounds of Theorems 1 and 2 on synthetic
+//! convex cost sequences (experiment E7 in DESIGN.md).
+
+use agsfl_bench::banner;
+use agsfl_core::figures::regret_check::{self, RegretCheckConfig};
+
+fn main() {
+    banner("Theorems 1 & 2 — regret of Algorithm 2 vs the G·H·B·sqrt(2M) bounds");
+    for (label, flip_prob) in [("good estimator (p = 0.1)", 0.1), ("poor estimator (p = 0.35)", 0.35)] {
+        let config = RegretCheckConfig {
+            rounds: 20_000,
+            flip_prob,
+            ..RegretCheckConfig::default()
+        };
+        let result = regret_check::run(&config);
+        println!("\n--- noisy-sign setting: {label} (H = {:.2}) ---", 1.0 / (1.0 - 2.0 * flip_prob));
+        println!("{}", result.render());
+    }
+    println!(
+        "Shape check (paper): regret grows sublinearly and stays below the bound; the \
+         noisy-sign regret exceeds the exact-sign regret only by a constant factor."
+    );
+}

@@ -1,0 +1,414 @@
+//! Declarative experiment configuration.
+
+use agsfl_ml::data::{
+    FederatedDataset, SyntheticCifar, SyntheticCifarConfig, SyntheticFemnist,
+    SyntheticFemnistConfig,
+};
+use agsfl_ml::model::{LinearSoftmax, Mlp, Model, SimpleCnn};
+use agsfl_sparse::{FabTopK, FubTopK, PeriodicK, SendAll, Sparsifier, UnidirectionalTopK};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which federated dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DatasetSpec {
+    /// Synthetic FEMNIST-like dataset (writer-partitioned, 62 classes by
+    /// default). See [`SyntheticFemnistConfig`].
+    Femnist(SyntheticFemnistConfig),
+    /// Synthetic CIFAR-10-like dataset with the one-class-per-client
+    /// partition. See [`SyntheticCifarConfig`].
+    Cifar(SyntheticCifarConfig),
+}
+
+impl DatasetSpec {
+    /// The paper-scale FEMNIST setup (156 clients, 62 classes).
+    pub fn femnist_paper() -> Self {
+        Self::Femnist(SyntheticFemnistConfig::default())
+    }
+
+    /// A small FEMNIST setup for tests, examples and fast benchmarks.
+    pub fn femnist_tiny() -> Self {
+        Self::Femnist(SyntheticFemnistConfig::tiny())
+    }
+
+    /// A mid-sized FEMNIST setup used by the benchmark harness: enough
+    /// clients and classes to show the paper's effects while keeping every
+    /// figure regenerable in seconds. The noise and writer-shift levels are
+    /// chosen so the task does not saturate within the benchmark time
+    /// budgets (mirroring the paper's harder 62-class problem).
+    pub fn femnist_bench() -> Self {
+        Self::Femnist(SyntheticFemnistConfig {
+            num_clients: 40,
+            samples_per_client: 60,
+            feature_dim: 48,
+            num_classes: 30,
+            classes_per_client: 6,
+            writer_shift_std: 0.6,
+            noise_std: 0.7,
+            test_samples: 400,
+        })
+    }
+
+    /// The paper-scale CIFAR-10 setup (100 clients, one class each).
+    pub fn cifar_paper() -> Self {
+        Self::Cifar(SyntheticCifarConfig::default())
+    }
+
+    /// A small CIFAR-10 setup for tests and fast benchmarks.
+    pub fn cifar_bench() -> Self {
+        Self::Cifar(SyntheticCifarConfig {
+            num_clients: 30,
+            num_classes: 10,
+            train_samples: 1_800,
+            test_samples: 300,
+            feature_dim: 48,
+            noise_std: 0.7,
+        })
+    }
+
+    /// Number of classes of the generated dataset.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            Self::Femnist(cfg) => cfg.num_classes,
+            Self::Cifar(cfg) => cfg.num_classes,
+        }
+    }
+
+    /// Feature dimension of the generated dataset.
+    pub fn feature_dim(&self) -> usize {
+        match self {
+            Self::Femnist(cfg) => cfg.feature_dim,
+            Self::Cifar(cfg) => cfg.feature_dim,
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> FederatedDataset {
+        match self {
+            Self::Femnist(cfg) => SyntheticFemnist::new(*cfg).generate(rng),
+            Self::Cifar(cfg) => SyntheticCifar::new(*cfg).generate(rng),
+        }
+    }
+}
+
+/// Which model architecture to train.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Multinomial logistic regression.
+    Linear,
+    /// Multi-layer perceptron with the given hidden widths.
+    Mlp {
+        /// Hidden layer widths.
+        hidden: Vec<usize>,
+    },
+    /// The small CNN; the feature dimension must equal
+    /// `channels · height · width`.
+    Cnn {
+        /// Input channels.
+        channels: usize,
+        /// Input height.
+        height: usize,
+        /// Input width.
+        width: usize,
+        /// Number of 3x3 filters.
+        filters: usize,
+    },
+}
+
+impl ModelSpec {
+    /// Instantiates the model for the given input dimension and class count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ModelSpec::Cnn`] spec does not match `input_dim`.
+    pub fn build(&self, input_dim: usize, num_classes: usize) -> Box<dyn Model> {
+        match self {
+            Self::Linear => Box::new(LinearSoftmax::new(input_dim, num_classes)),
+            Self::Mlp { hidden } => Box::new(Mlp::new(input_dim, hidden, num_classes)),
+            Self::Cnn {
+                channels,
+                height,
+                width,
+                filters,
+            } => {
+                assert_eq!(
+                    channels * height * width,
+                    input_dim,
+                    "CNN spec {}x{}x{} does not match input dim {}",
+                    channels,
+                    height,
+                    width,
+                    input_dim
+                );
+                Box::new(SimpleCnn::new(*channels, *height, *width, *filters, num_classes))
+            }
+        }
+    }
+}
+
+/// Which gradient sparsification method the server/clients use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SparsifierSpec {
+    /// The paper's fairness-aware bidirectional top-k.
+    FabTopK,
+    /// Fairness-unaware bidirectional top-k.
+    FubTopK,
+    /// Unidirectional top-k (downlink up to `kN` elements).
+    UnidirectionalTopK,
+    /// Random `k` coordinates per round.
+    PeriodicK,
+    /// Dense exchange every round.
+    SendAll,
+}
+
+impl SparsifierSpec {
+    /// Instantiates the sparsifier.
+    pub fn build(&self) -> Box<dyn Sparsifier> {
+        match self {
+            Self::FabTopK => Box::new(FabTopK::new()),
+            Self::FubTopK => Box::new(FubTopK::new()),
+            Self::UnidirectionalTopK => Box::new(UnidirectionalTopK::new()),
+            Self::PeriodicK => Box::new(PeriodicK::new()),
+            Self::SendAll => Box::new(SendAll::new()),
+        }
+    }
+
+    /// All sparsifier variants compared in Fig. 4, in the paper's order.
+    pub fn all() -> [SparsifierSpec; 5] {
+        [
+            Self::FabTopK,
+            Self::FubTopK,
+            Self::UnidirectionalTopK,
+            Self::PeriodicK,
+            Self::SendAll,
+        ]
+    }
+
+    /// Human-readable name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::FabTopK => "FAB-top-k",
+            Self::FubTopK => "FUB-top-k",
+            Self::UnidirectionalTopK => "Unidirectional top-k",
+            Self::PeriodicK => "Periodic-k",
+            Self::SendAll => "Always send all",
+        }
+    }
+}
+
+/// Full description of one experiment workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The federated dataset.
+    pub dataset: DatasetSpec,
+    /// The model architecture.
+    pub model: ModelSpec,
+    /// The sparsification method (FAB-top-k unless an experiment compares
+    /// methods).
+    pub sparsifier: SparsifierSpec,
+    /// SGD step size `η`.
+    pub learning_rate: f32,
+    /// Mini-batch size per client.
+    pub batch_size: usize,
+    /// Normalized communication time `β` of a full-gradient exchange.
+    pub comm_time: f64,
+    /// Evaluate global loss / test accuracy every this many rounds.
+    pub eval_every: usize,
+    /// Master seed controlling dataset generation, initialization, mini-batch
+    /// sampling and stochastic rounding.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            dataset: DatasetSpec::femnist_bench(),
+            model: ModelSpec::Mlp { hidden: vec![32] },
+            sparsifier: SparsifierSpec::FabTopK,
+            learning_rate: 0.01,
+            batch_size: 32,
+            comm_time: 10.0,
+            eval_every: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Starts a builder pre-populated with the defaults.
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field is out of range.
+    pub fn validate(&self) {
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(self.comm_time >= 0.0, "comm time must be non-negative");
+        assert!(self.eval_every > 0, "eval_every must be positive");
+    }
+}
+
+/// Non-consuming builder for [`ExperimentConfig`].
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    config: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the dataset.
+    pub fn dataset(mut self, dataset: DatasetSpec) -> Self {
+        self.config.dataset = dataset;
+        self
+    }
+
+    /// Sets the model.
+    pub fn model(mut self, model: ModelSpec) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Sets the sparsifier.
+    pub fn sparsifier(mut self, sparsifier: SparsifierSpec) -> Self {
+        self.config.sparsifier = sparsifier;
+        self
+    }
+
+    /// Sets the learning rate.
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.config.learning_rate = lr;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the normalized communication time `β`.
+    pub fn comm_time(mut self, comm_time: f64) -> Self {
+        self.config.comm_time = comm_time;
+        self
+    }
+
+    /// Sets the evaluation cadence.
+    pub fn eval_every(mut self, eval_every: usize) -> Self {
+        self.config.eval_every = eval_every;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn build(self) -> ExperimentConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn builder_overrides_fields() {
+        let cfg = ExperimentConfig::builder()
+            .comm_time(100.0)
+            .seed(9)
+            .learning_rate(0.05)
+            .batch_size(16)
+            .eval_every(5)
+            .sparsifier(SparsifierSpec::FubTopK)
+            .build();
+        assert_eq!(cfg.comm_time, 100.0);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.learning_rate, 0.05);
+        assert_eq!(cfg.batch_size, 16);
+        assert_eq!(cfg.eval_every, 5);
+        assert_eq!(cfg.sparsifier, SparsifierSpec::FubTopK);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_learning_rate_panics() {
+        let _ = ExperimentConfig::builder().learning_rate(0.0).build();
+    }
+
+    #[test]
+    fn dataset_specs_generate_consistent_dimensions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for spec in [DatasetSpec::femnist_tiny(), DatasetSpec::cifar_bench()] {
+            let fed = spec.generate(&mut rng);
+            assert_eq!(fed.num_classes(), spec.num_classes());
+            assert_eq!(fed.feature_dim(), spec.feature_dim());
+        }
+    }
+
+    #[test]
+    fn model_specs_build_expected_architectures() {
+        let linear = ModelSpec::Linear.build(10, 4);
+        assert_eq!(linear.num_params(), 44);
+        let mlp = ModelSpec::Mlp { hidden: vec![8] }.build(10, 4);
+        assert_eq!(mlp.num_params(), 10 * 8 + 8 + 8 * 4 + 4);
+        let cnn = ModelSpec::Cnn {
+            channels: 1,
+            height: 6,
+            width: 6,
+            filters: 2,
+        }
+        .build(36, 3);
+        assert!(cnn.num_params() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cnn_spec_dimension_mismatch_panics() {
+        let _ = ModelSpec::Cnn {
+            channels: 1,
+            height: 6,
+            width: 6,
+            filters: 2,
+        }
+        .build(35, 3);
+    }
+
+    #[test]
+    fn sparsifier_specs_build_and_name() {
+        for spec in SparsifierSpec::all() {
+            let sparsifier = spec.build();
+            assert_eq!(sparsifier.name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn paper_scale_specs_match_paper_counts() {
+        match DatasetSpec::femnist_paper() {
+            DatasetSpec::Femnist(cfg) => {
+                assert_eq!(cfg.num_clients, 156);
+                assert_eq!(cfg.num_classes, 62);
+            }
+            _ => unreachable!(),
+        }
+        match DatasetSpec::cifar_paper() {
+            DatasetSpec::Cifar(cfg) => assert_eq!(cfg.num_clients, 100),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Fig. 1: empirical validation of Assumption 1 (independent costs).
+//!
+//! The paper trains with different sparsity degrees `k'` until the global
+//! loss reaches a threshold `ψ`, then switches every run to the *same*
+//! `k` and observes that the loss trajectories after the switch coincide —
+//! i.e. the future progression depends on the current loss, not on how the
+//! model got there.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+use crate::runner::{Experiment, StopCondition};
+
+/// Configuration of the Fig. 1 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Config {
+    /// Base workload (dataset, model, learning rate, communication time).
+    pub base: ExperimentConfig,
+    /// The sparsity degrees (as fractions of `D`) used *before* the loss
+    /// reaches `ψ`. The paper uses `{D, 10000, 5000, 1000}` out of
+    /// `D > 400,000`.
+    pub initial_k_fractions: Vec<f64>,
+    /// The common sparsity degree (fraction of `D`) used *after* reaching
+    /// `ψ`. The paper uses `k = 1000`.
+    pub k_after_fraction: f64,
+    /// The loss threshold `ψ` at which every run switches to the common `k`,
+    /// expressed as a fraction of the initial global loss (the paper uses
+    /// absolute thresholds 1.5 and 1.0 for a loss starting near `ln 62`).
+    pub psi_fraction_of_initial: f64,
+    /// Safety cap on phase-1 rounds.
+    pub max_rounds_phase1: usize,
+    /// Number of rounds recorded after the switch.
+    pub rounds_phase2: usize,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Self {
+            base: ExperimentConfig {
+                eval_every: 1,
+                ..ExperimentConfig::default()
+            },
+            initial_k_fractions: vec![1.0, 0.25, 0.05, 0.01],
+            k_after_fraction: 0.01,
+            psi_fraction_of_initial: 0.9,
+            max_rounds_phase1: 400,
+            rounds_phase2: 60,
+        }
+    }
+}
+
+/// One curve of Fig. 1: the phase-2 loss trajectory of a run that used
+/// `initial_k` before reaching `ψ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Curve {
+    /// The sparsity degree used in phase 1.
+    pub initial_k: usize,
+    /// Number of rounds phase 1 needed to reach `ψ`.
+    pub rounds_to_psi: usize,
+    /// The global loss at the switch point.
+    pub loss_at_switch: f64,
+    /// Global loss after each phase-2 round (all runs use the same `k`).
+    pub phase2_losses: Vec<f64>,
+}
+
+/// The result of the Fig. 1 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// The loss threshold `ψ` used.
+    pub psi: f64,
+    /// The common phase-2 sparsity degree.
+    pub k_after: usize,
+    /// One curve per initial `k`.
+    pub curves: Vec<Fig1Curve>,
+}
+
+impl Fig1Result {
+    /// The largest absolute difference between any two phase-2 curves at the
+    /// same round index — Assumption 1 predicts this stays small.
+    pub fn max_divergence(&self) -> f64 {
+        let mut worst = 0.0f64;
+        let len = self
+            .curves
+            .iter()
+            .map(|c| c.phase2_losses.len())
+            .min()
+            .unwrap_or(0);
+        for i in 0..len {
+            let values: Vec<f64> = self.curves.iter().map(|c| c.phase2_losses[i]).collect();
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            worst = worst.max(max - min);
+        }
+        worst
+    }
+
+    /// Mean loss decrease over phase 2 (averaged over curves), used to put
+    /// [`Fig1Result::max_divergence`] into perspective.
+    pub fn mean_phase2_decrease(&self) -> f64 {
+        if self.curves.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .curves
+            .iter()
+            .filter_map(|c| {
+                Some(c.phase2_losses.first()? - c.phase2_losses.last()?)
+            })
+            .sum();
+        total / self.curves.len() as f64
+    }
+
+    /// Renders the curves as a text table (rows = phase-2 round, columns =
+    /// initial `k`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fig. 1 — Assumption 1 validation (psi = {:.3}, k after switch = {})\n",
+            self.psi, self.k_after
+        ));
+        out.push_str(&format!("{:>8}", "round"));
+        for c in &self.curves {
+            out.push_str(&format!("  k1={:>10}", c.initial_k));
+        }
+        out.push('\n');
+        let len = self
+            .curves
+            .iter()
+            .map(|c| c.phase2_losses.len())
+            .min()
+            .unwrap_or(0);
+        let step = (len / 15).max(1);
+        let mut i = 0;
+        while i < len {
+            out.push_str(&format!("{:>8}", i + 1));
+            for c in &self.curves {
+                out.push_str(&format!("  {:>13.4}", c.phase2_losses[i]));
+            }
+            out.push('\n');
+            i += step;
+        }
+        out.push_str(&format!(
+            "max divergence between curves: {:.4} (mean phase-2 loss decrease: {:.4})\n",
+            self.max_divergence(),
+            self.mean_phase2_decrease()
+        ));
+        out
+    }
+}
+
+/// Runs the Fig. 1 experiment.
+pub fn run(config: &Fig1Config) -> Fig1Result {
+    assert!(
+        !config.initial_k_fractions.is_empty(),
+        "need at least one initial k"
+    );
+    let mut curves = Vec::new();
+    let mut psi_used = 0.0;
+    let mut k_after_used = 0;
+    for &fraction in &config.initial_k_fractions {
+        let mut experiment = Experiment::new(&config.base);
+        let dim = experiment.dim();
+        let initial_k = ((dim as f64 * fraction).round() as usize).clamp(1, dim);
+        let k_after = ((dim as f64 * config.k_after_fraction).round() as usize).clamp(1, dim);
+        k_after_used = k_after;
+        let initial_loss = experiment.simulation().global_train_loss();
+        let psi = initial_loss * config.psi_fraction_of_initial;
+        psi_used = psi;
+
+        // Phase 1: train with this run's own k until the loss reaches psi.
+        let phase1 = experiment.run_fixed_k(
+            initial_k,
+            &StopCondition::until_loss(psi, config.max_rounds_phase1),
+        );
+        let rounds_to_psi = phase1.len();
+        let loss_at_switch = phase1
+            .final_global_loss()
+            .unwrap_or(initial_loss);
+
+        // Phase 2: every run switches to the same k and records the loss per
+        // round.
+        let phase2 = experiment.run_fixed_k(k_after, &StopCondition::after_rounds(config.rounds_phase2));
+        let phase2_losses: Vec<f64> = phase2
+            .points()
+            .iter()
+            .filter_map(|p| p.global_loss)
+            .collect();
+        curves.push(Fig1Curve {
+            initial_k,
+            rounds_to_psi,
+            loss_at_switch,
+            phase2_losses,
+        });
+    }
+    Fig1Result {
+        psi: psi_used,
+        k_after: k_after_used,
+        curves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetSpec, ModelSpec};
+
+    fn tiny_config() -> Fig1Config {
+        Fig1Config {
+            base: ExperimentConfig::builder()
+                .dataset(DatasetSpec::femnist_tiny())
+                .model(ModelSpec::Linear)
+                .learning_rate(0.05)
+                .batch_size(8)
+                .comm_time(1.0)
+                .eval_every(1)
+                .seed(3)
+                .build(),
+            initial_k_fractions: vec![1.0, 0.1],
+            k_after_fraction: 0.1,
+            psi_fraction_of_initial: 0.95,
+            max_rounds_phase1: 120,
+            rounds_phase2: 20,
+        }
+    }
+
+    #[test]
+    fn produces_one_curve_per_initial_k() {
+        let result = run(&tiny_config());
+        assert_eq!(result.curves.len(), 2);
+        for curve in &result.curves {
+            assert!(!curve.phase2_losses.is_empty());
+            assert!(curve.rounds_to_psi >= 1);
+            assert!(curve.loss_at_switch.is_finite());
+        }
+    }
+
+    #[test]
+    fn curves_after_switch_stay_close() {
+        // This is the actual claim of Assumption 1: the divergence between
+        // phase-2 curves is small relative to the loss progress made.
+        let result = run(&tiny_config());
+        let divergence = result.max_divergence();
+        let scale = result
+            .curves
+            .iter()
+            .map(|c| c.loss_at_switch)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            divergence < scale * 0.25,
+            "divergence {divergence} too large relative to loss {scale}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_initial_k() {
+        let result = run(&tiny_config());
+        let text = result.render();
+        for curve in &result.curves {
+            assert!(text.contains(&curve.initial_k.to_string()));
+        }
+        assert!(text.contains("max divergence"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Fig. 4: comparison of gradient sparsification methods at fixed `k`.
+//!
+//! The paper fixes `k = 1000` (of `D > 400,000`) and a communication time of
+//! 10, and compares FAB-top-k against FUB-top-k, unidirectional top-k,
+//! periodic-k, always-send-all and FedAvg on: loss vs normalized time,
+//! accuracy vs normalized time, and the CDF of the number of gradient
+//! elements used from each client.
+
+use agsfl_fl::RunHistory;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ExperimentConfig, SparsifierSpec};
+use crate::report;
+use crate::runner::{Experiment, StopCondition};
+
+/// Configuration of the Fig. 4 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Config {
+    /// Base workload. The communication time should be 10 to match the
+    /// paper.
+    pub base: ExperimentConfig,
+    /// Sparsity degree as a fraction of `D` (the paper's 1000 / ~400k ≈
+    /// 0.0025).
+    pub k_fraction: f64,
+    /// Normalized time budget for every method.
+    pub max_time: f64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Self {
+            base: ExperimentConfig::default(),
+            k_fraction: 0.02,
+            max_time: 1_500.0,
+        }
+    }
+}
+
+/// The result of the Fig. 4 experiment: one history per method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// The integer sparsity degree used by the GS methods.
+    pub k: usize,
+    /// Histories of the five sparsifier-based methods, in
+    /// [`SparsifierSpec::all`] order, followed by FedAvg.
+    pub histories: Vec<RunHistory>,
+}
+
+impl Fig4Result {
+    /// The history of a method by label; `None` if not present.
+    pub fn history(&self, label: &str) -> Option<&RunHistory> {
+        self.histories.iter().find(|h| h.label == label)
+    }
+
+    /// Final global loss per method as `(label, loss)` pairs.
+    pub fn final_losses(&self) -> Vec<(String, f64)> {
+        self.histories
+            .iter()
+            .map(|h| (h.label.clone(), h.final_global_loss().unwrap_or(f64::NAN)))
+            .collect()
+    }
+
+    /// Final test accuracy per method as `(label, accuracy)` pairs.
+    pub fn final_accuracies(&self) -> Vec<(String, f64)> {
+        self.histories
+            .iter()
+            .map(|h| (h.label.clone(), h.final_test_accuracy().unwrap_or(f64::NAN)))
+            .collect()
+    }
+
+    /// Renders the loss/accuracy-vs-time tables and the contribution CDF
+    /// summary.
+    pub fn render(&self, max_time: f64) -> String {
+        let refs: Vec<&RunHistory> = self.histories.iter().collect();
+        let times = report::sample_times(max_time, 10);
+        let mut out = String::new();
+        out.push_str(&format!("Fig. 4 — GS method comparison (k = {})\n", self.k));
+        out.push_str("\nGlobal loss vs normalized time\n");
+        out.push_str(&report::loss_table(&refs, &times));
+        out.push_str("\nTest accuracy vs normalized time\n");
+        out.push_str(&report::accuracy_table(&refs, &times));
+        out.push_str("\nPer-client contributed gradient elements (CDF summary)\n");
+        out.push_str(&report::contribution_summary(&refs));
+        out
+    }
+}
+
+/// Runs the Fig. 4 experiment.
+pub fn run(config: &Fig4Config) -> Fig4Result {
+    let stop = StopCondition::after_time(config.max_time);
+    let mut histories = Vec::new();
+    let mut k_used = 0usize;
+    for spec in SparsifierSpec::all() {
+        let experiment_config = ExperimentConfig {
+            sparsifier: spec,
+            ..config.base.clone()
+        };
+        let mut experiment = Experiment::new(&experiment_config);
+        let dim = experiment.dim();
+        let k = ((dim as f64 * config.k_fraction).round() as usize).clamp(1, dim);
+        k_used = k;
+        let mut history = experiment.run_fixed_k(k, &stop);
+        history.label = spec.name().to_string();
+        histories.push(history);
+    }
+    // FedAvg at the equal-average-overhead period.
+    let experiment = Experiment::new(&config.base);
+    let mut fedavg = experiment.run_fedavg(k_used, &stop);
+    fedavg.label = "FedAvg".to_string();
+    histories.push(fedavg);
+    Fig4Result {
+        k: k_used,
+        histories,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetSpec, ModelSpec};
+
+    fn tiny_config() -> Fig4Config {
+        Fig4Config {
+            base: ExperimentConfig::builder()
+                .dataset(DatasetSpec::femnist_tiny())
+                .model(ModelSpec::Linear)
+                .learning_rate(0.05)
+                .batch_size(8)
+                .comm_time(10.0)
+                .eval_every(5)
+                .seed(1)
+                .build(),
+            k_fraction: 0.05,
+            max_time: 150.0,
+        }
+    }
+
+    #[test]
+    fn produces_six_methods() {
+        let result = run(&tiny_config());
+        assert_eq!(result.histories.len(), 6);
+        assert!(result.history("FAB-top-k").is_some());
+        assert!(result.history("FedAvg").is_some());
+        for h in &result.histories {
+            assert!(!h.is_empty(), "{} produced no rounds", h.label);
+            assert!(h.final_global_loss().is_some());
+        }
+    }
+
+    #[test]
+    fn every_method_respects_the_time_budget() {
+        let cfg = tiny_config();
+        let result = run(&cfg);
+        for h in &result.histories {
+            let last = h.points().last().unwrap();
+            // One round may overshoot the budget, but not by more than a full
+            // dense round.
+            assert!(last.elapsed_time <= cfg.max_time + 11.0, "{}", h.label);
+        }
+    }
+
+    #[test]
+    fn fab_provides_fairer_contributions_than_fub() {
+        let result = run(&tiny_config());
+        let fab = result.history("FAB-top-k").unwrap().contribution_cdf();
+        let fub = result.history("FUB-top-k").unwrap().contribution_cdf();
+        // Fraction of clients that contributed nothing: FAB must not be worse.
+        assert!(fab.eval(0.0) <= fub.eval(0.0) + 1e-9);
+        // And the least-contributing FAB client contributes at least as much
+        // as the least-contributing FUB client.
+        assert!(fab.quantile(0.0).unwrap() >= fub.quantile(0.0).unwrap());
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let cfg = tiny_config();
+        let result = run(&cfg);
+        let text = result.render(cfg.max_time);
+        assert!(text.contains("Global loss"));
+        assert!(text.contains("Test accuracy"));
+        assert!(text.contains("CDF"));
+        assert!(text.contains("FedAvg"));
+    }
+}

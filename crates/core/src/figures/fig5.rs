@@ -1,0 +1,163 @@
+//! Fig. 5: comparison of online-learning methods for adapting `k`.
+//!
+//! At a communication time of 10, the paper compares its Algorithm 3 against
+//! value-based derivative descent, EXP3 and the continuous bandit, reporting
+//! loss and accuracy versus normalized time and the trajectories of `k_m`.
+
+use agsfl_fl::RunHistory;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+use crate::controllers::ControllerSpec;
+use crate::report;
+use crate::runner::{Experiment, StopCondition};
+
+/// Configuration of the Fig. 5 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Config {
+    /// Base workload (communication time 10 in the paper).
+    pub base: ExperimentConfig,
+    /// Normalized time budget per method.
+    pub max_time: f64,
+    /// The adaptive methods to compare; defaults to the paper's Fig. 5
+    /// lineup.
+    pub controllers: Vec<ControllerSpec>,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Self {
+            base: ExperimentConfig::default(),
+            max_time: 1_500.0,
+            controllers: ControllerSpec::fig5_lineup().to_vec(),
+        }
+    }
+}
+
+/// The result of the Fig. 5 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// One history per adaptive method (same order as the config).
+    pub histories: Vec<RunHistory>,
+}
+
+impl Fig5Result {
+    /// The history of a method by label.
+    pub fn history(&self, label: &str) -> Option<&RunHistory> {
+        self.histories.iter().find(|h| h.label == label)
+    }
+
+    /// The stability of each method's `k` trajectory measured as the spread
+    /// (max − min) of `k` over the last `window` rounds.
+    pub fn k_spread(&self, window: usize) -> Vec<(String, f64)> {
+        self.histories
+            .iter()
+            .map(|h| {
+                let ks = h.k_sequence();
+                let tail = &ks[ks.len().saturating_sub(window)..];
+                let max = tail.iter().copied().max().unwrap_or(0) as f64;
+                let min = tail.iter().copied().min().unwrap_or(0) as f64;
+                (h.label.clone(), max - min)
+            })
+            .collect()
+    }
+
+    /// Final global loss per method.
+    pub fn final_losses(&self) -> Vec<(String, f64)> {
+        self.histories
+            .iter()
+            .map(|h| (h.label.clone(), h.final_global_loss().unwrap_or(f64::NAN)))
+            .collect()
+    }
+
+    /// Renders loss/accuracy tables and sub-sampled `k_m` trajectories.
+    pub fn render(&self, max_time: f64) -> String {
+        let refs: Vec<&RunHistory> = self.histories.iter().collect();
+        let times = report::sample_times(max_time, 10);
+        let mut out = String::new();
+        out.push_str("Fig. 5 — adaptive-k methods (communication time 10)\n");
+        out.push_str("\nGlobal loss vs normalized time\n");
+        out.push_str(&report::loss_table(&refs, &times));
+        out.push_str("\nTest accuracy vs normalized time\n");
+        out.push_str(&report::accuracy_table(&refs, &times));
+        out.push_str("\nk_m trajectories\n");
+        out.push_str(&report::k_trajectory_table(&refs, 15));
+        out
+    }
+}
+
+/// Runs the Fig. 5 experiment.
+pub fn run(config: &Fig5Config) -> Fig5Result {
+    let stop = StopCondition::after_time(config.max_time);
+    let histories = config
+        .controllers
+        .iter()
+        .map(|spec| {
+            let mut experiment = Experiment::new(&config.base);
+            let mut history = experiment.run_adaptive(*spec, &stop);
+            history.label = spec.name().to_string();
+            history
+        })
+        .collect();
+    Fig5Result { histories }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetSpec, ModelSpec};
+
+    fn tiny_config() -> Fig5Config {
+        Fig5Config {
+            base: ExperimentConfig::builder()
+                .dataset(DatasetSpec::femnist_tiny())
+                .model(ModelSpec::Linear)
+                .learning_rate(0.05)
+                .batch_size(8)
+                .comm_time(10.0)
+                .eval_every(5)
+                .seed(2)
+                .build(),
+            max_time: 120.0,
+            controllers: ControllerSpec::fig5_lineup().to_vec(),
+        }
+    }
+
+    #[test]
+    fn produces_one_history_per_controller() {
+        let result = run(&tiny_config());
+        assert_eq!(result.histories.len(), 4);
+        for h in &result.histories {
+            assert!(!h.is_empty(), "{} produced no rounds", h.label);
+        }
+        assert!(result.history("Proposed (Algorithm 3)").is_some());
+        assert!(result.history("EXP3").is_some());
+    }
+
+    #[test]
+    fn proposed_method_k_is_more_stable_than_exp3() {
+        let result = run(&tiny_config());
+        let spreads = result.k_spread(20);
+        let get = |label: &str| {
+            spreads
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
+        assert!(
+            get("Proposed (Algorithm 3)") <= get("EXP3"),
+            "spreads {spreads:?}"
+        );
+    }
+
+    #[test]
+    fn render_lists_all_methods() {
+        let cfg = tiny_config();
+        let result = run(&cfg);
+        let text = result.render(cfg.max_time);
+        for spec in &cfg.controllers {
+            assert!(text.contains(&spec.name()[..10.min(spec.name().len())]));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Fig. 6: Algorithm 2 versus Algorithm 3 at a large communication time.
+//!
+//! With a communication time of 100, the paper shows that the extended
+//! algorithm (shrinking search intervals) both learns faster in wall-clock
+//! terms and produces a much less fluctuating `k_m` trajectory than plain
+//! Algorithm 2.
+
+use agsfl_fl::RunHistory;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+use crate::controllers::ControllerSpec;
+use crate::report;
+use crate::runner::{Experiment, StopCondition};
+
+/// Configuration of the Fig. 6 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Config {
+    /// Base workload; the paper uses communication time 100 here.
+    pub base: ExperimentConfig,
+    /// Normalized time budget per algorithm.
+    pub max_time: f64,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Self {
+            base: ExperimentConfig {
+                comm_time: 100.0,
+                ..ExperimentConfig::default()
+            },
+            max_time: 4_000.0,
+        }
+    }
+}
+
+/// The result of the Fig. 6 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// History of Algorithm 3.
+    pub algorithm3: RunHistory,
+    /// History of Algorithm 2.
+    pub algorithm2: RunHistory,
+}
+
+impl Fig6Result {
+    /// Spread (max − min) of `k` over the last `window` rounds for both
+    /// algorithms, as `(algorithm 3, algorithm 2)`.
+    pub fn k_spreads(&self, window: usize) -> (f64, f64) {
+        let spread = |h: &RunHistory| {
+            let ks = h.k_sequence();
+            let tail = &ks[ks.len().saturating_sub(window)..];
+            let max = tail.iter().copied().max().unwrap_or(0) as f64;
+            let min = tail.iter().copied().min().unwrap_or(0) as f64;
+            max - min
+        };
+        (spread(&self.algorithm3), spread(&self.algorithm2))
+    }
+
+    /// Final global losses as `(algorithm 3, algorithm 2)`.
+    pub fn final_losses(&self) -> (f64, f64) {
+        (
+            self.algorithm3.final_global_loss().unwrap_or(f64::NAN),
+            self.algorithm2.final_global_loss().unwrap_or(f64::NAN),
+        )
+    }
+
+    /// Renders the comparison tables.
+    pub fn render(&self, max_time: f64) -> String {
+        let refs = [&self.algorithm3, &self.algorithm2];
+        let times = report::sample_times(max_time, 10);
+        let mut out = String::new();
+        out.push_str("Fig. 6 — Algorithm 3 vs Algorithm 2 (communication time 100)\n");
+        out.push_str("\nGlobal loss vs normalized time\n");
+        out.push_str(&report::loss_table(&refs, &times));
+        out.push_str("\nTest accuracy vs normalized time\n");
+        out.push_str(&report::accuracy_table(&refs, &times));
+        out.push_str("\nk_m trajectories\n");
+        out.push_str(&report::k_trajectory_table(&refs, 15));
+        let (s3, s2) = self.k_spreads(50);
+        out.push_str(&format!(
+            "\nk spread over final 50 rounds: Algorithm 3 = {s3:.0}, Algorithm 2 = {s2:.0}\n"
+        ));
+        out
+    }
+}
+
+/// Runs the Fig. 6 experiment.
+pub fn run(config: &Fig6Config) -> Fig6Result {
+    let stop = StopCondition::after_time(config.max_time);
+    let mut exp3 = Experiment::new(&config.base);
+    let mut algorithm3 = exp3.run_adaptive(ControllerSpec::Algorithm3, &stop);
+    algorithm3.label = "Algorithm 3".to_string();
+    let mut exp2 = Experiment::new(&config.base);
+    let mut algorithm2 = exp2.run_adaptive(ControllerSpec::Algorithm2, &stop);
+    algorithm2.label = "Algorithm 2".to_string();
+    Fig6Result {
+        algorithm3,
+        algorithm2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetSpec, ModelSpec};
+
+    fn tiny_config() -> Fig6Config {
+        Fig6Config {
+            base: ExperimentConfig::builder()
+                .dataset(DatasetSpec::femnist_tiny())
+                .model(ModelSpec::Linear)
+                .learning_rate(0.05)
+                .batch_size(8)
+                .comm_time(100.0)
+                .eval_every(10)
+                .seed(4)
+                .build(),
+            max_time: 1_200.0,
+        }
+    }
+
+    #[test]
+    fn both_algorithms_produce_histories() {
+        let result = run(&tiny_config());
+        assert!(!result.algorithm2.is_empty());
+        assert!(!result.algorithm3.is_empty());
+        assert!(result.final_losses().0.is_finite());
+        assert!(result.final_losses().1.is_finite());
+    }
+
+    #[test]
+    fn algorithm3_k_fluctuates_no_more_than_algorithm2() {
+        let result = run(&tiny_config());
+        let (s3, s2) = result.k_spreads(20);
+        assert!(s3 <= s2 + 1.0, "Algorithm 3 spread {s3} vs Algorithm 2 {s2}");
+    }
+
+    #[test]
+    fn render_contains_both_algorithms() {
+        let cfg = tiny_config();
+        let text = run(&cfg).render(cfg.max_time);
+        assert!(text.contains("Algorithm 3"));
+        assert!(text.contains("Algorithm 2"));
+        assert!(text.contains("k spread"));
+    }
+}

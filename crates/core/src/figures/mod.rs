@@ -1,0 +1,25 @@
+//! One module per figure of the paper's evaluation (Section V).
+//!
+//! Every figure has a `*Config` describing the workload (with defaults sized
+//! so the whole suite regenerates in seconds on a laptop — see the
+//! substitution table in `DESIGN.md`) and a `*Result` holding the exact
+//! series the paper plots plus a `render()` method that prints them as text
+//! tables. The benchmark crate (`agsfl-bench`) calls these functions and
+//! `EXPERIMENTS.md` records the measured shapes against the paper's.
+//!
+//! | Paper figure | Function |
+//! |---|---|
+//! | Fig. 1 (Assumption 1 validation) | [`fig1::run`] |
+//! | Fig. 4 (GS method comparison) | [`fig4::run`] |
+//! | Fig. 5 (adaptive-`k` method comparison) | [`fig5::run`] |
+//! | Fig. 6 (Algorithm 2 vs Algorithm 3) | [`fig6::run`] |
+//! | Fig. 7 (comm-time sweep, FEMNIST) | [`sweep::run_femnist`] |
+//! | Fig. 8 (comm-time sweep, CIFAR-10) | [`sweep::run_cifar`] |
+//! | Theorems 1–2 (regret bounds) | [`regret_check::run`] |
+
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod regret_check;
+pub mod sweep;

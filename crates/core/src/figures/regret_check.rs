@@ -1,0 +1,138 @@
+//! Empirical check of the regret bounds (Theorems 1 and 2).
+//!
+//! Not a figure in the paper, but the paper's two theorems are quantitative
+//! claims; this experiment verifies them on synthetic convex cost sequences
+//! that satisfy Assumption 2, for both exact and noisy derivative signs.
+
+use agsfl_online::regret::{run_sign_ogd_exact, run_sign_ogd_noisy, RegretOutcome, SyntheticCostEnv};
+use agsfl_online::SearchInterval;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the regret-bound check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegretCheckConfig {
+    /// Number of online-learning rounds `M`.
+    pub rounds: usize,
+    /// The hidden optimizer `k*` of the synthetic cost sequence.
+    pub k_star: f64,
+    /// Search interval lower bound.
+    pub k_min: f64,
+    /// Search interval upper bound.
+    pub k_max: f64,
+    /// Initial `k`.
+    pub initial_k: f64,
+    /// Sign flip probability of the noisy oracle (Theorem 2); `H = 1/(1−2p)`.
+    pub flip_prob: f64,
+    /// Seed for the synthetic environment and the noisy oracle.
+    pub seed: u64,
+}
+
+impl Default for RegretCheckConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 5_000,
+            k_star: 900.0,
+            k_min: 1.0,
+            k_max: 4_001.0,
+            initial_k: 3_500.0,
+            flip_prob: 0.2,
+            seed: 17,
+        }
+    }
+}
+
+/// The outcome of the regret-bound check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegretCheckResult {
+    /// Regret trajectory with exact signs, plus Theorem 1's bound.
+    pub exact: RegretOutcome,
+    /// Regret trajectory with noisy signs, plus Theorem 2's bound.
+    pub noisy: RegretOutcome,
+}
+
+impl RegretCheckResult {
+    /// `true` if both trajectories respect their bounds in every round.
+    pub fn bounds_hold(&self) -> bool {
+        self.exact.within_bound() && self.noisy.within_bound()
+    }
+
+    /// Renders the final regrets against the bounds and a few intermediate
+    /// checkpoints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Regret bounds (Theorems 1 and 2) on a synthetic convex cost sequence\n");
+        out.push_str(&format!(
+            "{:>10}{:>18}{:>18}{:>18}{:>18}\n",
+            "round", "regret (exact)", "bound (Thm 1)", "regret (noisy)", "bound (Thm 2)"
+        ));
+        let m = self.exact.cumulative_regret.len();
+        for checkpoint in [m / 100, m / 10, m / 2, m] {
+            let i = checkpoint.max(1) - 1;
+            out.push_str(&format!(
+                "{:>10}{:>18.1}{:>18.1}{:>18.1}{:>18.1}\n",
+                i + 1,
+                self.exact.cumulative_regret[i],
+                self.exact.bound[i],
+                self.noisy.cumulative_regret[i],
+                self.noisy.bound[i]
+            ));
+        }
+        out.push_str(&format!(
+            "average regret per round at M: exact = {:.4}, noisy = {:.4}\n",
+            self.exact.average_regret(),
+            self.noisy.average_regret()
+        ));
+        out.push_str(&format!("bounds hold: {}\n", self.bounds_hold()));
+        out
+    }
+}
+
+/// Runs the regret-bound check.
+pub fn run(config: &RegretCheckConfig) -> RegretCheckResult {
+    let env = SyntheticCostEnv::generate(config.rounds, config.k_star, 0.3, 1.2, config.seed);
+    let interval = SearchInterval::new(config.k_min, config.k_max);
+    let exact = run_sign_ogd_exact(&env, interval, config.initial_k);
+    let noisy = run_sign_ogd_noisy(
+        &env,
+        interval,
+        config.initial_k,
+        config.flip_prob,
+        config.seed ^ 0xBEEF,
+    );
+    RegretCheckResult { exact, noisy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_check_satisfies_both_bounds() {
+        let result = run(&RegretCheckConfig {
+            rounds: 1_500,
+            ..RegretCheckConfig::default()
+        });
+        assert!(result.bounds_hold());
+    }
+
+    #[test]
+    fn average_regret_decays() {
+        let result = run(&RegretCheckConfig {
+            rounds: 2_000,
+            ..RegretCheckConfig::default()
+        });
+        let early = result.exact.cumulative_regret[199] / 200.0;
+        assert!(result.exact.average_regret() < early);
+    }
+
+    #[test]
+    fn render_reports_bounds() {
+        let result = run(&RegretCheckConfig {
+            rounds: 500,
+            ..RegretCheckConfig::default()
+        });
+        let text = result.render();
+        assert!(text.contains("Thm 1"));
+        assert!(text.contains("bounds hold: true"));
+    }
+}

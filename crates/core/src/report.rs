@@ -1,0 +1,176 @@
+//! Plain-text rendering of experiment results.
+//!
+//! The paper presents its results as figures; this reproduction regenerates
+//! the underlying *series* and prints them as aligned text tables so the
+//! shapes (who wins, by how much, where curves cross) can be read directly
+//! from the benchmark output and recorded in `EXPERIMENTS.md`.
+
+use agsfl_fl::RunHistory;
+
+/// Formats a `(time, value)` series sampled at the given time points from a
+/// set of labelled histories, using the global-loss channel.
+pub fn loss_table(histories: &[&RunHistory], times: &[f64]) -> String {
+    sampled_table(histories, times, |h, t| h.loss_at_time(t))
+}
+
+/// Formats a `(time, value)` series sampled at the given time points from a
+/// set of labelled histories, using the test-accuracy channel.
+pub fn accuracy_table(histories: &[&RunHistory], times: &[f64]) -> String {
+    sampled_table(histories, times, |h, t| h.accuracy_at_time(t))
+}
+
+fn sampled_table(
+    histories: &[&RunHistory],
+    times: &[f64],
+    sample: impl Fn(&RunHistory, f64) -> Option<f64>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>12}", "time"));
+    for h in histories {
+        out.push_str(&format!("  {:>24}", truncate(&h.label, 24)));
+    }
+    out.push('\n');
+    for &t in times {
+        out.push_str(&format!("{t:>12.1}"));
+        for h in histories {
+            match sample(h, t) {
+                Some(v) => out.push_str(&format!("  {v:>24.4}")),
+                None => out.push_str(&format!("  {:>24}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats the `k_m` trajectory of each history, sub-sampled to at most
+/// `max_rows` rows.
+pub fn k_trajectory_table(histories: &[&RunHistory], max_rows: usize) -> String {
+    let longest = histories.iter().map(|h| h.len()).max().unwrap_or(0);
+    let step = (longest / max_rows.max(1)).max(1);
+    let mut out = String::new();
+    out.push_str(&format!("{:>10}", "round"));
+    for h in histories {
+        out.push_str(&format!("  {:>24}", truncate(&h.label, 24)));
+    }
+    out.push('\n');
+    let mut round = 0usize;
+    while round < longest {
+        out.push_str(&format!("{:>10}", round + 1));
+        for h in histories {
+            match h.points().get(round) {
+                Some(p) => out.push_str(&format!("  {:>24}", p.k)),
+                None => out.push_str(&format!("  {:>24}", "-")),
+            }
+        }
+        out.push('\n');
+        round += step;
+    }
+    out
+}
+
+/// Formats the per-client contribution CDFs of the given histories at a fixed
+/// set of quantiles (the data behind Fig. 4, right panel).
+pub fn contribution_summary(histories: &[&RunHistory]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26}{:>14}{:>14}{:>14}{:>18}\n",
+        "method", "min", "median", "max", "clients with 0"
+    ));
+    for h in histories {
+        let cdf = h.contribution_cdf();
+        let zero_fraction = cdf.eval(0.0);
+        out.push_str(&format!(
+            "{:<26}{:>14.0}{:>14.0}{:>14.0}{:>17.1}%\n",
+            truncate(&h.label, 26),
+            cdf.quantile(0.0).unwrap_or(0.0),
+            cdf.quantile(0.5).unwrap_or(0.0),
+            cdf.quantile(1.0).unwrap_or(0.0),
+            zero_fraction * 100.0
+        ));
+    }
+    out
+}
+
+/// Evenly spaced sample times from 0 to `max_time` (inclusive) with `steps`
+/// intervals.
+pub fn sample_times(max_time: f64, steps: usize) -> Vec<f64> {
+    let steps = steps.max(1);
+    (1..=steps).map(|i| max_time * i as f64 / steps as f64).collect()
+}
+
+fn truncate(s: &str, width: usize) -> String {
+    if s.len() <= width {
+        s.to_string()
+    } else {
+        s.chars().take(width).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agsfl_fl::MetricPoint;
+
+    fn history(label: &str, losses: &[(f64, f64)]) -> RunHistory {
+        let mut h = RunHistory::new(label, 2);
+        for (i, &(t, l)) in losses.iter().enumerate() {
+            h.push(MetricPoint {
+                round: i + 1,
+                elapsed_time: t,
+                k: 5 + i,
+                train_loss: l,
+                global_loss: Some(l),
+                test_accuracy: Some(1.0 - l / 10.0),
+            });
+        }
+        h.add_contributions(&[3, 0]);
+        h
+    }
+
+    #[test]
+    fn loss_table_contains_labels_and_values() {
+        let a = history("method-a", &[(1.0, 4.0), (2.0, 3.0)]);
+        let b = history("method-b", &[(1.0, 5.0), (2.0, 2.0)]);
+        let table = loss_table(&[&a, &b], &[1.0, 2.0]);
+        assert!(table.contains("method-a"));
+        assert!(table.contains("method-b"));
+        assert!(table.contains("3.0000"));
+        assert!(table.lines().count() == 3);
+    }
+
+    #[test]
+    fn accuracy_table_uses_accuracy_channel() {
+        let a = history("acc", &[(1.0, 4.0)]);
+        let table = accuracy_table(&[&a], &[1.0]);
+        assert!(table.contains("0.6000"));
+    }
+
+    #[test]
+    fn missing_samples_render_as_dash() {
+        let a = history("late", &[(10.0, 1.0)]);
+        let table = loss_table(&[&a], &[1.0]);
+        assert!(table.contains('-'));
+    }
+
+    #[test]
+    fn k_trajectory_subsamples() {
+        let a = history("k", &(0..50).map(|i| (i as f64, 1.0)).collect::<Vec<_>>());
+        let table = k_trajectory_table(&[&a], 10);
+        assert!(table.lines().count() <= 12);
+        assert!(table.contains("round"));
+    }
+
+    #[test]
+    fn contribution_summary_reports_zero_clients() {
+        let a = history("fair", &[(1.0, 1.0)]);
+        let summary = contribution_summary(&[&a]);
+        assert!(summary.contains("50.0%"), "{summary}");
+    }
+
+    #[test]
+    fn sample_times_are_increasing_and_end_at_max() {
+        let times = sample_times(100.0, 4);
+        assert_eq!(times, vec![25.0, 50.0, 75.0, 100.0]);
+    }
+}

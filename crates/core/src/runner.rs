@@ -1,0 +1,452 @@
+//! The experiment runner: drives the FL simulator with a `k` controller.
+
+use agsfl_fl::{
+    FedAvgConfig, FedAvgSimulation, MetricPoint, RunHistory, Simulation, SimulationConfig,
+    TimeModel,
+};
+use agsfl_online::{stochastic_round, KController, RoundFeedback};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ExperimentConfig;
+use crate::controllers::ControllerSpec;
+
+/// When to stop a training run.
+///
+/// A run stops as soon as **any** enabled criterion triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StopCondition {
+    /// Maximum number of rounds.
+    pub max_rounds: Option<usize>,
+    /// Maximum cumulative normalized time.
+    pub max_time: Option<f64>,
+    /// Stop once the evaluated global loss drops to this value or below.
+    pub target_loss: Option<f64>,
+}
+
+impl StopCondition {
+    /// Stop after exactly `rounds` rounds.
+    pub fn after_rounds(rounds: usize) -> Self {
+        Self {
+            max_rounds: Some(rounds),
+            ..Self::default()
+        }
+    }
+
+    /// Stop once the normalized time budget is exhausted.
+    pub fn after_time(time: f64) -> Self {
+        Self {
+            max_time: Some(time),
+            ..Self::default()
+        }
+    }
+
+    /// Stop once the global loss reaches `loss` (checked at evaluation
+    /// points), with `max_rounds` as a safety net.
+    pub fn until_loss(loss: f64, max_rounds: usize) -> Self {
+        Self {
+            max_rounds: Some(max_rounds),
+            target_loss: Some(loss),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a time budget to an existing condition.
+    pub fn with_max_time(mut self, time: f64) -> Self {
+        self.max_time = Some(time);
+        self
+    }
+
+    fn rounds_exhausted(&self, round: usize) -> bool {
+        self.max_rounds.is_some_and(|m| round >= m)
+    }
+
+    fn time_exhausted(&self, elapsed: f64) -> bool {
+        self.max_time.is_some_and(|t| elapsed >= t)
+    }
+
+    fn loss_reached(&self, loss: Option<f64>) -> bool {
+        match (self.target_loss, loss) {
+            (Some(target), Some(loss)) => loss <= target,
+            _ => false,
+        }
+    }
+}
+
+/// A ready-to-run experiment: the FL simulator built from an
+/// [`ExperimentConfig`] plus the bookkeeping needed to drive adaptive-`k`
+/// controllers and produce [`RunHistory`] time series.
+pub struct Experiment {
+    config: ExperimentConfig,
+    sim: Simulation,
+    rounding_rng: ChaCha8Rng,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("config", &self.config)
+            .field("dim", &self.sim.dim())
+            .field("clients", &self.sim.num_clients())
+            .finish()
+    }
+}
+
+impl Experiment {
+    /// Builds the experiment: generates the dataset, instantiates the model
+    /// and sparsifier and wires up the simulator.
+    pub fn new(config: &ExperimentConfig) -> Self {
+        config.validate();
+        let mut data_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_mul(0x5DEECE66D).wrapping_add(11));
+        let dataset = config.dataset.generate(&mut data_rng);
+        let model = config
+            .model
+            .build(dataset.feature_dim(), dataset.num_classes());
+        let sim = Simulation::new(
+            model,
+            dataset,
+            config.sparsifier.build(),
+            SimulationConfig {
+                learning_rate: config.learning_rate,
+                batch_size: config.batch_size,
+                time_model: TimeModel::normalized(config.comm_time),
+                seed: config.seed,
+            },
+        );
+        Self {
+            config: config.clone(),
+            sim,
+            rounding_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0x51_7CC1B7_2722_0A95),
+        }
+    }
+
+    /// Model dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.sim.dim()
+    }
+
+    /// Number of clients `N`.
+    pub fn num_clients(&self) -> usize {
+        self.sim.num_clients()
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Read-only access to the underlying simulation (current weights,
+    /// elapsed time, …).
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Runs a fixed-`k` training loop.
+    pub fn run_fixed_k(&mut self, k: usize, stop: &StopCondition) -> RunHistory {
+        let mut controller = ControllerSpec::Fixed(k as f64).build(self.dim(), self.config.seed);
+        self.run_with_controller(controller.as_mut(), stop, "Fixed k")
+    }
+
+    /// Runs an adaptive-`k` training loop with the given controller spec.
+    pub fn run_adaptive(&mut self, spec: ControllerSpec, stop: &StopCondition) -> RunHistory {
+        let mut controller = spec.build(self.dim(), self.config.seed);
+        self.run_with_controller(controller.as_mut(), stop, spec.name())
+    }
+
+    /// Runs with an externally constructed controller (useful for ablations
+    /// that tweak controller parameters directly).
+    pub fn run_with_controller(
+        &mut self,
+        controller: &mut dyn KController,
+        stop: &StopCondition,
+        label: &str,
+    ) -> RunHistory {
+        let dim = self.dim();
+        let mut history = RunHistory::new(label, self.num_clients());
+        let mut round_in_run = 0usize;
+        let start_time = self.sim.elapsed_time();
+        loop {
+            if stop.rounds_exhausted(round_in_run)
+                || stop.time_exhausted(self.sim.elapsed_time() - start_time)
+            {
+                break;
+            }
+            round_in_run += 1;
+
+            let k_cont = controller.propose_k().clamp(1.0, dim as f64);
+            let k = stochastic_round(k_cont, &mut self.rounding_rng).min(dim);
+            // Always evaluate a probe so bandit-style controllers get a
+            // loss-decrease signal; sign-based controllers dictate their own
+            // probe k' = k − δ/2.
+            let probe_k = controller
+                .probe_k()
+                .map(|p| p.round().max(1.0) as usize)
+                .unwrap_or(k);
+            let report = self.sim.run_round(k, Some(probe_k));
+
+            let feedback = RoundFeedback {
+                k_used: report.k_used,
+                round_time: report.round_time,
+                probe_loss_prev: report.probe.map(|p| p.loss_prev),
+                probe_loss_now: report.probe.map(|p| p.loss_now),
+                probe_loss_alt: report.probe.map(|p| p.loss_probe),
+                probe_round_time: report.probe.map(|p| p.probe_round_time),
+                probe_k: report.probe.map(|p| p.probe_k),
+                loss_decrease: None,
+            };
+            controller.observe(&feedback);
+            history.add_contributions(&report.contributions);
+
+            let evaluate = round_in_run % self.config.eval_every == 0
+                || round_in_run == 1
+                || stop.rounds_exhausted(round_in_run)
+                || stop.time_exhausted(self.sim.elapsed_time() - start_time);
+            let (global_loss, test_accuracy) = if evaluate {
+                (
+                    Some(self.sim.global_train_loss()),
+                    Some(self.sim.test_accuracy()),
+                )
+            } else {
+                (None, None)
+            };
+            history.push(MetricPoint {
+                round: round_in_run,
+                elapsed_time: self.sim.elapsed_time() - start_time,
+                k: report.k_used,
+                train_loss: report.train_loss,
+                global_loss,
+                test_accuracy,
+            });
+            if stop.loss_reached(global_loss) {
+                break;
+            }
+        }
+        history
+    }
+
+    /// Runs with a prescribed sequence of `k` values (used by Figs. 7 and 8
+    /// to cross-apply a `{k_m}` sequence adapted for one communication time
+    /// to a system with a different communication time). If the run lasts
+    /// longer than the sequence, the last value is repeated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    pub fn run_k_sequence(&mut self, sequence: &[usize], stop: &StopCondition) -> RunHistory {
+        assert!(!sequence.is_empty(), "k sequence must not be empty");
+        let dim = self.dim();
+        let mut history = RunHistory::new("prescribed k sequence", self.num_clients());
+        let mut round_in_run = 0usize;
+        let start_time = self.sim.elapsed_time();
+        loop {
+            if stop.rounds_exhausted(round_in_run)
+                || stop.time_exhausted(self.sim.elapsed_time() - start_time)
+            {
+                break;
+            }
+            let k = sequence[round_in_run.min(sequence.len() - 1)].clamp(1, dim);
+            round_in_run += 1;
+            let report = self.sim.run_round(k, None);
+            history.add_contributions(&report.contributions);
+            let evaluate = round_in_run % self.config.eval_every == 0 || round_in_run == 1;
+            let (global_loss, test_accuracy) = if evaluate {
+                (
+                    Some(self.sim.global_train_loss()),
+                    Some(self.sim.test_accuracy()),
+                )
+            } else {
+                (None, None)
+            };
+            history.push(MetricPoint {
+                round: round_in_run,
+                elapsed_time: self.sim.elapsed_time() - start_time,
+                k: report.k_used,
+                train_loss: report.train_loss,
+                global_loss,
+                test_accuracy,
+            });
+            if stop.loss_reached(global_loss) {
+                break;
+            }
+        }
+        history
+    }
+
+    /// Runs the FedAvg baseline at the communication overhead equivalent to
+    /// `k`-element GS (aggregation every `⌊D/(2k)⌋` rounds), building a fresh
+    /// FedAvg simulation from this experiment's configuration.
+    pub fn run_fedavg(&self, k_equivalent: usize, stop: &StopCondition) -> RunHistory {
+        let config = &self.config;
+        let mut data_rng =
+            ChaCha8Rng::seed_from_u64(config.seed.wrapping_mul(0x5DEECE66D).wrapping_add(11));
+        let dataset = config.dataset.generate(&mut data_rng);
+        let model = config
+            .model
+            .build(dataset.feature_dim(), dataset.num_classes());
+        let dim = model.num_params();
+        let num_clients = dataset.num_clients();
+        let mut sim = FedAvgSimulation::new(
+            model,
+            dataset,
+            FedAvgConfig {
+                learning_rate: config.learning_rate,
+                batch_size: config.batch_size,
+                time_model: TimeModel::normalized(config.comm_time),
+                aggregation_period: TimeModel::fedavg_period(dim, k_equivalent),
+                seed: config.seed,
+            },
+        );
+        let mut history = RunHistory::new("FedAvg", num_clients);
+        let mut round = 0usize;
+        loop {
+            if stop.rounds_exhausted(round) || stop.time_exhausted(sim.elapsed_time()) {
+                break;
+            }
+            round += 1;
+            let report = sim.run_round();
+            let evaluate = round % config.eval_every == 0 || round == 1;
+            let (global_loss, test_accuracy) = if evaluate {
+                (Some(sim.global_train_loss()), Some(sim.test_accuracy()))
+            } else {
+                (None, None)
+            };
+            history.push(MetricPoint {
+                round,
+                elapsed_time: sim.elapsed_time(),
+                k: if report.aggregated { dim } else { 0 },
+                train_loss: report.train_loss,
+                global_loss,
+                test_accuracy,
+            });
+            if stop.loss_reached(global_loss) {
+                break;
+            }
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetSpec, ModelSpec};
+
+    fn tiny_config(comm_time: f64, seed: u64) -> ExperimentConfig {
+        ExperimentConfig::builder()
+            .dataset(DatasetSpec::femnist_tiny())
+            .model(ModelSpec::Linear)
+            .learning_rate(0.05)
+            .batch_size(8)
+            .comm_time(comm_time)
+            .eval_every(5)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn stop_conditions_trigger() {
+        let rounds = StopCondition::after_rounds(3);
+        assert!(rounds.rounds_exhausted(3));
+        assert!(!rounds.rounds_exhausted(2));
+        let time = StopCondition::after_time(10.0);
+        assert!(time.time_exhausted(10.0));
+        assert!(!time.time_exhausted(9.9));
+        let loss = StopCondition::until_loss(1.0, 100);
+        assert!(loss.loss_reached(Some(0.9)));
+        assert!(!loss.loss_reached(Some(1.1)));
+        assert!(!loss.loss_reached(None));
+    }
+
+    #[test]
+    fn fixed_k_run_respects_round_budget() {
+        let mut exp = Experiment::new(&tiny_config(10.0, 0));
+        let history = exp.run_fixed_k(exp.dim() / 10, &StopCondition::after_rounds(12));
+        assert_eq!(history.len(), 12);
+        assert!(history.points().iter().all(|p| p.k == exp.dim() / 10));
+        assert!(history.final_global_loss().is_some());
+    }
+
+    #[test]
+    fn time_budget_stops_run() {
+        let mut exp = Experiment::new(&tiny_config(10.0, 1));
+        let history = exp.run_fixed_k(
+            exp.dim() / 10,
+            &StopCondition::after_rounds(1000).with_max_time(50.0),
+        );
+        assert!(history.len() < 1000);
+        let last = history.points().last().unwrap();
+        assert!(last.elapsed_time >= 50.0);
+    }
+
+    #[test]
+    fn adaptive_run_produces_varying_k() {
+        let mut exp = Experiment::new(&tiny_config(100.0, 2));
+        let history = exp.run_adaptive(ControllerSpec::Algorithm3, &StopCondition::after_rounds(40));
+        assert_eq!(history.len(), 40);
+        let ks = history.k_sequence();
+        assert!(ks.iter().any(|&k| k != ks[0]), "k never changed: {ks:?}");
+    }
+
+    #[test]
+    fn adaptive_run_with_high_comm_time_prefers_smaller_k() {
+        let mut cheap = Experiment::new(&tiny_config(0.1, 3));
+        let mut expensive = Experiment::new(&tiny_config(100.0, 3));
+        let stop = StopCondition::after_rounds(120);
+        let cheap_hist = cheap.run_adaptive(ControllerSpec::Algorithm3, &stop);
+        let expensive_hist = expensive.run_adaptive(ControllerSpec::Algorithm3, &stop);
+        let tail_mean = |h: &RunHistory| {
+            let ks = h.k_sequence();
+            let tail = &ks[ks.len() - 30..];
+            tail.iter().sum::<usize>() as f64 / tail.len() as f64
+        };
+        assert!(
+            tail_mean(&expensive_hist) < tail_mean(&cheap_hist),
+            "expensive comm should push k down: {} vs {}",
+            tail_mean(&expensive_hist),
+            tail_mean(&cheap_hist)
+        );
+    }
+
+    #[test]
+    fn k_sequence_run_replays_prescribed_values() {
+        let mut exp = Experiment::new(&tiny_config(10.0, 4));
+        let seq = vec![10, 20, 30];
+        let history = exp.run_k_sequence(&seq, &StopCondition::after_rounds(5));
+        let ks = history.k_sequence();
+        assert_eq!(ks, vec![10, 20, 30, 30, 30]);
+    }
+
+    #[test]
+    fn fedavg_run_produces_history() {
+        let exp = Experiment::new(&tiny_config(10.0, 5));
+        let history = exp.run_fedavg(exp.dim() / 20, &StopCondition::after_rounds(25));
+        assert_eq!(history.len(), 25);
+        assert!(history.final_global_loss().is_some());
+        // At least one aggregation round happened (k column equals dim there).
+        assert!(history.points().iter().any(|p| p.k == exp.dim()));
+    }
+
+    #[test]
+    fn target_loss_stops_early() {
+        let mut exp = Experiment::new(&tiny_config(0.1, 6));
+        // Target slightly below the initial loss: a few rounds should do it.
+        let initial = exp.simulation().global_train_loss();
+        let history = exp.run_fixed_k(
+            exp.dim(),
+            &StopCondition::until_loss(initial * 0.97, 400),
+        );
+        assert!(history.len() < 400);
+        assert!(history.final_global_loss().unwrap() <= initial * 0.97);
+    }
+
+    #[test]
+    fn same_seed_same_history() {
+        let mut a = Experiment::new(&tiny_config(10.0, 7));
+        let mut b = Experiment::new(&tiny_config(10.0, 7));
+        let stop = StopCondition::after_rounds(10);
+        let ha = a.run_adaptive(ControllerSpec::Algorithm2, &stop);
+        let hb = b.run_adaptive(ControllerSpec::Algorithm2, &stop);
+        assert_eq!(ha.points(), hb.points());
+    }
+}

@@ -1,0 +1,219 @@
+//! A federated client: local data, mini-batch sampling, residual accumulator.
+
+use agsfl_ml::data::{ClientShard, MinibatchSampler};
+use agsfl_ml::model::Model;
+use agsfl_sparse::{ClientUpload, ResidualAccumulator, UploadPlan};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One federated client of Algorithm 1.
+///
+/// The client owns its local shard, a mini-batch sampler, its residual
+/// accumulator `a_i` and a private RNG (so the simulation is deterministic
+/// regardless of the order in which clients are processed, including when
+/// gradient computation is parallelized across threads).
+#[derive(Debug, Clone)]
+pub struct Client {
+    id: usize,
+    shard: ClientShard,
+    weight: f64,
+    sampler: MinibatchSampler,
+    accumulator: ResidualAccumulator,
+    rng: ChaCha8Rng,
+    /// Indices (into the shard) of the most recent mini-batch, used by the
+    /// derivative-sign estimator to re-evaluate a single sample's loss.
+    last_batch: Vec<usize>,
+    /// The sample within `last_batch` chosen for the estimator this round.
+    probe_sample: Option<usize>,
+}
+
+impl Client {
+    /// Creates a client.
+    ///
+    /// `weight` is the aggregation weight `C_i / C`; `dim` the model
+    /// dimension; `seed` the client's private RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is empty or `batch_size == 0`.
+    pub fn new(
+        id: usize,
+        shard: ClientShard,
+        weight: f64,
+        dim: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!shard.is_empty(), "client {id} has no local data");
+        let sampler = MinibatchSampler::new(&shard, batch_size);
+        Self {
+            id,
+            shard,
+            weight,
+            sampler,
+            accumulator: ResidualAccumulator::new(dim),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            last_batch: Vec::new(),
+            probe_sample: None,
+        }
+    }
+
+    /// Client identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Aggregation weight `C_i / C`.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Number of local samples `C_i`.
+    pub fn num_samples(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Borrows the client's local shard.
+    pub fn shard(&self) -> &ClientShard {
+        &self.shard
+    }
+
+    /// Borrows the residual accumulator `a_i`.
+    pub fn accumulator(&self) -> &ResidualAccumulator {
+        &self.accumulator
+    }
+
+    /// Computes the local mini-batch gradient at `params`, adds it to the
+    /// accumulator (Line 4 of Algorithm 1) and returns the mini-batch loss.
+    ///
+    /// Also draws the round's probe sample for the derivative-sign estimator.
+    pub fn compute_local_gradient(&mut self, model: &dyn Model, params: &[f32]) -> f32 {
+        let (features, labels, indices) = self.sampler.next_batch(&self.shard, &mut self.rng);
+        let (loss, grad) = model.loss_and_grad(params, &features, &labels);
+        self.accumulator.add(&grad);
+        self.probe_sample = Some(indices[self.rng.gen_range(0..indices.len())]);
+        self.last_batch = indices;
+        loss
+    }
+
+    /// Builds the uplink message for the current round according to the
+    /// sparsifier's [`UploadPlan`].
+    pub fn build_upload(&self, plan: &UploadPlan, k: usize) -> ClientUpload {
+        let entries = match plan {
+            UploadPlan::TopKOwn => self.accumulator.top_k_entries(k),
+            UploadPlan::Coordinates(coords) => self.accumulator.entries_at(coords),
+            UploadPlan::Dense => self
+                .accumulator
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| (j, v))
+                .collect(),
+        };
+        ClientUpload::new(self.id, self.weight, entries)
+    }
+
+    /// Resets the accumulator coordinates the server actually used
+    /// (Lines 16–17 of Algorithm 1).
+    pub fn apply_reset(&mut self, indices: &[usize]) {
+        self.accumulator.reset_indices(indices);
+    }
+
+    /// Loss of the round's probe sample evaluated at `params` — the
+    /// single-sample losses `f_{i,h}(·)` of the derivative-sign estimator
+    /// (Section IV-E of the paper).
+    ///
+    /// Returns `None` if no gradient has been computed yet this run.
+    pub fn probe_loss(&self, model: &dyn Model, params: &[f32]) -> Option<f32> {
+        let idx = self.probe_sample?;
+        let (features, label) = self.shard.sample(idx);
+        Some(model.sample_loss(params, features, label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agsfl_ml::model::LinearSoftmax;
+    use agsfl_tensor::Matrix;
+
+    fn shard(n: usize, dim: usize, classes: usize) -> ClientShard {
+        ClientShard::new(
+            Matrix::from_fn(n, dim, |i, j| ((i * 3 + j) % 5) as f32 * 0.2 - 0.4),
+            (0..n).map(|i| i % classes).collect(),
+        )
+    }
+
+    fn client_and_model() -> (Client, LinearSoftmax, Vec<f32>) {
+        let model = LinearSoftmax::new(4, 3);
+        let shard = shard(12, 4, 3);
+        let client = Client::new(0, shard, 0.5, model.num_params(), 4, 42);
+        let params = vec![0.01; model.num_params()];
+        (client, model, params)
+    }
+
+    #[test]
+    fn gradient_accumulates_in_residual() {
+        let (mut client, model, params) = client_and_model();
+        assert_eq!(client.accumulator().residual_l1(), 0.0);
+        let loss = client.compute_local_gradient(&model, &params);
+        assert!(loss > 0.0);
+        assert!(client.accumulator().residual_l1() > 0.0);
+    }
+
+    #[test]
+    fn upload_plans_produce_expected_shapes() {
+        let (mut client, model, params) = client_and_model();
+        client.compute_local_gradient(&model, &params);
+        let topk = client.build_upload(&UploadPlan::TopKOwn, 3);
+        assert_eq!(topk.len(), 3);
+        let coords = client.build_upload(&UploadPlan::Coordinates(vec![0, 5]), 3);
+        assert_eq!(coords.len(), 2);
+        assert_eq!(coords.entries[0].0, 0);
+        let dense = client.build_upload(&UploadPlan::Dense, 3);
+        assert_eq!(dense.len(), model.num_params());
+    }
+
+    #[test]
+    fn reset_clears_only_used_coordinates() {
+        let (mut client, model, params) = client_and_model();
+        client.compute_local_gradient(&model, &params);
+        let upload = client.build_upload(&UploadPlan::TopKOwn, 2);
+        let used: Vec<usize> = upload.entries.iter().map(|&(j, _)| j).collect();
+        let before = client.accumulator().residual_l1();
+        client.apply_reset(&used);
+        let after = client.accumulator().residual_l1();
+        assert!(after < before);
+        assert!(after > 0.0, "non-selected coordinates keep their residual");
+    }
+
+    #[test]
+    fn probe_loss_available_after_gradient() {
+        let (mut client, model, params) = client_and_model();
+        assert!(client.probe_loss(&model, &params).is_none());
+        client.compute_local_gradient(&model, &params);
+        let loss = client.probe_loss(&model, &params).unwrap();
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn clients_with_same_seed_are_deterministic() {
+        let model = LinearSoftmax::new(4, 3);
+        let params = vec![0.02; model.num_params()];
+        let mut a = Client::new(0, shard(10, 4, 3), 0.5, model.num_params(), 4, 9);
+        let mut b = Client::new(0, shard(10, 4, 3), 0.5, model.num_params(), 4, 9);
+        for _ in 0..3 {
+            let la = a.compute_local_gradient(&model, &params);
+            let lb = b.compute_local_gradient(&model, &params);
+            assert_eq!(la, lb);
+        }
+        assert_eq!(a.accumulator().as_slice(), b.accumulator().as_slice());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_shard_panics() {
+        let _ = Client::new(0, ClientShard::empty(4), 0.1, 10, 4, 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! The FedAvg send-all-or-nothing baseline.
+//!
+//! The paper compares its GS-based FL against federated averaging at *equal
+//! average communication overhead*: FedAvg exchanges the full model every
+//! `⌊D/(2k)⌋` rounds (the division by 2 accounts for the index transmission
+//! that sparse messages need), and performs purely local SGD steps in the
+//! rounds in between.
+
+use agsfl_ml::data::{FederatedDataset, MinibatchSampler};
+use agsfl_ml::metrics::{global_accuracy, global_loss};
+use agsfl_ml::model::Model;
+use agsfl_ml::optim::sgd_step;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::TimeModel;
+
+/// Configuration of a [`FedAvgSimulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedAvgConfig {
+    /// SGD step size `η`.
+    pub learning_rate: f32,
+    /// Mini-batch size per client per round.
+    pub batch_size: usize,
+    /// Normalized time model.
+    pub time_model: TimeModel,
+    /// Weight aggregation period in rounds. Use
+    /// [`TimeModel::fedavg_period`] to match the average communication
+    /// overhead of `k`-element GS.
+    pub aggregation_period: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FedAvgConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.01,
+            batch_size: 32,
+            time_model: TimeModel::default(),
+            aggregation_period: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// Report of one FedAvg round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedAvgRoundReport {
+    /// Round index (1-based).
+    pub round: usize,
+    /// Whether this round ended with a weight aggregation.
+    pub aggregated: bool,
+    /// Average (weighted) mini-batch loss at the start-of-round weights.
+    pub train_loss: f64,
+    /// Normalized time of this round.
+    pub round_time: f64,
+    /// Cumulative normalized time.
+    pub elapsed_time: f64,
+}
+
+/// Federated averaging with periodic full-model exchange.
+pub struct FedAvgSimulation {
+    model: Box<dyn Model>,
+    dataset: FederatedDataset,
+    config: FedAvgConfig,
+    /// Per-client local weights (diverge between aggregations).
+    local_params: Vec<Vec<f32>>,
+    weights: Vec<f64>,
+    samplers: Vec<MinibatchSampler>,
+    rngs: Vec<ChaCha8Rng>,
+    round: usize,
+    elapsed: f64,
+}
+
+impl std::fmt::Debug for FedAvgSimulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FedAvgSimulation")
+            .field("num_clients", &self.local_params.len())
+            .field("round", &self.round)
+            .field("aggregation_period", &self.config.aggregation_period)
+            .finish()
+    }
+}
+
+impl FedAvgSimulation {
+    /// Creates a FedAvg run with all clients initialized to the same weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggregation_period == 0` or the model/dataset dimensions
+    /// disagree.
+    pub fn new(model: Box<dyn Model>, dataset: FederatedDataset, config: FedAvgConfig) -> Self {
+        assert!(config.aggregation_period > 0, "aggregation period must be positive");
+        assert_eq!(model.input_dim(), dataset.feature_dim(), "feature dim mismatch");
+        let mut init_rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let init = model.init_params(&mut init_rng);
+        let total = dataset.total_samples() as f64;
+        let weights: Vec<f64> = dataset
+            .clients()
+            .iter()
+            .map(|s| s.len() as f64 / total)
+            .collect();
+        let samplers = dataset
+            .clients()
+            .iter()
+            .map(|s| MinibatchSampler::new(s, config.batch_size))
+            .collect();
+        let rngs = (0..dataset.num_clients())
+            .map(|i| ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(17).wrapping_add(i as u64)))
+            .collect();
+        let local_params = vec![init; dataset.num_clients()];
+        Self {
+            model,
+            dataset,
+            config,
+            local_params,
+            weights,
+            samplers,
+            rngs,
+            round: 0,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Cumulative normalized time consumed so far.
+    pub fn elapsed_time(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// The weighted average of the clients' current local weights — the
+    /// "global model" FedAvg would report at this point.
+    pub fn averaged_params(&self) -> Vec<f32> {
+        let dim = self.local_params[0].len();
+        let mut avg = vec![0.0f64; dim];
+        for (params, &w) in self.local_params.iter().zip(self.weights.iter()) {
+            for (a, &p) in avg.iter_mut().zip(params.iter()) {
+                *a += w * p as f64;
+            }
+        }
+        avg.into_iter().map(|v| v as f32).collect()
+    }
+
+    /// Global training loss at the averaged weights.
+    pub fn global_train_loss(&self) -> f64 {
+        let avg = self.averaged_params();
+        global_loss(self.model.as_ref(), &avg, self.dataset.clients()) as f64
+    }
+
+    /// Test accuracy at the averaged weights.
+    pub fn test_accuracy(&self) -> f64 {
+        let avg = self.averaged_params();
+        let test = self.dataset.test();
+        self.model.accuracy(&avg, &test.features, &test.labels) as f64
+    }
+
+    /// Weighted train accuracy at the averaged weights.
+    pub fn global_train_accuracy(&self) -> f64 {
+        let avg = self.averaged_params();
+        global_accuracy(self.model.as_ref(), &avg, self.dataset.clients()) as f64
+    }
+
+    /// Runs one FedAvg round: a local SGD step at every client, plus a full
+    /// weight aggregation every `aggregation_period` rounds.
+    pub fn run_round(&mut self) -> FedAvgRoundReport {
+        self.round += 1;
+        let lr = self.config.learning_rate;
+        let mut train_loss = 0.0f64;
+        for i in 0..self.local_params.len() {
+            let shard = self.dataset.client(i);
+            let (features, labels, _) = self.samplers[i].next_batch(shard, &mut self.rngs[i]);
+            let (loss, grad) = self
+                .model
+                .loss_and_grad(&self.local_params[i], &features, &labels);
+            train_loss += self.weights[i] * loss as f64;
+            sgd_step(&mut self.local_params[i], &grad, lr);
+        }
+
+        let aggregated = self.round % self.config.aggregation_period == 0;
+        let dim = self.local_params[0].len();
+        let round_time = if aggregated {
+            let avg = self.averaged_params();
+            for params in &mut self.local_params {
+                params.copy_from_slice(&avg);
+            }
+            self.config.time_model.dense_round_time(dim)
+        } else {
+            self.config.time_model.local_round_time()
+        };
+        self.elapsed += round_time;
+
+        FedAvgRoundReport {
+            round: self.round,
+            aggregated,
+            train_loss,
+            round_time,
+            elapsed_time: self.elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agsfl_ml::data::{SyntheticFemnist, SyntheticFemnistConfig};
+    use agsfl_ml::model::LinearSoftmax;
+
+    fn tiny_fedavg(period: usize, beta: f64, seed: u64) -> FedAvgSimulation {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
+        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+        FedAvgSimulation::new(
+            Box::new(model),
+            fed,
+            FedAvgConfig {
+                learning_rate: 0.05,
+                batch_size: 8,
+                time_model: TimeModel::normalized(beta),
+                aggregation_period: period,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn aggregation_happens_on_schedule() {
+        let mut sim = tiny_fedavg(3, 10.0, 0);
+        let mut aggregations = Vec::new();
+        for _ in 0..6 {
+            let r = sim.run_round();
+            aggregations.push(r.aggregated);
+        }
+        assert_eq!(aggregations, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn round_time_depends_on_aggregation() {
+        let mut sim = tiny_fedavg(2, 10.0, 1);
+        let local = sim.run_round();
+        assert_eq!(local.round_time, 1.0);
+        let agg = sim.run_round();
+        assert_eq!(agg.round_time, 11.0);
+        assert!((sim.elapsed_time() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_weights_synchronized_after_aggregation() {
+        let mut sim = tiny_fedavg(2, 1.0, 2);
+        sim.run_round();
+        // After one local round, clients differ.
+        assert_ne!(sim.local_params[0], sim.local_params[1]);
+        sim.run_round();
+        // After the aggregation round, everyone holds the average.
+        assert_eq!(sim.local_params[0], sim.local_params[1]);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut sim = tiny_fedavg(4, 1.0, 3);
+        let initial = sim.global_train_loss();
+        for _ in 0..120 {
+            sim.run_round();
+        }
+        let trained = sim.global_train_loss();
+        assert!(trained < initial * 0.9, "loss {initial} -> {trained}");
+        assert!(sim.test_accuracy() > 0.1);
+    }
+
+    #[test]
+    fn averaged_params_is_weighted_mean() {
+        let mut sim = tiny_fedavg(100, 1.0, 4);
+        sim.run_round();
+        let avg = sim.averaged_params();
+        let mut manual = vec![0.0f64; avg.len()];
+        for (p, &w) in sim.local_params.iter().zip(sim.weights.iter()) {
+            for (m, &v) in manual.iter_mut().zip(p.iter()) {
+                *m += w * v as f64;
+            }
+        }
+        for (a, m) in avg.iter().zip(manual.iter()) {
+            assert!((*a as f64 - m).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
+        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+        let _ = FedAvgSimulation::new(
+            Box::new(model),
+            fed,
+            FedAvgConfig {
+                aggregation_period: 0,
+                ..FedAvgConfig::default()
+            },
+        );
+    }
+}

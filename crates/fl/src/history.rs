@@ -1,0 +1,231 @@
+//! Run histories: the time series the paper's figures plot.
+
+use agsfl_tensor::stats::Ecdf;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated point of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricPoint {
+    /// Round index `m`.
+    pub round: usize,
+    /// Cumulative normalized time at this point.
+    pub elapsed_time: f64,
+    /// Sparsity degree used in this round.
+    pub k: usize,
+    /// Mini-batch training loss observed in this round.
+    pub train_loss: f64,
+    /// Global training loss `L(w)` (weighted over all client data), if it was
+    /// evaluated at this point.
+    pub global_loss: Option<f64>,
+    /// Test-set accuracy, if it was evaluated at this point.
+    pub test_accuracy: Option<f64>,
+}
+
+/// The full history of one training run, plus the per-client contribution
+/// counters that back the fairness CDF of Fig. 4 (right).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunHistory {
+    /// Human-readable label of the run (method name, comm time, …).
+    pub label: String,
+    points: Vec<MetricPoint>,
+    contributions: Vec<u64>,
+}
+
+impl RunHistory {
+    /// Creates an empty history with the given label and client count.
+    pub fn new(label: impl Into<String>, num_clients: usize) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+            contributions: vec![0; num_clients],
+        }
+    }
+
+    /// Appends an evaluated point.
+    pub fn push(&mut self, point: MetricPoint) {
+        self.points.push(point);
+    }
+
+    /// Adds this round's per-client contribution counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the client count given at
+    /// construction.
+    pub fn add_contributions(&mut self, per_client: &[usize]) {
+        assert_eq!(
+            per_client.len(),
+            self.contributions.len(),
+            "contribution vector length mismatch"
+        );
+        for (total, &c) in self.contributions.iter_mut().zip(per_client.iter()) {
+            *total += c as u64;
+        }
+    }
+
+    /// The recorded points in chronological order.
+    pub fn points(&self) -> &[MetricPoint] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total contributions per client accumulated over the run.
+    pub fn contributions(&self) -> &[u64] {
+        &self.contributions
+    }
+
+    /// Empirical CDF of per-client total contributions (the paper's Fig. 4,
+    /// right panel: "number of gradient elements used from each client").
+    pub fn contribution_cdf(&self) -> Ecdf {
+        Ecdf::new(self.contributions.iter().map(|&c| c as f32).collect())
+    }
+
+    /// The last recorded global loss, if any point evaluated it.
+    pub fn final_global_loss(&self) -> Option<f64> {
+        self.points.iter().rev().find_map(|p| p.global_loss)
+    }
+
+    /// The last recorded test accuracy, if any point evaluated it.
+    pub fn final_test_accuracy(&self) -> Option<f64> {
+        self.points.iter().rev().find_map(|p| p.test_accuracy)
+    }
+
+    /// First normalized time at which the recorded global loss dropped to
+    /// `target` or below. `None` if the run never reached it.
+    pub fn time_to_loss(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.global_loss.is_some_and(|l| l <= target))
+            .map(|p| p.elapsed_time)
+    }
+
+    /// Global loss interpolated at a given normalized time (nearest recorded
+    /// point at or before `time`). `None` before the first evaluation.
+    pub fn loss_at_time(&self, time: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|p| p.elapsed_time <= time)
+            .filter_map(|p| p.global_loss.map(|l| (p.elapsed_time, l)))
+            .last()
+            .map(|(_, l)| l)
+    }
+
+    /// Accuracy at a given normalized time (nearest recorded point at or
+    /// before `time`).
+    pub fn accuracy_at_time(&self, time: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|p| p.elapsed_time <= time)
+            .filter_map(|p| p.test_accuracy.map(|a| (p.elapsed_time, a)))
+            .last()
+            .map(|(_, a)| a)
+    }
+
+    /// The sequence of `k` values used, one entry per recorded point.
+    pub fn k_sequence(&self) -> Vec<usize> {
+        self.points.iter().map(|p| p.k).collect()
+    }
+
+    /// Renders the history as CSV (`round,time,k,train_loss,global_loss,test_accuracy`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,time,k,train_loss,global_loss,test_accuracy\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.4},{},{:.6},{},{}\n",
+                p.round,
+                p.elapsed_time,
+                p.k,
+                p.train_loss,
+                p.global_loss.map_or(String::new(), |l| format!("{l:.6}")),
+                p.test_accuracy.map_or(String::new(), |a| format!("{a:.6}")),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(round: usize, time: f64, loss: Option<f64>, acc: Option<f64>) -> MetricPoint {
+        MetricPoint {
+            round,
+            elapsed_time: time,
+            k: 10,
+            train_loss: 1.0,
+            global_loss: loss,
+            test_accuracy: acc,
+        }
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let mut h = RunHistory::new("test", 3);
+        assert!(h.is_empty());
+        h.push(point(1, 2.0, Some(3.0), Some(0.1)));
+        h.push(point(2, 4.0, Some(2.0), Some(0.2)));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.final_global_loss(), Some(2.0));
+        assert_eq!(h.final_test_accuracy(), Some(0.2));
+        assert_eq!(h.k_sequence(), vec![10, 10]);
+    }
+
+    #[test]
+    fn time_to_loss_finds_first_crossing() {
+        let mut h = RunHistory::new("test", 1);
+        h.push(point(1, 1.0, Some(3.0), None));
+        h.push(point(2, 2.0, Some(1.5), None));
+        h.push(point(3, 3.0, Some(1.0), None));
+        assert_eq!(h.time_to_loss(1.5), Some(2.0));
+        assert_eq!(h.time_to_loss(0.5), None);
+    }
+
+    #[test]
+    fn loss_and_accuracy_at_time() {
+        let mut h = RunHistory::new("test", 1);
+        h.push(point(1, 1.0, Some(3.0), Some(0.3)));
+        h.push(point(2, 5.0, Some(2.0), Some(0.5)));
+        assert_eq!(h.loss_at_time(0.5), None);
+        assert_eq!(h.loss_at_time(1.0), Some(3.0));
+        assert_eq!(h.loss_at_time(4.9), Some(3.0));
+        assert_eq!(h.loss_at_time(100.0), Some(2.0));
+        assert_eq!(h.accuracy_at_time(6.0), Some(0.5));
+    }
+
+    #[test]
+    fn contributions_accumulate_and_cdf() {
+        let mut h = RunHistory::new("test", 3);
+        h.add_contributions(&[1, 0, 2]);
+        h.add_contributions(&[1, 0, 2]);
+        assert_eq!(h.contributions(), &[2, 0, 4]);
+        let cdf = h.contribution_cdf();
+        assert_eq!(cdf.eval(0.0), 1.0 / 3.0);
+        assert_eq!(cdf.eval(4.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn contribution_length_mismatch_panics() {
+        let mut h = RunHistory::new("test", 2);
+        h.add_contributions(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut h = RunHistory::new("test", 1);
+        h.push(point(1, 1.0, Some(2.0), None));
+        let csv = h.to_csv();
+        assert!(csv.starts_with("round,time,k"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+}

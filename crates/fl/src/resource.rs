@@ -1,0 +1,258 @@
+//! Generalized additive resource accounting (energy, monetary cost, …).
+//!
+//! The paper notes (Sections I and VI) that the training-time objective "can
+//! be directly extended to the minimization of other types of additive
+//! resources, such as energy, monetary cost, or a sum of them", because the
+//! online-learning formulation only needs a per-round cost that decomposes
+//! into a computation part and a communication part proportional to the
+//! number of transmitted scalars. [`ResourceModel`] implements that
+//! generalization: it prices a round in an arbitrary additive resource and
+//! can be combined with [`TimeModel`](crate::TimeModel) through
+//! [`CompositeCost`] to optimize a weighted sum of several resources.
+
+use serde::{Deserialize, Serialize};
+
+/// Prices one FL round in an arbitrary additive resource.
+///
+/// * `compute_cost` — resource consumed by one round of local computation
+///   (all clients in parallel), e.g. Joules for the mini-batch gradient.
+/// * `full_exchange_cost` — resource consumed by exchanging the full
+///   `D`-element gradient in both directions; partial exchanges scale
+///   proportionally with the transmitted scalars, exactly like the
+///   normalized time model.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_fl::ResourceModel;
+///
+/// // 5 J per round of computation, 80 J for a full-gradient exchange.
+/// let energy = ResourceModel::new("energy [J]", 5.0, 80.0);
+/// let d = 10_000;
+/// assert_eq!(energy.round_cost(d, d, d), 85.0);
+/// assert!(energy.sparse_round_cost(d, 100) < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    name: String,
+    compute_cost: f64,
+    full_exchange_cost: f64,
+}
+
+impl ResourceModel {
+    /// Creates a resource model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cost is negative or not finite.
+    pub fn new(name: impl Into<String>, compute_cost: f64, full_exchange_cost: f64) -> Self {
+        assert!(
+            compute_cost.is_finite() && compute_cost >= 0.0,
+            "compute cost must be finite and non-negative"
+        );
+        assert!(
+            full_exchange_cost.is_finite() && full_exchange_cost >= 0.0,
+            "exchange cost must be finite and non-negative"
+        );
+        Self {
+            name: name.into(),
+            compute_cost,
+            full_exchange_cost,
+        }
+    }
+
+    /// Human-readable name of the resource (e.g. `"energy [J]"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resource consumed by one round's local computation.
+    pub fn compute_cost(&self) -> f64 {
+        self.compute_cost
+    }
+
+    /// Resource consumed by a full `D`-element exchange in both directions.
+    pub fn full_exchange_cost(&self) -> f64 {
+        self.full_exchange_cost
+    }
+
+    /// Communication cost of exchanging the given numbers of scalars for a
+    /// model of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn comm_cost(&self, dim: usize, uplink_scalars: usize, downlink_scalars: usize) -> f64 {
+        assert!(dim > 0, "model dimension must be positive");
+        self.full_exchange_cost * (uplink_scalars + downlink_scalars) as f64 / (2.0 * dim as f64)
+    }
+
+    /// Total cost of one round.
+    pub fn round_cost(&self, dim: usize, uplink_scalars: usize, downlink_scalars: usize) -> f64 {
+        self.compute_cost + self.comm_cost(dim, uplink_scalars, downlink_scalars)
+    }
+
+    /// Cost of one round of `k`-element bidirectional sparsified GS
+    /// (`k` values + `k` indices in each direction).
+    pub fn sparse_round_cost(&self, dim: usize, k: usize) -> f64 {
+        self.round_cost(dim, 2 * k, 2 * k)
+    }
+
+    /// Cost of one dense (full-exchange) round.
+    pub fn dense_round_cost(&self, dim: usize) -> f64 {
+        self.round_cost(dim, dim, dim)
+    }
+}
+
+/// A weighted sum of several resources — the "sum of them" objective the
+/// paper mentions. Because each component is additive and proportional to
+/// the transmitted scalars, the composite is too, so it can be fed to the
+/// same online-learning machinery unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_fl::{CompositeCost, ResourceModel};
+///
+/// let time = ResourceModel::new("time", 1.0, 10.0);
+/// let energy = ResourceModel::new("energy", 5.0, 80.0);
+/// // Optimize time + 0.1 * energy.
+/// let composite = CompositeCost::new(vec![(1.0, time), (0.1, energy)]);
+/// let d = 1_000;
+/// let cost = composite.round_cost(d, 200, 200);
+/// assert!(cost > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeCost {
+    components: Vec<(f64, ResourceModel)>,
+}
+
+impl CompositeCost {
+    /// Creates a composite cost from `(weight, resource)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or any weight is negative/not finite.
+    pub fn new(components: Vec<(f64, ResourceModel)>) -> Self {
+        assert!(!components.is_empty(), "composite cost needs at least one component");
+        assert!(
+            components.iter().all(|(w, _)| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Self { components }
+    }
+
+    /// The `(weight, resource)` components.
+    pub fn components(&self) -> &[(f64, ResourceModel)] {
+        &self.components
+    }
+
+    /// Weighted total cost of one round.
+    pub fn round_cost(&self, dim: usize, uplink_scalars: usize, downlink_scalars: usize) -> f64 {
+        self.components
+            .iter()
+            .map(|(w, r)| w * r.round_cost(dim, uplink_scalars, downlink_scalars))
+            .sum()
+    }
+
+    /// Weighted cost of one round of `k`-element bidirectional GS.
+    pub fn sparse_round_cost(&self, dim: usize, k: usize) -> f64 {
+        self.round_cost(dim, 2 * k, 2 * k)
+    }
+
+    /// Weighted cost of one dense round.
+    pub fn dense_round_cost(&self, dim: usize) -> f64 {
+        self.round_cost(dim, dim, dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_cost_decomposes() {
+        let r = ResourceModel::new("energy", 2.0, 20.0);
+        assert_eq!(r.name(), "energy");
+        assert_eq!(r.compute_cost(), 2.0);
+        assert_eq!(r.full_exchange_cost(), 20.0);
+        assert_eq!(r.dense_round_cost(100), 22.0);
+        assert_eq!(r.round_cost(100, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn sparse_round_cost_scales_linearly_in_k() {
+        let r = ResourceModel::new("cost", 0.0, 10.0);
+        let d = 1_000;
+        let c1 = r.sparse_round_cost(d, 50);
+        let c2 = r.sparse_round_cost(d, 100);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_resource_is_free() {
+        let r = ResourceModel::new("free", 0.0, 0.0);
+        assert_eq!(r.dense_round_cost(10), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_cost_panics() {
+        let _ = ResourceModel::new("bad", -1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_panics() {
+        let r = ResourceModel::new("x", 1.0, 1.0);
+        let _ = r.comm_cost(0, 1, 1);
+    }
+
+    #[test]
+    fn composite_is_weighted_sum_of_components() {
+        let time = ResourceModel::new("time", 1.0, 10.0);
+        let energy = ResourceModel::new("energy", 5.0, 80.0);
+        let composite = CompositeCost::new(vec![(1.0, time.clone()), (0.5, energy.clone())]);
+        let d = 500;
+        let expected = time.round_cost(d, 100, 100) + 0.5 * energy.round_cost(d, 100, 100);
+        assert!((composite.round_cost(d, 100, 100) - expected).abs() < 1e-12);
+        assert_eq!(composite.components().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_composite_panics() {
+        let _ = CompositeCost::new(vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_costs_are_monotone_in_scalars(
+            dim in 1usize..10_000,
+            up in 0usize..5_000,
+            down in 0usize..5_000,
+            compute in 0.0f64..10.0,
+            exchange in 0.0f64..100.0,
+        ) {
+            let r = ResourceModel::new("res", compute, exchange);
+            prop_assert!(r.round_cost(dim, up + 1, down) >= r.round_cost(dim, up, down));
+            prop_assert!(r.round_cost(dim, up, down + 1) >= r.round_cost(dim, up, down));
+            prop_assert!(r.round_cost(dim, up, down) >= compute);
+        }
+
+        #[test]
+        fn prop_composite_nonnegative(
+            dim in 1usize..1_000,
+            k in 0usize..500,
+            w1 in 0.0f64..5.0,
+            w2 in 0.0f64..5.0,
+        ) {
+            let composite = CompositeCost::new(vec![
+                (w1, ResourceModel::new("a", 1.0, 10.0)),
+                (w2, ResourceModel::new("b", 2.0, 5.0)),
+            ]);
+            prop_assert!(composite.sparse_round_cost(dim, k) >= 0.0);
+        }
+    }
+}

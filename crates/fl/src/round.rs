@@ -1,0 +1,114 @@
+//! Per-round reports produced by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// The extra measurements needed by the derivative-sign estimator of
+/// Section IV-E, produced when a round is run with a probe sparsity `k'`.
+///
+/// All three losses are averages (over clients) of single-sample losses
+/// `f_{i,h}(·)` evaluated on the same per-client sample `h`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeReport {
+    /// The probe sparsity `k' = k_m − δ_m/2` that was evaluated.
+    pub probe_k: usize,
+    /// `L̃(w(m-1))`: average probe-sample loss at the round's starting weights.
+    pub loss_prev: f64,
+    /// `L̃(w(m))`: average probe-sample loss after the `k_m`-element update.
+    pub loss_now: f64,
+    /// `L̃(w'(m))`: average probe-sample loss after the hypothetical
+    /// `k'`-element update.
+    pub loss_probe: f64,
+    /// `θ_m(k')`: the time one round would have taken with `k'`-element GS.
+    pub probe_round_time: f64,
+}
+
+/// Everything the simulator reports about one completed round of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index `m` (1-based).
+    pub round: usize,
+    /// The sparsity degree actually used this round (after stochastic
+    /// rounding if the controller requested a fractional `k`).
+    pub k_used: usize,
+    /// Average mini-batch training loss at the start-of-round weights,
+    /// weighted by client data sizes.
+    pub train_loss: f64,
+    /// Normalized time consumed by this round (computation + communication).
+    pub round_time: f64,
+    /// Cumulative normalized time at the end of this round.
+    pub elapsed_time: f64,
+    /// Number of gradient elements broadcast on the downlink.
+    pub downlink_elements: usize,
+    /// Largest number of scalars any client sent on the uplink.
+    pub max_uplink_scalars: usize,
+    /// Per-client count of elements used from that client's upload
+    /// (`|J ∩ J_i|`) — the fairness statistic of Fig. 4 (right).
+    pub contributions: Vec<usize>,
+    /// Probe measurements for the derivative-sign estimator, if requested.
+    pub probe: Option<ProbeReport>,
+}
+
+impl RoundReport {
+    /// Returns the estimator inputs `(loss_prev, loss_now, loss_probe,
+    /// probe_round_time, round_time)` if a probe was run this round.
+    pub fn estimator_inputs(&self) -> Option<(f64, f64, f64, f64, f64)> {
+        self.probe.map(|p| {
+            (
+                p.loss_prev,
+                p.loss_now,
+                p.loss_probe,
+                p.probe_round_time,
+                self.round_time,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(probe: Option<ProbeReport>) -> RoundReport {
+        RoundReport {
+            round: 3,
+            k_used: 100,
+            train_loss: 2.5,
+            round_time: 3.0,
+            elapsed_time: 9.0,
+            downlink_elements: 100,
+            max_uplink_scalars: 200,
+            contributions: vec![50, 50],
+            probe,
+        }
+    }
+
+    #[test]
+    fn estimator_inputs_absent_without_probe() {
+        assert!(report(None).estimator_inputs().is_none());
+    }
+
+    #[test]
+    fn estimator_inputs_present_with_probe() {
+        let p = ProbeReport {
+            probe_k: 80,
+            loss_prev: 2.0,
+            loss_now: 1.8,
+            loss_probe: 1.9,
+            probe_round_time: 2.5,
+        };
+        let (prev, now, probe, probe_time, round_time) =
+            report(Some(p)).estimator_inputs().unwrap();
+        assert_eq!(prev, 2.0);
+        assert_eq!(now, 1.8);
+        assert_eq!(probe, 1.9);
+        assert_eq!(probe_time, 2.5);
+        assert_eq!(round_time, 3.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = report(None);
+        let clone = r.clone();
+        assert_eq!(r, clone);
+    }
+}

@@ -1,0 +1,452 @@
+//! The synchronized sparse-gradient FL simulation (Algorithm 1).
+
+use agsfl_ml::data::FederatedDataset;
+use agsfl_ml::metrics::{global_accuracy, global_loss};
+use agsfl_ml::model::Model;
+use agsfl_sparse::{ClientUpload, SelectionResult, Sparsifier};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::client::Client;
+use crate::round::{ProbeReport, RoundReport};
+use crate::time::TimeModel;
+
+/// Static configuration of a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// SGD step size `η`. The paper uses 0.01.
+    pub learning_rate: f32,
+    /// Mini-batch size per client per round. The paper uses 32.
+    pub batch_size: usize,
+    /// Normalized time model.
+    pub time_model: TimeModel,
+    /// Master seed; client RNGs and the server RNG are derived from it.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.01,
+            batch_size: 32,
+            time_model: TimeModel::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A synchronized federated-learning run using sparse gradient aggregation.
+///
+/// The simulation owns the model architecture, the federated dataset, the
+/// per-client state (mini-batch samplers and residual accumulators) and a
+/// single global weight vector. Keeping one weight vector is sound because
+/// every client applies exactly the same downlink update (the paper's
+/// synchronization argument for Algorithm 1); an integration test in
+/// `tests/` additionally verifies this by replaying updates on independent
+/// per-client copies.
+pub struct Simulation {
+    model: Box<dyn Model>,
+    dataset: FederatedDataset,
+    sparsifier: Box<dyn Sparsifier>,
+    config: SimulationConfig,
+    clients: Vec<Client>,
+    params: Vec<f32>,
+    server_rng: ChaCha8Rng,
+    round: usize,
+    elapsed: f64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("sparsifier", &self.sparsifier.name())
+            .field("num_clients", &self.clients.len())
+            .field("dim", &self.params.len())
+            .field("round", &self.round)
+            .field("elapsed", &self.elapsed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation: initializes the global weights and one client per
+    /// dataset shard.
+    pub fn new(
+        model: Box<dyn Model>,
+        dataset: FederatedDataset,
+        sparsifier: Box<dyn Sparsifier>,
+        config: SimulationConfig,
+    ) -> Self {
+        assert_eq!(
+            model.input_dim(),
+            dataset.feature_dim(),
+            "model input dimension {} does not match dataset feature dimension {}",
+            model.input_dim(),
+            dataset.feature_dim()
+        );
+        assert!(
+            model.num_classes() >= dataset.num_classes(),
+            "model has fewer classes than the dataset"
+        );
+        let mut init_rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let params = model.init_params(&mut init_rng);
+        let dim = params.len();
+        let total_samples = dataset.total_samples() as f64;
+        let clients = dataset
+            .clients()
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                Client::new(
+                    i,
+                    shard.clone(),
+                    shard.len() as f64 / total_samples,
+                    dim,
+                    config.batch_size,
+                    config.seed.wrapping_add(1).wrapping_mul(0x9E37_79B9).wrapping_add(i as u64),
+                )
+            })
+            .collect();
+        Self {
+            model,
+            dataset,
+            sparsifier,
+            config,
+            clients,
+            params,
+            server_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD_EF01),
+            round: 0,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Model dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of clients `N`.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Cumulative normalized time consumed so far.
+    pub fn elapsed_time(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// The current global weight vector.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// The model architecture.
+    pub fn model(&self) -> &dyn Model {
+        self.model.as_ref()
+    }
+
+    /// The sparsifier driving this run.
+    pub fn sparsifier(&self) -> &dyn Sparsifier {
+        self.sparsifier.as_ref()
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The federated dataset.
+    pub fn dataset(&self) -> &FederatedDataset {
+        &self.dataset
+    }
+
+    /// Global training loss `L(w)` over all client data at the current
+    /// weights.
+    pub fn global_train_loss(&self) -> f64 {
+        global_loss(self.model.as_ref(), &self.params, self.dataset.clients()) as f64
+    }
+
+    /// Test-set accuracy at the current weights.
+    pub fn test_accuracy(&self) -> f64 {
+        let test = self.dataset.test();
+        self.model
+            .accuracy(&self.params, &test.features, &test.labels) as f64
+    }
+
+    /// Weighted training accuracy over all client data at the current weights.
+    pub fn global_train_accuracy(&self) -> f64 {
+        global_accuracy(self.model.as_ref(), &self.params, self.dataset.clients()) as f64
+    }
+
+    /// Runs one round of Algorithm 1 with `k`-element sparsification.
+    ///
+    /// If `probe_k` is given, the round additionally evaluates the
+    /// hypothetical `probe_k`-element update needed by the derivative-sign
+    /// estimator (Section IV-E) and attaches a [`ProbeReport`]; following the
+    /// paper, the probe's extra single-sample loss computations and the small
+    /// difference message are not charged to the round time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn run_round(&mut self, k: usize, probe_k: Option<usize>) -> RoundReport {
+        assert!(k > 0, "k must be at least 1");
+        let k = k.min(self.dim());
+        self.round += 1;
+        let dim = self.dim();
+        let lr = self.config.learning_rate;
+
+        // (A) Local gradient computation at every client, in parallel.
+        let model = self.model.as_ref();
+        let params = &self.params;
+        let losses: Vec<(f64, f32)> = run_parallel(&mut self.clients, |client| {
+            let loss = client.compute_local_gradient(model, params);
+            (client.weight(), loss)
+        });
+        let train_loss: f64 = losses.iter().map(|&(w, l)| w * l as f64).sum();
+
+        // (1) Uplink: build each client's message according to the plan.
+        let plan = self
+            .sparsifier
+            .upload_plan(dim, k, &mut self.server_rng);
+        let uploads: Vec<ClientUpload> = self
+            .clients
+            .iter()
+            .map(|c| c.build_upload(&plan, k))
+            .collect();
+
+        // (2) Server selection and aggregation.
+        let selection = self.sparsifier.select(&uploads, dim, k);
+
+        // Optional probe for the derivative-sign estimator.
+        let probe = probe_k.map(|pk| {
+            let pk = pk.clamp(1, dim);
+            let probe_selection = self.sparsifier.select(&uploads, dim, pk);
+            self.build_probe_report(pk, &selection, &probe_selection)
+        });
+
+        // (3) Downlink: every client applies the identical sparse update.
+        selection.aggregated.apply_sgd(&mut self.params, lr);
+        for (client, resets) in self.clients.iter_mut().zip(selection.reset_indices.iter()) {
+            client.apply_reset(resets);
+        }
+
+        // Time accounting.
+        let round_time = self.config.time_model.round_time(
+            dim,
+            selection.max_uplink_scalars(),
+            selection.downlink_scalars(),
+        );
+        self.elapsed += round_time;
+
+        RoundReport {
+            round: self.round,
+            k_used: k,
+            train_loss,
+            round_time,
+            elapsed_time: self.elapsed,
+            downlink_elements: selection.downlink_elements,
+            max_uplink_scalars: selection.max_uplink_scalars(),
+            contributions: selection.contributions,
+            probe,
+        }
+    }
+
+    /// Evaluates the probe losses `L̃(w(m-1))`, `L̃(w(m))`, `L̃(w'(m))` of the
+    /// derivative-sign estimator.
+    fn build_probe_report(
+        &self,
+        probe_k: usize,
+        selection: &SelectionResult,
+        probe_selection: &SelectionResult,
+    ) -> ProbeReport {
+        let lr = self.config.learning_rate;
+        let model = self.model.as_ref();
+
+        let mut w_now = self.params.clone();
+        selection.aggregated.apply_sgd(&mut w_now, lr);
+        let mut w_probe = self.params.clone();
+        probe_selection.aggregated.apply_sgd(&mut w_probe, lr);
+
+        let mut prev_sum = 0.0f64;
+        let mut now_sum = 0.0f64;
+        let mut probe_sum = 0.0f64;
+        let mut count = 0usize;
+        for client in &self.clients {
+            let (Some(prev), Some(now), Some(probe)) = (
+                client.probe_loss(model, &self.params),
+                client.probe_loss(model, &w_now),
+                client.probe_loss(model, &w_probe),
+            ) else {
+                continue;
+            };
+            prev_sum += prev as f64;
+            now_sum += now as f64;
+            probe_sum += probe as f64;
+            count += 1;
+        }
+        let n = count.max(1) as f64;
+        ProbeReport {
+            probe_k,
+            loss_prev: prev_sum / n,
+            loss_now: now_sum / n,
+            loss_probe: probe_sum / n,
+            probe_round_time: self
+                .config
+                .time_model
+                .sparse_round_time(self.dim(), probe_k),
+        }
+    }
+}
+
+/// Applies `f` to every client, splitting the clients across threads.
+///
+/// Results are returned in client order. Each client owns its RNG and
+/// mini-batch sampler, so the outcome is identical to a sequential loop
+/// regardless of thread interleaving.
+fn run_parallel<T, F>(clients: &mut [Client], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Client) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(clients.len().max(1));
+    if threads <= 1 || clients.len() < 4 {
+        return clients.iter_mut().map(|c| f(c)).collect();
+    }
+    let chunk_size = clients.len().div_ceil(threads);
+    let mut results: Vec<Vec<T>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = clients
+            .chunks_mut(chunk_size)
+            .map(|chunk| scope.spawn(|_| chunk.iter_mut().map(|c| f(c)).collect::<Vec<T>>()))
+            .collect();
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("client worker thread panicked"))
+            .collect();
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agsfl_ml::data::{SyntheticFemnist, SyntheticFemnistConfig};
+    use agsfl_ml::model::LinearSoftmax;
+    use agsfl_sparse::{FabTopK, FubTopK, PeriodicK, SendAll};
+
+    fn tiny_sim(sparsifier: Box<dyn Sparsifier>, beta: f64, seed: u64) -> Simulation {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
+        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+        Simulation::new(
+            Box::new(model),
+            fed,
+            sparsifier,
+            SimulationConfig {
+                learning_rate: 0.05,
+                batch_size: 8,
+                time_model: TimeModel::normalized(beta),
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn round_advances_time_and_counter() {
+        let mut sim = tiny_sim(Box::new(FabTopK::new()), 10.0, 0);
+        let dim = sim.dim();
+        let report = sim.run_round(dim / 10, None);
+        assert_eq!(report.round, 1);
+        assert_eq!(sim.round(), 1);
+        assert!(report.round_time > 1.0);
+        assert!((sim.elapsed_time() - report.round_time).abs() < 1e-12);
+        assert_eq!(report.contributions.len(), sim.num_clients());
+    }
+
+    #[test]
+    fn training_reduces_global_loss() {
+        let mut sim = tiny_sim(Box::new(FabTopK::new()), 1.0, 1);
+        let k = sim.dim() / 5;
+        let initial = sim.global_train_loss();
+        for _ in 0..150 {
+            sim.run_round(k, None);
+        }
+        let trained = sim.global_train_loss();
+        assert!(
+            trained < initial * 0.8,
+            "global loss did not decrease: {initial} -> {trained}"
+        );
+        assert!(sim.test_accuracy() > 0.2);
+    }
+
+    #[test]
+    fn send_all_round_costs_full_comm() {
+        let mut sim = tiny_sim(Box::new(SendAll::new()), 10.0, 2);
+        let report = sim.run_round(1, None);
+        assert!((report.round_time - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fab_round_time_matches_sparse_formula() {
+        let mut sim = tiny_sim(Box::new(FabTopK::new()), 10.0, 3);
+        let dim = sim.dim();
+        let k = dim / 8;
+        let report = sim.run_round(k, None);
+        let expected = TimeModel::normalized(10.0).sparse_round_time(dim, k);
+        assert!(
+            (report.round_time - expected).abs() < 1e-9,
+            "round time {} vs expected {expected}",
+            report.round_time
+        );
+    }
+
+    #[test]
+    fn probe_report_is_produced_and_sensible() {
+        let mut sim = tiny_sim(Box::new(FabTopK::new()), 10.0, 4);
+        let dim = sim.dim();
+        let report = sim.run_round(dim / 4, Some(dim / 8));
+        let probe = report.probe.expect("probe requested");
+        assert_eq!(probe.probe_k, dim / 8);
+        assert!(probe.loss_prev.is_finite() && probe.loss_prev > 0.0);
+        assert!(probe.loss_now.is_finite());
+        assert!(probe.loss_probe.is_finite());
+        assert!(probe.probe_round_time < report.round_time);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let mut a = tiny_sim(Box::new(FubTopK::new()), 5.0, 9);
+        let mut b = tiny_sim(Box::new(FubTopK::new()), 5.0, 9);
+        for _ in 0..5 {
+            let ka = a.run_round(50, None);
+            let kb = b.run_round(50, None);
+            assert_eq!(ka, kb);
+        }
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn periodic_sparsifier_runs() {
+        let mut sim = tiny_sim(Box::new(PeriodicK::new()), 10.0, 5);
+        let report = sim.run_round(sim.dim() / 10, None);
+        assert_eq!(report.downlink_elements, sim.dim() / 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let mut sim = tiny_sim(Box::new(FabTopK::new()), 1.0, 6);
+        let _ = sim.run_round(0, None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Mini-batch sampling from a client shard.
+
+use agsfl_tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::data::ClientShard;
+
+/// Epoch-based mini-batch sampler over a single client's shard.
+///
+/// Samples are visited in a random order that is reshuffled every epoch; when
+/// the shard is smaller than the batch size the whole shard is returned. This
+/// matches the paper's setup of a fixed mini-batch size of 32 per client per
+/// round.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_ml::data::{ClientShard, MinibatchSampler};
+/// use agsfl_tensor::Matrix;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let shard = ClientShard::new(Matrix::from_fn(10, 4, |i, j| (i + j) as f32),
+///                              (0..10).map(|i| i % 2).collect());
+/// let mut sampler = MinibatchSampler::new(&shard, 4);
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let (batch, labels, indices) = sampler.next_batch(&shard, &mut rng);
+/// assert_eq!(batch.rows(), 4);
+/// assert_eq!(labels.len(), 4);
+/// assert_eq!(indices.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinibatchSampler {
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl MinibatchSampler {
+    /// Creates a sampler for the given shard and batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(shard: &ClientShard, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        Self {
+            batch_size,
+            order: (0..shard.len()).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Draws the next mini-batch, reshuffling at epoch boundaries.
+    ///
+    /// Returns `(features, labels, sample_indices)`; the indices refer to rows
+    /// of the shard and are needed by the derivative-sign estimator, which
+    /// re-evaluates the loss of one specific sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is empty or its length changed since construction.
+    pub fn next_batch<R: Rng + ?Sized>(
+        &mut self,
+        shard: &ClientShard,
+        rng: &mut R,
+    ) -> (Matrix, Vec<usize>, Vec<usize>) {
+        assert!(!shard.is_empty(), "cannot sample from an empty shard");
+        assert_eq!(
+            shard.len(),
+            self.order.len(),
+            "shard size changed after the sampler was created"
+        );
+        let effective = self.batch_size.min(shard.len());
+        let mut indices = Vec::with_capacity(effective);
+        while indices.len() < effective {
+            if self.cursor == 0 {
+                self.order.shuffle(rng);
+            }
+            indices.push(self.order[self.cursor]);
+            self.cursor = (self.cursor + 1) % self.order.len();
+        }
+        let batch = shard.subset(&indices);
+        (batch.features, batch.labels, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn shard(n: usize) -> ClientShard {
+        ClientShard::new(
+            Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f32),
+            (0..n).map(|i| i % 3).collect(),
+        )
+    }
+
+    #[test]
+    fn batch_has_requested_size() {
+        let s = shard(10);
+        let mut sampler = MinibatchSampler::new(&s, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (x, y, idx) = sampler.next_batch(&s, &mut rng);
+        assert_eq!(x.rows(), 4);
+        assert_eq!(y.len(), 4);
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn small_shard_returns_whole_shard() {
+        let s = shard(3);
+        let mut sampler = MinibatchSampler::new(&s, 32);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (x, y, _) = sampler.next_batch(&s, &mut rng);
+        assert_eq!(x.rows(), 3);
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn every_sample_visited_once_per_epoch() {
+        let s = shard(8);
+        let mut sampler = MinibatchSampler::new(&s, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let (_, _, idx) = sampler.next_batch(&s, &mut rng);
+            seen.extend(idx);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_content_matches_indices() {
+        let s = shard(6);
+        let mut sampler = MinibatchSampler::new(&s, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (x, y, idx) = sampler.next_batch(&s, &mut rng);
+        for (row, &i) in idx.iter().enumerate() {
+            assert_eq!(x.row(row), s.features.row(i));
+            assert_eq!(y[row], s.labels[i]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = shard(9);
+        let mut a = MinibatchSampler::new(&s, 4);
+        let mut b = MinibatchSampler::new(&s, 4);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(5);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..5 {
+            let (_, _, ia) = a.next_batch(&s, &mut rng_a);
+            let (_, _, ib) = b.next_batch(&s, &mut rng_b);
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_shard_panics() {
+        let s = ClientShard::empty(2);
+        let mut sampler = MinibatchSampler::new(&s, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = sampler.next_batch(&s, &mut rng);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_size_panics() {
+        let s = shard(4);
+        let _ = MinibatchSampler::new(&s, 0);
+    }
+}

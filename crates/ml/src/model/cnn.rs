@@ -1,0 +1,410 @@
+use agsfl_tensor::{init, ops, Matrix};
+use rand::RngCore;
+
+use crate::loss::batch_cross_entropy_with_grad;
+use crate::model::{check_input, check_params, Model};
+
+/// A small convolutional network: one 3x3 convolution, ReLU, 2x2 average
+/// pooling and a fully connected soft-max output layer.
+///
+/// The paper trains a CNN with more than 400,000 weights; this model provides
+/// the same *kind* of parameter structure (convolutional filters followed by a
+/// dense classifier) at a configurable size, so experiments that want a
+/// convolutional gradient spectrum rather than an MLP one can use it (see
+/// DESIGN.md, substitution table). Inputs are flattened images in
+/// channel-major order: element `(c, y, x)` lives at index
+/// `c * height * width + y * width + x`.
+///
+/// Parameter layout in the flat vector:
+///
+/// 1. convolution weights `[out_channels][in_channels][3][3]`,
+/// 2. convolution biases `[out_channels]`,
+/// 3. fully connected weights `[pooled_dim x num_classes]` (row-major),
+/// 4. fully connected biases `[num_classes]`.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_ml::model::{Model, SimpleCnn};
+///
+/// let cnn = SimpleCnn::new(1, 8, 8, 4, 10);
+/// assert_eq!(cnn.input_dim(), 64);
+/// assert!(cnn.num_params() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleCnn {
+    in_channels: usize,
+    height: usize,
+    width: usize,
+    out_channels: usize,
+    num_classes: usize,
+}
+
+const KERNEL: usize = 3;
+
+impl SimpleCnn {
+    /// Creates a CNN for `in_channels x height x width` inputs with
+    /// `out_channels` 3x3 filters and `num_classes` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the image is smaller than the 3x3
+    /// kernel.
+    pub fn new(
+        in_channels: usize,
+        height: usize,
+        width: usize,
+        out_channels: usize,
+        num_classes: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && num_classes > 0);
+        assert!(
+            height >= KERNEL && width >= KERNEL,
+            "image must be at least {KERNEL}x{KERNEL}"
+        );
+        Self {
+            in_channels,
+            height,
+            width,
+            out_channels,
+            num_classes,
+        }
+    }
+
+    /// Spatial size of the convolution output (`height - 2`, `width - 2`).
+    pub fn conv_output_size(&self) -> (usize, usize) {
+        (self.height - KERNEL + 1, self.width - KERNEL + 1)
+    }
+
+    /// Spatial size after 2x2 average pooling.
+    pub fn pooled_size(&self) -> (usize, usize) {
+        let (ch, cw) = self.conv_output_size();
+        (ch / 2, cw / 2)
+    }
+
+    fn conv_weight_len(&self) -> usize {
+        self.out_channels * self.in_channels * KERNEL * KERNEL
+    }
+
+    fn pooled_dim(&self) -> usize {
+        let (ph, pw) = self.pooled_size();
+        self.out_channels * ph * pw
+    }
+
+    fn fc_weight_len(&self) -> usize {
+        self.pooled_dim() * self.num_classes
+    }
+
+    /// Offsets of the four parameter blocks: `(conv_w, conv_b, fc_w, fc_b)`.
+    fn offsets(&self) -> (usize, usize, usize, usize) {
+        let conv_w = 0;
+        let conv_b = conv_w + self.conv_weight_len();
+        let fc_w = conv_b + self.out_channels;
+        let fc_b = fc_w + self.fc_weight_len();
+        (conv_w, conv_b, fc_w, fc_b)
+    }
+
+    #[inline]
+    fn input_index(&self, c: usize, y: usize, x: usize) -> usize {
+        c * self.height * self.width + y * self.width + x
+    }
+
+    #[inline]
+    fn conv_w_index(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.in_channels + c) * KERNEL + ky) * KERNEL + kx
+    }
+
+    /// Convolution + ReLU + average pooling for one sample.
+    ///
+    /// Returns `(pre_activation, pooled)` where `pre_activation` is the raw
+    /// convolution output (needed for the ReLU derivative).
+    fn forward_sample(&self, params: &[f32], sample: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let (conv_w_off, conv_b_off, _, _) = self.offsets();
+        let (ch, cw) = self.conv_output_size();
+        let mut pre = vec![0.0f32; self.out_channels * ch * cw];
+        for o in 0..self.out_channels {
+            let bias = params[conv_b_off + o];
+            for y in 0..ch {
+                for x in 0..cw {
+                    let mut acc = bias;
+                    for c in 0..self.in_channels {
+                        for ky in 0..KERNEL {
+                            for kx in 0..KERNEL {
+                                acc += sample[self.input_index(c, y + ky, x + kx)]
+                                    * params[conv_w_off + self.conv_w_index(o, c, ky, kx)];
+                            }
+                        }
+                    }
+                    pre[(o * ch + y) * cw + x] = acc;
+                }
+            }
+        }
+        let (ph, pw) = self.pooled_size();
+        let mut pooled = vec![0.0f32; self.out_channels * ph * pw];
+        for o in 0..self.out_channels {
+            for py in 0..ph {
+                for px in 0..pw {
+                    let mut acc = 0.0f32;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let y = py * 2 + dy;
+                            let x = px * 2 + dx;
+                            acc += ops::relu(pre[(o * ch + y) * cw + x]);
+                        }
+                    }
+                    pooled[(o * ph + py) * pw + px] = acc / 4.0;
+                }
+            }
+        }
+        (pre, pooled)
+    }
+}
+
+impl Model for SimpleCnn {
+    fn input_dim(&self) -> usize {
+        self.in_channels * self.height * self.width
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn num_params(&self) -> usize {
+        self.conv_weight_len() + self.out_channels + self.fc_weight_len() + self.num_classes
+    }
+
+    fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f32> {
+        let mut params = Vec::with_capacity(self.num_params());
+        let conv_fan_in = self.in_channels * KERNEL * KERNEL;
+        params.extend(init::normal_vec(
+            self.conv_weight_len(),
+            0.0,
+            (2.0 / conv_fan_in as f32).sqrt(),
+            rng,
+        ));
+        params.extend(std::iter::repeat(0.0f32).take(self.out_channels));
+        let fc = init::xavier_uniform(self.pooled_dim(), self.num_classes, rng);
+        params.extend_from_slice(fc.as_slice());
+        params.extend(std::iter::repeat(0.0f32).take(self.num_classes));
+        params
+    }
+
+    fn forward(&self, params: &[f32], x: &Matrix) -> Matrix {
+        check_params(self, params);
+        check_input(self, x);
+        let (_, _, fc_w_off, fc_b_off) = self.offsets();
+        let pooled_dim = self.pooled_dim();
+        let mut logits = Matrix::zeros(x.rows(), self.num_classes);
+        for i in 0..x.rows() {
+            let (_, pooled) = self.forward_sample(params, x.row(i));
+            let out = logits.row_mut(i);
+            for j in 0..self.num_classes {
+                let mut acc = params[fc_b_off + j];
+                for (p, &v) in pooled.iter().enumerate() {
+                    acc += v * params[fc_w_off + p * self.num_classes + j];
+                }
+                let _ = pooled_dim;
+                out[j] = acc;
+            }
+        }
+        logits
+    }
+
+    fn loss_and_grad(&self, params: &[f32], x: &Matrix, labels: &[usize]) -> (f32, Vec<f32>) {
+        check_params(self, params);
+        check_input(self, x);
+        let (conv_w_off, conv_b_off, fc_w_off, fc_b_off) = self.offsets();
+        let (ch, cw) = self.conv_output_size();
+        let (ph, pw) = self.pooled_size();
+
+        // Forward pass, caching per-sample intermediates.
+        let mut pres = Vec::with_capacity(x.rows());
+        let mut pooleds = Vec::with_capacity(x.rows());
+        let mut logits = Matrix::zeros(x.rows(), self.num_classes);
+        for i in 0..x.rows() {
+            let (pre, pooled) = self.forward_sample(params, x.row(i));
+            let out = logits.row_mut(i);
+            for j in 0..self.num_classes {
+                let mut acc = params[fc_b_off + j];
+                for (p, &v) in pooled.iter().enumerate() {
+                    acc += v * params[fc_w_off + p * self.num_classes + j];
+                }
+                out[j] = acc;
+            }
+            pres.push(pre);
+            pooleds.push(pooled);
+        }
+        let (loss, dlogits) = batch_cross_entropy_with_grad(&logits, labels);
+
+        let mut grad = vec![0.0f32; self.num_params()];
+        for i in 0..x.rows() {
+            let sample = x.row(i);
+            let dlog = dlogits.row(i);
+            let pooled = &pooleds[i];
+            let pre = &pres[i];
+
+            // Fully connected layer gradients and back-propagated pooled grad.
+            let mut dpooled = vec![0.0f32; pooled.len()];
+            for (p, &pv) in pooled.iter().enumerate() {
+                for j in 0..self.num_classes {
+                    grad[fc_w_off + p * self.num_classes + j] += pv * dlog[j];
+                    dpooled[p] += params[fc_w_off + p * self.num_classes + j] * dlog[j];
+                }
+            }
+            for j in 0..self.num_classes {
+                grad[fc_b_off + j] += dlog[j];
+            }
+
+            // Average pooling + ReLU backward into the convolution output.
+            let mut dpre = vec![0.0f32; pre.len()];
+            for o in 0..self.out_channels {
+                for py in 0..ph {
+                    for px in 0..pw {
+                        let g = dpooled[(o * ph + py) * pw + px] / 4.0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let y = py * 2 + dy;
+                                let x_ = px * 2 + dx;
+                                let idx = (o * ch + y) * cw + x_;
+                                dpre[idx] += g * ops::relu_grad(pre[idx]);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Convolution weight and bias gradients.
+            for o in 0..self.out_channels {
+                for y in 0..ch {
+                    for x_ in 0..cw {
+                        let g = dpre[(o * ch + y) * cw + x_];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        grad[conv_b_off + o] += g;
+                        for c in 0..self.in_channels {
+                            for ky in 0..KERNEL {
+                                for kx in 0..KERNEL {
+                                    grad[conv_w_off + self.conv_w_index(o, c, ky, kx)] +=
+                                        g * sample[self.input_index(c, y + ky, x_ + kx)];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (loss, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::finite_difference_check;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy_cnn() -> SimpleCnn {
+        SimpleCnn::new(1, 6, 6, 2, 3)
+    }
+
+    fn toy_batch(model: &SimpleCnn, batch: usize) -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_fn(batch, model.input_dim(), |i, j| {
+            (((i * 13 + j * 7) % 11) as f32) * 0.1 - 0.5
+        });
+        let labels = (0..batch).map(|i| i % model.num_classes()).collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn dimensions_and_param_count() {
+        let m = toy_cnn();
+        assert_eq!(m.input_dim(), 36);
+        assert_eq!(m.conv_output_size(), (4, 4));
+        assert_eq!(m.pooled_size(), (2, 2));
+        // conv: 2*1*3*3 = 18, conv bias 2, fc: 2*2*2*3 = 24, fc bias 3.
+        assert_eq!(m.num_params(), 18 + 2 + 24 + 3);
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let m = toy_cnn();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let params = m.init_params(&mut rng);
+        assert_eq!(params.len(), m.num_params());
+        let (x, _) = toy_batch(&m, 3);
+        let logits = m.forward(&params, &x);
+        assert_eq!(logits.shape(), (3, 3));
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let m = toy_cnn();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let params = m.init_params(&mut rng);
+        let (x, labels) = toy_batch(&m, 4);
+        let coords: Vec<usize> = (0..m.num_params()).step_by(2).collect();
+        let worst = finite_difference_check(&m, &params, &x, &labels, &coords, 1e-2);
+        assert!(worst < 1.5e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn zero_filter_model_predicts_from_bias_only() {
+        let m = toy_cnn();
+        let mut params = vec![0.0f32; m.num_params()];
+        let (_, _, _, fc_b_off) = m.offsets();
+        params[fc_b_off + 1] = 3.0;
+        let (x, _) = toy_batch(&m, 2);
+        let logits = m.forward(&params, &x);
+        for i in 0..2 {
+            assert_eq!(agsfl_tensor::vecops::argmax(logits.row(i)), Some(1));
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let m = SimpleCnn::new(1, 6, 6, 4, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut params = m.init_params(&mut rng);
+        // Class 0: bright top-left corner; class 1: bright bottom-right corner.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for s in 0..8 {
+            let class = s % 2;
+            let mut img = vec![0.0f32; 36];
+            if class == 0 {
+                img[0] = 1.0;
+                img[1] = 1.0;
+                img[6] = 1.0;
+                img[7] = 1.0;
+            } else {
+                img[35] = 1.0;
+                img[34] = 1.0;
+                img[29] = 1.0;
+                img[28] = 1.0;
+            }
+            // A little per-sample jitter so the batch is not two duplicated rows.
+            img[12 + s] += 0.1;
+            rows.push(img);
+            labels.push(class);
+        }
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let x = Matrix::from_vec(8, 36, flat);
+        let initial = m.loss(&params, &x, &labels);
+        for _ in 0..500 {
+            let (_, grad) = m.loss_and_grad(&params, &x, &labels);
+            crate::optim::sgd_step(&mut params, &grad, 0.3);
+        }
+        let trained = m.loss(&params, &x, &labels);
+        assert!(trained < initial, "loss {initial} -> {trained}");
+        assert!(m.accuracy(&params, &x, &labels) >= 0.75);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_image_panics() {
+        let _ = SimpleCnn::new(1, 2, 2, 1, 2);
+    }
+}

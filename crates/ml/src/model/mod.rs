@@ -1,0 +1,207 @@
+//! Models with flat parameter vectors.
+//!
+//! Every model implements [`Model`], which exposes the model as an opaque
+//! `D`-dimensional parameter vector plus functions to compute logits, loss and
+//! the loss gradient on a mini-batch. Keeping the parameters flat is what lets
+//! the sparsification layer (`agsfl-sparse`) and the FL simulator (`agsfl-fl`)
+//! treat the model exactly as the paper does: a weight vector `w ∈ R^D`
+//! updated by `w(m) = w(m-1) - η ∇_s L(w(m-1))` (Eq. (1)).
+
+mod cnn;
+mod linear;
+mod mlp;
+
+pub use cnn::SimpleCnn;
+pub use linear::LinearSoftmax;
+pub use mlp::Mlp;
+
+use agsfl_tensor::Matrix;
+use rand::RngCore;
+
+use crate::loss::batch_cross_entropy;
+
+/// A classification model whose parameters live in a single flat `Vec<f32>`.
+///
+/// Implementations must be pure functions of `(params, inputs)`: the model
+/// object itself holds only the architecture (dimensions), never learned
+/// state. This guarantees that two federated clients holding identical
+/// parameter vectors compute identical losses and gradients, which is the
+/// synchronization invariant of Algorithm 1 in the paper.
+pub trait Model: Send + Sync + std::fmt::Debug {
+    /// Dimension of a single input feature vector.
+    fn input_dim(&self) -> usize;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Total number of parameters `D`.
+    fn num_params(&self) -> usize;
+
+    /// Draws an initial parameter vector.
+    ///
+    /// The returned vector always has length [`Model::num_params`].
+    fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f32>;
+
+    /// Computes logits for a batch `x` of shape `(batch, input_dim)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params.len() != self.num_params()` or the
+    /// input width differs from [`Model::input_dim`].
+    fn forward(&self, params: &[f32], x: &Matrix) -> Matrix;
+
+    /// Computes the mean cross-entropy loss and its gradient with respect to
+    /// the flat parameter vector on a mini-batch.
+    ///
+    /// The gradient has length [`Model::num_params`].
+    fn loss_and_grad(&self, params: &[f32], x: &Matrix, labels: &[usize]) -> (f32, Vec<f32>);
+
+    /// Computes the mean cross-entropy loss on a mini-batch.
+    ///
+    /// The default implementation runs [`Model::forward`] and evaluates the
+    /// batch cross-entropy; implementations may override it with a cheaper
+    /// fused version.
+    fn loss(&self, params: &[f32], x: &Matrix, labels: &[usize]) -> f32 {
+        batch_cross_entropy(&self.forward(params, x), labels)
+    }
+
+    /// Loss of a single sample, used by the derivative-sign estimator of the
+    /// paper (Section IV-E) which evaluates one randomly chosen sample per
+    /// client per round.
+    fn sample_loss(&self, params: &[f32], features: &[f32], label: usize) -> f32 {
+        let x = Matrix::from_vec(1, features.len(), features.to_vec());
+        self.loss(params, &x, &[label])
+    }
+
+    /// Classification accuracy on a batch, in `[0, 1]`.
+    fn accuracy(&self, params: &[f32], x: &Matrix, labels: &[usize]) -> f32 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let logits = self.forward(params, x);
+        let mut correct = 0usize;
+        for (row, &label) in logits.iter_rows().zip(labels.iter()) {
+            if agsfl_tensor::vecops::argmax(row) == Some(label) {
+                correct += 1;
+            }
+        }
+        correct as f32 / labels.len() as f32
+    }
+}
+
+/// Checks a parameter slice against the model's expected dimension.
+///
+/// Shared helper used by all model implementations.
+pub(crate) fn check_params(model: &dyn Model, params: &[f32]) {
+    assert_eq!(
+        params.len(),
+        model.num_params(),
+        "parameter vector has length {} but the model expects {}",
+        params.len(),
+        model.num_params()
+    );
+}
+
+/// Checks a batch against the model's expected input width.
+pub(crate) fn check_input(model: &dyn Model, x: &Matrix) {
+    assert_eq!(
+        x.cols(),
+        model.input_dim(),
+        "input batch has width {} but the model expects {}",
+        x.cols(),
+        model.input_dim()
+    );
+}
+
+/// Verifies a model's analytic gradient against a central finite difference
+/// on a handful of randomly selected coordinates.
+///
+/// Exposed as a public helper so downstream crates (and the property-based
+/// test suites) can sanity-check new model implementations.
+///
+/// Returns the maximum absolute deviation observed.
+pub fn finite_difference_check(
+    model: &dyn Model,
+    params: &[f32],
+    x: &Matrix,
+    labels: &[usize],
+    coords: &[usize],
+    eps: f32,
+) -> f32 {
+    let (_, grad) = model.loss_and_grad(params, x, labels);
+    let mut worst = 0.0f32;
+    for &c in coords {
+        assert!(c < params.len(), "coordinate {c} out of range");
+        let mut plus = params.to_vec();
+        plus[c] += eps;
+        let mut minus = params.to_vec();
+        minus[c] -= eps;
+        let fd = (model.loss(&plus, x, labels) - model.loss(&minus, x, labels)) / (2.0 * eps);
+        worst = worst.max((fd - grad[c]).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_batch(input_dim: usize, classes: usize) -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_fn(4, input_dim, |i, j| ((i * 7 + j * 3) % 5) as f32 * 0.1 - 0.2);
+        let labels = (0..4).map(|i| i % classes).collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn default_loss_matches_forward_cross_entropy() {
+        let model = LinearSoftmax::new(6, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let params = model.init_params(&mut rng);
+        let (x, labels) = tiny_batch(6, 3);
+        let via_default = model.loss(&params, &x, &labels);
+        let via_forward = batch_cross_entropy(&model.forward(&params, &x), &labels);
+        assert!((via_default - via_forward).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_loss_matches_batch_of_one() {
+        let model = LinearSoftmax::new(5, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let params = model.init_params(&mut rng);
+        let features: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
+        let single = model.sample_loss(&params, &features, 2);
+        let batch = model.loss(&params, &Matrix::from_vec(1, 5, features), &[2]);
+        assert!((single - batch).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_is_between_zero_and_one() {
+        let model = Mlp::new(8, &[6], 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let params = model.init_params(&mut rng);
+        let (x, labels) = tiny_batch(8, 3);
+        let acc = model.accuracy(&params, &x, &labels);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn accuracy_of_empty_batch_is_zero() {
+        let model = LinearSoftmax::new(3, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let params = model.init_params(&mut rng);
+        assert_eq!(model.accuracy(&params, &Matrix::zeros(0, 3), &[]), 0.0);
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let models: Vec<Box<dyn Model>> = vec![
+            Box::new(LinearSoftmax::new(4, 2)),
+            Box::new(Mlp::new(4, &[3], 2)),
+        ];
+        for m in &models {
+            assert!(m.num_params() > 0);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! [`KController`] implementations wiring the algorithms to round feedback.
+//!
+//! The experiment harness in `agsfl-core` speaks only the [`KController`]
+//! interface: it asks for the next `k` (and probe `k'`), runs the FL round,
+//! and feeds back a [`RoundFeedback`]. This module adapts every algorithm in
+//! this crate to that interface:
+//!
+//! * [`SignOgd`], [`ExtendedSignOgd`] and [`ValueBasedDescent`] build their
+//!   derivative(-sign) estimate from the probe losses via
+//!   [`DerivativeSignEstimator`];
+//! * [`Exp3Controller`] and [`BanditController`] convert the round outcome
+//!   into a scalar cost — the time spent per unit of single-sample loss
+//!   decrease, the empirical analogue of `t(k, l)` — and feed it to EXP3 /
+//!   the one-point bandit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bandit::ContinuousBandit;
+use crate::estimator::{DerivativeSignEstimator, EstimatorInputs};
+use crate::exp3::Exp3;
+use crate::extended::ExtendedSignOgd;
+use crate::sign_ogd::SignOgd;
+use crate::value_based::ValueBasedDescent;
+use crate::{KController, RoundFeedback};
+
+/// Builds the estimator inputs from a round's feedback, if the probe data is
+/// complete.
+fn estimator_inputs(feedback: &RoundFeedback) -> Option<EstimatorInputs> {
+    Some(EstimatorInputs {
+        k: feedback.k_used as f64,
+        k_alt: feedback.probe_k? as f64,
+        loss_prev: feedback.probe_loss_prev?,
+        loss_now: feedback.probe_loss_now?,
+        loss_alt: feedback.probe_loss_alt?,
+        round_time: feedback.round_time,
+        alt_round_time: feedback.probe_round_time?,
+    })
+}
+
+/// Scalar per-round cost used by the bandit-style baselines: normalized time
+/// spent per unit of loss decrease. Falls back to the raw round time when no
+/// loss information is available, and reports `None` when the loss did not
+/// decrease (those rounds carry no usable signal).
+fn round_cost(feedback: &RoundFeedback) -> Option<f64> {
+    let decrease = feedback
+        .loss_decrease
+        .or_else(|| Some(feedback.probe_loss_prev? - feedback.probe_loss_now?));
+    match decrease {
+        Some(d) if d > 1e-9 => Some(feedback.round_time / d),
+        Some(_) => None,
+        None => Some(feedback.round_time),
+    }
+}
+
+impl KController for SignOgd {
+    fn name(&self) -> &'static str {
+        "Algorithm 2 (sign OGD)"
+    }
+
+    fn propose_k(&self) -> f64 {
+        self.k()
+    }
+
+    fn probe_k(&self) -> Option<f64> {
+        Some(SignOgd::probe_k(self))
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        let sign = estimator_inputs(feedback)
+            .and_then(|inputs| DerivativeSignEstimator::new().estimate(&inputs));
+        self.step(sign);
+    }
+}
+
+impl KController for ExtendedSignOgd {
+    fn name(&self) -> &'static str {
+        "Algorithm 3 (extended sign OGD)"
+    }
+
+    fn propose_k(&self) -> f64 {
+        self.k()
+    }
+
+    fn probe_k(&self) -> Option<f64> {
+        Some(ExtendedSignOgd::probe_k(self))
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        let sign = estimator_inputs(feedback)
+            .and_then(|inputs| DerivativeSignEstimator::new().estimate(&inputs));
+        self.step(sign);
+    }
+}
+
+impl KController for ValueBasedDescent {
+    fn name(&self) -> &'static str {
+        "Value-based derivative descent"
+    }
+
+    fn propose_k(&self) -> f64 {
+        self.k()
+    }
+
+    fn probe_k(&self) -> Option<f64> {
+        Some(ValueBasedDescent::probe_k(self))
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        let derivative = estimator_inputs(feedback)
+            .and_then(|inputs| DerivativeSignEstimator::new().estimate_derivative(&inputs));
+        self.step(derivative);
+    }
+}
+
+/// A controller that always proposes the same `k` (the paper's fixed-`k`
+/// baselines, e.g. Fig. 1 and Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedK {
+    k: f64,
+}
+
+impl FixedK {
+    /// Creates a fixed-`k` controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 1`.
+    pub fn new(k: f64) -> Self {
+        assert!(k >= 1.0, "k must be at least 1");
+        Self { k }
+    }
+}
+
+impl KController for FixedK {
+    fn name(&self) -> &'static str {
+        "Fixed k"
+    }
+
+    fn propose_k(&self) -> f64 {
+        self.k
+    }
+
+    fn probe_k(&self) -> Option<f64> {
+        None
+    }
+
+    fn observe(&mut self, _feedback: &RoundFeedback) {}
+}
+
+/// EXP3 adapted to the adaptive-`k` problem: arms are candidate `k` values,
+/// the reward of a round is `best cost so far / this round's cost` (a value
+/// in `(0, 1]` that is 1 for the best round observed so far).
+#[derive(Debug, Clone)]
+pub struct Exp3Controller {
+    exp3: Exp3,
+    current_arm: usize,
+    best_cost: f64,
+}
+
+impl Exp3Controller {
+    /// Creates the controller; the first arm is drawn immediately.
+    pub fn new(mut exp3: Exp3) -> Self {
+        let current_arm = exp3.draw();
+        Self {
+            exp3,
+            current_arm,
+            best_cost: f64::INFINITY,
+        }
+    }
+
+    /// The underlying EXP3 state.
+    pub fn exp3(&self) -> &Exp3 {
+        &self.exp3
+    }
+}
+
+impl KController for Exp3Controller {
+    fn name(&self) -> &'static str {
+        "EXP3"
+    }
+
+    fn propose_k(&self) -> f64 {
+        self.exp3.arm_value(self.current_arm)
+    }
+
+    fn probe_k(&self) -> Option<f64> {
+        None
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        if let Some(cost) = round_cost(feedback) {
+            self.best_cost = self.best_cost.min(cost);
+            let reward = if cost > 0.0 {
+                (self.best_cost / cost).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            self.exp3.update(self.current_arm, reward);
+        }
+        self.current_arm = self.exp3.draw();
+    }
+}
+
+/// The continuous one-point bandit adapted to the adaptive-`k` problem, with
+/// costs normalized by the first observed cost so the gradient-estimate scale
+/// is dimensionless.
+#[derive(Debug, Clone)]
+pub struct BanditController {
+    bandit: ContinuousBandit,
+    reference_cost: Option<f64>,
+}
+
+impl BanditController {
+    /// Creates the controller.
+    pub fn new(bandit: ContinuousBandit) -> Self {
+        Self {
+            bandit,
+            reference_cost: None,
+        }
+    }
+
+    /// The underlying bandit state.
+    pub fn bandit(&self) -> &ContinuousBandit {
+        &self.bandit
+    }
+}
+
+impl KController for BanditController {
+    fn name(&self) -> &'static str {
+        "Continuous bandit"
+    }
+
+    fn propose_k(&self) -> f64 {
+        self.bandit.k()
+    }
+
+    fn probe_k(&self) -> Option<f64> {
+        None
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        if let Some(cost) = round_cost(feedback) {
+            let reference = *self.reference_cost.get_or_insert(cost.max(1e-12));
+            self.bandit.observe_cost(cost / reference);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExtendedConfig, SearchInterval};
+
+    fn feedback_with_probe(k: usize, probe_k: usize, faster_small_k: bool) -> RoundFeedback {
+        // If the smaller probe k achieves the same loss drop in less time,
+        // the derivative sign is positive and k should decrease.
+        RoundFeedback {
+            k_used: k,
+            round_time: 10.0,
+            probe_loss_prev: Some(2.0),
+            probe_loss_now: Some(1.9),
+            probe_loss_alt: Some(if faster_small_k { 1.9 } else { 1.99 }),
+            probe_round_time: Some(8.0),
+            probe_k: Some(probe_k),
+            loss_decrease: None,
+        }
+    }
+
+    #[test]
+    fn sign_ogd_controller_moves_k_down_when_small_k_is_better() {
+        let mut c = SignOgd::new(SearchInterval::new(1.0, 1001.0), 800.0);
+        let before = KController::propose_k(&c);
+        let probe = KController::probe_k(&c).unwrap() as usize;
+        c.observe(&feedback_with_probe(800, probe, true));
+        assert!(KController::propose_k(&c) < before);
+    }
+
+    #[test]
+    fn extended_controller_moves_k_up_when_large_k_is_better() {
+        let mut c = ExtendedSignOgd::new(ExtendedConfig {
+            k_min: 1.0,
+            k_max: 1000.0,
+            alpha: 1.5,
+            update_window: 20,
+            initial_k: 500.0,
+        });
+        let before = KController::propose_k(&c);
+        let probe = KController::probe_k(&c).unwrap() as usize;
+        c.observe(&feedback_with_probe(500, probe, false));
+        assert!(KController::propose_k(&c) > before);
+    }
+
+    #[test]
+    fn value_based_controller_steps_with_derivative() {
+        let mut c = ValueBasedDescent::new(SearchInterval::new(1.0, 1001.0), 500.0);
+        let probe = KController::probe_k(&c).unwrap() as usize;
+        c.observe(&feedback_with_probe(500, probe, true));
+        assert!(KController::propose_k(&c) < 500.0);
+    }
+
+    #[test]
+    fn missing_probe_data_keeps_sign_controllers_unchanged() {
+        let mut c = SignOgd::new(SearchInterval::new(1.0, 101.0), 50.0);
+        c.observe(&RoundFeedback::time_only(50, 5.0));
+        assert_eq!(KController::propose_k(&c), 50.0);
+    }
+
+    #[test]
+    fn fixed_k_never_changes() {
+        let mut c = FixedK::new(123.0);
+        assert_eq!(c.propose_k(), 123.0);
+        assert_eq!(KController::probe_k(&c), None);
+        c.observe(&RoundFeedback::time_only(123, 2.0));
+        assert_eq!(c.propose_k(), 123.0);
+    }
+
+    #[test]
+    fn exp3_controller_draws_valid_arms_and_learns() {
+        let exp3 = Exp3::new(Exp3::geometric_arms(10.0, 1000.0, 6), 0.2, 1);
+        let arms = exp3.arms().to_vec();
+        let mut c = Exp3Controller::new(exp3);
+        for _ in 0..200 {
+            let k = c.propose_k();
+            assert!(arms.iter().any(|&a| (a - k).abs() < 1e-9));
+            // Rounds with small k are cheap per unit loss decrease.
+            let cost_time = 1.0 + k / 100.0;
+            c.observe(&RoundFeedback {
+                k_used: k.round() as usize,
+                round_time: cost_time,
+                probe_loss_prev: None,
+                probe_loss_now: None,
+                probe_loss_alt: None,
+                probe_round_time: None,
+                probe_k: None,
+                loss_decrease: Some(0.1),
+            });
+        }
+        // The smallest arms should now dominate the probabilities.
+        let probs = c.exp3().probabilities();
+        let small_mass: f64 = probs[..2].iter().sum();
+        assert!(small_mass > 0.4, "probabilities {probs:?}");
+    }
+
+    #[test]
+    fn bandit_controller_normalizes_costs() {
+        let bandit =
+            ContinuousBandit::with_default_scales(SearchInterval::new(10.0, 1010.0), 500.0, 7);
+        let mut c = BanditController::new(bandit);
+        for _ in 0..50 {
+            let k = c.propose_k();
+            assert!((10.0..=1010.0).contains(&k));
+            c.observe(&RoundFeedback {
+                k_used: k.round() as usize,
+                round_time: 1.0 + k / 50.0,
+                probe_loss_prev: None,
+                probe_loss_now: None,
+                probe_loss_alt: None,
+                probe_round_time: None,
+                probe_k: None,
+                loss_decrease: Some(0.05),
+            });
+        }
+        assert!(c.bandit().center().is_finite());
+    }
+
+    #[test]
+    fn rounds_with_no_loss_decrease_are_skipped_by_bandits() {
+        let exp3 = Exp3::new(vec![10.0, 100.0], 0.5, 0);
+        let mut c = Exp3Controller::new(exp3);
+        let draws_before = c.exp3().draws();
+        c.observe(&RoundFeedback {
+            k_used: 10,
+            round_time: 5.0,
+            probe_loss_prev: None,
+            probe_loss_now: None,
+            probe_loss_alt: None,
+            probe_round_time: None,
+            probe_k: None,
+            loss_decrease: Some(0.0),
+        });
+        // A new arm is still drawn (the round happened), but no update was fed.
+        assert_eq!(c.exp3().draws(), draws_before + 1);
+    }
+}

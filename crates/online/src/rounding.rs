@@ -1,0 +1,99 @@
+//! Stochastic rounding of the continuous sparsity degree (Definition 2).
+
+use rand::Rng;
+
+/// Randomized `k`-element GS (Definition 2 of the paper): a continuous
+/// `k ∈ [1, D]` is rounded to `⌊k⌋` with probability `⌈k⌉ − k` and to `⌈k⌉`
+/// with probability `k − ⌊k⌋`, so the rounded value is unbiased. Integer `k`
+/// is returned unchanged.
+///
+/// The result is clamped to at least 1.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_online::stochastic_round;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// assert_eq!(stochastic_round(7.0, &mut rng), 7);
+/// let r = stochastic_round(7.5, &mut rng);
+/// assert!(r == 7 || r == 8);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is not finite or is negative.
+pub fn stochastic_round<R: Rng + ?Sized>(k: f64, rng: &mut R) -> usize {
+    assert!(k.is_finite() && k >= 0.0, "k must be finite and non-negative, got {k}");
+    let floor = k.floor();
+    let frac = k - floor;
+    let rounded = if frac == 0.0 {
+        floor
+    } else if rng.gen::<f64>() < frac {
+        floor + 1.0
+    } else {
+        floor
+    };
+    (rounded as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn integer_inputs_pass_through() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for k in 1..20 {
+            assert_eq!(stochastic_round(k as f64, &mut rng), k);
+        }
+    }
+
+    #[test]
+    fn result_is_floor_or_ceil() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let r = stochastic_round(12.3, &mut rng);
+            assert!(r == 12 || r == 13);
+        }
+    }
+
+    #[test]
+    fn rounding_is_unbiased() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let k = 5.25;
+        let n = 40_000;
+        let sum: usize = (0..n).map(|_| stochastic_round(k, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - k).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn small_values_clamp_to_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(stochastic_round(0.0, &mut rng), 1);
+        let r = stochastic_round(0.4, &mut rng);
+        assert!(r == 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_k_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let _ = stochastic_round(-1.0, &mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_result_within_one_of_input(k in 1.0f64..10_000.0, seed in 0u64..1000) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let r = stochastic_round(k, &mut rng) as f64;
+            prop_assert!((r - k).abs() < 1.0 + 1e-9);
+        }
+    }
+}

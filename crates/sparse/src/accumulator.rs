@@ -1,0 +1,189 @@
+use serde::{Deserialize, Serialize};
+
+use crate::topk;
+
+/// The per-client accumulated local gradient `a_i` of Algorithm 1.
+///
+/// Every round the client adds its freshly computed full local gradient to
+/// the accumulator, uploads the top-`k` entries, and — after hearing from the
+/// server which of its entries were actually used — resets exactly those
+/// coordinates to zero (Lines 4, 6 and 16–17 of Algorithm 1). Coordinates
+/// that were *not* used keep accumulating, which is the error-feedback
+/// mechanism that lets top-k sparsification converge.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_sparse::ResidualAccumulator;
+///
+/// let mut acc = ResidualAccumulator::new(4);
+/// acc.add(&[1.0, -5.0, 0.5, 2.0]);
+/// let upload = acc.top_k_entries(2);
+/// assert_eq!(upload[0].0, 1); // largest magnitude first
+/// acc.reset_indices(&[1]);
+/// assert_eq!(acc.as_slice()[1], 0.0);
+/// assert_eq!(acc.as_slice()[3], 2.0); // unused coordinate keeps its residual
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidualAccumulator {
+    residual: Vec<f32>,
+}
+
+impl ResidualAccumulator {
+    /// Creates a zero accumulator of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            residual: vec![0.0; dim],
+        }
+    }
+
+    /// Dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.residual.len()
+    }
+
+    /// Borrows the accumulated gradient.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.residual
+    }
+
+    /// Adds a freshly computed local gradient (Line 4 of Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != dim()`.
+    pub fn add(&mut self, grad: &[f32]) {
+        assert_eq!(grad.len(), self.residual.len(), "gradient length mismatch");
+        for (r, g) in self.residual.iter_mut().zip(grad.iter()) {
+            *r += g;
+        }
+    }
+
+    /// Returns the top-`k` entries `(index, accumulated value)` ranked by
+    /// decreasing magnitude — the uplink message `A_i`.
+    pub fn top_k_entries(&self, k: usize) -> Vec<(usize, f32)> {
+        topk::top_k_entries(&self.residual, k)
+    }
+
+    /// Returns the values at the given indices (used by sparsifiers where the
+    /// server dictates the coordinate set, e.g. periodic-k).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn entries_at(&self, indices: &[usize]) -> Vec<(usize, f32)> {
+        indices
+            .iter()
+            .map(|&j| {
+                assert!(j < self.residual.len(), "index {j} out of range");
+                (j, self.residual[j])
+            })
+            .collect()
+    }
+
+    /// Resets the given coordinates to zero (Lines 16–17 of Algorithm 1:
+    /// `a_ij <- 0` for `j ∈ J ∩ J_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn reset_indices(&mut self, indices: &[usize]) {
+        for &j in indices {
+            assert!(j < self.residual.len(), "index {j} out of range");
+            self.residual[j] = 0.0;
+        }
+    }
+
+    /// Resets the whole accumulator to zero (used by send-all / FedAvg where
+    /// every coordinate is transmitted).
+    pub fn reset_all(&mut self) {
+        for r in &mut self.residual {
+            *r = 0.0;
+        }
+    }
+
+    /// Sum of absolute residual values — a measure of how much gradient mass
+    /// is still waiting to be communicated.
+    pub fn residual_l1(&self) -> f32 {
+        self.residual.iter().map(|r| r.abs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_accumulates_across_rounds() {
+        let mut acc = ResidualAccumulator::new(3);
+        acc.add(&[1.0, 2.0, 3.0]);
+        acc.add(&[1.0, -1.0, 0.0]);
+        assert_eq!(acc.as_slice(), &[2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn reset_indices_only_clears_listed() {
+        let mut acc = ResidualAccumulator::new(4);
+        acc.add(&[1.0, 2.0, 3.0, 4.0]);
+        acc.reset_indices(&[0, 2]);
+        assert_eq!(acc.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn reset_all_clears_everything() {
+        let mut acc = ResidualAccumulator::new(3);
+        acc.add(&[1.0, 2.0, 3.0]);
+        acc.reset_all();
+        assert_eq!(acc.residual_l1(), 0.0);
+    }
+
+    #[test]
+    fn top_k_entries_come_from_residual() {
+        let mut acc = ResidualAccumulator::new(5);
+        acc.add(&[0.1, -4.0, 2.0, 0.0, 3.0]);
+        let top = acc.top_k_entries(2);
+        assert_eq!(top, vec![(1, -4.0), (4, 3.0)]);
+    }
+
+    #[test]
+    fn entries_at_returns_requested_coordinates() {
+        let mut acc = ResidualAccumulator::new(4);
+        acc.add(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(acc.entries_at(&[3, 0]), vec![(3, 4.0), (0, 1.0)]);
+    }
+
+    #[test]
+    fn unsent_coordinates_keep_accumulating() {
+        let mut acc = ResidualAccumulator::new(3);
+        for _ in 0..5 {
+            acc.add(&[0.1, 1.0, 0.1]);
+            // Suppose only index 1 is ever selected and reset.
+            acc.reset_indices(&[1]);
+        }
+        assert!((acc.as_slice()[0] - 0.5).abs() < 1e-6);
+        assert_eq!(acc.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_length_mismatch_panics() {
+        let mut acc = ResidualAccumulator::new(2);
+        acc.add(&[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reset_then_l1_decreases(
+            grad in proptest::collection::vec(-5.0f32..5.0, 8),
+            k in 0usize..8,
+        ) {
+            let mut acc = ResidualAccumulator::new(8);
+            acc.add(&grad);
+            let before = acc.residual_l1();
+            let top: Vec<usize> = acc.top_k_entries(k).into_iter().map(|(j, _)| j).collect();
+            acc.reset_indices(&top);
+            prop_assert!(acc.residual_l1() <= before + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+use rand::RngCore;
+
+use crate::sparsifier::{aggregate_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::topk;
+
+/// Fairness-aware bidirectional top-k gradient sparsification (FAB-top-k) —
+/// the paper's proposed method (Section III-B, Algorithm 1).
+///
+/// Both the uplink and the downlink carry exactly `k` gradient elements.
+/// The downlink set `J` is chosen fairness-aware: the server finds the
+/// largest per-client prefix length `κ` such that the union of every client's
+/// top-`κ` uploaded indices still fits in `k`, takes that union, and fills the
+/// remaining slots with the largest-magnitude candidates from the next prefix
+/// level. Because `|∪_i J_i^κ| ≤ k` always holds for `κ = ⌊k/N⌋`, every
+/// client is guaranteed to contribute at least `⌊k/N⌋` elements.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_sparse::{ClientUpload, FabTopK, Sparsifier};
+///
+/// let fab = FabTopK::new();
+/// let uploads = vec![
+///     // Client 0 has huge values, client 1 small ones.
+///     ClientUpload::new(0, 0.5, vec![(0, 10.0), (1, 9.0), (2, 8.0)]),
+///     ClientUpload::new(1, 0.5, vec![(5, 0.3), (6, 0.2), (7, 0.1)]),
+/// ];
+/// let result = fab.select(&uploads, 8, 2);
+/// // Fairness: even though client 1's values are tiny, it still contributes
+/// // at least floor(2/2) = 1 element.
+/// assert!(result.contributions[1] >= 1);
+/// assert_eq!(result.aggregated.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabTopK;
+
+impl FabTopK {
+    /// Creates the sparsifier.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the size of `∪_i J_i^κ` (union of per-client top-`κ` prefixes).
+    fn union_size(uploads: &[ClientUpload], kappa: usize) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for upload in uploads {
+            set.extend(topk::prefix_indices(&upload.entries, kappa));
+        }
+        set.len()
+    }
+
+    /// Selects the downlink index set `J` of size at most `k`.
+    ///
+    /// Exposed for testing and for the ablation benchmarks.
+    pub fn select_indices(uploads: &[ClientUpload], k: usize) -> Vec<usize> {
+        if k == 0 || uploads.is_empty() {
+            return Vec::new();
+        }
+        let max_prefix = uploads.iter().map(ClientUpload::len).max().unwrap_or(0);
+        // Binary search the largest κ with |∪ J_i^κ| <= k. Union size is
+        // monotone non-decreasing in κ, and κ = 0 trivially satisfies it.
+        let mut lo = 0usize; // always feasible
+        let mut hi = max_prefix.min(k); // candidates above this are pointless
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            if Self::union_size(uploads, mid) <= k {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let kappa = lo;
+
+        let mut selected: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for upload in uploads {
+            selected.extend(topk::prefix_indices(&upload.entries, kappa));
+        }
+
+        // Fill up to k with the largest-magnitude candidates from prefix level
+        // κ+1 that are not already selected.
+        if selected.len() < k && kappa < max_prefix {
+            let mut candidates: Vec<(usize, f32)> = Vec::new();
+            for upload in uploads {
+                if let Some(&(j, v)) = upload.entries.get(kappa) {
+                    if !selected.contains(&j) {
+                        candidates.push((j, v));
+                    }
+                }
+            }
+            topk::rank_by_magnitude(&mut candidates);
+            for (j, _) in candidates {
+                if selected.len() >= k {
+                    break;
+                }
+                // The same index may appear from several clients.
+                selected.insert(j);
+            }
+        }
+        selected.into_iter().collect()
+    }
+}
+
+impl Sparsifier for FabTopK {
+    fn name(&self) -> &'static str {
+        "FAB-top-k"
+    }
+
+    fn upload_plan(&self, _dim: usize, _k: usize, _rng: &mut dyn RngCore) -> UploadPlan {
+        UploadPlan::TopKOwn
+    }
+
+    fn select(&self, uploads: &[ClientUpload], dim: usize, k: usize) -> SelectionResult {
+        let selected = Self::select_indices(uploads, k);
+        let (aggregated, reset_indices) = aggregate_selected(uploads, &selected, dim);
+        let contributions = reset_indices.iter().map(Vec::len).collect();
+        SelectionResult {
+            aggregated,
+            reset_indices,
+            contributions,
+            uplink_elements: uploads.iter().map(ClientUpload::len).collect(),
+            downlink_elements: selected.len(),
+            uplink_indexed: true,
+            downlink_indexed: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Builds ranked uploads from dense per-client accumulators.
+    fn uploads_from_dense(clients: &[Vec<f32>], k: usize) -> Vec<ClientUpload> {
+        let n = clients.len();
+        clients
+            .iter()
+            .enumerate()
+            .map(|(i, acc)| ClientUpload::new(i, 1.0 / n as f64, topk::top_k_entries(acc, k)))
+            .collect()
+    }
+
+    #[test]
+    fn selects_exactly_k_when_enough_candidates() {
+        let clients = vec![
+            vec![5.0, 4.0, 3.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 2.0, 1.5, 1.0],
+        ];
+        let uploads = uploads_from_dense(&clients, 3);
+        let fab = FabTopK::new();
+        let result = fab.select(&uploads, 6, 3);
+        assert_eq!(result.aggregated.nnz(), 3);
+        assert_eq!(result.downlink_elements, 3);
+    }
+
+    #[test]
+    fn fairness_guarantee_floor_k_over_n() {
+        // Client 1's values are all much smaller; FUB would ignore it entirely,
+        // FAB must include at least floor(k/N) = 2 of its elements.
+        let clients = vec![
+            vec![9.0, 8.0, 7.0, 6.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.01, 0.02, 0.03, 0.04, 0.05],
+        ];
+        let uploads = uploads_from_dense(&clients, 4);
+        let result = FabTopK::new().select(&uploads, 10, 4);
+        assert!(result.contributions[1] >= 2, "{:?}", result.contributions);
+        assert!(result.contributions[0] >= 2, "{:?}", result.contributions);
+    }
+
+    #[test]
+    fn overlapping_indices_are_aggregated() {
+        let clients = vec![vec![4.0, 0.0, 0.0], vec![2.0, 0.0, 0.0]];
+        let uploads = uploads_from_dense(&clients, 1);
+        let result = FabTopK::new().select(&uploads, 3, 1);
+        assert_eq!(result.aggregated.nnz(), 1);
+        assert!((result.aggregated.get(0) - 3.0).abs() < 1e-6);
+        assert_eq!(result.contributions, vec![1, 1]);
+    }
+
+    #[test]
+    fn k_zero_selects_nothing() {
+        let clients = vec![vec![1.0, 2.0]];
+        let uploads = uploads_from_dense(&clients, 2);
+        let result = FabTopK::new().select(&uploads, 2, 0);
+        assert!(result.aggregated.is_empty());
+        assert_eq!(result.downlink_elements, 0);
+    }
+
+    #[test]
+    fn upload_plan_is_top_k_own() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(FabTopK::new().upload_plan(10, 3, &mut rng), UploadPlan::TopKOwn);
+        assert_eq!(FabTopK::new().name(), "FAB-top-k");
+    }
+
+    #[test]
+    fn reset_indices_subset_of_uploads() {
+        let clients = vec![
+            vec![1.0, -2.0, 3.0, -4.0, 5.0],
+            vec![5.0, -4.0, 3.0, -2.0, 1.0],
+        ];
+        let uploads = uploads_from_dense(&clients, 3);
+        let result = FabTopK::new().select(&uploads, 5, 3);
+        for (upload, resets) in uploads.iter().zip(result.reset_indices.iter()) {
+            let uploaded: std::collections::HashSet<usize> =
+                upload.entries.iter().map(|&(j, _)| j).collect();
+            assert!(resets.iter().all(|j| uploaded.contains(j)));
+            assert!(resets.iter().all(|j| result.aggregated.contains(*j)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_selection_size_and_fairness(
+            seed in 0u64..500,
+            n_clients in 1usize..6,
+            dim in 4usize..40,
+            k_raw in 1usize..20,
+        ) {
+            let k = 1 + k_raw % dim.min(16);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let clients: Vec<Vec<f32>> = (0..n_clients)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect())
+                .collect();
+            let uploads = uploads_from_dense(&clients, k);
+            let result = FabTopK::new().select(&uploads, dim, k);
+
+            // Never more than k downlink elements; exactly k when the clients
+            // collectively uploaded at least k distinct nonzero-capable indices.
+            prop_assert!(result.aggregated.nnz() <= k);
+            let distinct: std::collections::HashSet<usize> = uploads
+                .iter()
+                .flat_map(|u| u.entries.iter().map(|&(j, _)| j))
+                .collect();
+            prop_assert_eq!(result.aggregated.nnz(), k.min(distinct.len()));
+
+            // Fairness: every client contributes at least floor(k / N) elements
+            // (as long as it uploaded that many).
+            let floor_share = k / n_clients;
+            for (upload, &contrib) in uploads.iter().zip(result.contributions.iter()) {
+                prop_assert!(contrib >= floor_share.min(upload.len()),
+                    "contribution {} < floor share {}", contrib, floor_share);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Gradient sparsification methods for federated learning.
+//!
+//! This crate implements the communication-side machinery of the paper:
+//!
+//! * [`SparseGradient`] — an index/value representation of a sparse gradient
+//!   vector together with merge/apply helpers,
+//! * [`topk`] — selection of the `k` largest-magnitude coordinates,
+//! * [`ResidualAccumulator`] — the per-client accumulated local gradient
+//!   `a_i` of Algorithm 1 (error feedback / residual accumulation),
+//! * [`Sparsifier`] implementations:
+//!   [`FabTopK`] (the paper's fairness-aware bidirectional top-k),
+//!   [`FubTopK`] (fairness-unaware bidirectional top-k, as in global top-k),
+//!   [`UnidirectionalTopK`] (downlink may carry up to `kN` elements),
+//!   [`PeriodicK`] (random `k` coordinates each round) and
+//!   [`SendAll`] (dense exchange every round).
+//!
+//! The sparsifiers are pure selection/aggregation logic: they know nothing
+//! about models, datasets or time. The federated-learning simulator in
+//! `agsfl-fl` drives them round by round.
+//!
+//! # Example
+//!
+//! ```
+//! use agsfl_sparse::{ClientUpload, FabTopK, Sparsifier};
+//!
+//! let sparsifier = FabTopK::new();
+//! // Two clients, dimension 6, k = 2.
+//! let uploads = vec![
+//!     ClientUpload::new(0, 0.5, vec![(0, 4.0), (3, -3.0)]),
+//!     ClientUpload::new(1, 0.5, vec![(5, 2.0), (1, 1.0)]),
+//! ];
+//! let result = sparsifier.select(&uploads, 6, 2);
+//! assert_eq!(result.aggregated.nnz(), 2);
+//! // Fairness: each client contributes at least floor(k/N) = 1 element.
+//! assert!(result.contributions.iter().all(|&c| c >= 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accumulator;
+mod fab;
+mod fub;
+mod periodic;
+mod send_all;
+mod sparse_vec;
+mod sparsifier;
+pub mod topk;
+mod unidirectional;
+
+pub use accumulator::ResidualAccumulator;
+pub use fab::FabTopK;
+pub use fub::FubTopK;
+pub use periodic::PeriodicK;
+pub use send_all::SendAll;
+pub use sparse_vec::SparseGradient;
+pub use sparsifier::{ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+pub use unidirectional::UnidirectionalTopK;

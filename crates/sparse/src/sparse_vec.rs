@@ -1,0 +1,307 @@
+use serde::{Deserialize, Serialize};
+
+/// A sparse gradient vector stored as sorted `(index, value)` pairs.
+///
+/// This is the object exchanged between clients and the server: the uplink
+/// message `A_i = {(j, a_ij)}` and the downlink message `B = {(j, b_j)}` of
+/// Algorithm 1 are both `SparseGradient`s.
+///
+/// Invariants: indices are strictly increasing and all indices are `< dim`.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_sparse::SparseGradient;
+///
+/// let g = SparseGradient::from_entries(8, vec![(5, 1.0), (2, -3.0)]);
+/// assert_eq!(g.nnz(), 2);
+/// assert_eq!(g.get(2), -3.0);
+/// assert_eq!(g.get(3), 0.0);
+///
+/// let dense = g.to_dense();
+/// assert_eq!(dense[5], 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseGradient {
+    dim: usize,
+    entries: Vec<(usize, f32)>,
+}
+
+impl SparseGradient {
+    /// Creates an empty sparse gradient of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            dim,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a sparse gradient from unsorted entries.
+    ///
+    /// Entries are sorted by index; duplicate indices are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= dim`.
+    pub fn from_entries(dim: usize, mut entries: Vec<(usize, f32)>) -> Self {
+        assert!(
+            entries.iter().all(|&(j, _)| j < dim),
+            "sparse gradient index out of range (dim {dim})"
+        );
+        entries.sort_unstable_by_key(|&(j, _)| j);
+        let mut dedup: Vec<(usize, f32)> = Vec::with_capacity(entries.len());
+        for (j, v) in entries {
+            match dedup.last_mut() {
+                Some((last_j, last_v)) if *last_j == j => *last_v += v,
+                _ => dedup.push((j, v)),
+            }
+        }
+        Self { dim, entries: dedup }
+    }
+
+    /// Creates a sparse gradient holding every non-zero coordinate of a dense
+    /// vector.
+    pub fn from_dense(dense: &[f32]) -> Self {
+        let entries = dense
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(j, &v)| (j, v))
+            .collect();
+        Self {
+            dim: dense.len(),
+            entries,
+        }
+    }
+
+    /// Dimension `D` of the underlying dense space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entries as sorted `(index, value)` pairs.
+    pub fn entries(&self) -> &[(usize, f32)] {
+        &self.entries
+    }
+
+    /// The stored indices, sorted ascending.
+    pub fn indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|&(j, _)| j)
+    }
+
+    /// Value at index `j` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= dim`.
+    pub fn get(&self, j: usize) -> f32 {
+        assert!(j < self.dim, "index {j} out of range (dim {})", self.dim);
+        match self.entries.binary_search_by_key(&j, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Returns `true` if index `j` is stored.
+    pub fn contains(&self, j: usize) -> bool {
+        self.entries.binary_search_by_key(&j, |&(i, _)| i).is_ok()
+    }
+
+    /// Expands to a dense vector of length `dim`.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut dense = vec![0.0f32; self.dim];
+        for &(j, v) in &self.entries {
+            dense[j] = v;
+        }
+        dense
+    }
+
+    /// Scales every stored value by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for (_, v) in &mut self.entries {
+            *v *= s;
+        }
+    }
+
+    /// Adds `alpha * other` into `self` (union of supports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn axpy(&mut self, alpha: f32, other: &SparseGradient) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in sparse axpy");
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.entries.len() || b < other.entries.len() {
+            match (self.entries.get(a), other.entries.get(b)) {
+                (Some(&(ja, va)), Some(&(jb, vb))) => {
+                    if ja == jb {
+                        merged.push((ja, va + alpha * vb));
+                        a += 1;
+                        b += 1;
+                    } else if ja < jb {
+                        merged.push((ja, va));
+                        a += 1;
+                    } else {
+                        merged.push((jb, alpha * vb));
+                        b += 1;
+                    }
+                }
+                (Some(&(ja, va)), None) => {
+                    merged.push((ja, va));
+                    a += 1;
+                }
+                (None, Some(&(jb, vb))) => {
+                    merged.push((jb, alpha * vb));
+                    b += 1;
+                }
+                (None, None) => unreachable!("loop condition guarantees progress"),
+            }
+        }
+        self.entries = merged;
+    }
+
+    /// Applies the sparse gradient to a dense weight vector:
+    /// `weights[j] -= lr * value` for every stored entry. This is exactly the
+    /// weight update of Eq. (1) restricted to the sparse support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != dim`.
+    pub fn apply_sgd(&self, weights: &mut [f32], lr: f32) {
+        assert_eq!(weights.len(), self.dim, "weight vector length mismatch");
+        for &(j, v) in &self.entries {
+            weights[j] -= lr * v;
+        }
+    }
+
+    /// Sum of absolute values of stored entries.
+    pub fn l1_norm(&self) -> f32 {
+        self.entries.iter().map(|(_, v)| v.abs()).sum()
+    }
+
+    /// Euclidean norm of stored entries.
+    pub fn l2_norm(&self) -> f32 {
+        self.entries.iter().map(|(_, v)| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_entries_sorts_and_dedups() {
+        let g = SparseGradient::from_entries(10, vec![(7, 1.0), (2, 2.0), (7, 3.0)]);
+        assert_eq!(g.entries(), &[(2, 2.0), (7, 4.0)]);
+        assert_eq!(g.nnz(), 2);
+    }
+
+    #[test]
+    fn from_dense_round_trip() {
+        let dense = vec![0.0, 1.5, 0.0, -2.0, 0.0];
+        let g = SparseGradient::from_dense(&dense);
+        assert_eq!(g.nnz(), 2);
+        assert_eq!(g.to_dense(), dense);
+    }
+
+    #[test]
+    fn get_and_contains() {
+        let g = SparseGradient::from_entries(6, vec![(1, 5.0), (4, -1.0)]);
+        assert_eq!(g.get(1), 5.0);
+        assert_eq!(g.get(0), 0.0);
+        assert!(g.contains(4));
+        assert!(!g.contains(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_entry_panics() {
+        let _ = SparseGradient::from_entries(3, vec![(3, 1.0)]);
+    }
+
+    #[test]
+    fn scale_and_norms() {
+        let mut g = SparseGradient::from_entries(4, vec![(0, 3.0), (2, -4.0)]);
+        assert_eq!(g.l1_norm(), 7.0);
+        assert!((g.l2_norm() - 5.0).abs() < 1e-6);
+        g.scale(2.0);
+        assert_eq!(g.get(0), 6.0);
+        assert_eq!(g.get(2), -8.0);
+    }
+
+    #[test]
+    fn axpy_merges_supports() {
+        let mut a = SparseGradient::from_entries(6, vec![(0, 1.0), (3, 2.0)]);
+        let b = SparseGradient::from_entries(6, vec![(3, 1.0), (5, -1.0)]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.entries(), &[(0, 1.0), (3, 4.0), (5, -2.0)]);
+    }
+
+    #[test]
+    fn apply_sgd_matches_dense_update() {
+        let g = SparseGradient::from_entries(4, vec![(1, 2.0), (3, -1.0)]);
+        let mut w_sparse = vec![1.0, 1.0, 1.0, 1.0];
+        g.apply_sgd(&mut w_sparse, 0.5);
+        let mut w_dense = vec![1.0, 1.0, 1.0, 1.0];
+        let dense = g.to_dense();
+        for (w, d) in w_dense.iter_mut().zip(dense.iter()) {
+            *w -= 0.5 * d;
+        }
+        assert_eq!(w_sparse, w_dense);
+    }
+
+    #[test]
+    fn zeros_is_empty() {
+        let g = SparseGradient::zeros(5);
+        assert!(g.is_empty());
+        assert_eq!(g.dim(), 5);
+        assert_eq!(g.to_dense(), vec![0.0; 5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_to_dense_from_dense_round_trip(
+            dense in proptest::collection::vec(-10.0f32..10.0, 1..64)
+        ) {
+            let g = SparseGradient::from_dense(&dense);
+            prop_assert_eq!(g.to_dense(), dense);
+        }
+
+        #[test]
+        fn prop_axpy_matches_dense_axpy(
+            a_dense in proptest::collection::vec(-5.0f32..5.0, 16),
+            b_dense in proptest::collection::vec(-5.0f32..5.0, 16),
+            alpha in -2.0f32..2.0,
+        ) {
+            let mut a = SparseGradient::from_dense(&a_dense);
+            let b = SparseGradient::from_dense(&b_dense);
+            a.axpy(alpha, &b);
+            let got = a.to_dense();
+            for j in 0..16 {
+                let expected = a_dense[j] + alpha * b_dense[j];
+                prop_assert!((got[j] - expected).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_entries_sorted_and_unique(
+            raw in proptest::collection::vec((0usize..32, -3.0f32..3.0), 0..40)
+        ) {
+            let g = SparseGradient::from_entries(32, raw);
+            let idx: Vec<usize> = g.indices().collect();
+            prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

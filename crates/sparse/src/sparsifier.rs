@@ -1,0 +1,249 @@
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::SparseGradient;
+
+/// What each client should upload in the current round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UploadPlan {
+    /// Every client uploads the top-`k` entries of its own accumulated
+    /// gradient (top-k family of sparsifiers).
+    TopKOwn,
+    /// Every client uploads exactly these coordinates of its accumulated
+    /// gradient (periodic/random-k sparsification — the coordinate set is
+    /// common to all clients and chosen by the server).
+    Coordinates(Vec<usize>),
+    /// Every client uploads its full accumulated gradient (send-all).
+    Dense,
+}
+
+/// The uplink message of one client: `(client id, C_i / C, entries)`.
+///
+/// For top-k sparsifiers the entries are ranked by decreasing magnitude, which
+/// is how the fairness-aware selection reads per-client prefixes `J_i^κ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientUpload {
+    /// Index of the uploading client.
+    pub client: usize,
+    /// The client's aggregation weight `C_i / C`.
+    pub weight: f64,
+    /// Uploaded `(index, accumulated value)` pairs.
+    pub entries: Vec<(usize, f32)>,
+}
+
+impl ClientUpload {
+    /// Creates an upload message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn new(client: usize, weight: f64, entries: Vec<(usize, f32)>) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "invalid client weight {weight}");
+        Self {
+            client,
+            weight,
+            entries,
+        }
+    }
+
+    /// Number of uploaded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the upload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the uploaded value at `index`, if present.
+    pub fn value_at(&self, index: usize) -> Option<f32> {
+        self.entries
+            .iter()
+            .find(|&&(j, _)| j == index)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Result of the server-side selection and aggregation step of one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionResult {
+    /// The aggregated sparse gradient `B = {(j, b_j)}` broadcast to clients.
+    pub aggregated: SparseGradient,
+    /// Per client: the indices `J ∩ J_i` whose accumulator entries must be
+    /// reset (Lines 16–17 of Algorithm 1).
+    pub reset_indices: Vec<Vec<usize>>,
+    /// Per client: how many of its uploaded elements were used in the
+    /// aggregate (`|J ∩ J_i|`). This is the quantity whose CDF the paper
+    /// plots in Fig. 4 (right).
+    pub contributions: Vec<usize>,
+    /// Per client: number of gradient elements it uploaded this round.
+    pub uplink_elements: Vec<usize>,
+    /// Number of gradient elements broadcast to every client.
+    pub downlink_elements: usize,
+    /// Whether uplink messages carry explicit indices alongside values
+    /// (`true` for sparse messages, `false` for dense full-vector messages).
+    pub uplink_indexed: bool,
+    /// Whether the downlink message carries explicit indices.
+    pub downlink_indexed: bool,
+}
+
+impl SelectionResult {
+    /// Scalars transmitted on the uplink by client `i` (values plus indices
+    /// when the message is indexed). This is what the normalized time model
+    /// charges for.
+    pub fn uplink_scalars(&self, client: usize) -> usize {
+        let n = self.uplink_elements[client];
+        if self.uplink_indexed {
+            2 * n
+        } else {
+            n
+        }
+    }
+
+    /// Largest per-client uplink scalar count (clients transmit in parallel,
+    /// so the slowest link determines the round's uplink time).
+    pub fn max_uplink_scalars(&self) -> usize {
+        (0..self.uplink_elements.len())
+            .map(|i| self.uplink_scalars(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Scalars transmitted on the downlink to each client.
+    pub fn downlink_scalars(&self) -> usize {
+        if self.downlink_indexed {
+            2 * self.downlink_elements
+        } else {
+            self.downlink_elements
+        }
+    }
+}
+
+/// A gradient sparsification method: decides what clients upload and how the
+/// server selects/aggregates the downlink message.
+///
+/// Implementations are stateless selection logic (all per-round state lives in
+/// the FL simulator), which keeps them trivially reusable both inside the
+/// simulator and in the unit/property tests of this crate.
+pub trait Sparsifier: Send + Sync + std::fmt::Debug {
+    /// Human-readable method name used in reports (e.g. `"FAB-top-k"`).
+    fn name(&self) -> &'static str;
+
+    /// Decides what clients upload this round.
+    ///
+    /// `dim` is the model dimension `D` and `k` the current sparsity degree.
+    /// The RNG is used by randomized plans (periodic-k).
+    fn upload_plan(&self, dim: usize, k: usize, rng: &mut dyn RngCore) -> UploadPlan;
+
+    /// Server-side selection: from the client uploads, produce the aggregated
+    /// sparse gradient, the per-client reset sets and the communication
+    /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if an upload references an index `>= dim`.
+    fn select(&self, uploads: &[ClientUpload], dim: usize, k: usize) -> SelectionResult;
+}
+
+/// Aggregates uploaded values for a set of selected indices:
+/// `b_j = Σ_i weight_i · a_ij · Il[j ∈ J_i]` (Line 10 of Algorithm 1).
+///
+/// Also returns, per client, the subset of `selected` the client uploaded
+/// (`J ∩ J_i`) — used both for accumulator resets and for the fairness CDF.
+pub(crate) fn aggregate_selected(
+    uploads: &[ClientUpload],
+    selected: &[usize],
+    dim: usize,
+) -> (SparseGradient, Vec<Vec<usize>>) {
+    use std::collections::HashMap;
+    let selected_set: std::collections::HashSet<usize> = selected.iter().copied().collect();
+    let mut sums: HashMap<usize, f64> = selected.iter().map(|&j| (j, 0.0)).collect();
+    let mut reset_indices = vec![Vec::new(); uploads.len()];
+    for (slot, upload) in uploads.iter().enumerate() {
+        for &(j, v) in &upload.entries {
+            assert!(j < dim, "upload index {j} out of range (dim {dim})");
+            if selected_set.contains(&j) {
+                *sums.get_mut(&j).expect("initialised above") += upload.weight * v as f64;
+                reset_indices[slot].push(j);
+            }
+        }
+    }
+    let entries: Vec<(usize, f32)> = sums.into_iter().map(|(j, v)| (j, v as f32)).collect();
+    (SparseGradient::from_entries(dim, entries), reset_indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_accessors() {
+        let u = ClientUpload::new(3, 0.25, vec![(1, 2.0), (4, -1.0)]);
+        assert_eq!(u.len(), 2);
+        assert!(!u.is_empty());
+        assert_eq!(u.value_at(4), Some(-1.0));
+        assert_eq!(u.value_at(0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_panics() {
+        let _ = ClientUpload::new(0, -0.1, vec![]);
+    }
+
+    #[test]
+    fn selection_result_scalar_accounting() {
+        let r = SelectionResult {
+            aggregated: SparseGradient::zeros(10),
+            reset_indices: vec![vec![], vec![]],
+            contributions: vec![0, 0],
+            uplink_elements: vec![3, 5],
+            downlink_elements: 4,
+            uplink_indexed: true,
+            downlink_indexed: true,
+        };
+        assert_eq!(r.uplink_scalars(0), 6);
+        assert_eq!(r.uplink_scalars(1), 10);
+        assert_eq!(r.max_uplink_scalars(), 10);
+        assert_eq!(r.downlink_scalars(), 8);
+    }
+
+    #[test]
+    fn dense_messages_do_not_double_count() {
+        let r = SelectionResult {
+            aggregated: SparseGradient::zeros(10),
+            reset_indices: vec![vec![]],
+            contributions: vec![10],
+            uplink_elements: vec![10],
+            downlink_elements: 10,
+            uplink_indexed: false,
+            downlink_indexed: false,
+        };
+        assert_eq!(r.uplink_scalars(0), 10);
+        assert_eq!(r.downlink_scalars(), 10);
+    }
+
+    #[test]
+    fn aggregate_selected_weights_and_masks() {
+        let uploads = vec![
+            ClientUpload::new(0, 0.75, vec![(1, 4.0), (2, 1.0)]),
+            ClientUpload::new(1, 0.25, vec![(1, -4.0), (3, 8.0)]),
+        ];
+        let (agg, resets) = aggregate_selected(&uploads, &[1, 3], 5);
+        // b_1 = 0.75*4 + 0.25*(-4) = 2.0 ; b_3 = 0.25*8 = 2.0 ; index 2 excluded.
+        assert_eq!(agg.get(1), 2.0);
+        assert_eq!(agg.get(3), 2.0);
+        assert!(!agg.contains(2));
+        assert_eq!(resets[0], vec![1]);
+        assert_eq!(resets[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn aggregate_selected_with_no_uploads() {
+        let (agg, resets) = aggregate_selected(&[], &[0, 1], 4);
+        assert_eq!(agg.nnz(), 2);
+        assert_eq!(agg.get(0), 0.0);
+        assert!(resets.is_empty());
+    }
+}

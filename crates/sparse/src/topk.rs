@@ -1,0 +1,169 @@
+//! Selection of the `k` largest-magnitude coordinates of a dense vector.
+//!
+//! Clients in Algorithm 1 compute `J_i`, the indices of the top-`k` absolute
+//! values of their accumulated gradient `a_i`. The helpers here implement
+//! that selection in `O(D)` expected time via `select_nth_unstable`, with a
+//! deterministic tie-break on the index so results are reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use agsfl_sparse::topk::top_k_indices;
+//!
+//! let values = [0.1, -5.0, 3.0, 0.0, 4.0];
+//! let mut top2 = top_k_indices(&values, 2);
+//! top2.sort_unstable();
+//! assert_eq!(top2, vec![1, 4]);
+//! ```
+
+use std::cmp::Ordering;
+
+/// Compares two `(index, |value|)` candidates: larger magnitude first, then
+/// smaller index first so ties are broken deterministically.
+fn magnitude_then_index(a: &(usize, f32), b: &(usize, f32)) -> Ordering {
+    match b.1.partial_cmp(&a.1) {
+        Some(Ordering::Equal) | None => a.0.cmp(&b.0),
+        Some(ord) => ord,
+    }
+}
+
+/// Returns the indices of the `k` largest absolute values of `values`.
+///
+/// If `k >= values.len()` all indices are returned. The output is **not**
+/// sorted by index; callers that need index order must sort it themselves.
+/// NaN values are treated as ties (ranked by index), which in practice never
+/// occurs for finite gradients.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    top_k_entries(values, k).into_iter().map(|(j, _)| j).collect()
+}
+
+/// Returns `(index, value)` pairs of the `k` largest absolute values,
+/// ordered by decreasing magnitude (ties broken by index).
+pub fn top_k_entries(values: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let mut candidates: Vec<(usize, f32)> = values
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (j, v.abs()))
+        .collect();
+    let k = k.min(candidates.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < candidates.len() {
+        candidates.select_nth_unstable_by(k - 1, magnitude_then_index);
+        candidates.truncate(k);
+    }
+    candidates.sort_unstable_by(magnitude_then_index);
+    candidates
+        .into_iter()
+        .map(|(j, _)| (j, values[j]))
+        .collect()
+}
+
+/// Returns the `kappa` largest-magnitude entries of an *already ranked*
+/// upload list (entries sorted by decreasing magnitude), i.e. the per-client
+/// `J_i^kappa` sets used by the fairness-aware selection.
+pub fn prefix_indices(ranked_entries: &[(usize, f32)], kappa: usize) -> impl Iterator<Item = usize> + '_ {
+    ranked_entries.iter().take(kappa).map(|&(j, _)| j)
+}
+
+/// Sorts entries by decreasing magnitude with deterministic index tie-break.
+pub fn rank_by_magnitude(entries: &mut [(usize, f32)]) {
+    entries.sort_unstable_by(|a, b| magnitude_then_index(&(a.0, a.1.abs()), &(b.0, b.1.abs())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selects_largest_magnitudes() {
+        let v = [1.0, -10.0, 5.0, 0.5, -6.0];
+        let entries = top_k_entries(&v, 3);
+        assert_eq!(entries, vec![(1, -10.0), (4, -6.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn k_zero_and_k_too_large() {
+        let v = [1.0, 2.0];
+        assert!(top_k_entries(&v, 0).is_empty());
+        let all = top_k_indices(&v, 10);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn ties_are_broken_by_index() {
+        let v = [2.0, -2.0, 2.0, 1.0];
+        let idx = top_k_indices(&v, 2);
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn values_are_preserved_with_sign() {
+        let v = [0.0, -3.5, 2.0];
+        let entries = top_k_entries(&v, 2);
+        assert_eq!(entries[0], (1, -3.5));
+        assert_eq!(entries[1], (2, 2.0));
+    }
+
+    #[test]
+    fn rank_by_magnitude_orders_descending() {
+        let mut entries = vec![(0, 1.0), (5, -4.0), (2, 2.5)];
+        rank_by_magnitude(&mut entries);
+        assert_eq!(entries, vec![(5, -4.0), (2, 2.5), (0, 1.0)]);
+    }
+
+    #[test]
+    fn prefix_indices_takes_leading_entries() {
+        let ranked = vec![(5, -4.0), (2, 2.5), (0, 1.0)];
+        let first_two: Vec<usize> = prefix_indices(&ranked, 2).collect();
+        assert_eq!(first_two, vec![5, 2]);
+        let none: Vec<usize> = prefix_indices(&ranked, 0).collect();
+        assert!(none.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_topk_returns_true_top_k(
+            values in proptest::collection::vec(-100.0f32..100.0, 1..80),
+            k_raw in 0usize..80,
+        ) {
+            let k = k_raw % (values.len() + 1);
+            let selected = top_k_indices(&values, k);
+            prop_assert_eq!(selected.len(), k.min(values.len()));
+            // The smallest selected magnitude is >= the largest unselected one.
+            let selected_set: std::collections::HashSet<usize> = selected.iter().copied().collect();
+            let min_selected = selected.iter().map(|&j| values[j].abs()).fold(f32::INFINITY, f32::min);
+            let max_unselected = values
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !selected_set.contains(j))
+                .map(|(_, v)| v.abs())
+                .fold(f32::NEG_INFINITY, f32::max);
+            if k > 0 && k < values.len() {
+                prop_assert!(min_selected >= max_unselected - 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_topk_entries_sorted_by_magnitude(
+            values in proptest::collection::vec(-10.0f32..10.0, 1..40),
+            k_raw in 1usize..40,
+        ) {
+            let k = 1 + k_raw % values.len();
+            let entries = top_k_entries(&values, k);
+            prop_assert!(entries.windows(2).all(|w| w[0].1.abs() >= w[1].1.abs() - 1e-6));
+            // No duplicate indices.
+            let mut idx: Vec<usize> = entries.iter().map(|&(j, _)| j).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            prop_assert_eq!(idx.len(), entries.len());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Dense `f32` math substrate for the AGSFL federated-learning simulator.
+//!
+//! The crates higher in the stack (`agsfl-ml`, `agsfl-fl`, …) only need a
+//! small, predictable set of dense linear-algebra primitives:
+//!
+//! * a row-major [`Matrix`] with matrix multiplication, transposition and
+//!   element-wise arithmetic,
+//! * free functions over flat `f32` slices ([`vecops`]) — dot products, AXPY,
+//!   norms, arg-max — used for flattened model parameter/gradient vectors,
+//! * deterministic random initialisation ([`init`]) for model weights and
+//!   synthetic datasets,
+//! * numerically careful reductions ([`ops`]) such as soft-max and log-sum-exp,
+//! * small statistics helpers ([`stats`]) used by the experiment harness
+//!   (empirical CDFs, running means).
+//!
+//! Everything is plain safe Rust with no SIMD or BLAS dependency so that the
+//! whole paper reproduction runs offline on any machine.
+//!
+//! # Example
+//!
+//! ```
+//! use agsfl_tensor::{Matrix, vecops};
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! assert_eq!(vecops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+
+pub mod init;
+pub mod ops;
+pub mod stats;
+pub mod vecops;
+
+pub use error::ShapeError;
+pub use matrix::Matrix;

@@ -1,0 +1,203 @@
+//! Numerically careful reductions used by the neural-network layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use agsfl_tensor::ops;
+//!
+//! let probs = ops::softmax(&[1.0, 2.0, 3.0]);
+//! assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+//! assert!(probs[2] > probs[1] && probs[1] > probs[0]);
+//! ```
+
+use crate::Matrix;
+
+/// Numerically stable soft-max of a logit vector.
+///
+/// Returns a probability vector that sums to one. An empty input yields an
+/// empty output.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Applies [`softmax`] independently to every row of a logits matrix.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        let probs = softmax(logits.row(i));
+        out.row_mut(i).copy_from_slice(&probs);
+    }
+    out
+}
+
+/// Numerically stable `log(sum(exp(x)))`.
+///
+/// Returns negative infinity for an empty slice.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max.is_infinite() {
+        return max;
+    }
+    max + xs.iter().map(|&x| (x - max).exp()).sum::<f32>().ln()
+}
+
+/// Negative log-likelihood of class `target` under `logits`, computed in a
+/// numerically stable way (equivalent to cross-entropy after soft-max).
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()`.
+pub fn cross_entropy_with_logits(logits: &[f32], target: usize) -> f32 {
+    assert!(target < logits.len(), "target {target} out of range");
+    log_sum_exp(logits) - logits[target]
+}
+
+/// One-hot encodes `class` into a vector of length `num_classes`.
+///
+/// # Panics
+///
+/// Panics if `class >= num_classes`.
+pub fn one_hot(class: usize, num_classes: usize) -> Vec<f32> {
+    assert!(class < num_classes, "class {class} out of range {num_classes}");
+    let mut v = vec![0.0f32; num_classes];
+    v[class] = 1.0;
+    v
+}
+
+/// Rectified linear unit `max(x, 0)`.
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of [`relu`] with the convention `relu'(0) = 0`.
+#[inline]
+pub fn relu_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Hyperbolic tangent (thin wrapper kept for symmetry with [`sigmoid`]).
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_rows_matches_per_row() {
+        let logits = Matrix::from_rows(&[&[0.0, 1.0], &[3.0, -1.0]]);
+        let sm = softmax_rows(&logits);
+        for i in 0..2 {
+            let expected = softmax(logits.row(i));
+            for j in 0..2 {
+                assert!((sm.get(i, j) - expected[j]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_known_values() {
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+        assert!((log_sum_exp(&[0.0, 0.0]) - std::f32::consts::LN_2).abs() < 1e-6);
+        // Large values must not overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + std::f32::consts::LN_2)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual_softmax() {
+        let logits = [0.5, -1.0, 2.0];
+        let p = softmax(&logits);
+        for target in 0..3 {
+            let ce = cross_entropy_with_logits(&logits, target);
+            assert!((ce + p[target].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        assert_eq!(one_hot(1, 3), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_hot_out_of_range_panics() {
+        let _ = one_hot(3, 3);
+    }
+
+    #[test]
+    fn activation_functions() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert_eq!(relu_grad(-2.0), 0.0);
+        assert_eq!(relu_grad(2.0), 1.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!((tanh(0.0)).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_softmax_is_probability_vector(
+            logits in proptest::collection::vec(-20.0f32..20.0, 1..20)
+        ) {
+            let p = softmax(&logits);
+            prop_assert_eq!(p.len(), logits.len());
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_cross_entropy_nonnegative(
+            logits in proptest::collection::vec(-10.0f32..10.0, 2..10),
+            t_raw in 0usize..100,
+        ) {
+            let target = t_raw % logits.len();
+            let ce = cross_entropy_with_logits(&logits, target);
+            prop_assert!(ce >= -1e-4);
+        }
+    }
+}

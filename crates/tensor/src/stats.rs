@@ -1,0 +1,222 @@
+//! Small statistics helpers used by the experiment harness.
+//!
+//! The paper reports empirical CDFs (Fig. 4, right panel) and time series of
+//! loss/accuracy; [`Ecdf`] and [`RunningMean`] back those reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use agsfl_tensor::stats::Ecdf;
+//!
+//! let cdf = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+//! assert_eq!(cdf.eval(0.5), 0.0);
+//! assert_eq!(cdf.eval(2.0), 0.75);
+//! assert_eq!(cdf.eval(10.0), 1.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical cumulative distribution function over a set of samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f32>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from raw samples (the samples are sorted internally;
+    /// NaN samples are dropped).
+    pub fn new(mut samples: Vec<f32>) -> Self {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN removed above"));
+        Self { sorted: samples }
+    }
+
+    /// Number of (non-NaN) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `P(X <= x)`. Returns `0.0` for an empty ECDF.
+    pub fn eval(&self, x: f32) -> f32 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of samples <= x.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f32 / self.sorted.len() as f32
+    }
+
+    /// Returns the `q`-quantile (`q` in `[0, 1]`) using the nearest-rank
+    /// method. Returns `None` for an empty ECDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f32) -> Option<f32> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((q * (self.sorted.len() - 1) as f32).round() as usize).min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Returns the sorted samples backing the ECDF.
+    pub fn samples(&self) -> &[f32] {
+        &self.sorted
+    }
+
+    /// Returns `(x, F(x))` pairs suitable for plotting a step function.
+    pub fn curve(&self) -> Vec<(f32, f32)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f32 / n as f32))
+            .collect()
+    }
+}
+
+/// Incrementally updated arithmetic mean (Welford-style, without variance).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningMean {
+    count: u64,
+    mean: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty running mean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+    }
+
+    /// Current mean, `0.0` if no samples have been pushed.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of samples pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Computes a simple trailing moving average of a series with the given
+/// window, returning a series of the same length (the first elements average
+/// over however many samples are available).
+pub fn moving_average(series: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(series.len());
+    let mut sum = 0.0;
+    for i in 0..series.len() {
+        sum += series[i];
+        if i >= window {
+            sum -= series[i - window];
+        }
+        let n = (i + 1).min(window);
+        out.push(sum / n as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ecdf_eval_known_values() {
+        let cdf = Ecdf::new(vec![4.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(3.9), 0.75);
+        assert_eq!(cdf.eval(4.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_drops_nan_and_handles_empty() {
+        let cdf = Ecdf::new(vec![f32::NAN]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let cdf = Ecdf::new((1..=5).map(|x| x as f32).collect());
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(5.0));
+        assert_eq!(cdf.quantile(0.5), Some(3.0));
+    }
+
+    #[test]
+    fn ecdf_curve_is_monotone() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        let curve = cdf.curve();
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn running_mean_matches_batch_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let mut rm = RunningMean::new();
+        for &x in &xs {
+            rm.push(x);
+        }
+        assert_eq!(rm.count(), 4);
+        assert!((rm.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let xs = [1.0, 5.0, 2.0];
+        assert_eq!(moving_average(&xs, 1), xs.to_vec());
+    }
+
+    #[test]
+    fn moving_average_window_larger_than_series() {
+        let xs = [2.0, 4.0];
+        let ma = moving_average(&xs, 10);
+        assert_eq!(ma, vec![2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ecdf_is_monotone_in_x(samples in proptest::collection::vec(-50.0f32..50.0, 1..40)) {
+            let cdf = Ecdf::new(samples);
+            let mut prev = 0.0f32;
+            let mut x = -60.0f32;
+            while x <= 60.0 {
+                let v = cdf.eval(x);
+                prop_assert!(v >= prev - 1e-6);
+                prop_assert!((0.0..=1.0).contains(&v));
+                prev = v;
+                x += 5.0;
+            }
+        }
+
+        #[test]
+        fn prop_running_mean_within_bounds(xs in proptest::collection::vec(-10.0f64..10.0, 1..50)) {
+            let mut rm = RunningMean::new();
+            for &x in &xs { rm.push(x); }
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(rm.mean() >= lo - 1e-9 && rm.mean() <= hi + 1e-9);
+        }
+    }
+}

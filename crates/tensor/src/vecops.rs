@@ -1,0 +1,288 @@
+//! Free functions over flat `f32` slices.
+//!
+//! Flattened model parameter vectors, gradient vectors and gradient residual
+//! accumulators in the higher-level crates are plain `Vec<f32>`/`&[f32]`
+//! values; this module provides the handful of BLAS-level-1 style operations
+//! they need.
+//!
+//! # Examples
+//!
+//! ```
+//! use agsfl_tensor::vecops;
+//!
+//! let mut w = vec![1.0, 2.0, 3.0];
+//! vecops::axpy(&mut w, -0.5, &[2.0, 2.0, 2.0]);
+//! assert_eq!(w, vec![0.0, 1.0, 2.0]);
+//! assert_eq!(vecops::argmax(&w), Some(2));
+//! ```
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// In-place AXPY update `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy: length mismatch {} vs {}", y.len(), x.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place element-wise addition `y += x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    axpy(y, 1.0, x);
+}
+
+/// In-place element-wise subtraction `y -= x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub_assign(y: &mut [f32], x: &[f32]) {
+    axpy(y, -1.0, x);
+}
+
+/// In-place scalar multiplication `y *= alpha`.
+pub fn scale(y: &mut [f32], alpha: f32) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Fills the slice with zeros.
+pub fn zero(y: &mut [f32]) {
+    for yi in y.iter_mut() {
+        *yi = 0.0;
+    }
+}
+
+/// Euclidean (L2) norm.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+pub fn l1_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Squared Euclidean distance between two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Largest absolute value in the slice, or `0.0` for an empty slice.
+pub fn max_abs(a: &[f32]) -> f32 {
+    a.iter().fold(0.0f32, |acc, x| acc.max(x.abs()))
+}
+
+/// Index of the maximum element, `None` for an empty slice.
+///
+/// NaN elements are never selected; if every element is NaN the first index is
+/// returned.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_val = a[0];
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > best_val || best_val.is_nan() {
+            best = i;
+            best_val = v;
+        }
+    }
+    Some(best)
+}
+
+/// Arithmetic mean, `0.0` for an empty slice.
+pub fn mean(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f32>() / a.len() as f32
+    }
+}
+
+/// Population variance, `0.0` for slices with fewer than two elements.
+pub fn variance(a: &[f32]) -> f32 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / a.len() as f32
+}
+
+/// Returns the number of elements whose absolute value is strictly greater
+/// than `threshold`.
+pub fn count_above(a: &[f32], threshold: f32) -> usize {
+    a.iter().filter(|x| x.abs() > threshold).count()
+}
+
+/// Clamps every element of the slice into `[lo, hi]` in place.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn clamp(a: &mut [f32], lo: f32, hi: f32) {
+    assert!(lo <= hi, "clamp: lo must not exceed hi");
+    for v in a.iter_mut() {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+/// Linear interpolation `(1 - t) * a + t * b` element-wise into a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "lerp: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_known_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_and_friends() {
+        let mut y = vec![1.0, 1.0];
+        axpy(&mut y, 2.0, &[1.0, 3.0]);
+        assert_eq!(y, vec![3.0, 7.0]);
+        add_assign(&mut y, &[1.0, 1.0]);
+        assert_eq!(y, vec![4.0, 8.0]);
+        sub_assign(&mut y, &[4.0, 8.0]);
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut y = vec![2.0, -4.0];
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![1.0, -2.0]);
+        zero(&mut y);
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l1_norm(&[3.0, -4.0]), 7.0);
+        assert_eq!(max_abs(&[-5.0, 2.0]), 5.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_behaviour() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        // NaN at the front is skipped over.
+        assert_eq!(argmax(&[f32::NAN, 1.0, 2.0]), Some(2));
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn count_above_and_clamp() {
+        assert_eq!(count_above(&[0.5, -2.0, 1.5], 1.0), 2);
+        let mut a = vec![-3.0, 0.5, 9.0];
+        clamp(&mut a, 0.0, 1.0);
+        assert_eq!(a, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 6.0];
+        assert_eq!(lerp(&a, &b, 0.0), vec![1.0, 2.0]);
+        assert_eq!(lerp(&a, &b, 1.0), vec![3.0, 6.0]);
+        assert_eq!(lerp(&a, &b, 0.5), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn squared_distance_known() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_symmetry(a in proptest::collection::vec(-10.0f32..10.0, 1..50)) {
+            let b: Vec<f32> = a.iter().map(|x| x * 0.5 - 1.0).collect();
+            let ab = dot(&a, &b);
+            let ba = dot(&b, &a);
+            prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+        }
+
+        #[test]
+        fn prop_axpy_matches_manual(
+            y0 in proptest::collection::vec(-5.0f32..5.0, 1..30),
+            alpha in -3.0f32..3.0,
+        ) {
+            let x: Vec<f32> = y0.iter().map(|v| v + 1.0).collect();
+            let mut y = y0.clone();
+            axpy(&mut y, alpha, &x);
+            for i in 0..y.len() {
+                prop_assert!((y[i] - (y0[i] + alpha * x[i])).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_l2_norm_nonnegative_and_scaling(
+            a in proptest::collection::vec(-10.0f32..10.0, 1..30),
+            s in 0.0f32..4.0,
+        ) {
+            let n = l2_norm(&a);
+            prop_assert!(n >= 0.0);
+            let mut scaled = a.clone();
+            scale(&mut scaled, s);
+            prop_assert!((l2_norm(&scaled) - s * n).abs() <= 1e-2 * (1.0 + n));
+        }
+
+        #[test]
+        fn prop_argmax_returns_maximum(a in proptest::collection::vec(-100.0f32..100.0, 1..50)) {
+            let idx = argmax(&a).unwrap();
+            for &v in &a {
+                prop_assert!(a[idx] >= v);
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 4-style comparison of gradient sparsification methods.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example sparsifier_comparison
+//! ```
+//!
+//! Compares FAB-top-k against FUB-top-k, unidirectional top-k, periodic-k,
+//! always-send-all and FedAvg at a fixed sparsity degree and communication
+//! time, and prints loss/accuracy versus normalized time plus the per-client
+//! fairness summary.
+
+use agsfl::core::figures::fig4::{self, Fig4Config};
+use agsfl::core::{DatasetSpec, ExperimentConfig, ModelSpec};
+
+fn main() {
+    let config = Fig4Config {
+        base: ExperimentConfig::builder()
+            .dataset(DatasetSpec::femnist_bench())
+            .model(ModelSpec::Mlp { hidden: vec![32] })
+            .learning_rate(0.03)
+            .batch_size(16)
+            .comm_time(10.0)
+            .eval_every(10)
+            .seed(7)
+            .build(),
+        k_fraction: 0.02,
+        max_time: 800.0,
+    };
+    let result = fig4::run(&config);
+    println!("{}", result.render(config.max_time));
+
+    println!("Final losses:");
+    for (label, loss) in result.final_losses() {
+        println!("  {label:<24} {loss:.4}");
+    }
+}

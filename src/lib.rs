@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the AGSFL workspace.
+pub use agsfl_core as core;
+pub use agsfl_fl as fl;
+pub use agsfl_ml as ml;
+pub use agsfl_online as online;
+pub use agsfl_sparse as sparse;
+pub use agsfl_tensor as tensor;

@@ -1,0 +1,140 @@
+//! End-to-end integration tests spanning the whole crate stack:
+//! dataset generation → model → sparsification → FL simulation → adaptive k.
+
+use agsfl::core::{
+    ControllerSpec, DatasetSpec, Experiment, ExperimentConfig, ModelSpec, SparsifierSpec,
+    StopCondition,
+};
+
+fn base_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .dataset(DatasetSpec::femnist_tiny())
+        .model(ModelSpec::Mlp { hidden: vec![16] })
+        .learning_rate(0.05)
+        .batch_size(8)
+        .comm_time(10.0)
+        .eval_every(10)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn fab_topk_training_reduces_loss_and_improves_accuracy() {
+    let mut experiment = Experiment::new(&base_config(1));
+    let initial_loss = experiment.simulation().global_train_loss();
+    let k = experiment.dim() / 20;
+    let history = experiment.run_fixed_k(k, &StopCondition::after_rounds(200));
+    let final_loss = history.final_global_loss().unwrap();
+    assert!(
+        final_loss < initial_loss * 0.8,
+        "loss {initial_loss} -> {final_loss}"
+    );
+    assert!(history.final_test_accuracy().unwrap() > 0.3);
+}
+
+#[test]
+fn adaptive_k_matches_or_beats_extreme_fixed_k_at_high_comm_cost() {
+    // With very expensive communication, a huge fixed k wastes almost the
+    // whole time budget on communication; the adaptive controller should do
+    // at least as well because it drives k down.
+    let config = ExperimentConfig {
+        comm_time: 100.0,
+        ..base_config(2)
+    };
+    let budget = StopCondition::after_time(2_000.0);
+
+    let mut full_k = Experiment::new(&config);
+    let dim = full_k.dim();
+    let full_history = full_k.run_fixed_k(dim, &budget);
+
+    let mut adaptive = Experiment::new(&config);
+    let adaptive_history = adaptive.run_adaptive(ControllerSpec::Algorithm3, &budget);
+
+    let full_loss = full_history.final_global_loss().unwrap();
+    let adaptive_loss = adaptive_history.final_global_loss().unwrap();
+    assert!(
+        adaptive_loss <= full_loss * 1.05,
+        "adaptive {adaptive_loss} should not lose badly to always-full {full_loss}"
+    );
+    // And the adaptive run must have executed many more rounds in the same time.
+    assert!(adaptive_history.len() > full_history.len());
+}
+
+#[test]
+fn all_sparsifiers_complete_a_run_and_stay_finite() {
+    for spec in SparsifierSpec::all() {
+        let config = ExperimentConfig {
+            sparsifier: spec,
+            ..base_config(3)
+        };
+        let mut experiment = Experiment::new(&config);
+        let k = experiment.dim() / 10;
+        let history = experiment.run_fixed_k(k, &StopCondition::after_rounds(30));
+        assert_eq!(history.len(), 30, "{}", spec.name());
+        let loss = history.final_global_loss().unwrap();
+        assert!(loss.is_finite() && loss > 0.0, "{}: loss {loss}", spec.name());
+    }
+}
+
+#[test]
+fn every_controller_completes_an_adaptive_run() {
+    for spec in [
+        ControllerSpec::Algorithm2,
+        ControllerSpec::Algorithm3,
+        ControllerSpec::ValueBased,
+        ControllerSpec::Exp3 { num_arms: 8 },
+        ControllerSpec::ContinuousBandit,
+    ] {
+        let mut experiment = Experiment::new(&base_config(4));
+        let history = experiment.run_adaptive(spec, &StopCondition::after_rounds(25));
+        assert_eq!(history.len(), 25, "{}", spec.name());
+        let dim = experiment.dim();
+        assert!(
+            history.k_sequence().iter().all(|&k| k >= 1 && k <= dim),
+            "{}: k out of range",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_for_a_fixed_seed() {
+    let run = || {
+        let mut experiment = Experiment::new(&base_config(9));
+        experiment
+            .run_adaptive(ControllerSpec::Algorithm3, &StopCondition::after_rounds(20))
+            .points()
+            .to_vec()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let run = |seed| {
+        let mut experiment = Experiment::new(&base_config(seed));
+        experiment
+            .run_fixed_k(50, &StopCondition::after_rounds(10))
+            .points()
+            .to_vec()
+    };
+    assert_ne!(run(10), run(11));
+}
+
+#[test]
+fn fedavg_baseline_is_comparable_but_distinct() {
+    let config = base_config(6);
+    let experiment = Experiment::new(&config);
+    let k = experiment.dim() / 20;
+    let fedavg = experiment.run_fedavg(k, &StopCondition::after_rounds(60));
+    assert_eq!(fedavg.len(), 60);
+    assert!(fedavg.final_global_loss().unwrap().is_finite());
+
+    let mut gs = Experiment::new(&config);
+    let gs_history = gs.run_fixed_k(k, &StopCondition::after_rounds(60));
+    // Same number of rounds but different algorithms: the trajectories differ.
+    assert_ne!(
+        fedavg.final_global_loss(),
+        gs_history.final_global_loss()
+    );
+}
