@@ -3,10 +3,18 @@
 //! round. These quantify the overhead the sparsification layer adds per
 //! round (the paper treats server computation as negligible; this bench
 //! backs that assumption for the reproduction).
+//!
+//! The FAB selection is benchmarked twice at the acceptance workload
+//! (dim = 10⁵, N = 40, k = dim/100): once through the seed implementation
+//! kept in `agsfl_sparse::reference` and once through the scratch-reusing
+//! `select_into` fast path, so the speedup of the zero-allocation pipeline
+//! is visible directly in the criterion output. The `bench-report` binary
+//! runs the same workloads and writes machine-readable `BENCH_kernels.json`.
 
 use agsfl_bench::femnist_base;
+use agsfl_bench::kernel_workload::{fab_workload, FAB_CLIENTS, FAB_DIM, FAB_K};
 use agsfl_core::{Experiment, StopCondition};
-use agsfl_sparse::{topk, ClientUpload, FabTopK, Sparsifier};
+use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, Sparsifier};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::Rng;
 use rand::SeedableRng;
@@ -23,24 +31,46 @@ fn bench_topk_selection(c: &mut Criterion) {
         group.bench_function(format!("top_{k}_of_{dim}"), |b| {
             b.iter(|| black_box(topk::top_k_entries(black_box(&values), k)))
         });
+        let mut scratch = Vec::new();
+        group.bench_function(format!("top_{k}_of_{dim}_scratch"), |b| {
+            b.iter(|| {
+                black_box(topk::top_k_entries_with(
+                    black_box(&values),
+                    k,
+                    &mut scratch,
+                ))
+            })
+        });
     }
     group.finish();
 }
 
 fn bench_fab_selection(c: &mut Criterion) {
-    let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let dim = 100_000usize;
-    let clients = 50usize;
-    let k = 1_000usize;
-    let uploads: Vec<ClientUpload> = (0..clients)
-        .map(|i| {
-            let dense: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-            ClientUpload::new(i, 1.0 / clients as f64, topk::top_k_entries(&dense, k))
-        })
-        .collect();
-    c.bench_function("fab_select_50clients_k1000_d100k", |b| {
-        b.iter(|| black_box(FabTopK::new().select(black_box(&uploads), dim, k)))
-    });
+    let uploads = fab_workload();
+    let mut group = c.benchmark_group("fab_select");
+    // The seed implementation: hash-set union rebuild per binary-search
+    // probe, hash-map aggregation.
+    group.bench_function(
+        format!("seed_{FAB_CLIENTS}clients_k{FAB_K}_d{FAB_DIM}"),
+        |b| b.iter(|| black_box(reference::fab_select(black_box(&uploads), FAB_DIM, FAB_K))),
+    );
+    // The scratch fast path, amortised the way `Simulation::run_round`
+    // amortises it: one workspace reused across iterations.
+    let mut scratch = SelectionScratch::new();
+    group.bench_function(
+        format!("scratch_{FAB_CLIENTS}clients_k{FAB_K}_d{FAB_DIM}"),
+        |b| {
+            b.iter(|| {
+                black_box(FabTopK::new().select_into(
+                    black_box(&uploads),
+                    FAB_DIM,
+                    FAB_K,
+                    &mut scratch,
+                ))
+            })
+        },
+    );
+    group.finish();
 }
 
 fn bench_fl_round(c: &mut Criterion) {

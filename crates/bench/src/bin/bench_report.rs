@@ -1,0 +1,174 @@
+//! `bench-report`: times the selection kernels on the bench-scale workload
+//! and writes machine-readable `BENCH_kernels.json`, so the perf trajectory
+//! of the server hot path is tracked across PRs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p agsfl-bench --bin bench-report [-- OUTPUT.json]
+//! ```
+//!
+//! The workload is the acceptance workload of the zero-allocation selection
+//! PR — FAB selection at dim = 10⁵, N = 40, k = dim/100 — measured through
+//! both the seed implementation (`agsfl_sparse::reference`) and the
+//! scratch-reusing `select_into` fast path, plus the client-side top-k
+//! kernel in both variants. The JSON reports nanoseconds per iteration
+//! (mean of the fastest half of samples) and the seed/scratch speedup.
+
+use std::time::Instant;
+
+use agsfl_bench::kernel_workload::{fab_workload, FAB_CLIENTS, FAB_DIM, FAB_K};
+use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, Sparsifier};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Samples per kernel; each sample runs enough iterations to cover ~20 ms.
+const SAMPLES: usize = 12;
+const TARGET_SAMPLE_SECS: f64 = 0.02;
+
+/// Times `f`, returning mean nanoseconds per iteration over the fastest
+/// half of the samples.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warm-up + calibration.
+    let start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while start.elapsed().as_secs_f64() < 0.05 {
+        f();
+        warmup_iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / warmup_iters as f64;
+    let iters = (TARGET_SAMPLE_SECS / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let half = samples.len().div_ceil(2);
+    samples[..half].iter().sum::<f64>() / half as f64 * 1e9
+}
+
+struct KernelReport {
+    name: &'static str,
+    dim: usize,
+    clients: usize,
+    k: usize,
+    seed_ns: f64,
+    scratch_ns: f64,
+}
+
+impl KernelReport {
+    fn speedup(&self) -> f64 {
+        self.seed_ns / self.scratch_ns
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"kernel\": \"{}\",\n",
+                "      \"dim\": {},\n",
+                "      \"clients\": {},\n",
+                "      \"k\": {},\n",
+                "      \"seed_ns_per_iter\": {:.1},\n",
+                "      \"scratch_ns_per_iter\": {:.1},\n",
+                "      \"speedup\": {:.2}\n",
+                "    }}"
+            ),
+            self.name,
+            self.dim,
+            self.clients,
+            self.k,
+            self.seed_ns,
+            self.scratch_ns,
+            self.speedup()
+        )
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    eprintln!(
+        "bench-report: FAB selection workload dim={FAB_DIM}, N={FAB_CLIENTS}, k={FAB_K}"
+    );
+
+    // FAB server selection: seed vs scratch.
+    let uploads = fab_workload();
+    let seed_ns = time_ns(|| {
+        black_box(reference::fab_select(black_box(&uploads), FAB_DIM, FAB_K));
+    });
+    let mut scratch = SelectionScratch::new();
+    let scratch_ns = time_ns(|| {
+        black_box(FabTopK::new().select_into(black_box(&uploads), FAB_DIM, FAB_K, &mut scratch));
+    });
+    let fab = KernelReport {
+        name: "fab_select",
+        dim: FAB_DIM,
+        clients: FAB_CLIENTS,
+        k: FAB_K,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  fab_select: seed {:.0} ns, scratch {:.0} ns -> {:.2}x",
+        fab.seed_ns,
+        fab.scratch_ns,
+        fab.speedup()
+    );
+
+    // Client-side top-k extraction: allocating vs scratch-reusing variant.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let values: Vec<f32> = (0..FAB_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let seed_ns = time_ns(|| {
+        black_box(topk::top_k_entries(black_box(&values), FAB_K));
+    });
+    let mut topk_scratch = Vec::new();
+    let scratch_ns = time_ns(|| {
+        black_box(topk::top_k_entries_with(
+            black_box(&values),
+            FAB_K,
+            &mut topk_scratch,
+        ));
+    });
+    let topk_report = KernelReport {
+        name: "client_top_k",
+        dim: FAB_DIM,
+        clients: 1,
+        k: FAB_K,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  client_top_k: alloc {:.0} ns, scratch {:.0} ns -> {:.2}x",
+        topk_report.seed_ns,
+        topk_report.scratch_ns,
+        topk_report.speedup()
+    );
+
+    let kernels = [fab, topk_report];
+    let body: Vec<String> = kernels.iter().map(KernelReport::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"selection_kernels\",\n",
+            "  \"workload\": {{ \"dim\": {}, \"clients\": {}, \"k\": {} }},\n",
+            "  \"kernels\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        FAB_DIM,
+        FAB_CLIENTS,
+        FAB_K,
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("failed to write bench report");
+    eprintln!("bench-report: wrote {out_path}");
+}

@@ -1,0 +1,50 @@
+//! The shared selection-kernel workload.
+//!
+//! `benches/kernels.rs` (criterion) and the `bench-report` binary (plain
+//! timing + `BENCH_kernels.json`) must measure exactly the same inputs so
+//! their numbers are comparable across PRs; both build them here.
+
+use agsfl_sparse::{topk, ClientUpload};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Model dimension of the FAB selection workload (the paper's 400k-weight
+/// CNN scale is the roadmap target; 10⁵ is the tracked bench point).
+pub const FAB_DIM: usize = 100_000;
+
+/// Number of clients in the FAB selection workload.
+pub const FAB_CLIENTS: usize = 40;
+
+/// Sparsity degree `k = dim / 100` of the FAB selection workload.
+pub const FAB_K: usize = FAB_DIM / 100;
+
+/// Builds the ranked top-k uploads of the FAB selection workload
+/// (`FAB_CLIENTS` clients, dimension [`FAB_DIM`], degree [`FAB_K`], fixed
+/// seed).
+pub fn fab_workload() -> Vec<ClientUpload> {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    (0..FAB_CLIENTS)
+        .map(|i| {
+            let dense: Vec<f32> = (0..FAB_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            ClientUpload::new(
+                i,
+                1.0 / FAB_CLIENTS as f64,
+                topk::top_k_entries(&dense, FAB_K),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape_matches_acceptance_spec() {
+        let uploads = fab_workload();
+        assert_eq!(uploads.len(), FAB_CLIENTS);
+        assert!(uploads.iter().all(|u| u.len() == FAB_K));
+        assert_eq!(FAB_K, FAB_DIM / 100);
+    }
+}

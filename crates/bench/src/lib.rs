@@ -12,6 +12,8 @@
 
 use agsfl_core::{DatasetSpec, ExperimentConfig, ModelSpec};
 
+pub mod kernel_workload;
+
 /// Master seed used by all benchmark workloads.
 pub const BENCH_SEED: u64 = 2020;
 

@@ -26,6 +26,9 @@ pub struct Client {
     last_batch: Vec<usize>,
     /// The sample within `last_batch` chosen for the estimator this round.
     probe_sample: Option<usize>,
+    /// Reused candidate buffer for top-k extraction, so building the uplink
+    /// message allocates no full-dimension temporary after the first round.
+    topk_scratch: Vec<(usize, f32)>,
 }
 
 impl Client {
@@ -56,6 +59,7 @@ impl Client {
             rng: ChaCha8Rng::seed_from_u64(seed),
             last_batch: Vec::new(),
             probe_sample: None,
+            topk_scratch: Vec::new(),
         }
     }
 
@@ -99,9 +103,14 @@ impl Client {
 
     /// Builds the uplink message for the current round according to the
     /// sparsifier's [`UploadPlan`].
-    pub fn build_upload(&self, plan: &UploadPlan, k: usize) -> ClientUpload {
+    ///
+    /// Takes `&mut self` because top-k extraction reuses the client's scratch
+    /// buffer instead of allocating a full-dimension temporary every round.
+    pub fn build_upload(&mut self, plan: &UploadPlan, k: usize) -> ClientUpload {
         let entries = match plan {
-            UploadPlan::TopKOwn => self.accumulator.top_k_entries(k),
+            UploadPlan::TopKOwn => self
+                .accumulator
+                .top_k_entries_with(k, &mut self.topk_scratch),
             UploadPlan::Coordinates(coords) => self.accumulator.entries_at(coords),
             UploadPlan::Dense => self
                 .accumulator

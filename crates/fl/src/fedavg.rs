@@ -45,6 +45,18 @@ impl Default for FedAvgConfig {
     }
 }
 
+/// All evaluation metrics of a FedAvg run at one point in time, computed
+/// from a single weight-averaging pass (see [`FedAvgSimulation::evaluate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedAvgEvaluation {
+    /// Global training loss at the averaged weights.
+    pub train_loss: f64,
+    /// Test-set accuracy at the averaged weights.
+    pub test_accuracy: f64,
+    /// Weighted training accuracy at the averaged weights.
+    pub train_accuracy: f64,
+}
+
 /// Report of one FedAvg round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FedAvgRoundReport {
@@ -145,6 +157,23 @@ impl FedAvgSimulation {
             }
         }
         avg.into_iter().map(|v| v as f32).collect()
+    }
+
+    /// Evaluates loss, test accuracy and train accuracy in one shot,
+    /// computing the `N×D` weight average a single time.
+    ///
+    /// The individual accessors ([`FedAvgSimulation::global_train_loss`] and
+    /// friends) each redo that reduction; callers that report more than one
+    /// metric per round — every figure pipeline does — should use this.
+    pub fn evaluate(&self) -> FedAvgEvaluation {
+        let avg = self.averaged_params();
+        let test = self.dataset.test();
+        FedAvgEvaluation {
+            train_loss: global_loss(self.model.as_ref(), &avg, self.dataset.clients()) as f64,
+            test_accuracy: self.model.accuracy(&avg, &test.features, &test.labels) as f64,
+            train_accuracy: global_accuracy(self.model.as_ref(), &avg, self.dataset.clients())
+                as f64,
+        }
     }
 
     /// Global training loss at the averaged weights.
@@ -286,6 +315,18 @@ mod tests {
         for (a, m) in avg.iter().zip(manual.iter()) {
             assert!((*a as f64 - m).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn evaluate_matches_single_metric_accessors() {
+        let mut sim = tiny_fedavg(3, 1.0, 5);
+        for _ in 0..4 {
+            sim.run_round();
+        }
+        let eval = sim.evaluate();
+        assert_eq!(eval.train_loss, sim.global_train_loss());
+        assert_eq!(eval.test_accuracy, sim.test_accuracy());
+        assert_eq!(eval.train_accuracy, sim.global_train_accuracy());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use agsfl_ml::data::FederatedDataset;
 use agsfl_ml::metrics::{global_accuracy, global_loss};
 use agsfl_ml::model::Model;
-use agsfl_sparse::{ClientUpload, SelectionResult, Sparsifier};
+use agsfl_sparse::{ClientUpload, SelectionResult, SelectionScratch, Sparsifier};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -53,6 +53,10 @@ pub struct Simulation {
     clients: Vec<Client>,
     params: Vec<f32>,
     server_rng: ChaCha8Rng,
+    /// Reusable server-side selection workspace; buffers are sized on the
+    /// first round and reused (including by the probe's second selection),
+    /// making the per-round server path allocation-free in steady state.
+    scratch: SelectionScratch,
     round: usize,
     elapsed: f64,
 }
@@ -116,6 +120,7 @@ impl Simulation {
             clients,
             params,
             server_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD_EF01),
+            scratch: SelectionScratch::new(),
             round: 0,
             elapsed: 0.0,
         }
@@ -217,17 +222,22 @@ impl Simulation {
             .upload_plan(dim, k, &mut self.server_rng);
         let uploads: Vec<ClientUpload> = self
             .clients
-            .iter()
+            .iter_mut()
             .map(|c| c.build_upload(&plan, k))
             .collect();
 
-        // (2) Server selection and aggregation.
-        let selection = self.sparsifier.select(&uploads, dim, k);
+        // (2) Server selection and aggregation, reusing the round workspace.
+        let selection = self
+            .sparsifier
+            .select_into(&uploads, dim, k, &mut self.scratch);
 
-        // Optional probe for the derivative-sign estimator.
+        // Optional probe for the derivative-sign estimator; its second
+        // selection shares the same workspace.
         let probe = probe_k.map(|pk| {
             let pk = pk.clamp(1, dim);
-            let probe_selection = self.sparsifier.select(&uploads, dim, pk);
+            let probe_selection = self
+                .sparsifier
+                .select_into(&uploads, dim, pk, &mut self.scratch);
             self.build_probe_report(pk, &selection, &probe_selection)
         });
 
@@ -253,7 +263,7 @@ impl Simulation {
             elapsed_time: self.elapsed,
             downlink_elements: selection.downlink_elements,
             max_uplink_scalars: selection.max_uplink_scalars(),
-            contributions: selection.contributions,
+            contributions: selection.into_contributions(),
             probe,
         }
     }
@@ -323,19 +333,16 @@ where
         return clients.iter_mut().map(|c| f(c)).collect();
     }
     let chunk_size = clients.len().div_ceil(threads);
-    let mut results: Vec<Vec<T>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = clients
             .chunks_mut(chunk_size)
-            .map(|chunk| scope.spawn(|_| chunk.iter_mut().map(|c| f(c)).collect::<Vec<T>>()))
+            .map(|chunk| scope.spawn(|| chunk.iter_mut().map(|c| f(c)).collect::<Vec<T>>()))
             .collect();
-        results = handles
+        handles
             .into_iter()
-            .map(|h| h.join().expect("client worker thread panicked"))
-            .collect();
+            .flat_map(|h| h.join().expect("client worker thread panicked"))
+            .collect()
     })
-    .expect("crossbeam scope failed");
-    results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -61,8 +61,23 @@ impl ResidualAccumulator {
 
     /// Returns the top-`k` entries `(index, accumulated value)` ranked by
     /// decreasing magnitude — the uplink message `A_i`.
+    ///
+    /// Allocates a full-dimension candidate buffer; per-round callers should
+    /// prefer [`ResidualAccumulator::top_k_entries_with`] with a reused
+    /// scratch buffer.
     pub fn top_k_entries(&self, k: usize) -> Vec<(usize, f32)> {
         topk::top_k_entries(&self.residual, k)
+    }
+
+    /// [`ResidualAccumulator::top_k_entries`] with a caller-provided
+    /// candidate buffer, so the per-round `16·D`-byte temporary is allocated
+    /// once per client instead of once per round.
+    pub fn top_k_entries_with(
+        &self,
+        k: usize,
+        scratch: &mut Vec<(usize, f32)>,
+    ) -> Vec<(usize, f32)> {
+        topk::top_k_entries_with(&self.residual, k, scratch)
     }
 
     /// Returns the values at the given indices (used by sparsifiers where the
@@ -97,9 +112,7 @@ impl ResidualAccumulator {
     /// Resets the whole accumulator to zero (used by send-all / FedAvg where
     /// every coordinate is transmitted).
     pub fn reset_all(&mut self) {
-        for r in &mut self.residual {
-            *r = 0.0;
-        }
+        self.residual.fill(0.0);
     }
 
     /// Sum of absolute residual values — a measure of how much gradient mass

@@ -1,6 +1,7 @@
 use rand::RngCore;
 
-use crate::sparsifier::{aggregate_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::scratch::SelectionScratch;
+use crate::sparsifier::{aggregate_marked, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
 use crate::topk;
 
 /// Fairness-aware bidirectional top-k gradient sparsification (FAB-top-k) —
@@ -28,7 +29,7 @@ use crate::topk;
 /// let result = fab.select(&uploads, 8, 2);
 /// // Fairness: even though client 1's values are tiny, it still contributes
 /// // at least floor(2/2) = 1 element.
-/// assert!(result.contributions[1] >= 1);
+/// assert!(result.contributions()[1] >= 1);
 /// assert_eq!(result.aggregated.nnz(), 2);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,63 +41,129 @@ impl FabTopK {
         Self
     }
 
-    /// Computes the size of `∪_i J_i^κ` (union of per-client top-`κ` prefixes).
-    fn union_size(uploads: &[ClientUpload], kappa: usize) -> usize {
-        let mut set = std::collections::HashSet::new();
-        for upload in uploads {
-            set.extend(topk::prefix_indices(&upload.entries, kappa));
-        }
-        set.len()
+    /// Selects the downlink index set `J` of size at most `k`, returned
+    /// **sorted ascending** (the historical implementation returned hash-set
+    /// iteration order, which was nondeterministic across processes).
+    ///
+    /// Exposed for testing and for the ablation benchmarks; the round loop
+    /// goes through [`Sparsifier::select_into`], which reuses the scratch.
+    pub fn select_indices(uploads: &[ClientUpload], k: usize) -> Vec<usize> {
+        let dim = uploads
+            .iter()
+            .flat_map(|u| u.entries.iter().map(|&(j, _)| j + 1))
+            .max()
+            .unwrap_or(0);
+        let mut scratch = SelectionScratch::new();
+        Self::select_indices_into(uploads, dim, k, &mut scratch);
+        scratch.selected
     }
 
-    /// Selects the downlink index set `J` of size at most `k`.
+    /// Single-pass fairness-aware selection into `scratch.selected` (sorted).
     ///
-    /// Exposed for testing and for the ablation benchmarks.
-    pub fn select_indices(uploads: &[ClientUpload], k: usize) -> Vec<usize> {
+    /// One O(Σ|uploads|) sweep records, per index, the minimum rank at which
+    /// it appears across clients, plus a histogram of those minimum ranks.
+    /// The prefix sums of the histogram give every union size `|∪_i J_i^κ|`
+    /// in O(1), so the largest feasible `κ` falls out of a direct scan —
+    /// replacing the historical binary search whose every probe rebuilt a
+    /// `HashSet` over all uploads (O(N·κ) hashing per probe × O(log k)
+    /// probes).
+    ///
+    /// On return, `scratch`'s sums generation has exactly the selected
+    /// indices marked (with zero sums), ready for [`aggregate_marked`].
+    fn select_indices_into(
+        uploads: &[ClientUpload],
+        dim: usize,
+        k: usize,
+        scratch: &mut SelectionScratch,
+    ) {
+        scratch.selected.clear();
+        scratch.begin_sums(dim);
         if k == 0 || uploads.is_empty() {
-            return Vec::new();
+            return;
         }
         let max_prefix = uploads.iter().map(ClientUpload::len).max().unwrap_or(0);
-        // Binary search the largest κ with |∪ J_i^κ| <= k. Union size is
-        // monotone non-decreasing in κ, and κ = 0 trivially satisfies it.
-        let mut lo = 0usize; // always feasible
-        let mut hi = max_prefix.min(k); // candidates above this are pointless
-        while lo < hi {
-            let mid = (lo + hi + 1) / 2;
-            if Self::union_size(uploads, mid) <= k {
-                lo = mid;
-            } else {
-                hi = mid - 1;
+        // κ above this bound cannot be feasible (κ = k already needs the
+        // union of k-prefixes to fit in k) nor useful (κ = max_prefix covers
+        // every upload in full).
+        let hi = max_prefix.min(k);
+
+        // Pass 1: minimum rank per index + histogram of minimum ranks < hi.
+        scratch.rank_counts.clear();
+        scratch.rank_counts.resize(hi, 0);
+        scratch.begin_ranks(dim);
+        for upload in uploads {
+            for (rank, &(j, _)) in upload.entries.iter().enumerate() {
+                assert!(j < dim, "upload index {j} out of range (dim {dim})");
+                match scratch.observe_rank(j, rank) {
+                    None => {
+                        if rank < hi {
+                            scratch.rank_counts[rank] += 1;
+                        }
+                    }
+                    Some(old) if rank < old => {
+                        if old < hi {
+                            scratch.rank_counts[old] -= 1;
+                        }
+                        if rank < hi {
+                            scratch.rank_counts[rank] += 1;
+                        }
+                    }
+                    Some(_) => {}
+                }
             }
         }
-        let kappa = lo;
 
-        let mut selected: std::collections::HashSet<usize> = std::collections::HashSet::new();
-        for upload in uploads {
-            selected.extend(topk::prefix_indices(&upload.entries, kappa));
+        // Largest κ with |∪ J_i^κ| = Σ_{r<κ} counts[r] <= k; the union size
+        // is monotone non-decreasing in κ and κ = 0 is trivially feasible.
+        let mut kappa = 0;
+        let mut union_size = 0;
+        for cand in 1..=hi {
+            union_size += scratch.rank_counts[cand - 1];
+            if union_size <= k {
+                kappa = cand;
+            } else {
+                break;
+            }
         }
 
-        // Fill up to k with the largest-magnitude candidates from prefix level
-        // κ+1 that are not already selected.
-        if selected.len() < k && kappa < max_prefix {
-            let mut candidates: Vec<(usize, f32)> = Vec::new();
+        // The union of per-client top-κ prefixes, marked for aggregation.
+        // Walking the κ-prefixes directly (O(N·κ) ≈ O(k) entries, deduped by
+        // the marks) beats rescanning every index the round touched.
+        for upload in uploads {
+            for &(j, _) in &upload.entries[..kappa.min(upload.entries.len())] {
+                debug_assert!(scratch.min_rank(j).is_some_and(|r| r < kappa));
+                if !scratch.is_marked(j) {
+                    scratch.mark_selected(j);
+                    scratch.selected.push(j);
+                }
+            }
+        }
+
+        // Fill up to k with the largest-magnitude candidates from prefix
+        // level κ+1 that are not already selected.
+        if scratch.selected.len() < k && kappa < max_prefix {
+            scratch.candidates.clear();
             for upload in uploads {
                 if let Some(&(j, v)) = upload.entries.get(kappa) {
-                    if !selected.contains(&j) {
-                        candidates.push((j, v));
+                    if !scratch.is_marked(j) {
+                        scratch.candidates.push((j, v));
                     }
                 }
             }
-            topk::rank_by_magnitude(&mut candidates);
-            for (j, _) in candidates {
-                if selected.len() >= k {
+            topk::rank_by_magnitude(&mut scratch.candidates);
+            for i in 0..scratch.candidates.len() {
+                if scratch.selected.len() >= k {
                     break;
                 }
+                let j = scratch.candidates[i].0;
                 // The same index may appear from several clients.
-                selected.insert(j);
+                if !scratch.is_marked(j) {
+                    scratch.mark_selected(j);
+                    scratch.selected.push(j);
+                }
             }
         }
-        selected.into_iter().collect()
+        scratch.selected.sort_unstable();
     }
 }
 
@@ -109,19 +176,28 @@ impl Sparsifier for FabTopK {
         UploadPlan::TopKOwn
     }
 
-    fn select(&self, uploads: &[ClientUpload], dim: usize, k: usize) -> SelectionResult {
-        let selected = Self::select_indices(uploads, k);
-        let (aggregated, reset_indices) = aggregate_selected(uploads, &selected, dim);
-        let contributions = reset_indices.iter().map(Vec::len).collect();
-        SelectionResult {
+    fn select_into(
+        &self,
+        uploads: &[ClientUpload],
+        dim: usize,
+        k: usize,
+        scratch: &mut SelectionScratch,
+    ) -> SelectionResult {
+        Self::select_indices_into(uploads, dim, k, scratch);
+        // The selection phase left exactly the selected indices marked in the
+        // sums generation, so aggregation skips the re-marking pass.
+        let selected = std::mem::take(&mut scratch.selected);
+        let (aggregated, reset_indices) = aggregate_marked(uploads, &selected, dim, scratch);
+        let downlink_elements = selected.len();
+        scratch.selected = selected;
+        SelectionResult::new(
             aggregated,
             reset_indices,
-            contributions,
-            uplink_elements: uploads.iter().map(ClientUpload::len).collect(),
-            downlink_elements: selected.len(),
-            uplink_indexed: true,
-            downlink_indexed: true,
-        }
+            uploads.iter().map(ClientUpload::len).collect(),
+            downlink_elements,
+            true,
+            true,
+        )
     }
 }
 
@@ -166,8 +242,8 @@ mod tests {
         ];
         let uploads = uploads_from_dense(&clients, 4);
         let result = FabTopK::new().select(&uploads, 10, 4);
-        assert!(result.contributions[1] >= 2, "{:?}", result.contributions);
-        assert!(result.contributions[0] >= 2, "{:?}", result.contributions);
+        assert!(result.contributions()[1] >= 2, "{:?}", result.contributions());
+        assert!(result.contributions()[0] >= 2, "{:?}", result.contributions());
     }
 
     #[test]
@@ -177,7 +253,7 @@ mod tests {
         let result = FabTopK::new().select(&uploads, 3, 1);
         assert_eq!(result.aggregated.nnz(), 1);
         assert!((result.aggregated.get(0) - 3.0).abs() < 1e-6);
-        assert_eq!(result.contributions, vec![1, 1]);
+        assert_eq!(result.contributions(), vec![1, 1]);
     }
 
     #[test]
@@ -229,6 +305,14 @@ mod tests {
             let uploads = uploads_from_dense(&clients, k);
             let result = FabTopK::new().select(&uploads, dim, k);
 
+            // select_indices returns a sorted set — the selection order is
+            // part of the API contract now (the historical implementation
+            // leaked hash-set iteration order).
+            let indices = FabTopK::select_indices(&uploads, k);
+            prop_assert!(indices.windows(2).all(|w| w[0] < w[1]),
+                "select_indices must return sorted, duplicate-free indices");
+            prop_assert_eq!(indices.len(), result.downlink_elements);
+
             // Never more than k downlink elements; exactly k when the clients
             // collectively uploaded at least k distinct nonzero-capable indices.
             prop_assert!(result.aggregated.nnz() <= k);
@@ -241,7 +325,7 @@ mod tests {
             // Fairness: every client contributes at least floor(k / N) elements
             // (as long as it uploaded that many).
             let floor_share = k / n_clients;
-            for (upload, &contrib) in uploads.iter().zip(result.contributions.iter()) {
+            for (upload, &contrib) in uploads.iter().zip(result.contributions().iter()) {
                 prop_assert!(contrib >= floor_share.min(upload.len()),
                     "contribution {} < floor share {}", contrib, floor_share);
             }

@@ -1,7 +1,9 @@
 use rand::RngCore;
 
-use crate::sparsifier::{aggregate_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::scratch::SelectionScratch;
+use crate::sparsifier::{ClientUpload, SelectionResult, Sparsifier, UploadPlan};
 use crate::topk;
+use crate::SparseGradient;
 
 /// Fairness-unaware bidirectional top-k (FUB-top-k).
 ///
@@ -24,7 +26,7 @@ use crate::topk;
 /// ];
 /// let result = fub.select(&uploads, 8, 2);
 /// // The small client is starved: all k slots go to client 0's indices.
-/// assert_eq!(result.contributions[1], 0);
+/// assert_eq!(result.contributions()[1], 0);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FubTopK;
@@ -45,32 +47,77 @@ impl Sparsifier for FubTopK {
         UploadPlan::TopKOwn
     }
 
-    fn select(&self, uploads: &[ClientUpload], dim: usize, k: usize) -> SelectionResult {
-        // Aggregate every uploaded coordinate, then keep the top-k of the
-        // aggregated magnitudes.
-        let mut sums: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    fn select_into(
+        &self,
+        uploads: &[ClientUpload],
+        dim: usize,
+        k: usize,
+        scratch: &mut SelectionScratch,
+    ) -> SelectionResult {
+        // Aggregate every uploaded coordinate into the epoch-stamped dense
+        // buffer, then keep the top-k of the aggregated magnitudes.
+        scratch.begin_sums(dim);
+        scratch.touched.clear();
         for upload in uploads {
             for &(j, v) in &upload.entries {
                 assert!(j < dim, "upload index {j} out of range (dim {dim})");
-                *sums.entry(j).or_insert(0.0) += upload.weight * v as f64;
+                if !scratch.is_marked(j) {
+                    scratch.mark_selected(j);
+                    scratch.touched.push(j);
+                }
+                scratch.accumulate(j, upload.weight * v as f64);
             }
         }
-        let mut candidates: Vec<(usize, f32)> = sums.into_iter().map(|(j, v)| (j, v as f32)).collect();
-        topk::rank_by_magnitude(&mut candidates);
-        candidates.truncate(k);
-        let selected: Vec<usize> = candidates.iter().map(|&(j, _)| j).collect();
-
-        let (aggregated, reset_indices) = aggregate_selected(uploads, &selected, dim);
-        let contributions = reset_indices.iter().map(Vec::len).collect();
-        SelectionResult {
-            aggregated,
-            reset_indices,
-            contributions,
-            uplink_elements: uploads.iter().map(ClientUpload::len).collect(),
-            downlink_elements: selected.len(),
-            uplink_indexed: true,
-            downlink_indexed: true,
+        scratch.candidates.clear();
+        for i in 0..scratch.touched.len() {
+            let j = scratch.touched[i];
+            scratch.candidates.push((j, scratch.sum(j) as f32));
         }
+        // Only the top-k *set* matters (the selection is re-sorted by index
+        // below), so an O(U) partial selection replaces a full O(U log U)
+        // sort; the comparator is a total order, so the set is identical.
+        if scratch.candidates.len() > k && k > 0 {
+            scratch
+                .candidates
+                .select_nth_unstable_by(k - 1, topk::compare_magnitude_then_index);
+        }
+        scratch.candidates.truncate(k);
+        scratch.selected.clear();
+        scratch
+            .selected
+            .extend(scratch.candidates.iter().map(|&(j, _)| j));
+        scratch.selected.sort_unstable();
+
+        // The selected sums already sit in the pass-1 accumulator (each is
+        // the same in-order sequence of adds a re-accumulation would do), so
+        // emit them directly; only the reset sets need a second sweep, with
+        // membership expressed in the ranks buffer to leave the sums intact.
+        scratch.begin_members(dim);
+        for i in 0..scratch.selected.len() {
+            scratch.add_member(scratch.selected[i]);
+        }
+        let mut reset_indices = vec![Vec::new(); uploads.len()];
+        for (slot, upload) in uploads.iter().enumerate() {
+            let resets = &mut reset_indices[slot];
+            for &(j, _) in &upload.entries {
+                if scratch.is_member(j) {
+                    resets.push(j);
+                }
+            }
+        }
+        let entries: Vec<(usize, f32)> = scratch
+            .selected
+            .iter()
+            .map(|&j| (j, scratch.sum(j) as f32))
+            .collect();
+        SelectionResult::new(
+            SparseGradient::from_sorted_entries(dim, entries),
+            reset_indices,
+            uploads.iter().map(ClientUpload::len).collect(),
+            scratch.selected.len(),
+            true,
+            true,
+        )
     }
 }
 
@@ -112,8 +159,8 @@ mod tests {
         ];
         let uploads = uploads_from_dense(&clients, 3);
         let result = FubTopK::new().select(&uploads, 6, 3);
-        assert_eq!(result.contributions[1], 0);
-        assert_eq!(result.contributions[0], 3);
+        assert_eq!(result.contributions()[1], 0);
+        assert_eq!(result.contributions()[0], 3);
     }
 
     #[test]

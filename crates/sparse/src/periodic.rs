@@ -1,7 +1,8 @@
 use rand::seq::SliceRandom;
 use rand::RngCore;
 
-use crate::sparsifier::{aggregate_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::scratch::SelectionScratch;
+use crate::sparsifier::{result_from_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
 
 /// Periodic / random-k sparsification.
 ///
@@ -52,24 +53,31 @@ impl Sparsifier for PeriodicK {
         UploadPlan::Coordinates(coords)
     }
 
-    fn select(&self, uploads: &[ClientUpload], dim: usize, _k: usize) -> SelectionResult {
+    fn select_into(
+        &self,
+        uploads: &[ClientUpload],
+        dim: usize,
+        _k: usize,
+        scratch: &mut SelectionScratch,
+    ) -> SelectionResult {
         // Every client uploaded the same coordinate set; the selection is that
         // set (taken from the first upload; empty if there are no clients).
-        let selected: Vec<usize> = uploads
-            .first()
-            .map(|u| u.entries.iter().map(|&(j, _)| j).collect())
-            .unwrap_or_default();
-        let (aggregated, reset_indices) = aggregate_selected(uploads, &selected, dim);
-        let contributions = reset_indices.iter().map(Vec::len).collect();
-        SelectionResult {
-            aggregated,
-            reset_indices,
-            contributions,
-            uplink_elements: uploads.iter().map(ClientUpload::len).collect(),
-            downlink_elements: selected.len(),
-            uplink_indexed: true,
-            downlink_indexed: true,
+        // The server chose the coordinates sorted and distinct
+        // (`UploadPlan::Coordinates`), but sort/dedup defensively for direct
+        // callers handing in arbitrary uploads. Duplicate coordinates are
+        // out of contract: the seed implementation double-counted them in
+        // `downlink_elements`; this path canonicalizes them away instead.
+        scratch.selected.clear();
+        if let Some(first) = uploads.first() {
+            scratch.selected.extend(first.entries.iter().map(|&(j, _)| j));
         }
+        scratch.selected.sort_unstable();
+        scratch.selected.dedup();
+
+        let selected = std::mem::take(&mut scratch.selected);
+        let result = result_from_selected(uploads, &selected, dim, scratch, true);
+        scratch.selected = selected;
+        result
     }
 }
 
@@ -119,7 +127,7 @@ mod tests {
         assert_eq!(result.downlink_elements, 2);
         assert!((result.aggregated.get(2) - 2.0).abs() < 1e-6);
         assert!((result.aggregated.get(7) - 0.0).abs() < 1e-6);
-        assert_eq!(result.contributions, vec![2, 2]);
+        assert_eq!(result.contributions(), vec![2, 2]);
     }
 
     #[test]

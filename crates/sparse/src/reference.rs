@@ -1,0 +1,199 @@
+//! The historical (seed) server-selection implementations, kept verbatim as
+//! an executable specification.
+//!
+//! [`Sparsifier::select_into`](crate::Sparsifier::select_into) replaced these
+//! hash-based paths with epoch-stamped scratch buffers and single-pass union
+//! counting. The functions here are the slow-but-obviously-correct baselines
+//! they are checked against:
+//!
+//! * the reference-equivalence property test in `tests/select_equivalence.rs`
+//!   asserts the fast paths return byte-identical `SelectionResult`s for all
+//!   five sparsifiers over random uploads, dims and `k`;
+//! * `benches/kernels.rs` and the `bench-report` binary time the fast paths
+//!   against these baselines, which is where the headline FAB selection
+//!   speedup is measured.
+//!
+//! Complexity of the FAB baseline: each binary-search probe rebuilds a
+//! `HashSet` over all uploads — O(Σ|uploads|) hashing per probe and O(log k)
+//! probes — and aggregation runs through a `HashMap` plus a sort in
+//! `SparseGradient::from_entries`. The fast path does one O(Σ|uploads|)
+//! array sweep, no hashing, and emits already-sorted entries.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::sparsifier::{ClientUpload, SelectionResult};
+use crate::{topk, SparseGradient};
+
+/// The seed implementation of `aggregate_selected`: `HashSet` membership,
+/// `HashMap` accumulation, sort-and-dedup gradient construction.
+pub fn aggregate_selected(
+    uploads: &[ClientUpload],
+    selected: &[usize],
+    dim: usize,
+) -> (SparseGradient, Vec<Vec<usize>>) {
+    let selected_set: HashSet<usize> = selected.iter().copied().collect();
+    let mut sums: HashMap<usize, f64> = selected.iter().map(|&j| (j, 0.0)).collect();
+    let mut reset_indices = vec![Vec::new(); uploads.len()];
+    for (slot, upload) in uploads.iter().enumerate() {
+        for &(j, v) in &upload.entries {
+            assert!(j < dim, "upload index {j} out of range (dim {dim})");
+            if selected_set.contains(&j) {
+                *sums.get_mut(&j).expect("initialised above") += upload.weight * v as f64;
+                reset_indices[slot].push(j);
+            }
+        }
+    }
+    let entries: Vec<(usize, f32)> = sums.into_iter().map(|(j, v)| (j, v as f32)).collect();
+    (SparseGradient::from_entries(dim, entries), reset_indices)
+}
+
+fn result_from(
+    uploads: &[ClientUpload],
+    selected: &[usize],
+    dim: usize,
+    indexed: bool,
+) -> SelectionResult {
+    let (aggregated, reset_indices) = aggregate_selected(uploads, selected, dim);
+    SelectionResult::new(
+        aggregated,
+        reset_indices,
+        uploads.iter().map(ClientUpload::len).collect(),
+        selected.len(),
+        indexed,
+        indexed,
+    )
+}
+
+/// Size of `∪_i J_i^κ`, rebuilt from scratch — the per-probe cost the fast
+/// path eliminates.
+pub fn fab_union_size(uploads: &[ClientUpload], kappa: usize) -> usize {
+    let mut set = HashSet::new();
+    for upload in uploads {
+        set.extend(topk::prefix_indices(&upload.entries, kappa));
+    }
+    set.len()
+}
+
+/// The seed FAB-top-k downlink selection: binary search over `κ` with a
+/// hash-set union rebuild per probe. Returns the selected set **sorted** so
+/// results compare directly against the fast path (the seed returned
+/// hash-set iteration order; every downstream consumer re-sorted).
+pub fn fab_select_indices(uploads: &[ClientUpload], k: usize) -> Vec<usize> {
+    if k == 0 || uploads.is_empty() {
+        return Vec::new();
+    }
+    let max_prefix = uploads.iter().map(ClientUpload::len).max().unwrap_or(0);
+    let mut lo = 0usize;
+    let mut hi = max_prefix.min(k);
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if fab_union_size(uploads, mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let kappa = lo;
+
+    let mut selected: HashSet<usize> = HashSet::new();
+    for upload in uploads {
+        selected.extend(topk::prefix_indices(&upload.entries, kappa));
+    }
+
+    if selected.len() < k && kappa < max_prefix {
+        let mut candidates: Vec<(usize, f32)> = Vec::new();
+        for upload in uploads {
+            if let Some(&(j, v)) = upload.entries.get(kappa) {
+                if !selected.contains(&j) {
+                    candidates.push((j, v));
+                }
+            }
+        }
+        topk::rank_by_magnitude(&mut candidates);
+        for (j, _) in candidates {
+            if selected.len() >= k {
+                break;
+            }
+            selected.insert(j);
+        }
+    }
+    let mut out: Vec<usize> = selected.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Seed FAB-top-k server selection.
+pub fn fab_select(uploads: &[ClientUpload], dim: usize, k: usize) -> SelectionResult {
+    let selected = fab_select_indices(uploads, k);
+    result_from(uploads, &selected, dim, true)
+}
+
+/// Seed FUB-top-k server selection (hash-map aggregation, then global top-k).
+pub fn fub_select(uploads: &[ClientUpload], dim: usize, k: usize) -> SelectionResult {
+    let mut sums: HashMap<usize, f64> = HashMap::new();
+    for upload in uploads {
+        for &(j, v) in &upload.entries {
+            assert!(j < dim, "upload index {j} out of range (dim {dim})");
+            *sums.entry(j).or_insert(0.0) += upload.weight * v as f64;
+        }
+    }
+    let mut candidates: Vec<(usize, f32)> = sums.into_iter().map(|(j, v)| (j, v as f32)).collect();
+    topk::rank_by_magnitude(&mut candidates);
+    candidates.truncate(k);
+    let selected: Vec<usize> = candidates.iter().map(|&(j, _)| j).collect();
+    result_from(uploads, &selected, dim, true)
+}
+
+/// Seed periodic-k server selection (first upload's coordinate set).
+pub fn periodic_select(uploads: &[ClientUpload], dim: usize) -> SelectionResult {
+    let selected: Vec<usize> = uploads
+        .first()
+        .map(|u| u.entries.iter().map(|&(j, _)| j).collect())
+        .unwrap_or_default();
+    result_from(uploads, &selected, dim, true)
+}
+
+/// Seed send-all server selection (every coordinate, dense messages).
+pub fn send_all_select(uploads: &[ClientUpload], dim: usize) -> SelectionResult {
+    let selected: Vec<usize> = (0..dim).collect();
+    result_from(uploads, &selected, dim, false)
+}
+
+/// Seed unidirectional top-k server selection (union of all uploads).
+pub fn unidirectional_select(uploads: &[ClientUpload], dim: usize) -> SelectionResult {
+    let mut selected: Vec<usize> = uploads
+        .iter()
+        .flat_map(|u| u.entries.iter().map(|&(j, _)| j))
+        .collect();
+    selected.sort_unstable();
+    selected.dedup();
+    result_from(uploads, &selected, dim, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fab_union_size_counts_distinct_prefix_indices() {
+        let uploads = vec![
+            ClientUpload::new(0, 0.5, vec![(0, 5.0), (1, 4.0), (2, 3.0)]),
+            ClientUpload::new(1, 0.5, vec![(0, 5.0), (3, 4.0), (4, 3.0)]),
+        ];
+        assert_eq!(fab_union_size(&uploads, 0), 0);
+        assert_eq!(fab_union_size(&uploads, 1), 1);
+        assert_eq!(fab_union_size(&uploads, 2), 3);
+        assert_eq!(fab_union_size(&uploads, 3), 5);
+    }
+
+    #[test]
+    fn reference_fab_matches_seed_behaviour() {
+        let uploads = vec![
+            ClientUpload::new(0, 0.5, vec![(0, 10.0), (1, 9.0), (2, 8.0)]),
+            ClientUpload::new(1, 0.5, vec![(5, 0.3), (6, 0.2), (7, 0.1)]),
+        ];
+        let result = fab_select(&uploads, 8, 2);
+        assert_eq!(result.aggregated.nnz(), 2);
+        assert!(result.contributions()[1] >= 1);
+    }
+}

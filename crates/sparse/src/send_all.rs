@@ -1,6 +1,7 @@
 use rand::RngCore;
 
-use crate::sparsifier::{aggregate_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::scratch::SelectionScratch;
+use crate::sparsifier::{result_from_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
 
 /// Always-send-all: clients upload their full accumulated gradients and the
 /// server broadcasts the full aggregated gradient every round.
@@ -39,19 +40,19 @@ impl Sparsifier for SendAll {
         UploadPlan::Dense
     }
 
-    fn select(&self, uploads: &[ClientUpload], dim: usize, _k: usize) -> SelectionResult {
-        let selected: Vec<usize> = (0..dim).collect();
-        let (aggregated, reset_indices) = aggregate_selected(uploads, &selected, dim);
-        let contributions = reset_indices.iter().map(Vec::len).collect();
-        SelectionResult {
-            aggregated,
-            reset_indices,
-            contributions,
-            uplink_elements: uploads.iter().map(ClientUpload::len).collect(),
-            downlink_elements: dim,
-            uplink_indexed: false,
-            downlink_indexed: false,
-        }
+    fn select_into(
+        &self,
+        uploads: &[ClientUpload],
+        dim: usize,
+        _k: usize,
+        scratch: &mut SelectionScratch,
+    ) -> SelectionResult {
+        scratch.selected.clear();
+        scratch.selected.extend(0..dim);
+        let selected = std::mem::take(&mut scratch.selected);
+        let result = result_from_selected(uploads, &selected, dim, scratch, false);
+        scratch.selected = selected;
+        result
     }
 }
 
@@ -78,8 +79,8 @@ mod tests {
         let result = SendAll::new().select(&uploads, 3, 1);
         assert_eq!(result.downlink_elements, 3);
         assert_eq!(result.aggregated.to_dense(), vec![2.0, 2.0, 2.0]);
-        assert_eq!(result.contributions, vec![3, 3]);
-        assert!(!result.uplink_indexed);
+        assert_eq!(result.contributions(), vec![3, 3]);
+        assert!(!result.uplink_indexed());
         assert!(!result.downlink_indexed);
     }
 

@@ -59,6 +59,34 @@ impl SparseGradient {
         Self { dim, entries: dedup }
     }
 
+    /// Creates a sparse gradient from entries that are **already sorted by
+    /// strictly increasing index** with no duplicates, skipping the
+    /// sort/dedup pass of [`SparseGradient::from_entries`].
+    ///
+    /// This is the fast path used by the scratch-based aggregation in
+    /// [`crate::Sparsifier::select_into`], which emits entries in index
+    /// order by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= dim`; debug-asserts the ordering
+    /// invariant (strictly increasing indices).
+    pub fn from_sorted_entries(dim: usize, entries: Vec<(usize, f32)>) -> Self {
+        // The range check covers every entry (not just the last) so an
+        // unsorted input cannot smuggle an out-of-range index past it in
+        // release builds; the ordering invariant itself stays a debug
+        // assertion since this is the hot-path constructor.
+        assert!(
+            entries.iter().all(|&(j, _)| j < dim),
+            "sparse gradient index out of range (dim {dim})"
+        );
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted_entries requires strictly increasing indices"
+        );
+        Self { dim, entries }
+    }
+
     /// Creates a sparse gradient holding every non-zero coordinate of a dense
     /// vector.
     pub fn from_dense(dense: &[f32]) -> Self {
@@ -206,6 +234,27 @@ mod tests {
         let g = SparseGradient::from_entries(10, vec![(7, 1.0), (2, 2.0), (7, 3.0)]);
         assert_eq!(g.entries(), &[(2, 2.0), (7, 4.0)]);
         assert_eq!(g.nnz(), 2);
+    }
+
+    #[test]
+    fn from_sorted_entries_matches_from_entries() {
+        let entries = vec![(1, 2.0), (4, -1.0), (9, 0.5)];
+        let fast = SparseGradient::from_sorted_entries(10, entries.clone());
+        let slow = SparseGradient::from_entries(10, entries);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_sorted_entries_rejects_out_of_range() {
+        let _ = SparseGradient::from_sorted_entries(3, vec![(1, 1.0), (3, 1.0)]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic]
+    fn from_sorted_entries_debug_asserts_order() {
+        let _ = SparseGradient::from_sorted_entries(5, vec![(2, 1.0), (1, 1.0)]);
     }
 
     #[test]

@@ -39,25 +39,40 @@ pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
 
 /// Returns `(index, value)` pairs of the `k` largest absolute values,
 /// ordered by decreasing magnitude (ties broken by index).
+///
+/// Allocates a fresh candidate buffer of length `values.len()`; hot paths
+/// that run every round should use [`top_k_entries_with`] and reuse one.
 pub fn top_k_entries(values: &[f32], k: usize) -> Vec<(usize, f32)> {
-    let mut candidates: Vec<(usize, f32)> = values
-        .iter()
-        .enumerate()
-        .map(|(j, &v)| (j, v.abs()))
-        .collect();
-    let k = k.min(candidates.len());
+    top_k_entries_with(values, k, &mut Vec::new())
+}
+
+/// [`top_k_entries`] with a caller-provided candidate buffer.
+///
+/// `scratch` is cleared and refilled on every call; reusing one buffer across
+/// rounds removes the `16·D` bytes/client/round heap allocation. Throughput
+/// is dominated by the selection itself (`BENCH_kernels.json` measures the
+/// two variants within noise of each other), so the win is allocator
+/// pressure — relevant when N clients build uploads every round — not
+/// single-call speed. The returned vector holds only the `k` selected
+/// entries and is freshly allocated (it is handed off to the upload
+/// message).
+pub fn top_k_entries_with(
+    values: &[f32],
+    k: usize,
+    scratch: &mut Vec<(usize, f32)>,
+) -> Vec<(usize, f32)> {
+    scratch.clear();
+    scratch.extend(values.iter().enumerate().map(|(j, &v)| (j, v.abs())));
+    let k = k.min(scratch.len());
     if k == 0 {
         return Vec::new();
     }
-    if k < candidates.len() {
-        candidates.select_nth_unstable_by(k - 1, magnitude_then_index);
-        candidates.truncate(k);
+    if k < scratch.len() {
+        scratch.select_nth_unstable_by(k - 1, magnitude_then_index);
+        scratch.truncate(k);
     }
-    candidates.sort_unstable_by(magnitude_then_index);
-    candidates
-        .into_iter()
-        .map(|(j, _)| (j, values[j]))
-        .collect()
+    scratch.sort_unstable_by(magnitude_then_index);
+    scratch.iter().map(|&(j, _)| (j, values[j])).collect()
 }
 
 /// Returns the `kappa` largest-magnitude entries of an *already ranked*
@@ -69,7 +84,14 @@ pub fn prefix_indices(ranked_entries: &[(usize, f32)], kappa: usize) -> impl Ite
 
 /// Sorts entries by decreasing magnitude with deterministic index tie-break.
 pub fn rank_by_magnitude(entries: &mut [(usize, f32)]) {
-    entries.sort_unstable_by(|a, b| magnitude_then_index(&(a.0, a.1.abs()), &(b.0, b.1.abs())));
+    entries.sort_unstable_by(compare_magnitude_then_index);
+}
+
+/// The ranking comparator behind [`rank_by_magnitude`]: larger magnitude
+/// first, ties broken by smaller index. Exposed for partial-selection
+/// callers (`select_nth_unstable_by`) that need the same total order.
+pub fn compare_magnitude_then_index(a: &(usize, f32), b: &(usize, f32)) -> Ordering {
+    magnitude_then_index(&(a.0, a.1.abs()), &(b.0, b.1.abs()))
 }
 
 #[cfg(test)]
@@ -102,6 +124,15 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let v = [1.0, -10.0, 5.0, 0.5, -6.0, 0.0, 3.25];
+        let mut scratch = Vec::new();
+        for k in 0..=v.len() + 1 {
+            assert_eq!(top_k_entries_with(&v, k, &mut scratch), top_k_entries(&v, k));
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 use rand::RngCore;
 
-use crate::sparsifier::{aggregate_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::scratch::SelectionScratch;
+use crate::sparsifier::{ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::SparseGradient;
 
 /// Unidirectional top-k sparsification.
 ///
@@ -43,25 +45,44 @@ impl Sparsifier for UnidirectionalTopK {
         UploadPlan::TopKOwn
     }
 
-    fn select(&self, uploads: &[ClientUpload], dim: usize, _k: usize) -> SelectionResult {
-        let mut selected: Vec<usize> = uploads
-            .iter()
-            .flat_map(|u| u.entries.iter().map(|&(j, _)| j))
-            .collect();
-        selected.sort_unstable();
-        selected.dedup();
-
-        let (aggregated, reset_indices) = aggregate_selected(uploads, &selected, dim);
-        let contributions = reset_indices.iter().map(Vec::len).collect();
-        SelectionResult {
-            aggregated,
-            reset_indices,
-            contributions,
-            uplink_elements: uploads.iter().map(ClientUpload::len).collect(),
-            downlink_elements: selected.len(),
-            uplink_indexed: true,
-            downlink_indexed: true,
+    fn select_into(
+        &self,
+        uploads: &[ClientUpload],
+        dim: usize,
+        _k: usize,
+        scratch: &mut SelectionScratch,
+    ) -> SelectionResult {
+        // The downlink is the union of every uploaded coordinate, so the
+        // whole selection + aggregation is a single sweep: accumulate the
+        // weighted sums and reset sets while discovering the union.
+        scratch.begin_sums(dim);
+        scratch.selected.clear();
+        let mut reset_indices = vec![Vec::new(); uploads.len()];
+        for (slot, upload) in uploads.iter().enumerate() {
+            for &(j, v) in &upload.entries {
+                assert!(j < dim, "upload index {j} out of range (dim {dim})");
+                if !scratch.is_marked(j) {
+                    scratch.mark_selected(j);
+                    scratch.selected.push(j);
+                }
+                scratch.accumulate(j, upload.weight * v as f64);
+                reset_indices[slot].push(j);
+            }
         }
+        scratch.selected.sort_unstable();
+        let entries: Vec<(usize, f32)> = scratch
+            .selected
+            .iter()
+            .map(|&j| (j, scratch.sum(j) as f32))
+            .collect();
+        SelectionResult::new(
+            SparseGradient::from_sorted_entries(dim, entries),
+            reset_indices,
+            uploads.iter().map(ClientUpload::len).collect(),
+            scratch.selected.len(),
+            true,
+            true,
+        )
     }
 }
 
@@ -84,7 +105,7 @@ mod tests {
         assert!(result.aggregated.contains(4));
         assert!(result.aggregated.contains(7));
         // Every client contributed everything it uploaded.
-        assert_eq!(result.contributions, vec![2, 2]);
+        assert_eq!(result.contributions(), vec![2, 2]);
     }
 
     #[test]

@@ -91,7 +91,7 @@ fn fab_fairness_holds_throughout_training() {
             .collect();
         let selection = sparsifier.select(&uploads, dim, k);
         assert!(selection.aggregated.nnz() <= k);
-        for (i, contribution) in selection.contributions.iter().enumerate() {
+        for (i, contribution) in selection.contributions().iter().enumerate() {
             assert!(
                 *contribution >= k / n,
                 "client {i} contributed {contribution} < floor(k/N) = {}",

@@ -1,0 +1,285 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API the workspace's `benches/` use: `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing model: each benchmark is warmed up, then measured over
+//! `sample_size` samples of adaptively chosen iteration counts; the harness
+//! reports the per-iteration mean of the fastest half of samples (a robust
+//! estimator against scheduler noise). Results are printed in criterion's
+//! familiar `name    time: [..]` shape so tee'd logs stay greppable.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batches are sized in [`Bencher::iter_batched`]; the shim treats all
+/// variants identically (one setup per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Measurement settings shared by a group of benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(1500),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher {
+            config: *self,
+            estimate_ns: None,
+        };
+        f(&mut bencher);
+        report(&name, &bencher);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing this configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name,
+        }
+    }
+}
+
+/// A named collection of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Overrides the sample size for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        *self.criterion = self.criterion.sample_size(n);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    config: Criterion,
+    estimate_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a tight loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut iters_done: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_until || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        let samples = self.config.sample_size;
+        let target = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = (target / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        self.estimate_ns = Some(robust_mean_ns(&mut times));
+    }
+
+    /// Measures `routine` on inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // One warm-up invocation to estimate cost (also primes caches).
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let per_iter = start.elapsed().as_secs_f64();
+
+        let samples = self.config.sample_size;
+        let target = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = (target / per_iter.max(1e-9)).ceil().clamp(1.0, 1000.0) as u64;
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            times.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        self.estimate_ns = Some(robust_mean_ns(&mut times));
+    }
+}
+
+/// Mean of the fastest half of the samples, in nanoseconds.
+fn robust_mean_ns(times: &mut [f64]) -> f64 {
+    times.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let half = times.len().div_ceil(2);
+    let mean = times[..half].iter().sum::<f64>() / half as f64;
+    mean * 1e9
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    match bencher.estimate_ns {
+        Some(ns) => println!("{name:<50} time: [{}]", format_ns(ns)),
+        None => println!("{name:<50} time: [no measurement]"),
+    }
+}
+
+/// Formats nanoseconds with criterion-style units.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn iter_produces_an_estimate() {
+        let mut c = fast_config();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = fast_config();
+        c.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = fast_config();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(0)));
+        g.finish();
+    }
+
+    #[test]
+    fn format_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(12_000_000_000.0).contains('s'));
+    }
+}

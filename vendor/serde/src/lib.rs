@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: the `Serialize`/`Deserialize` names exist both
+//! as (empty) traits and as no-op derive macros, which is all the workspace
+//! needs — types are annotated for downstream consumers but nothing in-tree
+//! performs serde serialization. See `vendor/serde_derive` for details.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
