@@ -14,7 +14,8 @@
 use agsfl_bench::femnist_base;
 use agsfl_bench::kernel_workload::{fab_workload, FAB_CLIENTS, FAB_DIM, FAB_K};
 use agsfl_core::{Experiment, StopCondition};
-use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, Sparsifier};
+use agsfl_exec::Executor;
+use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, ShardedScratch, Sparsifier};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::Rng;
 use rand::SeedableRng;
@@ -28,8 +29,9 @@ fn bench_topk_selection(c: &mut Criterion) {
     for &dim in &dims {
         let values: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let k = dim / 100;
+        // The seed full-dimension-copy baseline, kept in `reference`.
         group.bench_function(format!("top_{k}_of_{dim}"), |b| {
-            b.iter(|| black_box(topk::top_k_entries(black_box(&values), k)))
+            b.iter(|| black_box(reference::top_k_entries(black_box(&values), k)))
         });
         let mut scratch = Vec::new();
         group.bench_function(format!("top_{k}_of_{dim}_scratch"), |b| {
@@ -66,6 +68,29 @@ fn bench_fab_selection(c: &mut Criterion) {
                     FAB_DIM,
                     FAB_K,
                     &mut scratch,
+                ))
+            })
+        },
+    );
+    // The sharded path on a multi-thread executor (at least two workers so
+    // the engine is exercised even on one core) — the serial-vs-sharded
+    // pair `bench-report` tracks in `BENCH_kernels.json`.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let exec = Executor::new(threads);
+    let mut sharded = ShardedScratch::new();
+    group.bench_function(
+        format!("sharded{threads}_{FAB_CLIENTS}clients_k{FAB_K}_d{FAB_DIM}"),
+        |b| {
+            b.iter(|| {
+                black_box(FabTopK::new().select_parallel(
+                    black_box(&uploads),
+                    FAB_DIM,
+                    FAB_K,
+                    &mut sharded,
+                    &exec,
                 ))
             })
         },

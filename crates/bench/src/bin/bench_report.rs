@@ -1,24 +1,32 @@
-//! `bench-report`: times the selection kernels on the bench-scale workload
-//! and writes machine-readable `BENCH_kernels.json`, so the perf trajectory
-//! of the server hot path is tracked across PRs.
+//! `bench-report`: times the selection kernels on the bench-scale workload,
+//! writes machine-readable `BENCH_kernels.json` (current snapshot) and
+//! appends one line of run metadata + timings to `BENCH_history.jsonl`, so
+//! the perf trajectory of the server hot path is tracked *across* PRs
+//! instead of each run overwriting the last.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p agsfl-bench --bin bench-report [-- OUTPUT.json]
+//! cargo run --release -p agsfl-bench --bin bench-report [-- OUTPUT.json [HISTORY.jsonl]]
 //! ```
 //!
-//! The workload is the acceptance workload of the zero-allocation selection
-//! PR — FAB selection at dim = 10⁵, N = 40, k = dim/100 — measured through
-//! both the seed implementation (`agsfl_sparse::reference`) and the
-//! scratch-reusing `select_into` fast path, plus the client-side top-k
-//! kernel in both variants. The JSON reports nanoseconds per iteration
-//! (mean of the fastest half of samples) and the seed/scratch speedup.
+//! The workload is the acceptance workload of the selection PRs — FAB
+//! selection at dim = 10⁵, N = 40, k = dim/100 — measured through three
+//! implementations: the seed baseline (`agsfl_sparse::reference`), the
+//! serial scratch-reusing `select_into` fast path, and the sharded
+//! `select_parallel` path on a multi-thread executor (serial vs sharded is
+//! the `fab_select_sharded` pair; its `speedup` is what the parallel round
+//! engine buys on this machine's cores). The client-side top-k kernel is
+//! timed in both variants as before. The JSON reports nanoseconds per
+//! iteration (mean of the fastest half of samples) and baseline/optimized
+//! speedups.
 
-use std::time::Instant;
+use std::io::Write as _;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use agsfl_bench::kernel_workload::{fab_workload, FAB_CLIENTS, FAB_DIM, FAB_K};
-use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, Sparsifier};
+use agsfl_exec::Executor;
+use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, ShardedScratch, Sparsifier};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -59,6 +67,8 @@ struct KernelReport {
     dim: usize,
     clients: usize,
     k: usize,
+    /// Worker threads used by the optimized variant (1 = serial kernel).
+    threads: usize,
     seed_ns: f64,
     scratch_ns: f64,
 }
@@ -76,6 +86,7 @@ impl KernelReport {
                 "      \"dim\": {},\n",
                 "      \"clients\": {},\n",
                 "      \"k\": {},\n",
+                "      \"threads\": {},\n",
                 "      \"seed_ns_per_iter\": {:.1},\n",
                 "      \"scratch_ns_per_iter\": {:.1},\n",
                 "      \"speedup\": {:.2}\n",
@@ -85,6 +96,18 @@ impl KernelReport {
             self.dim,
             self.clients,
             self.k,
+            self.threads,
+            self.seed_ns,
+            self.scratch_ns,
+            self.speedup()
+        )
+    }
+
+    fn to_history_json(&self) -> String {
+        format!(
+            "{{\"kernel\":\"{}\",\"threads\":{},\"seed_ns_per_iter\":{:.1},\"scratch_ns_per_iter\":{:.1},\"speedup\":{:.2}}}",
+            self.name,
+            self.threads,
             self.seed_ns,
             self.scratch_ns,
             self.speedup()
@@ -96,12 +119,23 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let history_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_history.jsonl".to_string());
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The sharded pair is always measured through the parallel engine (at
+    // least two workers), so the machinery is exercised and its overhead
+    // honestly recorded even on a single-core box.
+    let sharded_threads = cores.max(2);
 
     eprintln!(
-        "bench-report: FAB selection workload dim={FAB_DIM}, N={FAB_CLIENTS}, k={FAB_K}"
+        "bench-report: FAB selection workload dim={FAB_DIM}, N={FAB_CLIENTS}, k={FAB_K} ({cores} core(s))"
     );
 
-    // FAB server selection: seed vs scratch.
+    // FAB server selection: seed vs serial scratch.
     let uploads = fab_workload();
     let seed_ns = time_ns(|| {
         black_box(reference::fab_select(black_box(&uploads), FAB_DIM, FAB_K));
@@ -115,6 +149,7 @@ fn main() {
         dim: FAB_DIM,
         clients: FAB_CLIENTS,
         k: FAB_K,
+        threads: 1,
         seed_ns,
         scratch_ns,
     };
@@ -125,11 +160,41 @@ fn main() {
         fab.speedup()
     );
 
-    // Client-side top-k extraction: allocating vs scratch-reusing variant.
+    // FAB server selection: serial scratch vs sharded `select_parallel`.
+    let exec = Executor::new(sharded_threads);
+    let mut sharded = ShardedScratch::new();
+    let sharded_ns = time_ns(|| {
+        black_box(FabTopK::new().select_parallel(
+            black_box(&uploads),
+            FAB_DIM,
+            FAB_K,
+            &mut sharded,
+            &exec,
+        ));
+    });
+    let fab_sharded = KernelReport {
+        name: "fab_select_sharded",
+        dim: FAB_DIM,
+        clients: FAB_CLIENTS,
+        k: FAB_K,
+        threads: sharded_threads,
+        seed_ns: fab.scratch_ns,
+        scratch_ns: sharded_ns,
+    };
+    eprintln!(
+        "  fab_select_sharded: serial {:.0} ns, sharded({} threads) {:.0} ns -> {:.2}x",
+        fab_sharded.seed_ns,
+        sharded_threads,
+        fab_sharded.scratch_ns,
+        fab_sharded.speedup()
+    );
+
+    // Client-side top-k extraction: the seed full-dimension-copy baseline
+    // (kept in `reference`) vs the streaming bounded-buffer select.
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let values: Vec<f32> = (0..FAB_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
     let seed_ns = time_ns(|| {
-        black_box(topk::top_k_entries(black_box(&values), FAB_K));
+        black_box(reference::top_k_entries(black_box(&values), FAB_K));
     });
     let mut topk_scratch = Vec::new();
     let scratch_ns = time_ns(|| {
@@ -144,6 +209,7 @@ fn main() {
         dim: FAB_DIM,
         clients: 1,
         k: FAB_K,
+        threads: 1,
         seed_ns,
         scratch_ns,
     };
@@ -154,21 +220,49 @@ fn main() {
         topk_report.speedup()
     );
 
-    let kernels = [fab, topk_report];
+    let kernels = [fab, fab_sharded, topk_report];
     let body: Vec<String> = kernels.iter().map(KernelReport::to_json).collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"suite\": \"selection_kernels\",\n",
             "  \"workload\": {{ \"dim\": {}, \"clients\": {}, \"k\": {} }},\n",
+            "  \"cores\": {},\n",
             "  \"kernels\": [\n{}\n  ]\n",
             "}}\n"
         ),
         FAB_DIM,
         FAB_CLIENTS,
         FAB_K,
+        cores,
         body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("failed to write bench report");
     eprintln!("bench-report: wrote {out_path}");
+
+    // Append this run to the history log (one JSON object per line), so
+    // selection-kernel regressions across PRs stay visible.
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let history_kernels: Vec<String> = kernels.iter().map(KernelReport::to_history_json).collect();
+    let line = format!(
+        "{{\"unix_time\":{},\"suite\":\"selection_kernels\",\"workload\":{{\"dim\":{},\"clients\":{},\"k\":{}}},\"cores\":{},\"kernels\":[{}]}}\n",
+        unix_secs,
+        FAB_DIM,
+        FAB_CLIENTS,
+        FAB_K,
+        cores,
+        history_kernels.join(",")
+    );
+    let mut history = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .expect("failed to open bench history");
+    history
+        .write_all(line.as_bytes())
+        .expect("failed to append bench history");
+    eprintln!("bench-report: appended to {history_path}");
 }

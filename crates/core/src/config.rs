@@ -1,5 +1,6 @@
 //! Declarative experiment configuration.
 
+use agsfl_exec::Parallelism;
 use agsfl_ml::data::{
     FederatedDataset, SyntheticCifar, SyntheticCifarConfig, SyntheticFemnist,
     SyntheticFemnistConfig,
@@ -217,6 +218,10 @@ pub struct ExperimentConfig {
     /// Master seed controlling dataset generation, initialization, mini-batch
     /// sampling and stochastic rounding.
     pub seed: u64,
+    /// Worker-thread policy for the round engine. Purely a wall-clock knob:
+    /// results are bit-identical for every setting (the simulator's
+    /// determinism invariant), so sweeps may mix serial and parallel runs.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExperimentConfig {
@@ -230,6 +235,7 @@ impl Default for ExperimentConfig {
             comm_time: 10.0,
             eval_every: 10,
             seed: 0,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -307,6 +313,12 @@ impl ExperimentConfigBuilder {
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread policy for the round engine.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
         self
     }
 

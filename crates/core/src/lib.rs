@@ -51,6 +51,7 @@ pub mod figures;
 pub mod report;
 mod runner;
 
+pub use agsfl_exec::{Executor, Parallelism};
 pub use config::{DatasetSpec, ExperimentConfig, ExperimentConfigBuilder, ModelSpec, SparsifierSpec};
 pub use controllers::ControllerSpec;
 pub use runner::{Experiment, StopCondition};

@@ -112,6 +112,7 @@ impl Experiment {
                 batch_size: config.batch_size,
                 time_model: TimeModel::normalized(config.comm_time),
                 seed: config.seed,
+                parallelism: config.parallelism,
             },
         );
         Self {
@@ -438,6 +439,22 @@ mod tests {
         );
         assert!(history.len() < 400);
         assert!(history.final_global_loss().unwrap() <= initial * 0.97);
+    }
+
+    /// The parallelism knob must be purely a wall-clock knob: a serial and
+    /// a multi-threaded experiment with the same seed produce identical
+    /// histories (the round engine is bit-deterministic across threads).
+    #[test]
+    fn serial_and_parallel_experiments_match() {
+        use agsfl_exec::Parallelism;
+        let mut serial_cfg = tiny_config(10.0, 8);
+        serial_cfg.parallelism = Parallelism::Serial;
+        let mut parallel_cfg = tiny_config(10.0, 8);
+        parallel_cfg.parallelism = Parallelism::Threads(3);
+        let stop = StopCondition::after_rounds(8);
+        let ha = Experiment::new(&serial_cfg).run_adaptive(ControllerSpec::Algorithm3, &stop);
+        let hb = Experiment::new(&parallel_cfg).run_adaptive(ControllerSpec::Algorithm3, &stop);
+        assert_eq!(ha.points(), hb.points());
     }
 
     #[test]

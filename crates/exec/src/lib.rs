@@ -1,0 +1,316 @@
+//! Deterministic parallel execution for the AGSFL workspace.
+//!
+//! Every parallel region in the workspace — the fused per-client
+//! gradient/upload pass, the probe-loss sweep and the sharded server
+//! selection in `agsfl-sparse` — runs through one [`Executor`], a chunked
+//! scoped-thread runner configured once per simulation from a
+//! [`Parallelism`] knob and reused every round.
+//!
+//! # Determinism and thread safety
+//!
+//! Parallelism must never change results: the repository's load-bearing
+//! invariant is *identical seeds → identical runs, independent of thread
+//! count*. The executor guarantees its share of that invariant
+//! structurally rather than by luck:
+//!
+//! * **Disjoint mutable state.** Every primitive hands each worker a
+//!   disjoint `&mut` chunk of the input slice (clients, shards, reset
+//!   buffers). There is no shared mutable state, no locks and no atomics;
+//!   the borrow checker proves non-interference at compile time (the
+//!   whole workspace is `#![forbid(unsafe_code)]`).
+//! * **Owned per-item randomness.** Each federated client owns its private
+//!   RNG and mini-batch sampler, so applying a closure to clients in any
+//!   interleaving draws exactly the same random streams as a sequential
+//!   loop.
+//! * **Ordered results.** [`Executor::map_mut`]/[`Executor::map_ref`]
+//!   concatenate per-chunk outputs in chunk order, which is input order —
+//!   a parallel map returns the same `Vec` a serial `iter().map()` would.
+//! * **Exact merges downstream.** Consumers that reduce across workers
+//!   (the selection shards in `agsfl-sparse`) only merge values whose
+//!   reduction is exact — integer histograms, minima, and index sets — or
+//!   partition the floating-point work by coordinate so every sum is
+//!   evaluated in the serial accumulation order. No floating-point
+//!   reassociation ever happens behind the caller's back.
+//!
+//! The worker pool is rebuilt per parallel region with
+//! [`std::thread::scope`]: scoped spawning is the only way in safe `std`
+//! to run borrowed closures on other threads, and it lets the executor
+//! stay a trivially copyable configuration object. The executor therefore
+//! *persists* (it is created once and reused every round), while the OS
+//! threads are cheap per-region spawns; regions are deliberately coarse
+//! (one per round phase) to amortize them.
+//!
+//! # Serial fallback
+//!
+//! A region falls back to an in-place sequential loop when the executor
+//! has one thread or when there are fewer than [`Executor::min_items`]
+//! work items (default [`DEFAULT_MIN_ITEMS`]) — tiny test simulations with
+//! a handful of clients should not pay thread spawns. The fallback runs
+//! the *same closures on the same data in the same order*, so it is
+//! observationally identical to the parallel path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+use serde::{Deserialize, Serialize};
+
+/// How many worker threads a simulation should use.
+///
+/// This is the serializable configuration knob threaded through
+/// `ExperimentConfig` and `SimulationConfig`; resolve it to a concrete
+/// [`Executor`] with [`Parallelism::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Use every core the OS reports ([`std::thread::available_parallelism`]).
+    #[default]
+    Auto,
+    /// Run everything on the calling thread.
+    Serial,
+    /// Use exactly this many threads (`0` is treated as `1`).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The concrete thread count this policy resolves to on this machine.
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Builds the executor for this policy with the default
+    /// [`Executor::min_items`] threshold.
+    pub fn build(self) -> Executor {
+        Executor::new(self.resolve())
+    }
+}
+
+/// Default parallelism threshold: regions with fewer work items than this
+/// run serially. Matches the historical `clients.len() < 4` fallback of the
+/// simulator's ad-hoc `run_parallel`, but now lives in the executor
+/// configuration instead of being hard-coded at one call site.
+pub const DEFAULT_MIN_ITEMS: usize = 4;
+
+/// A chunked scoped-thread executor.
+///
+/// Configuration-only: holds a thread count and a minimum work-item
+/// threshold, and spawns scoped workers per parallel region. Copy it
+/// freely; see the crate docs for the determinism argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+    min_items: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::auto()
+    }
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (`0` is treated as `1`)
+    /// and the default [`DEFAULT_MIN_ITEMS`] serial-fallback threshold.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            min_items: DEFAULT_MIN_ITEMS,
+        }
+    }
+
+    /// A single-threaded executor: every region runs as a plain loop.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// An executor sized to the machine ([`Parallelism::Auto`]).
+    pub fn auto() -> Self {
+        Parallelism::Auto.build()
+    }
+
+    /// Overrides the serial-fallback threshold: regions with fewer than
+    /// `min_items` work items run on the calling thread.
+    pub fn with_min_items(mut self, min_items: usize) -> Self {
+        self.min_items = min_items;
+        self
+    }
+
+    /// Number of worker threads parallel regions may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The serial-fallback threshold (see [`Executor::with_min_items`]).
+    pub fn min_items(&self) -> usize {
+        self.min_items
+    }
+
+    /// Whether this executor never spawns (one thread).
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// The fallback policy in one place: whether a region over `items` work
+    /// items is worth spawning for — multiple threads, at least
+    /// [`Executor::min_items`] items, and at least one item. Callers that
+    /// return `false` here must run their serial (bit-identical) path.
+    pub fn should_parallelize(&self, items: usize) -> bool {
+        self.threads > 1 && items >= self.min_items && items > 0
+    }
+
+    /// Threads a region over `len` items should actually use.
+    fn plan(&self, len: usize) -> usize {
+        if self.threads <= 1 || len < self.min_items {
+            1
+        } else {
+            self.threads.min(len)
+        }
+    }
+
+    /// Applies `f` to every item of `items`, splitting the slice across
+    /// threads in contiguous chunks. Results are returned **in item
+    /// order**, exactly as a sequential `iter_mut().map(f).collect()`.
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        let threads = self.plan(items.len());
+        if threads <= 1 {
+            return items.iter_mut().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = items
+                .chunks_mut(chunk)
+                .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(handles.len() * chunk);
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            out
+        })
+    }
+
+    /// Read-only sibling of [`Executor::map_mut`]: applies `f` to every
+    /// item of a shared slice, returning results in item order.
+    pub fn map_ref<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.plan(items.len());
+        if threads <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(items.len());
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            out
+        })
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_mut_preserves_order_for_any_thread_count() {
+        let expected: Vec<i64> = (0..97).map(|i| i * i).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut items: Vec<i64> = (0..97).collect();
+            let exec = Executor::new(threads).with_min_items(1);
+            let got = exec.map_mut(&mut items, |x| {
+                *x *= 1; // exercise the &mut access
+                *x * *x
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_ref_preserves_order() {
+        let items: Vec<usize> = (0..31).collect();
+        let exec = Executor::new(4).with_min_items(1);
+        assert_eq!(
+            exec.map_ref(&items, |&x| x + 1),
+            (1..32).collect::<Vec<usize>>()
+        );
+    }
+
+    #[test]
+    fn min_items_threshold_falls_back_to_serial() {
+        // With the default threshold, a 3-item region must not spawn: the
+        // closure observes it runs on the calling thread.
+        let caller = std::thread::current().id();
+        let mut items = [0u8; 3];
+        let exec = Executor::new(8);
+        assert_eq!(exec.min_items(), DEFAULT_MIN_ITEMS);
+        exec.map_mut(&mut items, |_| {
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn parallelism_resolves_sensibly() {
+        assert_eq!(Parallelism::Serial.resolve(), 1);
+        assert_eq!(Parallelism::Threads(0).resolve(), 1);
+        assert_eq!(Parallelism::Threads(6).resolve(), 6);
+        assert!(Parallelism::Auto.resolve() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+        assert!(Executor::new(0).is_serial());
+        assert!(!Executor::new(2).is_serial());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let exec = Executor::new(4).with_min_items(1);
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(exec.map_mut(&mut empty, |x| *x).is_empty());
+        let mut one = vec![5u32];
+        assert_eq!(exec.map_mut(&mut one, |x| *x + 1), vec![6]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_payload() {
+        let exec = Executor::new(4).with_min_items(1);
+        let mut items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.map_mut(&mut items, |&mut x| {
+                assert!(x != 11, "boom at {x}");
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("assert message preserved");
+        assert!(msg.contains("boom at 11"), "{msg}");
+    }
+}

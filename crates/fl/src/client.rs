@@ -139,6 +139,23 @@ impl Client {
         let (features, label) = self.shard.sample(idx);
         Some(model.sample_loss(params, features, label))
     }
+
+    /// Evaluates the round's probe sample at several weight vectors in one
+    /// pass: the sample is fetched once and `f_{i,h}(·)` evaluated per
+    /// vector. The estimator needs three losses per client per probe round
+    /// (`w(m-1)`, `w(m)`, `w'(m)`); calling [`Client::probe_loss`] three
+    /// times re-resolved the sample each time.
+    ///
+    /// Returns `None` if no gradient has been computed yet this run.
+    pub fn probe_losses<const M: usize>(
+        &self,
+        model: &dyn Model,
+        params: [&[f32]; M],
+    ) -> Option<[f32; M]> {
+        let idx = self.probe_sample?;
+        let (features, label) = self.shard.sample(idx);
+        Some(params.map(|w| model.sample_loss(w, features, label)))
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +221,21 @@ mod tests {
         client.compute_local_gradient(&model, &params);
         let loss = client.probe_loss(&model, &params).unwrap();
         assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn probe_losses_single_pass_matches_individual_calls() {
+        let (mut client, model, params) = client_and_model();
+        assert!(client.probe_losses(&model, [&params[..]]).is_none());
+        client.compute_local_gradient(&model, &params);
+        let w_b: Vec<f32> = params.iter().map(|p| p + 0.01).collect();
+        let w_c: Vec<f32> = params.iter().map(|p| p - 0.02).collect();
+        let [a, b, c] = client
+            .probe_losses(&model, [&params, &w_b, &w_c])
+            .unwrap();
+        assert_eq!(Some(a), client.probe_loss(&model, &params));
+        assert_eq!(Some(b), client.probe_loss(&model, &w_b));
+        assert_eq!(Some(c), client.probe_loss(&model, &w_c));
     }
 
     #[test]

@@ -17,6 +17,22 @@
 //! sparsifiers: [`FedAvgSimulation`] (send-all-or-nothing local SGD with
 //! periodic weight averaging at equal average communication overhead).
 //!
+//! # The parallel round engine
+//!
+//! Each round runs three parallel regions through one reusable
+//! [`Executor`] (configured by [`SimulationConfig::parallelism`]): a fused
+//! per-client pass that computes the local gradient and builds the uplink
+//! message while the residual is hot in cache, the sharded server
+//! selection ([`agsfl_sparse::Sparsifier::select_parallel`]), and — on
+//! probe rounds — a per-client probe-loss sweep that evaluates all three
+//! weight vectors in a single sample fetch. Parallelism is purely a
+//! wall-clock knob: every client owns its RNG and sampler, results are
+//! concatenated in client order, and the selection shards merge exactly
+//! (see `agsfl_sparse::shard`), so identical seeds give identical runs for
+//! every thread count. `crates/fl`'s
+//! `simulation::tests::serial_and_parallel_runs_are_identical` pins this
+//! end to end.
+//!
 //! # Example
 //!
 //! ```
@@ -35,6 +51,7 @@
 //!     batch_size: 8,
 //!     time_model: TimeModel::new(1.0, 10.0),
 //!     seed: 7,
+//!     ..SimulationConfig::default()
 //! };
 //! let mut sim = Simulation::new(Box::new(model), fed, Box::new(FabTopK::new()), config);
 //! let report = sim.run_round(16, None);
@@ -53,6 +70,7 @@ mod round;
 mod simulation;
 mod time;
 
+pub use agsfl_exec::{Executor, Parallelism};
 pub use client::Client;
 pub use fedavg::{FedAvgConfig, FedAvgSimulation};
 pub use history::{MetricPoint, RunHistory};

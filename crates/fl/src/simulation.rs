@@ -1,9 +1,10 @@
 //! The synchronized sparse-gradient FL simulation (Algorithm 1).
 
+use agsfl_exec::{Executor, Parallelism};
 use agsfl_ml::data::FederatedDataset;
 use agsfl_ml::metrics::{global_accuracy, global_loss};
 use agsfl_ml::model::Model;
-use agsfl_sparse::{ClientUpload, SelectionResult, SelectionScratch, Sparsifier};
+use agsfl_sparse::{ClientUpload, SelectionResult, ShardedScratch, Sparsifier};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -23,6 +24,10 @@ pub struct SimulationConfig {
     pub time_model: TimeModel,
     /// Master seed; client RNGs and the server RNG are derived from it.
     pub seed: u64,
+    /// Worker-thread policy for the round engine (client pass, server
+    /// selection, probe evaluation). Results are bit-identical for every
+    /// setting — parallelism only changes wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SimulationConfig {
@@ -32,6 +37,7 @@ impl Default for SimulationConfig {
             batch_size: 32,
             time_model: TimeModel::default(),
             seed: 0,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -53,10 +59,14 @@ pub struct Simulation {
     clients: Vec<Client>,
     params: Vec<f32>,
     server_rng: ChaCha8Rng,
-    /// Reusable server-side selection workspace; buffers are sized on the
-    /// first round and reused (including by the probe's second selection),
-    /// making the per-round server path allocation-free in steady state.
-    scratch: SelectionScratch,
+    /// Reusable (sharded) server-side selection workspace; buffers are
+    /// sized on the first round and reused (including by the probe's second
+    /// selection), keeping the per-round server path allocation-free in
+    /// steady state on the serial path.
+    scratch: ShardedScratch,
+    /// The round engine's executor, built once from the configured
+    /// [`Parallelism`] and reused by every parallel region.
+    executor: Executor,
     round: usize,
     elapsed: f64,
 }
@@ -120,7 +130,8 @@ impl Simulation {
             clients,
             params,
             server_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD_EF01),
-            scratch: SelectionScratch::new(),
+            scratch: ShardedScratch::new(),
+            executor: config.parallelism.build(),
             round: 0,
             elapsed: 0.0,
         }
@@ -207,37 +218,48 @@ impl Simulation {
         let dim = self.dim();
         let lr = self.config.learning_rate;
 
-        // (A) Local gradient computation at every client, in parallel.
-        let model = self.model.as_ref();
-        let params = &self.params;
-        let losses: Vec<(f64, f32)> = run_parallel(&mut self.clients, |client| {
-            let loss = client.compute_local_gradient(model, params);
-            (client.weight(), loss)
-        });
-        let train_loss: f64 = losses.iter().map(|&(w, l)| w * l as f64).sum();
-
-        // (1) Uplink: build each client's message according to the plan.
+        // (1) One fused parallel pass per client: local gradient computation
+        // (Line 4) immediately followed by building the uplink message
+        // (Line 6), so each client's residual is still hot in cache when its
+        // top-k runs and the round spawns one worker region instead of a
+        // parallel gradient pass plus a serial upload loop. Each client owns
+        // its RNG and sampler, and the executor returns results in client
+        // order, so this is bit-identical to the sequential loop.
         let plan = self
             .sparsifier
             .upload_plan(dim, k, &mut self.server_rng);
-        let uploads: Vec<ClientUpload> = self
-            .clients
-            .iter_mut()
-            .map(|c| c.build_upload(&plan, k))
-            .collect();
+        let model = self.model.as_ref();
+        let params = &self.params;
+        let produced: Vec<(f64, f32, ClientUpload)> =
+            self.executor.map_mut(&mut self.clients, |client| {
+                let loss = client.compute_local_gradient(model, params);
+                let upload = client.build_upload(&plan, k);
+                (client.weight(), loss, upload)
+            });
+        let mut train_loss = 0.0f64;
+        let mut uploads = Vec::with_capacity(produced.len());
+        for (weight, loss, upload) in produced {
+            train_loss += weight * loss as f64;
+            uploads.push(upload);
+        }
 
-        // (2) Server selection and aggregation, reusing the round workspace.
-        let selection = self
-            .sparsifier
-            .select_into(&uploads, dim, k, &mut self.scratch);
+        // (2) Server selection and aggregation, sharded across the
+        // executor's workers and reusing the round workspace.
+        let selection =
+            self.sparsifier
+                .select_parallel(&uploads, dim, k, &mut self.scratch, &self.executor);
 
         // Optional probe for the derivative-sign estimator; its second
         // selection shares the same workspace.
         let probe = probe_k.map(|pk| {
             let pk = pk.clamp(1, dim);
-            let probe_selection = self
-                .sparsifier
-                .select_into(&uploads, dim, pk, &mut self.scratch);
+            let probe_selection = self.sparsifier.select_parallel(
+                &uploads,
+                dim,
+                pk,
+                &mut self.scratch,
+                &self.executor,
+            );
             self.build_probe_report(pk, &selection, &probe_selection)
         });
 
@@ -284,16 +306,20 @@ impl Simulation {
         let mut w_probe = self.params.clone();
         probe_selection.aggregated.apply_sgd(&mut w_probe, lr);
 
+        // One pass per client: the probe sample is fetched once and the
+        // three weight vectors evaluated together (historically three
+        // independent `probe_loss` calls per client). The per-client
+        // results come back in client order, so the serial reduction below
+        // accumulates exactly as a sequential loop would.
+        let losses: Vec<Option<[f32; 3]>> = self.executor.map_ref(&self.clients, |client| {
+            client.probe_losses(model, [&self.params, &w_now, &w_probe])
+        });
         let mut prev_sum = 0.0f64;
         let mut now_sum = 0.0f64;
         let mut probe_sum = 0.0f64;
         let mut count = 0usize;
-        for client in &self.clients {
-            let (Some(prev), Some(now), Some(probe)) = (
-                client.probe_loss(model, &self.params),
-                client.probe_loss(model, &w_now),
-                client.probe_loss(model, &w_probe),
-            ) else {
+        for loss in losses {
+            let Some([prev, now, probe]) = loss else {
                 continue;
             };
             prev_sum += prev as f64;
@@ -315,44 +341,19 @@ impl Simulation {
     }
 }
 
-/// Applies `f` to every client, splitting the clients across threads.
-///
-/// Results are returned in client order. Each client owns its RNG and
-/// mini-batch sampler, so the outcome is identical to a sequential loop
-/// regardless of thread interleaving.
-fn run_parallel<T, F>(clients: &mut [Client], f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(&mut Client) -> T + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(clients.len().max(1));
-    if threads <= 1 || clients.len() < 4 {
-        return clients.iter_mut().map(|c| f(c)).collect();
-    }
-    let chunk_size = clients.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = clients
-            .chunks_mut(chunk_size)
-            .map(|chunk| scope.spawn(|| chunk.iter_mut().map(|c| f(c)).collect::<Vec<T>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client worker thread panicked"))
-            .collect()
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use agsfl_ml::data::{SyntheticFemnist, SyntheticFemnistConfig};
     use agsfl_ml::model::LinearSoftmax;
-    use agsfl_sparse::{FabTopK, FubTopK, PeriodicK, SendAll};
+    use agsfl_sparse::{FabTopK, FubTopK, PeriodicK, SendAll, UnidirectionalTopK};
 
-    fn tiny_sim(sparsifier: Box<dyn Sparsifier>, beta: f64, seed: u64) -> Simulation {
+    fn tiny_sim_with(
+        sparsifier: Box<dyn Sparsifier>,
+        beta: f64,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> Simulation {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
         let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
@@ -365,8 +366,13 @@ mod tests {
                 batch_size: 8,
                 time_model: TimeModel::normalized(beta),
                 seed,
+                parallelism,
             },
         )
+    }
+
+    fn tiny_sim(sparsifier: Box<dyn Sparsifier>, beta: f64, seed: u64) -> Simulation {
+        tiny_sim_with(sparsifier, beta, seed, Parallelism::Auto)
     }
 
     #[test]
@@ -441,6 +447,38 @@ mod tests {
             assert_eq!(ka, kb);
         }
         assert_eq!(a.params(), b.params());
+    }
+
+    /// The parallel round engine's load-bearing invariant: a serial run and
+    /// a multi-threaded run of the same seed produce equal round reports
+    /// (probes included) and bit-equal final weights, for every sparsifier
+    /// family the engine shards.
+    #[test]
+    fn serial_and_parallel_runs_are_identical() {
+        let sparsifiers: [fn() -> Box<dyn Sparsifier>; 5] = [
+            || Box::new(FabTopK::new()),
+            || Box::new(FubTopK::new()),
+            || Box::new(UnidirectionalTopK::new()),
+            || Box::new(PeriodicK::new()),
+            || Box::new(SendAll::new()),
+        ];
+        for (which, make) in sparsifiers.into_iter().enumerate() {
+            let seed = 40 + which as u64;
+            let mut serial = tiny_sim_with(make(), 5.0, seed, Parallelism::Serial);
+            let mut parallel = tiny_sim_with(make(), 5.0, seed, Parallelism::Threads(4));
+            let k = serial.dim() / 6;
+            for round in 0..4 {
+                let probe = if round % 2 == 0 { Some(k / 2) } else { None };
+                let rs = serial.run_round(k, probe);
+                let rp = parallel.run_round(k, probe);
+                assert_eq!(rs, rp, "sparsifier {which}, round {round}");
+            }
+            assert_eq!(
+                serial.params(),
+                parallel.params(),
+                "final weights diverged for sparsifier {which}"
+            );
+        }
     }
 
     #[test]

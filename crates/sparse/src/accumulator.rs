@@ -62,7 +62,7 @@ impl ResidualAccumulator {
     /// Returns the top-`k` entries `(index, accumulated value)` ranked by
     /// decreasing magnitude — the uplink message `A_i`.
     ///
-    /// Allocates a full-dimension candidate buffer; per-round callers should
+    /// Allocates a fresh `O(k)` candidate buffer; per-round callers should
     /// prefer [`ResidualAccumulator::top_k_entries_with`] with a reused
     /// scratch buffer.
     pub fn top_k_entries(&self, k: usize) -> Vec<(usize, f32)> {
@@ -70,8 +70,11 @@ impl ResidualAccumulator {
     }
 
     /// [`ResidualAccumulator::top_k_entries`] with a caller-provided
-    /// candidate buffer, so the per-round `16·D`-byte temporary is allocated
-    /// once per client instead of once per round.
+    /// candidate buffer. The selection streams over the residual with a
+    /// bounded `O(k)` buffer (see [`topk::top_k_entries_with`]) — no
+    /// full-dimension candidate copy is ever materialized — and reusing
+    /// one buffer across rounds makes the steady-state uplink path
+    /// allocation-free apart from the returned message.
     pub fn top_k_entries_with(
         &self,
         k: usize,

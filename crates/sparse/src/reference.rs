@@ -159,6 +159,28 @@ pub fn send_all_select(uploads: &[ClientUpload], dim: usize) -> SelectionResult 
     result_from(uploads, &selected, dim, false)
 }
 
+/// The seed client-side top-k: materializes a full-dimension `(index,
+/// |value|)` candidate copy, partially selects and sorts it.
+///
+/// [`topk::top_k_entries_with`] replaced this with a streaming select over
+/// a bounded `O(k)` buffer; this baseline keeps the historical cost
+/// measurable (`bench-report`'s `client_top_k` pair) and the new path's
+/// output equivalence testable.
+pub fn top_k_entries(values: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let mut candidates: Vec<(usize, f32)> =
+        values.iter().enumerate().map(|(j, &v)| (j, v.abs())).collect();
+    let k = k.min(candidates.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < candidates.len() {
+        candidates.select_nth_unstable_by(k - 1, topk::compare_magnitude_then_index);
+        candidates.truncate(k);
+    }
+    candidates.sort_unstable_by(topk::compare_magnitude_then_index);
+    candidates.iter().map(|&(j, _)| (j, values[j])).collect()
+}
+
 /// Seed unidirectional top-k server selection (union of all uploads).
 pub fn unidirectional_select(uploads: &[ClientUpload], dim: usize) -> SelectionResult {
     let mut selected: Vec<usize> = uploads
@@ -184,6 +206,16 @@ mod tests {
         assert_eq!(fab_union_size(&uploads, 1), 1);
         assert_eq!(fab_union_size(&uploads, 2), 3);
         assert_eq!(fab_union_size(&uploads, 3), 5);
+    }
+
+    #[test]
+    fn seed_top_k_matches_streaming_implementation() {
+        let values: Vec<f32> = (0..600)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.25)
+            .collect();
+        for k in [0, 1, 7, 100, 599, 600, 700] {
+            assert_eq!(top_k_entries(&values, k), topk::top_k_entries(&values, k), "k={k}");
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub(crate) struct StampedBuf<T> {
 impl<T: Copy + Default> StampedBuf<T> {
     /// Starts a new generation covering indices `< dim`. O(1) unless the
     /// dimension grew, in which case the buffers are extended once.
-    fn begin(&mut self, dim: usize) {
+    pub(crate) fn begin(&mut self, dim: usize) {
         if self.stamp.len() < dim {
             self.stamp.resize(dim, 0);
             self.data.resize(dim, T::default());
@@ -31,20 +31,20 @@ impl<T: Copy + Default> StampedBuf<T> {
 
     /// Is slot `j` set in the current generation?
     #[inline]
-    fn is_set(&self, j: usize) -> bool {
+    pub(crate) fn is_set(&self, j: usize) -> bool {
         self.stamp[j] == self.epoch
     }
 
     /// Writes slot `j`, stamping it into the current generation.
     #[inline]
-    fn set(&mut self, j: usize, value: T) {
+    pub(crate) fn set(&mut self, j: usize, value: T) {
         self.stamp[j] = self.epoch;
         self.data[j] = value;
     }
 
     /// Reads slot `j`; `None` if it was not written this generation.
     #[inline]
-    fn get(&self, j: usize) -> Option<T> {
+    pub(crate) fn get(&self, j: usize) -> Option<T> {
         if self.is_set(j) {
             Some(self.data[j])
         } else {
@@ -55,7 +55,7 @@ impl<T: Copy + Default> StampedBuf<T> {
     /// Reads slot `j` without checking the stamp. Only valid after a
     /// matching `set` in the current generation.
     #[inline]
-    fn get_unchecked(&self, j: usize) -> T {
+    pub(crate) fn get_unchecked(&self, j: usize) -> T {
         debug_assert!(self.is_set(j));
         self.data[j]
     }
@@ -65,7 +65,7 @@ impl StampedBuf<f64> {
     /// Adds `v` to slot `j` if it is set this generation; one stamp probe,
     /// no re-stamping. Returns whether the slot was set.
     #[inline]
-    fn add_if_set(&mut self, j: usize, v: f64) -> bool {
+    pub(crate) fn add_if_set(&mut self, j: usize, v: f64) -> bool {
         if self.stamp[j] == self.epoch {
             self.data[j] += v;
             true
@@ -79,7 +79,7 @@ impl StampedBuf<usize> {
     /// Records `value` at slot `j`, keeping the minimum across the current
     /// generation; one stamp probe. Returns the previously stored value.
     #[inline]
-    fn observe_min(&mut self, j: usize, value: usize) -> Option<usize> {
+    pub(crate) fn observe_min(&mut self, j: usize, value: usize) -> Option<usize> {
         if self.stamp[j] == self.epoch {
             let old = self.data[j];
             if value < old {

@@ -1,0 +1,528 @@
+//! Sharded (multi-threaded) server selection: the per-worker
+//! [`ScratchShard`]s behind [`Sparsifier::select_parallel`] and their
+//! deterministic merge.
+//!
+//! # Why sharding by dimension stripe
+//!
+//! [`ShardedScratch`] splits the model dimension `0..D` into contiguous
+//! stripes and gives each worker thread exclusive ownership of one
+//! [`ScratchShard`] — its stripe's epoch-stamped rank/sum buffers plus the
+//! stripe-local index lists. Every worker sweeps the *full* upload list but
+//! only touches entries whose index falls inside its stripe. Compared to
+//! splitting the uploads across workers, striping the dimension is what
+//! makes the parallel result **bit-identical** to the serial
+//! [`Sparsifier::select_into`] path, for any shard count:
+//!
+//! * **Floating-point sums never reassociate.** The aggregated value of
+//!   coordinate `j` is a left-fold of `weight_i · a_ij` in client order.
+//!   Each stripe worker visits uploads in exactly that order, so it
+//!   computes the serial fold verbatim — had we split the *uploads*
+//!   instead, each worker would hold a partial sum and the merge would add
+//!   partials in a different association, which is not bit-stable in IEEE
+//!   arithmetic.
+//! * **Everything that does cross shards merges exactly.** Min-rank
+//!   histograms are integer counts (summed elementwise), the selected
+//!   downlink set is a union of disjoint stripe-local sets (concatenated
+//!   and sorted), and per-client reset lists are reassembled from entry
+//!   *positions* (merged ascending, restoring the serial upload-order
+//!   walk). None of these merges involves floating point.
+//!
+//! The result is the repository's load-bearing determinism invariant —
+//! identical seeds give identical runs — independent of thread count,
+//! shard count and OS scheduling, by construction rather than by test
+//! luck. The reference-equivalence proptests in
+//! `tests/select_equivalence.rs` still pin it for 1–8 shards against the
+//! seed implementations in [`crate::reference`].
+//!
+//! # Thread safety
+//!
+//! Workers receive disjoint `&mut ScratchShard` borrows (plus a shared
+//! `&[ClientUpload]`), so the borrow checker proves non-interference; the
+//! crate forbids `unsafe`. Cross-phase coordination (e.g. FAB's `κ`
+//! decision between the rank pass and the union marking) happens over
+//! `std::sync::mpsc` channels carrying small owned values, never shared
+//! mutable state. Worker panics propagate to the caller because
+//! [`std::thread::scope`] re-raises them on join; a coordination partner
+//! that observes a closed channel simply returns and lets the original
+//! panic surface.
+//!
+//! [`Sparsifier::select_into`]: crate::Sparsifier::select_into
+//! [`Sparsifier::select_parallel`]: crate::Sparsifier::select_parallel
+
+use agsfl_exec::Executor;
+
+use crate::scratch::{SelectionScratch, StampedBuf};
+use crate::sparsifier::{ClientUpload, SelectionResult};
+use crate::SparseGradient;
+
+/// A cached in-stripe upload entry: which upload (`slot`), which position
+/// inside it (`pos` — the magnitude rank for top-k uploads), and the
+/// `(index, value)` pair. Workers that sweep the full upload list once can
+/// record their stripe's entries and run every later phase over the cache
+/// (`O(U/S)` instead of re-scanning all `U` entries).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CachedEntry {
+    pub(crate) slot: u32,
+    pub(crate) pos: u32,
+    pub(crate) j: usize,
+    pub(crate) v: f32,
+}
+
+/// One worker's slice of the selection workspace: the epoch-stamped
+/// rank/sum buffers for a contiguous stripe `lo..hi` of the model
+/// dimension, plus stripe-local scratch lists.
+///
+/// A shard only ever stores state for indices inside its stripe
+/// (`contains`), addressed relative to `lo`, so `S` shards together use
+/// the same memory one [`SelectionScratch`] would.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchShard {
+    /// Stripe start (inclusive).
+    lo: usize,
+    /// Stripe end (exclusive).
+    hi: usize,
+    /// Per-index minimum upload rank (or membership), stripe-local slots.
+    ranks: StampedBuf<usize>,
+    /// Per-index weighted aggregation sums, stripe-local slots.
+    sums: StampedBuf<f64>,
+    /// Stripe-local histogram of minimum ranks (FAB).
+    pub(crate) rank_counts: Vec<usize>,
+    /// Stripe-local distinct indices in first-appearance order (FUB).
+    pub(crate) touched: Vec<usize>,
+    /// Stripe-local selected indices (global index values).
+    pub(crate) selected: Vec<usize>,
+    /// Cache of this stripe's upload entries in serial `(slot, pos)` scan
+    /// order, recorded by a worker's first full sweep.
+    pub(crate) entries: Vec<CachedEntry>,
+    /// Per upload slot: entry positions this stripe matched during its
+    /// aggregation/membership sweep, ascending. Merged across shards into
+    /// the per-client reset lists by [`merge_reset_positions`].
+    pub(crate) reset_positions: Vec<Vec<usize>>,
+}
+
+impl ScratchShard {
+    fn width(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether global index `j` belongs to this stripe.
+    #[inline]
+    pub(crate) fn contains(&self, j: usize) -> bool {
+        j >= self.lo && j < self.hi
+    }
+
+    #[inline]
+    fn local(&self, j: usize) -> usize {
+        debug_assert!(self.contains(j), "index {j} outside stripe {}..{}", self.lo, self.hi);
+        j - self.lo
+    }
+
+    /// Starts a new rank generation covering the stripe.
+    pub(crate) fn begin_ranks(&mut self) {
+        let w = self.width();
+        self.ranks.begin(w);
+    }
+
+    /// Starts a new sums generation covering the stripe.
+    pub(crate) fn begin_sums(&mut self) {
+        let w = self.width();
+        self.sums.begin(w);
+    }
+
+    /// Starts a membership generation (shares the ranks buffer, exactly as
+    /// [`SelectionScratch::begin_members`] does).
+    pub(crate) fn begin_members(&mut self) {
+        self.begin_ranks();
+    }
+
+    /// Records that `j` was uploaded at `rank`, keeping the stripe-local
+    /// minimum; returns the previously recorded rank.
+    #[inline]
+    pub(crate) fn observe_rank(&mut self, j: usize, rank: usize) -> Option<usize> {
+        let l = self.local(j);
+        self.ranks.observe_min(l, rank)
+    }
+
+    /// The recorded minimum rank of `j`, if observed this generation.
+    #[inline]
+    pub(crate) fn min_rank(&self, j: usize) -> Option<usize> {
+        self.ranks.get(self.local(j))
+    }
+
+    /// Adds `j` to the membership set.
+    #[inline]
+    pub(crate) fn add_member(&mut self, j: usize) {
+        let l = self.local(j);
+        self.ranks.set(l, 0);
+    }
+
+    /// Whether `j` is in the membership set.
+    #[inline]
+    pub(crate) fn is_member(&self, j: usize) -> bool {
+        self.ranks.is_set(self.local(j))
+    }
+
+    /// Marks `j` for aggregation (sum starts at zero).
+    #[inline]
+    pub(crate) fn mark_selected(&mut self, j: usize) {
+        let l = self.local(j);
+        self.sums.set(l, 0.0);
+    }
+
+    /// Whether `j` is marked for aggregation.
+    #[inline]
+    pub(crate) fn is_marked(&self, j: usize) -> bool {
+        self.sums.is_set(self.local(j))
+    }
+
+    /// Adds `v` to the sum of `j` if marked; returns whether it was.
+    #[inline]
+    pub(crate) fn accumulate_if_marked(&mut self, j: usize, v: f64) -> bool {
+        let l = self.local(j);
+        self.sums.add_if_set(l, v)
+    }
+
+    /// The accumulated sum of a marked index.
+    #[inline]
+    pub(crate) fn sum(&self, j: usize) -> f64 {
+        self.sums.get_unchecked(self.local(j))
+    }
+
+    /// Clears the per-slot reset-position lists, sized for `n_clients`.
+    pub(crate) fn reset_positions_for(&mut self, n_clients: usize) {
+        self.reset_positions.truncate(n_clients);
+        for v in &mut self.reset_positions {
+            v.clear();
+        }
+        if self.reset_positions.len() < n_clients {
+            self.reset_positions.resize_with(n_clients, Vec::new);
+        }
+    }
+
+    /// Aggregation sweep over all uploads for this stripe: accumulates
+    /// `weight · value` into every *marked* in-stripe coordinate (in client
+    /// order — the serial fold) and records the matching entry positions
+    /// per upload slot for the reset-list merge.
+    pub(crate) fn sweep_marked(&mut self, uploads: &[ClientUpload]) {
+        self.reset_positions_for(uploads.len());
+        for (slot, upload) in uploads.iter().enumerate() {
+            let w = upload.weight;
+            for (pos, &(j, v)) in upload.entries.iter().enumerate() {
+                if !self.contains(j) {
+                    continue;
+                }
+                if self.accumulate_if_marked(j, w * v as f64) {
+                    self.reset_positions[slot].push(pos);
+                }
+            }
+        }
+    }
+
+    /// [`ScratchShard::sweep_marked`] over the entry cache recorded by an
+    /// earlier full sweep: same accumulation order (the cache preserves the
+    /// serial `(slot, pos)` scan order), `O(U/S)` work.
+    pub(crate) fn sweep_marked_cached(&mut self, uploads: &[ClientUpload]) {
+        self.reset_positions_for(uploads.len());
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            let w = uploads[e.slot as usize].weight;
+            if self.accumulate_if_marked(e.j, w * e.v as f64) {
+                self.reset_positions[e.slot as usize].push(e.pos as usize);
+            }
+        }
+    }
+
+    /// Membership sweep over all uploads for this stripe: records, per
+    /// upload slot, the positions of entries that are in the current
+    /// membership set (FUB's reset pass; the sums generation is untouched).
+    pub(crate) fn sweep_members(&mut self, uploads: &[ClientUpload]) {
+        self.reset_positions_for(uploads.len());
+        for (slot, upload) in uploads.iter().enumerate() {
+            for (pos, &(j, _)) in upload.entries.iter().enumerate() {
+                if self.contains(j) && self.is_member(j) {
+                    self.reset_positions[slot].push(pos);
+                }
+            }
+        }
+    }
+}
+
+/// Reusable workspace for [`Sparsifier::select_parallel`]: per-worker
+/// [`ScratchShard`]s plus the shared merge buffers and an embedded
+/// [`SelectionScratch`] for the serial (one-shard) fallback.
+///
+/// Like [`SelectionScratch`], the workspace grows to the largest dimension
+/// seen, invalidates by epoch bumps, and carries no state across calls —
+/// repeated calls with the same inputs return identical results. The
+/// stripe layout adapts to the executor's thread count on every call;
+/// because the sharded algorithms are exact (see the [module docs]), the
+/// layout never influences results.
+///
+/// [`Sparsifier::select_parallel`]: crate::Sparsifier::select_parallel
+/// [module docs]: self
+#[derive(Debug, Default)]
+pub struct ShardedScratch {
+    /// The per-worker stripes.
+    pub(crate) shards: Vec<ScratchShard>,
+    /// Stripe width of the current layout.
+    pub(crate) width: usize,
+    /// Serial fallback / executable-spec workspace.
+    serial: SelectionScratch,
+    /// Merged FAB histogram.
+    pub(crate) rank_counts: Vec<usize>,
+    /// The selected downlink set, sorted ascending.
+    pub(crate) selected: Vec<usize>,
+    /// Merged fill candidates.
+    pub(crate) candidates: Vec<(usize, f32)>,
+}
+
+impl ShardedScratch {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The embedded serial workspace, used when the executor is serial and
+    /// by [`Sparsifier::select_parallel`]'s default (fallback) method.
+    ///
+    /// [`Sparsifier::select_parallel`]: crate::Sparsifier::select_parallel
+    pub fn serial_scratch(&mut self) -> &mut SelectionScratch {
+        &mut self.serial
+    }
+
+    /// Lays out `shard_count` stripes over dimension `dim`. Stripes are
+    /// `ceil(dim / shard_count)` wide; trailing empty stripes are dropped
+    /// so every shard owns at least one index (unless `dim == 0`).
+    pub(crate) fn stripe(&mut self, dim: usize, shard_count: usize) {
+        let count = shard_count.max(1);
+        let width = dim.div_ceil(count).max(1);
+        let count = dim.div_ceil(width).max(1);
+        self.width = width;
+        if self.shards.len() != count {
+            self.shards.resize_with(count, ScratchShard::default);
+        }
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.lo = (s * width).min(dim);
+            shard.hi = ((s + 1) * width).min(dim);
+        }
+    }
+
+    /// The shard index owning global index `j` in the current layout.
+    #[inline]
+    pub(crate) fn shard_of(&self, j: usize) -> usize {
+        j / self.width
+    }
+
+    /// Whether `j` is marked for aggregation (routed to its shard).
+    #[cfg(test)]
+    pub(crate) fn is_marked(&self, j: usize) -> bool {
+        self.shards[self.shard_of(j)].is_marked(j)
+    }
+
+    /// Marks `j` for aggregation (routed to its shard).
+    #[cfg(test)]
+    pub(crate) fn mark_selected(&mut self, j: usize) {
+        let s = self.shard_of(j);
+        self.shards[s].mark_selected(j);
+    }
+
+    /// The accumulated sum of a marked index (routed to its shard).
+    #[inline]
+    pub(crate) fn sum(&self, j: usize) -> f64 {
+        self.shards[self.shard_of(j)].sum(j)
+    }
+
+    /// Concatenates the stripe-local selected lists (stripe order) into
+    /// `self.selected` and sorts ascending. Because stripes partition the
+    /// dimension, the result equals the serial path's sorted selection.
+    pub(crate) fn gather_selected(&mut self) {
+        self.selected.clear();
+        for shard in &self.shards {
+            self.selected.extend_from_slice(&shard.selected);
+        }
+        self.selected.sort_unstable();
+    }
+
+    /// Emits the `(index, sum)` entries for the sorted selected set.
+    pub(crate) fn emit_entries(&self) -> Vec<(usize, f32)> {
+        debug_assert!(self.selected.windows(2).all(|w| w[0] < w[1]));
+        self.selected
+            .iter()
+            .map(|&j| (j, self.sum(j) as f32))
+            .collect()
+    }
+}
+
+/// Panics (like the serial sweeps do) if any upload references an index
+/// `>= dim`. The parallel engines run this on the coordinating thread,
+/// overlapped with the workers' first pass, because a stripe worker simply
+/// skips out-of-stripe indices and would otherwise mask the error.
+pub(crate) fn validate_uploads(uploads: &[ClientUpload], dim: usize) {
+    for upload in uploads {
+        for &(j, _) in &upload.entries {
+            assert!(j < dim, "upload index {j} out of range (dim {dim})");
+        }
+    }
+}
+
+/// Reassembles the per-client reset lists from the shards' entry-position
+/// records: for every upload slot, the positions matched by each stripe
+/// are merged ascending and mapped back to indices — exactly the list the
+/// serial upload-order sweep would have produced.
+pub(crate) fn merge_reset_positions(
+    uploads: &[ClientUpload],
+    shards: &[ScratchShard],
+) -> Vec<Vec<usize>> {
+    let mut reset_indices: Vec<Vec<usize>> = Vec::with_capacity(uploads.len());
+    let mut positions: Vec<usize> = Vec::new();
+    for (slot, upload) in uploads.iter().enumerate() {
+        positions.clear();
+        for shard in shards {
+            if let Some(p) = shard.reset_positions.get(slot) {
+                positions.extend_from_slice(p);
+            }
+        }
+        // Each stripe's positions are ascending; the union across stripes
+        // is duplicate-free (stripes are disjoint), so one sort restores
+        // the serial entry order.
+        positions.sort_unstable();
+        reset_indices.push(positions.iter().map(|&p| upload.entries[p].0).collect());
+    }
+    reset_indices
+}
+
+/// Sharded equivalent of [`crate::sparsifier::result_from_selected`]: given
+/// the sorted, duplicate-free downlink set in `sharded.selected`, marks it
+/// across stripes, runs the striped aggregation sweep and reassembles the
+/// reset lists. Used by the sparsifiers whose selection itself is trivial
+/// (periodic-k, send-all).
+pub(crate) fn result_from_selected_sharded(
+    uploads: &[ClientUpload],
+    dim: usize,
+    sharded: &mut ShardedScratch,
+    exec: &Executor,
+    downlink_indexed: bool,
+) -> SelectionResult {
+    debug_assert!(exec.threads() > 1);
+    let ShardedScratch {
+        shards, selected, ..
+    } = sharded;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards.len());
+        let mut rest: &[usize] = selected;
+        for shard in shards.iter_mut() {
+            let cut = rest.partition_point(|&j| j < shard.hi);
+            let (mine, tail) = rest.split_at(cut);
+            rest = tail;
+            handles.push(scope.spawn(move || {
+                shard.begin_sums();
+                for &j in mine {
+                    assert!(j < dim, "selected index {j} out of range (dim {dim})");
+                    shard.mark_selected(j);
+                }
+                shard.sweep_marked(uploads);
+            }));
+        }
+        // Overlap the range check with the workers' sweep.
+        validate_uploads(uploads, dim);
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    let reset_indices = merge_reset_positions(uploads, &sharded.shards);
+    let entries = sharded.emit_entries();
+    SelectionResult::new(
+        SparseGradient::from_sorted_entries(dim, entries),
+        reset_indices,
+        uploads.iter().map(ClientUpload::len).collect(),
+        sharded.selected.len(),
+        downlink_indexed,
+        downlink_indexed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_layout_partitions_dimension() {
+        let mut sharded = ShardedScratch::new();
+        sharded.stripe(10, 4);
+        let spans: Vec<(usize, usize)> =
+            sharded.shards.iter().map(|s| (s.lo, s.hi)).collect();
+        assert_eq!(spans, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+        for j in 0..10 {
+            let s = sharded.shard_of(j);
+            assert!(sharded.shards[s].contains(j), "j={j} routed to {s}");
+        }
+    }
+
+    #[test]
+    fn stripe_with_more_shards_than_indices() {
+        let mut sharded = ShardedScratch::new();
+        sharded.stripe(3, 8);
+        assert_eq!(sharded.shards.len(), 3);
+        assert!(sharded.shards.iter().all(|s| s.width() == 1));
+    }
+
+    #[test]
+    fn restriping_does_not_leak_marks() {
+        let mut sharded = ShardedScratch::new();
+        sharded.stripe(16, 2);
+        for shard in &mut sharded.shards {
+            shard.begin_sums();
+        }
+        sharded.mark_selected(9);
+        assert!(sharded.is_marked(9));
+        // Re-stripe to a different layout: fresh generations, nothing leaks.
+        sharded.stripe(16, 4);
+        for shard in &mut sharded.shards {
+            shard.begin_sums();
+        }
+        for j in 0..16 {
+            assert!(!sharded.is_marked(j), "stale mark leaked at {j}");
+        }
+    }
+
+    #[test]
+    fn shard_accumulates_only_in_stripe() {
+        let mut sharded = ShardedScratch::new();
+        sharded.stripe(8, 2);
+        let uploads = vec![ClientUpload::new(0, 0.5, vec![(1, 2.0), (6, 4.0)])];
+        for shard in &mut sharded.shards {
+            shard.begin_sums();
+        }
+        sharded.mark_selected(1);
+        sharded.mark_selected(6);
+        for shard in &mut sharded.shards {
+            shard.sweep_marked(&uploads);
+        }
+        assert_eq!(sharded.sum(1), 1.0);
+        assert_eq!(sharded.sum(6), 2.0);
+        let resets = merge_reset_positions(&uploads, &sharded.shards);
+        assert_eq!(resets, vec![vec![1, 6]]);
+    }
+
+    #[test]
+    fn merged_reset_positions_restore_entry_order() {
+        // Entries deliberately not index-sorted: positions, not indices,
+        // define the serial order.
+        let uploads = vec![ClientUpload::new(0, 1.0, vec![(6, 1.0), (1, 2.0), (7, 3.0)])];
+        let mut sharded = ShardedScratch::new();
+        sharded.stripe(8, 2);
+        for shard in &mut sharded.shards {
+            shard.begin_sums();
+        }
+        for j in [1, 6, 7] {
+            sharded.mark_selected(j);
+        }
+        for shard in &mut sharded.shards {
+            shard.sweep_marked(&uploads);
+        }
+        let resets = merge_reset_positions(&uploads, &sharded.shards);
+        assert_eq!(resets, vec![vec![6, 1, 7]], "upload entry order, not index order");
+    }
+}

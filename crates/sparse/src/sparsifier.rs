@@ -1,7 +1,9 @@
+use agsfl_exec::Executor;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use crate::scratch::SelectionScratch;
+use crate::shard::ShardedScratch;
 use crate::SparseGradient;
 
 /// What each client should upload in the current round.
@@ -222,6 +224,32 @@ pub trait Sparsifier: Send + Sync + std::fmt::Debug {
     fn select(&self, uploads: &[ClientUpload], dim: usize, k: usize) -> SelectionResult {
         let mut scratch = SelectionScratch::new();
         self.select_into(uploads, dim, k, &mut scratch)
+    }
+
+    /// Multi-threaded server selection over per-worker dimension stripes.
+    ///
+    /// Bit-identical to [`Sparsifier::select_into`] for every executor and
+    /// shard count — see the [`crate::shard`] module docs for why the
+    /// striped decomposition makes this exact rather than approximate, and
+    /// `tests/select_equivalence.rs` for the proptests pinning it against
+    /// the seed implementations across 1–8 shards.
+    ///
+    /// The default method is the one-shard case: it simply runs the serial
+    /// path on the workspace's embedded [`SelectionScratch`]. Sparsifiers
+    /// with a genuinely parallel engine override it and fall back to the
+    /// same serial path when `exec` is single-threaded, the round has fewer
+    /// uploads than [`Executor::min_items`] (spawning threads for a tiny
+    /// round costs more than it saves), or the round is degenerate (no
+    /// uploads, `k == 0`).
+    fn select_parallel(
+        &self,
+        uploads: &[ClientUpload],
+        dim: usize,
+        k: usize,
+        scratch: &mut ShardedScratch,
+        _exec: &Executor,
+    ) -> SelectionResult {
+        self.select_into(uploads, dim, k, scratch.serial_scratch())
     }
 }
 

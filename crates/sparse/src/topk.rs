@@ -40,32 +40,64 @@ pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
 /// Returns `(index, value)` pairs of the `k` largest absolute values,
 /// ordered by decreasing magnitude (ties broken by index).
 ///
-/// Allocates a fresh candidate buffer of length `values.len()`; hot paths
-/// that run every round should use [`top_k_entries_with`] and reuse one.
+/// Allocates a fresh `O(k)` candidate buffer; hot paths that run every
+/// round should use [`top_k_entries_with`] and reuse one.
 pub fn top_k_entries(values: &[f32], k: usize) -> Vec<(usize, f32)> {
     top_k_entries_with(values, k, &mut Vec::new())
 }
 
 /// [`top_k_entries`] with a caller-provided candidate buffer.
 ///
-/// `scratch` is cleared and refilled on every call; reusing one buffer across
-/// rounds removes the `16·D` bytes/client/round heap allocation. Throughput
-/// is dominated by the selection itself (`BENCH_kernels.json` measures the
-/// two variants within noise of each other), so the win is allocator
-/// pressure — relevant when N clients build uploads every round — not
-/// single-call speed. The returned vector holds only the `k` selected
-/// entries and is freshly allocated (it is handed off to the upload
-/// message).
+/// The selection streams over `values` with a *bounded* candidate buffer of
+/// at most `2k` entries: once the buffer fills, a partial quickselect
+/// (`select_nth_unstable_by`) compacts it to the current best `k` and every
+/// later candidate is admitted only if it beats the running `k`-th best
+/// under the same total order (magnitude descending, index ascending as the
+/// tie-break). Because the order is total over distinct indices, the
+/// surviving set — and therefore the returned ranking — is exactly what the
+/// historical full-copy implementation produced, while the former
+/// `16·D`-byte full-dimension candidate sweep is gone: the buffer is
+/// `O(k)`, and in expectation only `O(D)` comparisons plus a handful of
+/// compactions are performed.
+///
+/// `scratch` is cleared and refilled on every call; reusing one buffer
+/// across rounds (as `agsfl_fl::Client` does) makes the steady-state path
+/// allocation-free apart from the returned vector, which holds only the
+/// `k` selected entries and is handed off to the upload message.
 pub fn top_k_entries_with(
     values: &[f32],
     k: usize,
     scratch: &mut Vec<(usize, f32)>,
 ) -> Vec<(usize, f32)> {
     scratch.clear();
-    scratch.extend(values.iter().enumerate().map(|(j, &v)| (j, v.abs())));
-    let k = k.min(scratch.len());
+    let k = k.min(values.len());
     if k == 0 {
         return Vec::new();
+    }
+    let cap = 2 * k;
+    if cap >= values.len() {
+        // Small dimension (or k close to D): the bounded buffer would hold
+        // everything anyway, so take the direct path.
+        scratch.extend(values.iter().enumerate().map(|(j, &v)| (j, v.abs())));
+    } else {
+        // Streaming pass with periodic compaction. `threshold` is the
+        // current k-th best candidate; anything not strictly better can
+        // never enter the final top-k and is skipped without buffering.
+        let mut threshold: Option<(usize, f32)> = None;
+        for (j, &v) in values.iter().enumerate() {
+            let cand = (j, v.abs());
+            if let Some(t) = threshold {
+                if magnitude_then_index(&cand, &t) != Ordering::Less {
+                    continue;
+                }
+            }
+            scratch.push(cand);
+            if scratch.len() == cap {
+                scratch.select_nth_unstable_by(k - 1, magnitude_then_index);
+                scratch.truncate(k);
+                threshold = Some(scratch[k - 1]);
+            }
+        }
     }
     if k < scratch.len() {
         scratch.select_nth_unstable_by(k - 1, magnitude_then_index);
@@ -132,6 +164,29 @@ mod tests {
         let mut scratch = Vec::new();
         for k in 0..=v.len() + 1 {
             assert_eq!(top_k_entries_with(&v, k, &mut scratch), top_k_entries(&v, k));
+        }
+    }
+
+    /// Pins the streaming/compaction path against a naive full sort on
+    /// inputs large enough that `2k < D` (the bounded-buffer branch), with
+    /// adversarial duplicates so the index tie-break is exercised.
+    #[test]
+    fn streaming_path_matches_full_sort_reference() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut scratch = Vec::new();
+        for (dim, k) in [(500, 5), (500, 32), (1000, 1), (257, 100), (64, 31)] {
+            // Quantized values force plenty of exact magnitude ties.
+            let values: Vec<f32> = (0..dim)
+                .map(|_| (rng.gen_range(-50i32..50) as f32) * 0.25)
+                .collect();
+            let mut ranked: Vec<(usize, f32)> =
+                values.iter().enumerate().map(|(j, &v)| (j, v)).collect();
+            ranked.sort_by(compare_magnitude_then_index);
+            let expected: Vec<(usize, f32)> = ranked.into_iter().take(k).collect();
+            let got = top_k_entries_with(&values, k, &mut scratch);
+            assert_eq!(got, expected, "dim={dim}, k={k}");
         }
     }
 

@@ -1,6 +1,8 @@
+use agsfl_exec::Executor;
 use rand::RngCore;
 
 use crate::scratch::SelectionScratch;
+use crate::shard::{validate_uploads, ShardedScratch};
 use crate::sparsifier::{ClientUpload, SelectionResult, Sparsifier, UploadPlan};
 use crate::SparseGradient;
 
@@ -75,6 +77,66 @@ impl Sparsifier for UnidirectionalTopK {
             .iter()
             .map(|&j| (j, scratch.sum(j) as f32))
             .collect();
+        SelectionResult::new(
+            SparseGradient::from_sorted_entries(dim, entries),
+            reset_indices,
+            uploads.iter().map(ClientUpload::len).collect(),
+            scratch.selected.len(),
+            true,
+            true,
+        )
+    }
+
+    fn select_parallel(
+        &self,
+        uploads: &[ClientUpload],
+        dim: usize,
+        k: usize,
+        scratch: &mut ShardedScratch,
+        exec: &Executor,
+    ) -> SelectionResult {
+        if !exec.should_parallelize(uploads.len()) {
+            return self.select_into(uploads, dim, k, scratch.serial_scratch());
+        }
+        scratch.stripe(dim, exec.threads());
+        // The downlink is the union of every uploaded coordinate, so each
+        // stripe worker discovers and aggregates its coordinates in one
+        // sweep; the reset sets are simply every client's uploaded indices,
+        // assembled by the coordinator while the workers run.
+        let mut reset_indices: Vec<Vec<usize>> = Vec::with_capacity(uploads.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(scratch.shards.len());
+            for shard in scratch.shards.iter_mut() {
+                handles.push(scope.spawn(move || {
+                    shard.begin_sums();
+                    shard.selected.clear();
+                    for upload in uploads {
+                        let w = upload.weight;
+                        for &(j, v) in &upload.entries {
+                            if !shard.contains(j) {
+                                continue;
+                            }
+                            if !shard.is_marked(j) {
+                                shard.mark_selected(j);
+                                shard.selected.push(j);
+                            }
+                            shard.accumulate_if_marked(j, w * v as f64);
+                        }
+                    }
+                }));
+            }
+            validate_uploads(uploads, dim);
+            for upload in uploads {
+                reset_indices.push(upload.entries.iter().map(|&(j, _)| j).collect());
+            }
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        scratch.gather_selected();
+        let entries = scratch.emit_entries();
         SelectionResult::new(
             SparseGradient::from_sorted_entries(dim, entries),
             reset_indices,

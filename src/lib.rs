@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the AGSFL workspace.
 pub use agsfl_core as core;
+pub use agsfl_exec as exec;
 pub use agsfl_fl as fl;
 pub use agsfl_ml as ml;
 pub use agsfl_online as online;
