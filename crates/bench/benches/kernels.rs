@@ -12,9 +12,14 @@
 //! runs the same workloads and writes machine-readable `BENCH_kernels.json`.
 
 use agsfl_bench::femnist_base;
-use agsfl_bench::kernel_workload::{fab_workload, FAB_CLIENTS, FAB_DIM, FAB_K};
+use agsfl_bench::kernel_workload::{
+    cnn_workload, eval_workload, fab_workload, CNN_BATCH, FAB_CLIENTS, FAB_DIM, FAB_K,
+};
 use agsfl_core::{Experiment, StopCondition};
 use agsfl_exec::Executor;
+use agsfl_ml::metrics;
+use agsfl_ml::model::{Im2colScratch, Model};
+use agsfl_ml::reference as ml_reference;
 use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, ShardedScratch, Sparsifier};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::Rng;
@@ -98,6 +103,85 @@ fn bench_fab_selection(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cnn_forward(c: &mut Criterion) {
+    let (cnn, params, x, labels) = cnn_workload();
+    let mut group = c.benchmark_group("cnn_forward");
+    let d = cnn.num_params();
+    // The seed scalar-loop kernels, kept in `agsfl_ml::reference`.
+    group.bench_function(format!("loops_d{d}_b{CNN_BATCH}"), |b| {
+        b.iter(|| {
+            black_box(ml_reference::cnn_forward(
+                &cnn,
+                black_box(&params),
+                black_box(&x),
+            ))
+        })
+    });
+    let mut scratch = Im2colScratch::new();
+    group.bench_function(format!("im2col_d{d}_b{CNN_BATCH}"), |b| {
+        b.iter(|| black_box(cnn.forward_with(black_box(&params), black_box(&x), &mut scratch)))
+    });
+    group.bench_function(format!("loops_grad_d{d}_b{CNN_BATCH}"), |b| {
+        b.iter(|| {
+            black_box(ml_reference::cnn_loss_and_grad(
+                &cnn,
+                black_box(&params),
+                black_box(&x),
+                &labels,
+            ))
+        })
+    });
+    group.bench_function(format!("im2col_grad_d{d}_b{CNN_BATCH}"), |b| {
+        b.iter(|| {
+            black_box(cnn.loss_and_grad_with(
+                black_box(&params),
+                black_box(&x),
+                &labels,
+                &mut scratch,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_eval_sweep(c: &mut Criterion) {
+    let (model, params, dataset) = eval_workload();
+    let model = model.as_ref();
+    let shards = dataset.clients();
+    let test = dataset.test();
+    let mut group = c.benchmark_group("eval_sweep");
+    // The seed path: three separate serial passes per evaluation point.
+    group.bench_function("serial_three_passes", |b| {
+        b.iter(|| {
+            black_box(metrics::global_loss(model, black_box(&params), shards));
+            black_box(metrics::global_accuracy(model, black_box(&params), shards));
+            black_box(metrics::accuracy(
+                model,
+                black_box(&params),
+                &test.features,
+                &test.labels,
+            ));
+        })
+    });
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let exec = Executor::new(threads);
+    group.bench_function(format!("fused_executor_{threads}threads"), |b| {
+        b.iter(|| {
+            black_box(metrics::global_evaluation(
+                model,
+                black_box(&params),
+                shards,
+                test,
+                &exec,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_fl_round(c: &mut Criterion) {
     c.bench_function("fl_round_femnist_bench_k2pct", |b| {
         b.iter_batched(
@@ -114,6 +198,6 @@ fn bench_fl_round(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_topk_selection, bench_fab_selection, bench_fl_round
+    targets = bench_topk_selection, bench_fab_selection, bench_cnn_forward, bench_eval_sweep, bench_fl_round
 }
 criterion_main!(kernels);

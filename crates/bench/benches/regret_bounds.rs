@@ -6,14 +6,20 @@ use agsfl_core::figures::regret_check::{self, RegretCheckConfig};
 
 fn main() {
     banner("Theorems 1 & 2 — regret of Algorithm 2 vs the G·H·B·sqrt(2M) bounds");
-    for (label, flip_prob) in [("good estimator (p = 0.1)", 0.1), ("poor estimator (p = 0.35)", 0.35)] {
+    for (label, flip_prob) in [
+        ("good estimator (p = 0.1)", 0.1),
+        ("poor estimator (p = 0.35)", 0.35),
+    ] {
         let config = RegretCheckConfig {
             rounds: 20_000,
             flip_prob,
             ..RegretCheckConfig::default()
         };
         let result = regret_check::run(&config);
-        println!("\n--- noisy-sign setting: {label} (H = {:.2}) ---", 1.0 / (1.0 - 2.0 * flip_prob));
+        println!(
+            "\n--- noisy-sign setting: {label} (H = {:.2}) ---",
+            1.0 / (1.0 - 2.0 * flip_prob)
+        );
         println!("{}", result.render());
     }
     println!(

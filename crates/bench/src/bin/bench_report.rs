@@ -10,22 +10,30 @@
 //! cargo run --release -p agsfl-bench --bin bench-report [-- OUTPUT.json [HISTORY.jsonl]]
 //! ```
 //!
-//! The workload is the acceptance workload of the selection PRs — FAB
-//! selection at dim = 10⁵, N = 40, k = dim/100 — measured through three
-//! implementations: the seed baseline (`agsfl_sparse::reference`), the
-//! serial scratch-reusing `select_into` fast path, and the sharded
-//! `select_parallel` path on a multi-thread executor (serial vs sharded is
-//! the `fab_select_sharded` pair; its `speedup` is what the parallel round
-//! engine buys on this machine's cores). The client-side top-k kernel is
-//! timed in both variants as before. The JSON reports nanoseconds per
-//! iteration (mean of the fastest half of samples) and baseline/optimized
-//! speedups.
+//! Three workload families are tracked. The FAB selection workload
+//! (dim = 10⁵, N = 40, k = dim/100) is measured through the seed baseline
+//! (`agsfl_sparse::reference`), the serial scratch-reusing `select_into`
+//! fast path, and the sharded `select_parallel` path on a multi-thread
+//! executor (serial vs sharded is the `fab_select_sharded` pair), plus the
+//! client-side top-k kernel in both variants. The `cnn_forward` pair times
+//! the paper-shape (~420k-weight, batch 32) CNN forward pass through the
+//! seed scalar loops (`agsfl_ml::reference`) and the im2col lowering. The
+//! `eval_sweep` pair times one evaluation point's `O(N·D)` metric sweep
+//! through the seed's three serial passes and the fused executor sweep
+//! (`agsfl_ml::metrics::global_evaluation`), asserting on the way that both
+//! return identical bits. The JSON reports nanoseconds per iteration (mean
+//! of the fastest half of samples) and baseline/optimized speedups.
 
 use std::io::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use agsfl_bench::kernel_workload::{fab_workload, FAB_CLIENTS, FAB_DIM, FAB_K};
+use agsfl_bench::kernel_workload::{
+    cnn_workload, eval_workload, fab_workload, CNN_BATCH, EVAL_CLIENTS, FAB_CLIENTS, FAB_DIM, FAB_K,
+};
 use agsfl_exec::Executor;
+use agsfl_ml::metrics;
+use agsfl_ml::model::{Im2colScratch, Model};
+use agsfl_ml::reference as ml_reference;
 use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, ShardedScratch, Sparsifier};
 use rand::Rng;
 use rand::SeedableRng;
@@ -220,7 +228,100 @@ fn main() {
         topk_report.speedup()
     );
 
-    let kernels = [fab, fab_sharded, topk_report];
+    // CNN forward at the paper shape (~420k weights, batch 32): the seed
+    // scalar-loop kernel kept in `agsfl_ml::reference` vs the im2col
+    // lowering with a reused column workspace.
+    let (cnn, cnn_params, cnn_x, _) = cnn_workload();
+    let seed_ns = time_ns(|| {
+        black_box(ml_reference::cnn_forward(
+            &cnn,
+            black_box(&cnn_params),
+            black_box(&cnn_x),
+        ));
+    });
+    let mut im2col = Im2colScratch::new();
+    let scratch_ns = time_ns(|| {
+        black_box(cnn.forward_with(black_box(&cnn_params), black_box(&cnn_x), &mut im2col));
+    });
+    let cnn_report = KernelReport {
+        name: "cnn_forward",
+        dim: cnn.num_params(),
+        clients: CNN_BATCH,
+        k: cnn.filters(),
+        threads: 1,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  cnn_forward (D={}, batch={}): loops {:.0} ns, im2col {:.0} ns -> {:.2}x",
+        cnn.num_params(),
+        CNN_BATCH,
+        cnn_report.seed_ns,
+        cnn_report.scratch_ns,
+        cnn_report.speedup()
+    );
+
+    // Per-evaluation metric sweep: the seed's three serial passes (global
+    // loss, global accuracy, test accuracy) vs the fused executor sweep.
+    let (eval_model, eval_params, eval_dataset) = eval_workload();
+    let model = eval_model.as_ref();
+    let shards = eval_dataset.clients();
+    let test = eval_dataset.test();
+    let seed_ns = time_ns(|| {
+        black_box(metrics::global_loss(model, &eval_params, shards));
+        black_box(metrics::global_accuracy(model, &eval_params, shards));
+        black_box(metrics::accuracy(
+            model,
+            &eval_params,
+            &test.features,
+            &test.labels,
+        ));
+    });
+    let eval_exec = Executor::new(sharded_threads);
+    let sweep_ns = time_ns(|| {
+        black_box(metrics::global_evaluation(
+            model,
+            &eval_params,
+            shards,
+            test,
+            &eval_exec,
+        ));
+    });
+    // The sweep must be bit-identical to the serial passes it replaces.
+    let fused = metrics::global_evaluation(model, &eval_params, shards, test, &eval_exec);
+    assert_eq!(
+        fused.train_loss,
+        metrics::global_loss(model, &eval_params, shards)
+    );
+    assert_eq!(
+        fused.train_accuracy,
+        metrics::global_accuracy(model, &eval_params, shards)
+    );
+    assert_eq!(
+        fused.test_accuracy,
+        metrics::accuracy(model, &eval_params, &test.features, &test.labels)
+    );
+    let eval_report = KernelReport {
+        name: "eval_sweep",
+        dim: eval_model.num_params(),
+        clients: EVAL_CLIENTS,
+        k: test.len(),
+        threads: sharded_threads,
+        seed_ns,
+        scratch_ns: sweep_ns,
+    };
+    eprintln!(
+        "  eval_sweep (D={}, N={}, test={}): serial x3 {:.0} ns, fused({} threads) {:.0} ns -> {:.2}x",
+        eval_model.num_params(),
+        EVAL_CLIENTS,
+        test.len(),
+        eval_report.seed_ns,
+        sharded_threads,
+        eval_report.scratch_ns,
+        eval_report.speedup()
+    );
+
+    let kernels = [fab, fab_sharded, topk_report, cnn_report, eval_report];
     let body: Vec<String> = kernels.iter().map(KernelReport::to_json).collect();
     let json = format!(
         concat!(

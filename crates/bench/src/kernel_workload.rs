@@ -1,10 +1,17 @@
-//! The shared selection-kernel workload.
+//! The shared kernel workloads.
 //!
 //! `benches/kernels.rs` (criterion) and the `bench-report` binary (plain
 //! timing + `BENCH_kernels.json`) must measure exactly the same inputs so
-//! their numbers are comparable across PRs; both build them here.
+//! their numbers are comparable across PRs; both build them here. Three
+//! workloads are tracked: the FAB server selection, the paper-shape CNN
+//! forward pass (im2col vs the seed scalar loops) and the per-evaluation
+//! `O(N·D)` metric sweep (fused executor sweep vs the seed's three serial
+//! passes).
 
+use agsfl_ml::data::{FederatedDataset, SyntheticFemnist, SyntheticFemnistConfig};
+use agsfl_ml::model::{Mlp, Model, SimpleCnn};
 use agsfl_sparse::{topk, ClientUpload};
+use agsfl_tensor::Matrix;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -36,6 +43,65 @@ pub fn fab_workload() -> Vec<ClientUpload> {
         .collect()
 }
 
+/// Input channels of the CNN forward workload.
+pub const CNN_CHANNELS: usize = 1;
+/// Input height of the CNN forward workload (FEMNIST-like 28x28 images).
+pub const CNN_HEIGHT: usize = 28;
+/// Input width of the CNN forward workload.
+pub const CNN_WIDTH: usize = 28;
+/// Number of 3x3 filters of the CNN forward workload.
+pub const CNN_FILTERS: usize = 40;
+/// Output classes of the CNN forward workload (FEMNIST's 62).
+pub const CNN_CLASSES: usize = 62;
+/// Mini-batch size of the CNN forward workload (the paper's 32).
+pub const CNN_BATCH: usize = 32;
+
+/// Builds the paper-shape CNN forward workload: a ~420k-parameter
+/// `SimpleCnn` (the paper trains a >400k-weight CNN), initialized weights
+/// and one mini-batch of synthetic 28x28 images with labels.
+pub fn cnn_workload() -> (SimpleCnn, Vec<f32>, Matrix, Vec<usize>) {
+    let model = SimpleCnn::new(
+        CNN_CHANNELS,
+        CNN_HEIGHT,
+        CNN_WIDTH,
+        CNN_FILTERS,
+        CNN_CLASSES,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let params = model.init_params(&mut rng);
+    let x = Matrix::from_fn(CNN_BATCH, model.input_dim(), |_, _| {
+        rng.gen_range(-1.0f32..1.0)
+    });
+    let labels = (0..CNN_BATCH).map(|i| i % CNN_CLASSES).collect();
+    (model, params, x, labels)
+}
+
+/// Number of clients of the evaluation-sweep workload.
+pub const EVAL_CLIENTS: usize = 40;
+/// Samples per client of the evaluation-sweep workload.
+pub const EVAL_SAMPLES_PER_CLIENT: usize = 60;
+
+/// Builds the evaluation-sweep workload: the bench-scale federated FEMNIST
+/// dataset (40 clients, 30 classes, 400 test samples) plus an MLP and its
+/// initialized weights — the `O(N·D)` pass every `eval_every` round runs.
+pub fn eval_workload() -> (Box<dyn Model>, Vec<f32>, FederatedDataset) {
+    let mut rng = ChaCha8Rng::seed_from_u64(super::BENCH_SEED);
+    let dataset = SyntheticFemnist::new(SyntheticFemnistConfig {
+        num_clients: EVAL_CLIENTS,
+        samples_per_client: EVAL_SAMPLES_PER_CLIENT,
+        feature_dim: 48,
+        num_classes: 30,
+        classes_per_client: 6,
+        writer_shift_std: 0.6,
+        noise_std: 0.7,
+        test_samples: 400,
+    })
+    .generate(&mut rng);
+    let model = Mlp::new(dataset.feature_dim(), &[64], dataset.num_classes());
+    let params = model.init_params(&mut rng);
+    (Box::new(model), params, dataset)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +112,26 @@ mod tests {
         assert_eq!(uploads.len(), FAB_CLIENTS);
         assert!(uploads.iter().all(|u| u.len() == FAB_K));
         assert_eq!(FAB_K, FAB_DIM / 100);
+    }
+
+    #[test]
+    fn cnn_workload_is_paper_scale() {
+        let (model, params, x, labels) = cnn_workload();
+        assert!(
+            model.num_params() > 400_000,
+            "paper CNN has >400k weights, got {}",
+            model.num_params()
+        );
+        assert_eq!(params.len(), model.num_params());
+        assert_eq!(x.shape(), (CNN_BATCH, model.input_dim()));
+        assert_eq!(labels.len(), CNN_BATCH);
+    }
+
+    #[test]
+    fn eval_workload_matches_bench_scale() {
+        let (model, params, dataset) = eval_workload();
+        assert_eq!(dataset.num_clients(), EVAL_CLIENTS);
+        assert_eq!(params.len(), model.num_params());
+        assert_eq!(dataset.test().len(), 400);
     }
 }

@@ -141,7 +141,13 @@ impl ModelSpec {
                     width,
                     input_dim
                 );
-                Box::new(SimpleCnn::new(*channels, *height, *width, *filters, num_classes))
+                Box::new(SimpleCnn::new(
+                    *channels,
+                    *height,
+                    *width,
+                    *filters,
+                    num_classes,
+                ))
             }
         }
     }

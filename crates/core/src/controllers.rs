@@ -132,9 +132,18 @@ mod tests {
         assert!(ControllerSpec::Algorithm3.build(dim, 0).probe_k().is_some());
         assert!(ControllerSpec::Algorithm2.build(dim, 0).probe_k().is_some());
         assert!(ControllerSpec::ValueBased.build(dim, 0).probe_k().is_some());
-        assert!(ControllerSpec::Exp3 { num_arms: 4 }.build(dim, 0).probe_k().is_none());
-        assert!(ControllerSpec::ContinuousBandit.build(dim, 0).probe_k().is_none());
-        assert!(ControllerSpec::Fixed(10.0).build(dim, 0).probe_k().is_none());
+        assert!(ControllerSpec::Exp3 { num_arms: 4 }
+            .build(dim, 0)
+            .probe_k()
+            .is_none());
+        assert!(ControllerSpec::ContinuousBandit
+            .build(dim, 0)
+            .probe_k()
+            .is_none());
+        assert!(ControllerSpec::Fixed(10.0)
+            .build(dim, 0)
+            .probe_k()
+            .is_none());
     }
 
     #[test]

@@ -103,9 +103,7 @@ impl Fig1Result {
         let total: f64 = self
             .curves
             .iter()
-            .filter_map(|c| {
-                Some(c.phase2_losses.first()? - c.phase2_losses.last()?)
-            })
+            .filter_map(|c| Some(c.phase2_losses.first()? - c.phase2_losses.last()?))
             .sum();
         total / self.curves.len() as f64
     }
@@ -173,13 +171,12 @@ pub fn run(config: &Fig1Config) -> Fig1Result {
             &StopCondition::until_loss(psi, config.max_rounds_phase1),
         );
         let rounds_to_psi = phase1.len();
-        let loss_at_switch = phase1
-            .final_global_loss()
-            .unwrap_or(initial_loss);
+        let loss_at_switch = phase1.final_global_loss().unwrap_or(initial_loss);
 
         // Phase 2: every run switches to the same k and records the loss per
         // round.
-        let phase2 = experiment.run_fixed_k(k_after, &StopCondition::after_rounds(config.rounds_phase2));
+        let phase2 =
+            experiment.run_fixed_k(k_after, &StopCondition::after_rounds(config.rounds_phase2));
         let phase2_losses: Vec<f64> = phase2
             .points()
             .iter()

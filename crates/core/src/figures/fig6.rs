@@ -133,7 +133,10 @@ mod tests {
     fn algorithm3_k_fluctuates_no_more_than_algorithm2() {
         let result = run(&tiny_config());
         let (s3, s2) = result.k_spreads(20);
-        assert!(s3 <= s2 + 1.0, "Algorithm 3 spread {s3} vs Algorithm 2 {s2}");
+        assert!(
+            s3 <= s2 + 1.0,
+            "Algorithm 3 spread {s3} vs Algorithm 2 {s2}"
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! claims; this experiment verifies them on synthetic convex cost sequences
 //! that satisfy Assumption 2, for both exact and noisy derivative signs.
 
-use agsfl_online::regret::{run_sign_ogd_exact, run_sign_ogd_noisy, RegretOutcome, SyntheticCostEnv};
+use agsfl_online::regret::{
+    run_sign_ogd_exact, run_sign_ogd_noisy, RegretOutcome, SyntheticCostEnv,
+};
 use agsfl_online::SearchInterval;
 use serde::{Deserialize, Serialize};
 

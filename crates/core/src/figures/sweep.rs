@@ -107,7 +107,11 @@ impl SweepResult {
         self.replays
             .iter()
             .filter(|r| r.target_comm_time == target)
-            .min_by(|a, b| a.final_loss.partial_cmp(&b.final_loss).expect("finite losses"))
+            .min_by(|a, b| {
+                a.final_loss
+                    .partial_cmp(&b.final_loss)
+                    .expect("finite losses")
+            })
             .map(|r| r.source_comm_time)
     }
 
@@ -200,10 +204,8 @@ pub fn run(config: &SweepConfig, dataset_label: &str) -> SweepResult {
                 ..config.base.clone()
             };
             let mut experiment = Experiment::new(&experiment_config);
-            let history = experiment.run_k_sequence(
-                &source.k_sequence,
-                &StopCondition::after_time(time_budget),
-            );
+            let history = experiment
+                .run_k_sequence(&source.k_sequence, &StopCondition::after_time(time_budget));
             replays.push(ReplayOutcome {
                 source_comm_time: source.comm_time,
                 target_comm_time: target.comm_time,

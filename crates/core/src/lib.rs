@@ -52,6 +52,8 @@ pub mod report;
 mod runner;
 
 pub use agsfl_exec::{Executor, Parallelism};
-pub use config::{DatasetSpec, ExperimentConfig, ExperimentConfigBuilder, ModelSpec, SparsifierSpec};
+pub use config::{
+    DatasetSpec, ExperimentConfig, ExperimentConfigBuilder, ModelSpec, SparsifierSpec,
+};
 pub use controllers::ControllerSpec;
 pub use runner::{Experiment, StopCondition};

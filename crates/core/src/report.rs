@@ -96,7 +96,9 @@ pub fn contribution_summary(histories: &[&RunHistory]) -> String {
 /// intervals.
 pub fn sample_times(max_time: f64, steps: usize) -> Vec<f64> {
     let steps = steps.max(1);
-    (1..=steps).map(|i| max_time * i as f64 / steps as f64).collect()
+    (1..=steps)
+        .map(|i| max_time * i as f64 / steps as f64)
+        .collect()
 }
 
 fn truncate(s: &str, width: usize) -> String {

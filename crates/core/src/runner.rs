@@ -98,7 +98,8 @@ impl Experiment {
     /// and sparsifier and wires up the simulator.
     pub fn new(config: &ExperimentConfig) -> Self {
         config.validate();
-        let mut data_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_mul(0x5DEECE66D).wrapping_add(11));
+        let mut data_rng =
+            ChaCha8Rng::seed_from_u64(config.seed.wrapping_mul(0x5DEECE66D).wrapping_add(11));
         let dataset = config.dataset.generate(&mut data_rng);
         let model = config
             .model
@@ -204,9 +205,12 @@ impl Experiment {
                 || stop.rounds_exhausted(round_in_run)
                 || stop.time_exhausted(self.sim.elapsed_time() - start_time);
             let (global_loss, test_accuracy) = if evaluate {
+                // One fused parallel sweep for both metrics (bit-identical
+                // to the individual accessors; see Simulation::evaluate).
+                let eval = self.sim.evaluate();
                 (
-                    Some(self.sim.global_train_loss()),
-                    Some(self.sim.test_accuracy()),
+                    Some(eval.train_loss as f64),
+                    Some(eval.test_accuracy as f64),
                 )
             } else {
                 (None, None)
@@ -252,9 +256,12 @@ impl Experiment {
             history.add_contributions(&report.contributions);
             let evaluate = round_in_run % self.config.eval_every == 0 || round_in_run == 1;
             let (global_loss, test_accuracy) = if evaluate {
+                // One fused parallel sweep for both metrics (bit-identical
+                // to the individual accessors; see Simulation::evaluate).
+                let eval = self.sim.evaluate();
                 (
-                    Some(self.sim.global_train_loss()),
-                    Some(self.sim.test_accuracy()),
+                    Some(eval.train_loss as f64),
+                    Some(eval.test_accuracy as f64),
                 )
             } else {
                 (None, None)
@@ -296,6 +303,7 @@ impl Experiment {
                 time_model: TimeModel::normalized(config.comm_time),
                 aggregation_period: TimeModel::fedavg_period(dim, k_equivalent),
                 seed: config.seed,
+                parallelism: config.parallelism,
             },
         );
         let mut history = RunHistory::new("FedAvg", num_clients);
@@ -308,7 +316,8 @@ impl Experiment {
             let report = sim.run_round();
             let evaluate = round % config.eval_every == 0 || round == 1;
             let (global_loss, test_accuracy) = if evaluate {
-                (Some(sim.global_train_loss()), Some(sim.test_accuracy()))
+                let eval = sim.evaluate();
+                (Some(eval.train_loss), Some(eval.test_accuracy))
             } else {
                 (None, None)
             };
@@ -383,7 +392,8 @@ mod tests {
     #[test]
     fn adaptive_run_produces_varying_k() {
         let mut exp = Experiment::new(&tiny_config(100.0, 2));
-        let history = exp.run_adaptive(ControllerSpec::Algorithm3, &StopCondition::after_rounds(40));
+        let history =
+            exp.run_adaptive(ControllerSpec::Algorithm3, &StopCondition::after_rounds(40));
         assert_eq!(history.len(), 40);
         let ks = history.k_sequence();
         assert!(ks.iter().any(|&k| k != ks[0]), "k never changed: {ks:?}");
@@ -433,10 +443,7 @@ mod tests {
         let mut exp = Experiment::new(&tiny_config(0.1, 6));
         // Target slightly below the initial loss: a few rounds should do it.
         let initial = exp.simulation().global_train_loss();
-        let history = exp.run_fixed_k(
-            exp.dim(),
-            &StopCondition::until_loss(initial * 0.97, 400),
-        );
+        let history = exp.run_fixed_k(exp.dim(), &StopCondition::until_loss(initial * 0.97, 400));
         assert!(history.len() < 400);
         assert!(history.final_global_loss().unwrap() <= initial * 0.97);
     }

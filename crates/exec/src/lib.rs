@@ -233,7 +233,6 @@ impl Executor {
             out
         })
     }
-
 }
 
 #[cfg(test)]

@@ -230,9 +230,7 @@ mod tests {
         client.compute_local_gradient(&model, &params);
         let w_b: Vec<f32> = params.iter().map(|p| p + 0.01).collect();
         let w_c: Vec<f32> = params.iter().map(|p| p - 0.02).collect();
-        let [a, b, c] = client
-            .probe_losses(&model, [&params, &w_b, &w_c])
-            .unwrap();
+        let [a, b, c] = client.probe_losses(&model, [&params, &w_b, &w_c]).unwrap();
         assert_eq!(Some(a), client.probe_loss(&model, &params));
         assert_eq!(Some(b), client.probe_loss(&model, &w_b));
         assert_eq!(Some(c), client.probe_loss(&model, &w_c));

@@ -5,9 +5,21 @@
 //! `⌊D/(2k)⌋` rounds (the division by 2 accounts for the index transmission
 //! that sparse messages need), and performs purely local SGD steps in the
 //! rounds in between.
+//!
+//! Like the sparse simulator, FedAvg runs its `O(N·D)` passes through the
+//! [`agsfl_exec::Executor`] configured by [`FedAvgConfig::parallelism`]: the
+//! per-round local SGD steps are a client-parallel map (each client owns its
+//! RNG and sampler, results reduce in client order), the `N×D` weight
+//! average is sharded by *dimension stripe* so every coordinate keeps its
+//! serial client-order sum, and evaluation uses the fused sweep of
+//! [`agsfl_ml::metrics::global_evaluation`]. All of it is bit-identical to
+//! the serial path for every thread count; see `ARCHITECTURE.md`.
 
+use agsfl_exec::{Executor, Parallelism};
 use agsfl_ml::data::{FederatedDataset, MinibatchSampler};
-use agsfl_ml::metrics::{global_accuracy, global_loss};
+use agsfl_ml::metrics::{
+    accuracy_parallel, global_accuracy_parallel, global_evaluation, global_loss_parallel,
+};
 use agsfl_ml::model::Model;
 use agsfl_ml::optim::sgd_step;
 use rand::SeedableRng;
@@ -31,6 +43,9 @@ pub struct FedAvgConfig {
     pub aggregation_period: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread policy for the round and evaluation sweeps. Purely a
+    /// wall-clock knob: results are bit-identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FedAvgConfig {
@@ -41,12 +56,14 @@ impl Default for FedAvgConfig {
             time_model: TimeModel::default(),
             aggregation_period: 10,
             seed: 0,
+            parallelism: Parallelism::Auto,
         }
     }
 }
 
 /// All evaluation metrics of a FedAvg run at one point in time, computed
-/// from a single weight-averaging pass (see [`FedAvgSimulation::evaluate`]).
+/// from a single weight-averaging pass and one fused evaluation sweep (see
+/// [`FedAvgSimulation::evaluate`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FedAvgEvaluation {
     /// Global training loss at the averaged weights.
@@ -72,16 +89,32 @@ pub struct FedAvgRoundReport {
     pub elapsed_time: f64,
 }
 
+/// One FedAvg client: its diverging local weights plus the private sampler
+/// and RNG that make the client-parallel round pass deterministic in any
+/// interleaving.
+#[derive(Debug, Clone)]
+struct FedAvgClient {
+    id: usize,
+    weight: f64,
+    params: Vec<f32>,
+    sampler: MinibatchSampler,
+    rng: ChaCha8Rng,
+}
+
+/// Dimension stripes below this size are averaged on the calling thread:
+/// tiny test models should not pay thread spawns for a memory-bound pass.
+const STRIPE_MIN_DIM: usize = 4096;
+
 /// Federated averaging with periodic full-model exchange.
 pub struct FedAvgSimulation {
     model: Box<dyn Model>,
     dataset: FederatedDataset,
     config: FedAvgConfig,
-    /// Per-client local weights (diverge between aggregations).
-    local_params: Vec<Vec<f32>>,
-    weights: Vec<f64>,
-    samplers: Vec<MinibatchSampler>,
-    rngs: Vec<ChaCha8Rng>,
+    /// Per-client state (local weights diverge between aggregations).
+    clients: Vec<FedAvgClient>,
+    /// The executor built once from [`FedAvgConfig::parallelism`] and reused
+    /// by the round pass, the weight average and the evaluation sweeps.
+    executor: Executor,
     round: usize,
     elapsed: f64,
 }
@@ -89,7 +122,7 @@ pub struct FedAvgSimulation {
 impl std::fmt::Debug for FedAvgSimulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FedAvgSimulation")
-            .field("num_clients", &self.local_params.len())
+            .field("num_clients", &self.clients.len())
             .field("round", &self.round)
             .field("aggregation_period", &self.config.aggregation_period)
             .finish()
@@ -104,33 +137,36 @@ impl FedAvgSimulation {
     /// Panics if `aggregation_period == 0` or the model/dataset dimensions
     /// disagree.
     pub fn new(model: Box<dyn Model>, dataset: FederatedDataset, config: FedAvgConfig) -> Self {
-        assert!(config.aggregation_period > 0, "aggregation period must be positive");
-        assert_eq!(model.input_dim(), dataset.feature_dim(), "feature dim mismatch");
+        assert!(
+            config.aggregation_period > 0,
+            "aggregation period must be positive"
+        );
+        assert_eq!(
+            model.input_dim(),
+            dataset.feature_dim(),
+            "feature dim mismatch"
+        );
         let mut init_rng = ChaCha8Rng::seed_from_u64(config.seed);
         let init = model.init_params(&mut init_rng);
         let total = dataset.total_samples() as f64;
-        let weights: Vec<f64> = dataset
+        let clients = dataset
             .clients()
             .iter()
-            .map(|s| s.len() as f64 / total)
+            .enumerate()
+            .map(|(i, shard)| FedAvgClient {
+                id: i,
+                weight: shard.len() as f64 / total,
+                params: init.clone(),
+                sampler: MinibatchSampler::new(shard, config.batch_size),
+                rng: ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(17).wrapping_add(i as u64)),
+            })
             .collect();
-        let samplers = dataset
-            .clients()
-            .iter()
-            .map(|s| MinibatchSampler::new(s, config.batch_size))
-            .collect();
-        let rngs = (0..dataset.num_clients())
-            .map(|i| ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(17).wrapping_add(i as u64)))
-            .collect();
-        let local_params = vec![init; dataset.num_clients()];
         Self {
             model,
             dataset,
             config,
-            local_params,
-            weights,
-            samplers,
-            rngs,
+            clients,
+            executor: config.parallelism.build(),
             round: 0,
             elapsed: 0.0,
         }
@@ -146,77 +182,138 @@ impl FedAvgSimulation {
         self.elapsed
     }
 
+    /// Client `i`'s current local weights (test/diagnostic accessor).
+    pub fn local_params(&self, i: usize) -> &[f32] {
+        &self.clients[i].params
+    }
+
     /// The weighted average of the clients' current local weights — the
     /// "global model" FedAvg would report at this point.
+    ///
+    /// The `N×D` reduction is sharded across the executor's workers by
+    /// *dimension stripe*: each worker owns a contiguous coordinate range
+    /// and folds over the clients in client order, so every coordinate's sum
+    /// is evaluated in exactly the serial association and the result is
+    /// bit-identical for any stripe count (the same argument as
+    /// `agsfl_sparse::shard`).
     pub fn averaged_params(&self) -> Vec<f32> {
-        let dim = self.local_params[0].len();
+        let dim = self.clients[0].params.len();
         let mut avg = vec![0.0f64; dim];
-        for (params, &w) in self.local_params.iter().zip(self.weights.iter()) {
-            for (a, &p) in avg.iter_mut().zip(params.iter()) {
-                *a += w * p as f64;
+        if self.executor.is_serial() || dim < STRIPE_MIN_DIM {
+            for client in &self.clients {
+                for (a, &p) in avg.iter_mut().zip(client.params.iter()) {
+                    *a += client.weight * p as f64;
+                }
             }
+        } else {
+            let stripe = dim.div_ceil(self.executor.threads());
+            let mut stripes: Vec<(usize, &mut [f64])> =
+                avg.chunks_mut(stripe).enumerate().collect();
+            let clients = &self.clients;
+            // The stripe count equals the thread count, so the map must not
+            // re-apply the executor's min-items gate (2 stripes on a
+            // 2-thread executor must actually spawn); the is_serial/dim
+            // guard above already made the parallelize decision.
+            let exec = self.executor.with_min_items(1);
+            exec.map_mut(&mut stripes, |(i, chunk)| {
+                let lo = *i * stripe;
+                for client in clients {
+                    let src = &client.params[lo..lo + chunk.len()];
+                    for (a, &p) in chunk.iter_mut().zip(src.iter()) {
+                        *a += client.weight * p as f64;
+                    }
+                }
+            });
         }
         avg.into_iter().map(|v| v as f32).collect()
     }
 
-    /// Evaluates loss, test accuracy and train accuracy in one shot,
-    /// computing the `N×D` weight average a single time.
+    /// Evaluates loss, test accuracy and train accuracy in one shot:
+    /// the `N×D` weight average is computed a single time and all three
+    /// metrics come from one fused parallel sweep
+    /// ([`agsfl_ml::metrics::global_evaluation`]).
     ///
     /// The individual accessors ([`FedAvgSimulation::global_train_loss`] and
-    /// friends) each redo that reduction; callers that report more than one
+    /// friends) each redo the reduction; callers that report more than one
     /// metric per round — every figure pipeline does — should use this.
     pub fn evaluate(&self) -> FedAvgEvaluation {
         let avg = self.averaged_params();
-        let test = self.dataset.test();
+        let eval = global_evaluation(
+            self.model.as_ref(),
+            &avg,
+            self.dataset.clients(),
+            self.dataset.test(),
+            &self.executor,
+        );
         FedAvgEvaluation {
-            train_loss: global_loss(self.model.as_ref(), &avg, self.dataset.clients()) as f64,
-            test_accuracy: self.model.accuracy(&avg, &test.features, &test.labels) as f64,
-            train_accuracy: global_accuracy(self.model.as_ref(), &avg, self.dataset.clients())
-                as f64,
+            train_loss: eval.train_loss as f64,
+            test_accuracy: eval.test_accuracy as f64,
+            train_accuracy: eval.train_accuracy as f64,
         }
     }
 
     /// Global training loss at the averaged weights.
     pub fn global_train_loss(&self) -> f64 {
         let avg = self.averaged_params();
-        global_loss(self.model.as_ref(), &avg, self.dataset.clients()) as f64
+        global_loss_parallel(
+            self.model.as_ref(),
+            &avg,
+            self.dataset.clients(),
+            &self.executor,
+        ) as f64
     }
 
     /// Test accuracy at the averaged weights.
     pub fn test_accuracy(&self) -> f64 {
         let avg = self.averaged_params();
         let test = self.dataset.test();
-        self.model.accuracy(&avg, &test.features, &test.labels) as f64
+        accuracy_parallel(
+            self.model.as_ref(),
+            &avg,
+            &test.features,
+            &test.labels,
+            &self.executor,
+        ) as f64
     }
 
     /// Weighted train accuracy at the averaged weights.
     pub fn global_train_accuracy(&self) -> f64 {
         let avg = self.averaged_params();
-        global_accuracy(self.model.as_ref(), &avg, self.dataset.clients()) as f64
+        global_accuracy_parallel(
+            self.model.as_ref(),
+            &avg,
+            self.dataset.clients(),
+            &self.executor,
+        ) as f64
     }
 
-    /// Runs one FedAvg round: a local SGD step at every client, plus a full
-    /// weight aggregation every `aggregation_period` rounds.
+    /// Runs one FedAvg round: a local SGD step at every client (one
+    /// client-parallel map; each client owns its RNG and sampler, and the
+    /// weighted loss reduces in client order on the calling thread), plus a
+    /// full weight aggregation every `aggregation_period` rounds.
     pub fn run_round(&mut self) -> FedAvgRoundReport {
         self.round += 1;
         let lr = self.config.learning_rate;
+        let model = self.model.as_ref();
+        let dataset = &self.dataset;
+        let losses: Vec<(f64, f32)> = self.executor.map_mut(&mut self.clients, |client| {
+            let shard = dataset.client(client.id);
+            let (features, labels, _) = client.sampler.next_batch(shard, &mut client.rng);
+            let (loss, grad) = model.loss_and_grad(&client.params, &features, &labels);
+            sgd_step(&mut client.params, &grad, lr);
+            (client.weight, loss)
+        });
         let mut train_loss = 0.0f64;
-        for i in 0..self.local_params.len() {
-            let shard = self.dataset.client(i);
-            let (features, labels, _) = self.samplers[i].next_batch(shard, &mut self.rngs[i]);
-            let (loss, grad) = self
-                .model
-                .loss_and_grad(&self.local_params[i], &features, &labels);
-            train_loss += self.weights[i] * loss as f64;
-            sgd_step(&mut self.local_params[i], &grad, lr);
+        for (weight, loss) in losses {
+            train_loss += weight * loss as f64;
         }
 
         let aggregated = self.round % self.config.aggregation_period == 0;
-        let dim = self.local_params[0].len();
+        let dim = self.clients[0].params.len();
         let round_time = if aggregated {
             let avg = self.averaged_params();
-            for params in &mut self.local_params {
-                params.copy_from_slice(&avg);
+            for client in &mut self.clients {
+                client.params.copy_from_slice(&avg);
             }
             self.config.time_model.dense_round_time(dim)
         } else {
@@ -240,7 +337,12 @@ mod tests {
     use agsfl_ml::data::{SyntheticFemnist, SyntheticFemnistConfig};
     use agsfl_ml::model::LinearSoftmax;
 
-    fn tiny_fedavg(period: usize, beta: f64, seed: u64) -> FedAvgSimulation {
+    fn tiny_fedavg_with(
+        period: usize,
+        beta: f64,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> FedAvgSimulation {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
         let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
@@ -253,8 +355,13 @@ mod tests {
                 time_model: TimeModel::normalized(beta),
                 aggregation_period: period,
                 seed,
+                parallelism,
             },
         )
+    }
+
+    fn tiny_fedavg(period: usize, beta: f64, seed: u64) -> FedAvgSimulation {
+        tiny_fedavg_with(period, beta, seed, Parallelism::Auto)
     }
 
     #[test]
@@ -283,10 +390,10 @@ mod tests {
         let mut sim = tiny_fedavg(2, 1.0, 2);
         sim.run_round();
         // After one local round, clients differ.
-        assert_ne!(sim.local_params[0], sim.local_params[1]);
+        assert_ne!(sim.local_params(0), sim.local_params(1));
         sim.run_round();
         // After the aggregation round, everyone holds the average.
-        assert_eq!(sim.local_params[0], sim.local_params[1]);
+        assert_eq!(sim.local_params(0), sim.local_params(1));
     }
 
     #[test]
@@ -307,9 +414,9 @@ mod tests {
         sim.run_round();
         let avg = sim.averaged_params();
         let mut manual = vec![0.0f64; avg.len()];
-        for (p, &w) in sim.local_params.iter().zip(sim.weights.iter()) {
-            for (m, &v) in manual.iter_mut().zip(p.iter()) {
-                *m += w * v as f64;
+        for client in &sim.clients {
+            for (m, &v) in manual.iter_mut().zip(client.params.iter()) {
+                *m += client.weight * v as f64;
             }
         }
         for (a, m) in avg.iter().zip(manual.iter()) {
@@ -327,6 +434,69 @@ mod tests {
         assert_eq!(eval.train_loss, sim.global_train_loss());
         assert_eq!(eval.test_accuracy, sim.test_accuracy());
         assert_eq!(eval.train_accuracy, sim.global_train_accuracy());
+    }
+
+    /// The evaluation invariant: a serial and a multi-threaded FedAvg run of
+    /// the same seed produce equal round reports, bit-equal averaged
+    /// weights and equal evaluations, across 1–8 workers.
+    #[test]
+    fn serial_and_parallel_fedavg_runs_are_identical() {
+        let mut serial = tiny_fedavg_with(2, 5.0, 9, Parallelism::Serial);
+        let mut parallel: Vec<FedAvgSimulation> = (2..=8)
+            .step_by(3)
+            .map(|t| tiny_fedavg_with(2, 5.0, 9, Parallelism::Threads(t)))
+            .collect();
+        for _ in 0..4 {
+            let rs = serial.run_round();
+            for sim in &mut parallel {
+                assert_eq!(rs, sim.run_round());
+            }
+        }
+        let expected_eval = serial.evaluate();
+        let expected_avg = serial.averaged_params();
+        for sim in &parallel {
+            assert_eq!(expected_avg, sim.averaged_params());
+            assert_eq!(expected_eval, sim.evaluate());
+        }
+    }
+
+    /// The dimension-striped average must be bit-identical to the serial
+    /// fold at dimensions large enough to actually take the striped branch.
+    #[test]
+    fn striped_average_matches_serial_at_large_dim() {
+        use agsfl_ml::data::{ClientShard, FederatedDataset};
+        use agsfl_tensor::Matrix;
+        let dim_features = 2_100; // LinearSoftmax params: 2100*2 + 2 > STRIPE_MIN_DIM
+        let shard = |seed: usize, n: usize| {
+            ClientShard::new(
+                Matrix::from_fn(n, dim_features, |i, j| {
+                    ((i * 31 + j * 7 + seed * 13) % 17) as f32 * 0.05 - 0.4
+                }),
+                (0..n).map(|i| (i + seed) % 2).collect(),
+            )
+        };
+        let build = |parallelism: Parallelism| {
+            let fed =
+                FederatedDataset::new(vec![shard(0, 5), shard(1, 3), shard(2, 7)], shard(9, 4), 2);
+            FedAvgSimulation::new(
+                Box::new(LinearSoftmax::new(dim_features, 2)),
+                fed,
+                FedAvgConfig {
+                    batch_size: 2,
+                    parallelism,
+                    ..FedAvgConfig::default()
+                },
+            )
+        };
+        let mut serial = build(Parallelism::Serial);
+        serial.run_round();
+        let expected = serial.averaged_params();
+        assert!(expected.len() >= STRIPE_MIN_DIM, "test must cover striping");
+        for threads in [2usize, 3, 5, 8] {
+            let mut sim = build(Parallelism::Threads(threads));
+            sim.run_round();
+            assert_eq!(expected, sim.averaged_params(), "threads={threads}");
+        }
     }
 
     #[test]

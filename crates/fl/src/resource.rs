@@ -134,7 +134,10 @@ impl CompositeCost {
     ///
     /// Panics if `components` is empty or any weight is negative/not finite.
     pub fn new(components: Vec<(f64, ResourceModel)>) -> Self {
-        assert!(!components.is_empty(), "composite cost needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "composite cost needs at least one component"
+        );
         assert!(
             components.iter().all(|(w, _)| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"

@@ -2,7 +2,10 @@
 
 use agsfl_exec::{Executor, Parallelism};
 use agsfl_ml::data::FederatedDataset;
-use agsfl_ml::metrics::{global_accuracy, global_loss};
+use agsfl_ml::metrics::{
+    accuracy_parallel, global_accuracy_parallel, global_evaluation, global_loss_parallel,
+    GlobalEvaluation,
+};
 use agsfl_ml::model::Model;
 use agsfl_sparse::{ClientUpload, SelectionResult, ShardedScratch, Sparsifier};
 use rand::SeedableRng;
@@ -118,7 +121,11 @@ impl Simulation {
                     shard.len() as f64 / total_samples,
                     dim,
                     config.batch_size,
-                    config.seed.wrapping_add(1).wrapping_mul(0x9E37_79B9).wrapping_add(i as u64),
+                    config
+                        .seed
+                        .wrapping_add(1)
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(i as u64),
                 )
             })
             .collect();
@@ -183,21 +190,56 @@ impl Simulation {
     }
 
     /// Global training loss `L(w)` over all client data at the current
-    /// weights.
+    /// weights, swept client-parallel through the round engine's executor
+    /// (bit-identical to the serial sweep; see `agsfl_ml::metrics`).
     pub fn global_train_loss(&self) -> f64 {
-        global_loss(self.model.as_ref(), &self.params, self.dataset.clients()) as f64
+        global_loss_parallel(
+            self.model.as_ref(),
+            &self.params,
+            self.dataset.clients(),
+            &self.executor,
+        ) as f64
     }
 
-    /// Test-set accuracy at the current weights.
+    /// Test-set accuracy at the current weights (row-chunked parallel sweep,
+    /// bit-identical to the serial pass).
     pub fn test_accuracy(&self) -> f64 {
         let test = self.dataset.test();
-        self.model
-            .accuracy(&self.params, &test.features, &test.labels) as f64
+        accuracy_parallel(
+            self.model.as_ref(),
+            &self.params,
+            &test.features,
+            &test.labels,
+            &self.executor,
+        ) as f64
     }
 
-    /// Weighted training accuracy over all client data at the current weights.
+    /// Weighted training accuracy over all client data at the current
+    /// weights (client-parallel sweep, bit-identical to the serial pass).
     pub fn global_train_accuracy(&self) -> f64 {
-        global_accuracy(self.model.as_ref(), &self.params, self.dataset.clients()) as f64
+        global_accuracy_parallel(
+            self.model.as_ref(),
+            &self.params,
+            self.dataset.clients(),
+            &self.executor,
+        ) as f64
+    }
+
+    /// Everything an evaluation point reports — global train loss, global
+    /// train accuracy and test accuracy — from **one** fused parallel sweep
+    /// over one work list, so an `eval_every` point spawns a single worker
+    /// region and forwards every client shard exactly once (the individual
+    /// accessors forward the shards once per metric).
+    ///
+    /// Each metric is bit-identical to its individual accessor.
+    pub fn evaluate(&self) -> GlobalEvaluation {
+        global_evaluation(
+            self.model.as_ref(),
+            &self.params,
+            self.dataset.clients(),
+            self.dataset.test(),
+            &self.executor,
+        )
     }
 
     /// Runs one round of Algorithm 1 with `k`-element sparsification.
@@ -225,9 +267,7 @@ impl Simulation {
         // parallel gradient pass plus a serial upload loop. Each client owns
         // its RNG and sampler, and the executor returns results in client
         // order, so this is bit-identical to the sequential loop.
-        let plan = self
-            .sparsifier
-            .upload_plan(dim, k, &mut self.server_rng);
+        let plan = self.sparsifier.upload_plan(dim, k, &mut self.server_rng);
         let model = self.model.as_ref();
         let params = &self.params;
         let produced: Vec<(f64, f32, ClientUpload)> =
@@ -479,6 +519,59 @@ mod tests {
                 "final weights diverged for sparsifier {which}"
             );
         }
+    }
+
+    /// The fused evaluation sweep must equal the individual accessors bit
+    /// for bit, serial or parallel, across 1–8 workers.
+    #[test]
+    fn fused_evaluation_matches_accessors_for_any_worker_count() {
+        for threads in [1usize, 2, 3, 5, 8] {
+            let parallelism = if threads == 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::Threads(threads)
+            };
+            let mut sim = tiny_sim_with(Box::new(FabTopK::new()), 5.0, 21, parallelism);
+            for _ in 0..3 {
+                sim.run_round(sim.dim() / 6, None);
+            }
+            let eval = sim.evaluate();
+            assert_eq!(
+                eval.train_loss as f64,
+                sim.global_train_loss(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                eval.train_accuracy as f64,
+                sim.global_train_accuracy(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                eval.test_accuracy as f64,
+                sim.test_accuracy(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// Evaluation sweeps are part of the determinism invariant: the same
+    /// trained state evaluates to identical bits for every worker count.
+    #[test]
+    fn serial_and_parallel_evaluations_are_identical() {
+        let mut serial = tiny_sim_with(Box::new(FabTopK::new()), 5.0, 22, Parallelism::Serial);
+        let mut parallel =
+            tiny_sim_with(Box::new(FabTopK::new()), 5.0, 22, Parallelism::Threads(4));
+        for _ in 0..3 {
+            serial.run_round(40, None);
+            parallel.run_round(40, None);
+        }
+        assert_eq!(serial.evaluate(), parallel.evaluate());
+        assert_eq!(serial.global_train_loss(), parallel.global_train_loss());
+        assert_eq!(serial.test_accuracy(), parallel.test_accuracy());
+        assert_eq!(
+            serial.global_train_accuracy(),
+            parallel.global_train_accuracy()
+        );
     }
 
     #[test]

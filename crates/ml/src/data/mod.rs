@@ -125,7 +125,10 @@ impl FederatedDataset {
     /// Panics if `clients` is empty, if the shards disagree on feature
     /// dimension, or if any label is `>= num_classes`.
     pub fn new(clients: Vec<ClientShard>, test: ClientShard, num_classes: usize) -> Self {
-        assert!(!clients.is_empty(), "a federated dataset needs at least one client");
+        assert!(
+            !clients.is_empty(),
+            "a federated dataset needs at least one client"
+        );
         let dim = clients[0].feature_dim();
         for (i, shard) in clients.iter().enumerate() {
             assert_eq!(shard.feature_dim(), dim, "client {i} feature dim mismatch");

@@ -100,7 +100,10 @@ pub fn partition_dirichlet<R: Rng + ?Sized>(
     alpha: f64,
     rng: &mut R,
 ) -> Vec<ClientShard> {
-    assert!(num_clients > 0 && num_classes > 0, "empty partition request");
+    assert!(
+        num_clients > 0 && num_classes > 0,
+        "empty partition request"
+    );
     assert!(alpha > 0.0, "alpha must be positive");
     let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
     for (i, &label) in pool.labels.iter().enumerate() {
@@ -248,15 +251,26 @@ mod tests {
             let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
             sizes.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sizes.len() as f64
         };
-        assert!(var(&skewed) > var(&uniform), "{} vs {}", var(&skewed), var(&uniform));
+        assert!(
+            var(&skewed) > var(&uniform),
+            "{} vs {}",
+            var(&skewed),
+            var(&uniform)
+        );
     }
 
     #[test]
     fn gamma_sample_mean_close_to_shape() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         for &shape in &[0.5f64, 1.0, 3.0] {
-            let mean: f64 = (0..5000).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / 5000.0;
-            assert!((mean - shape).abs() < 0.15 * shape.max(1.0), "shape {shape} mean {mean}");
+            let mean: f64 = (0..5000)
+                .map(|_| gamma_sample(shape, &mut rng))
+                .sum::<f64>()
+                / 5000.0;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape} mean {mean}"
+            );
         }
     }
 

@@ -143,7 +143,12 @@ fn generate_pool<R: Rng + ?Sized>(
         // Per-sample "scene" shift models the higher intra-class variance of
         // natural images compared to handwritten characters.
         let scene = init::normal_vec(dim, 0.0, noise_std * 0.5, rng);
-        flat.extend(sample_features(prototypes.row(class), Some(&scene), noise_std, rng));
+        flat.extend(sample_features(
+            prototypes.row(class),
+            Some(&scene),
+            noise_std,
+            rng,
+        ));
         labels.push(class);
     }
     ClientShard::new(Matrix::from_vec(samples, dim, flat), labels)

@@ -86,7 +86,10 @@ impl SyntheticFemnistConfig {
     /// Panics if any count is zero or `classes_per_client > num_classes`.
     fn validate(&self) {
         assert!(self.num_clients > 0, "num_clients must be positive");
-        assert!(self.samples_per_client > 0, "samples_per_client must be positive");
+        assert!(
+            self.samples_per_client > 0,
+            "samples_per_client must be positive"
+        );
         assert!(self.feature_dim > 0, "feature_dim must be positive");
         assert!(self.num_classes > 1, "num_classes must be at least 2");
         assert!(
@@ -251,7 +254,10 @@ mod tests {
         assert_eq!(fed.num_clients(), cfg.num_clients);
         assert_eq!(fed.num_classes(), cfg.num_classes);
         assert_eq!(fed.feature_dim(), cfg.feature_dim);
-        assert!(fed.clients().iter().all(|c| c.len() == cfg.samples_per_client));
+        assert!(fed
+            .clients()
+            .iter()
+            .all(|c| c.len() == cfg.samples_per_client));
         assert_eq!(fed.test().len(), cfg.test_samples);
     }
 

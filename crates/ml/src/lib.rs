@@ -15,7 +15,10 @@
 //!   FEMNIST (per-writer non-i.i.d. shards) and the one-class-per-client
 //!   CIFAR-10 partition used in the paper's evaluation, plus generic
 //!   partitioners and a mini-batch sampler,
-//! * [`metrics`] — accuracy and loss evaluation helpers.
+//! * [`metrics`] — accuracy and loss evaluation helpers, both serial and
+//!   executor-sharded (bit-identical) parallel sweeps,
+//! * [`mod@reference`] — the seed scalar-loop CNN kernels kept as the executable
+//!   specification for the im2col fast path.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod optim;
+pub mod reference;
 
 pub use data::{ClientShard, FederatedDataset};
 pub use model::Model;

@@ -3,10 +3,37 @@
 //! The paper's global loss is the data-size-weighted average of per-client
 //! losses, `L(w) = Σ_i C_i L(w, i) / C` (Section III-A); [`global_loss`] and
 //! [`global_accuracy`] implement that weighting for any [`Model`].
+//!
+//! # Executor-sharded sweeps
+//!
+//! At every evaluation point the simulators sweep **all** `N` clients (and
+//! the test set) at the current `D`-dimensional weights — an `O(N·D)` pass
+//! that dominates wall time at `eval_every` rounds once the per-round engine
+//! is parallel. The `*_parallel` variants and the fused
+//! [`global_evaluation`] run those sweeps through an
+//! [`agsfl_exec::Executor`] as chunked maps whose results come back in item
+//! order, with the reduction performed serially on the caller's thread in
+//! exactly the serial path's association. Results are therefore
+//! **bit-identical** to the serial functions for every thread count:
+//!
+//! * per-shard losses/accuracies are computed independently (purity of
+//!   [`Model`]), so each item's value matches the serial pass bit-for-bit;
+//! * the test set is split into contiguous *row* chunks, which is bit-stable
+//!   because [`Model::forward`] is row-independent (see the trait contract)
+//!   and per-chunk correct counts merge by integer addition;
+//! * the weighted folds over shards run on the caller's thread in shard
+//!   order, the serial association.
+//!
+//! [`global_evaluation`] additionally fuses the three sweeps the figure
+//! pipelines report (train loss, train accuracy, test accuracy) into one
+//! parallel region over one work list, so an evaluation point spawns one
+//! set of workers and forwards every shard once instead of twice.
 
+use agsfl_exec::Executor;
 use agsfl_tensor::Matrix;
 
 use crate::data::ClientShard;
+use crate::loss::batch_cross_entropy;
 use crate::model::Model;
 
 /// Fraction of correctly classified rows of `x` under `params`, in `[0, 1]`.
@@ -55,6 +82,256 @@ pub fn global_accuracy(model: &dyn Model, params: &[f32], shards: &[ClientShard]
     (correct / total as f64) as f32
 }
 
+/// Number of correctly classified rows of `x` under `params`.
+///
+/// The integer building block behind the chunked accuracy sweeps: counts
+/// merge exactly across chunks, unlike the `f32` fraction
+/// [`Model::accuracy`] returns.
+pub fn correct_count(model: &dyn Model, params: &[f32], x: &Matrix, labels: &[usize]) -> usize {
+    let logits = model.forward(params, x);
+    logits
+        .iter_rows()
+        .zip(labels.iter())
+        .filter(|(row, &label)| agsfl_tensor::vecops::argmax(row) == Some(label))
+        .count()
+}
+
+/// Splits `rows` into one contiguous chunk per executor worker (or a single
+/// chunk when the executor would not parallelize the sweep).
+fn row_chunks(rows: usize, exec: &Executor) -> Vec<std::ops::Range<usize>> {
+    if !exec.should_parallelize(rows) {
+        return vec![0..rows];
+    }
+    let chunk = rows.div_ceil(exec.threads());
+    (0..rows.div_ceil(chunk))
+        .map(|i| i * chunk..((i + 1) * chunk).min(rows))
+        .collect()
+}
+
+/// Copies the contiguous row range `rows` of `x` into its own matrix.
+///
+/// One memcpy (rows are contiguous in the row-major layout); negligible next
+/// to the forward pass the chunk is about to run.
+fn row_slice(x: &Matrix, rows: &std::ops::Range<usize>) -> Matrix {
+    let cols = x.cols();
+    Matrix::from_vec(
+        rows.len(),
+        cols,
+        x.as_slice()[rows.start * cols..rows.end * cols].to_vec(),
+    )
+}
+
+/// Row-chunked accuracy sweep, in `[0, 1]`.
+///
+/// Bit-identical to [`Model::accuracy`] for every executor configuration:
+/// each chunk's logits match the unsplit forward pass row-for-row (row
+/// independence, see the [`Model`] contract) and chunk counts merge by
+/// integer addition before the single final division.
+pub fn accuracy_parallel(
+    model: &dyn Model,
+    params: &[f32],
+    x: &Matrix,
+    labels: &[usize],
+    exec: &Executor,
+) -> f32 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let chunks = row_chunks(x.rows(), exec);
+    if chunks.len() == 1 {
+        // Serial fallback: forward the matrix directly, no row copy.
+        return correct_count(model, params, x, labels) as f32 / labels.len() as f32;
+    }
+    // `row_chunks` already made the parallelize-or-not decision, so the map
+    // must not re-apply the executor's min-items gate to the (small) chunk
+    // count — a 2-chunk sweep on a 2-thread executor should actually spawn.
+    let counts = exec.with_min_items(1).map_ref(&chunks, |rows| {
+        correct_count(model, params, &row_slice(x, rows), &labels[rows.clone()])
+    });
+    counts.iter().sum::<usize>() as f32 / labels.len() as f32
+}
+
+/// Executor-sharded [`global_loss`]: one parallel map over the shards, with
+/// the weighted fold run serially in shard order. Bit-identical to the
+/// serial function for every executor configuration.
+pub fn global_loss_parallel(
+    model: &dyn Model,
+    params: &[f32],
+    shards: &[ClientShard],
+    exec: &Executor,
+) -> f32 {
+    let total: usize = shards.iter().map(ClientShard::len).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let losses = exec.map_ref(shards, |shard| {
+        if shard.is_empty() {
+            None
+        } else {
+            Some(model.loss(params, &shard.features, &shard.labels))
+        }
+    });
+    let mut acc = 0.0f64;
+    for (shard, loss) in shards.iter().zip(losses) {
+        if let Some(loss) = loss {
+            acc += loss as f64 * shard.len() as f64;
+        }
+    }
+    (acc / total as f64) as f32
+}
+
+/// Executor-sharded [`global_accuracy`]; bit-identical to the serial
+/// function for every executor configuration (same structure as
+/// [`global_loss_parallel`]).
+pub fn global_accuracy_parallel(
+    model: &dyn Model,
+    params: &[f32],
+    shards: &[ClientShard],
+    exec: &Executor,
+) -> f32 {
+    let total: usize = shards.iter().map(ClientShard::len).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let fractions = exec.map_ref(shards, |shard| {
+        if shard.is_empty() {
+            None
+        } else {
+            Some(model.accuracy(params, &shard.features, &shard.labels))
+        }
+    });
+    let mut correct = 0.0f64;
+    for (shard, frac) in shards.iter().zip(fractions) {
+        if let Some(frac) = frac {
+            correct += frac as f64 * shard.len() as f64;
+        }
+    }
+    (correct / total as f64) as f32
+}
+
+/// Everything an evaluation point reports, computed by one fused sweep
+/// ([`global_evaluation`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalEvaluation {
+    /// Data-size-weighted global training loss `L(w)`.
+    pub train_loss: f32,
+    /// Data-size-weighted training accuracy, in `[0, 1]`.
+    pub train_accuracy: f32,
+    /// Held-out test accuracy, in `[0, 1]`.
+    pub test_accuracy: f32,
+}
+
+/// One work item of the fused evaluation sweep.
+enum EvalItem<'a> {
+    /// A client shard, evaluated for loss and accuracy from one forward pass.
+    Shard(&'a ClientShard),
+    /// A contiguous row chunk of the test set.
+    TestChunk(std::ops::Range<usize>),
+}
+
+/// Per-item result of the fused evaluation sweep.
+enum EvalPartial {
+    Shard { loss: f32, accuracy: f32 },
+    TestCorrect(usize),
+}
+
+/// Fused evaluation sweep: global train loss, global train accuracy and test
+/// accuracy in **one** parallel region over one work list (client shards
+/// plus test-row chunks), forwarding every shard exactly once.
+///
+/// Bit-identical to the serial reference
+/// (`global_loss` / `global_accuracy` / [`Model::accuracy`] on the test set)
+/// for every executor configuration: per-shard loss and accuracy come from
+/// the same logits the serial functions would compute, the weighted folds
+/// run on the caller's thread in shard order, and test chunks merge by
+/// integer addition. Pinned by `serial_and_parallel_evaluations_match` tests
+/// in `agsfl-ml` and the simulator crates.
+pub fn global_evaluation(
+    model: &dyn Model,
+    params: &[f32],
+    shards: &[ClientShard],
+    test: &ClientShard,
+    exec: &Executor,
+) -> GlobalEvaluation {
+    let mut items: Vec<EvalItem> = shards
+        .iter()
+        .filter(|s| !s.is_empty())
+        .map(EvalItem::Shard)
+        .collect();
+    let num_shards = items.len();
+    if !test.is_empty() {
+        // The test chunking ignores the shard items when deciding whether to
+        // split: the shard map alone already keeps the workers busy, and a
+        // deterministic chunk layout keeps the work list reproducible.
+        items.extend(
+            row_chunks(test.len(), exec)
+                .into_iter()
+                .map(EvalItem::TestChunk),
+        );
+    }
+    // Parallelize when either the shard list clears the executor's gate or
+    // the test set was big enough to be split; the map itself then runs with
+    // min_items = 1, because the work list already encodes that decision (a
+    // few-item list on a 2-thread executor must still spawn).
+    let map_exec = if exec.should_parallelize(num_shards) || items.len() > num_shards + 1 {
+        exec.with_min_items(1)
+    } else {
+        Executor::serial()
+    };
+    let partials = map_exec.map_ref(&items, |item| match item {
+        EvalItem::Shard(shard) => {
+            let logits = model.forward(params, &shard.features);
+            let correct = logits
+                .iter_rows()
+                .zip(shard.labels.iter())
+                .filter(|(row, &label)| agsfl_tensor::vecops::argmax(row) == Some(label))
+                .count();
+            EvalPartial::Shard {
+                loss: batch_cross_entropy(&logits, &shard.labels),
+                accuracy: correct as f32 / shard.len() as f32,
+            }
+        }
+        EvalItem::TestChunk(rows) => EvalPartial::TestCorrect(correct_count(
+            model,
+            params,
+            &row_slice(&test.features, rows),
+            &test.labels[rows.clone()],
+        )),
+    });
+
+    let total: usize = shards.iter().map(ClientShard::len).sum();
+    let mut loss_acc = 0.0f64;
+    let mut correct_acc = 0.0f64;
+    let mut test_correct = 0usize;
+    for (item, partial) in items.iter().zip(partials) {
+        match (item, partial) {
+            (EvalItem::Shard(shard), EvalPartial::Shard { loss, accuracy }) => {
+                loss_acc += loss as f64 * shard.len() as f64;
+                correct_acc += accuracy as f64 * shard.len() as f64;
+            }
+            (EvalItem::TestChunk(_), EvalPartial::TestCorrect(count)) => test_correct += count,
+            _ => unreachable!("map_ref preserves item order"),
+        }
+    }
+    GlobalEvaluation {
+        train_loss: if total == 0 {
+            0.0
+        } else {
+            (loss_acc / total as f64) as f32
+        },
+        train_accuracy: if total == 0 {
+            0.0
+        } else {
+            (correct_acc / total as f64) as f32
+        },
+        test_accuracy: if test.is_empty() {
+            0.0
+        } else {
+            test_correct as f32 / test.len() as f32
+        },
+    }
+}
+
 /// A labelled confusion matrix over `num_classes` classes.
 ///
 /// Row = true class, column = predicted class.
@@ -89,7 +366,13 @@ impl ConfusionMatrix {
     }
 
     /// Fills the matrix from model predictions on a batch.
-    pub fn record_batch(&mut self, model: &dyn Model, params: &[f32], x: &Matrix, labels: &[usize]) {
+    pub fn record_batch(
+        &mut self,
+        model: &dyn Model,
+        params: &[f32],
+        x: &Matrix,
+        labels: &[usize],
+    ) {
         let logits = model.forward(params, x);
         for (row, &label) in logits.iter_rows().zip(labels.iter()) {
             let pred = agsfl_tensor::vecops::argmax(row).unwrap_or(0);
@@ -206,6 +489,75 @@ mod tests {
         let cm = ConfusionMatrix::new(2);
         assert_eq!(cm.recall(0), None);
         assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    /// The evaluation-sweep invariant: serial and parallel sweeps are
+    /// bit-identical for 1–8 workers, and the fused sweep matches the three
+    /// individual serial functions exactly.
+    #[test]
+    fn serial_and_parallel_evaluations_match() {
+        use agsfl_exec::Executor;
+        let model = LinearSoftmax::new(6, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let params = model.init_params(&mut rng);
+        let shards: Vec<ClientShard> = (0..9)
+            .map(|s| {
+                let n = 3 + (s * 5) % 7;
+                ClientShard::new(
+                    Matrix::from_fn(n, 6, |i, j| {
+                        ((i * 31 + j * 17 + s * 13) % 23) as f32 * 0.1 - 1.0
+                    }),
+                    (0..n).map(|i| (i + s) % 4).collect(),
+                )
+            })
+            .collect();
+        let test = ClientShard::new(
+            Matrix::from_fn(25, 6, |i, j| ((i * 7 + j * 29) % 19) as f32 * 0.1 - 0.9),
+            (0..25).map(|i| i % 4).collect(),
+        );
+
+        let expected_loss = global_loss(&model, &params, &shards);
+        let expected_acc = global_accuracy(&model, &params, &shards);
+        let expected_test = model.accuracy(&params, &test.features, &test.labels);
+        for threads in 1..=8 {
+            let exec = Executor::new(threads).with_min_items(1);
+            assert_eq!(
+                global_loss_parallel(&model, &params, &shards, &exec),
+                expected_loss,
+                "threads={threads}"
+            );
+            assert_eq!(
+                global_accuracy_parallel(&model, &params, &shards, &exec),
+                expected_acc,
+                "threads={threads}"
+            );
+            assert_eq!(
+                accuracy_parallel(&model, &params, &test.features, &test.labels, &exec),
+                expected_test,
+                "threads={threads}"
+            );
+            let fused = global_evaluation(&model, &params, &shards, &test, &exec);
+            assert_eq!(fused.train_loss, expected_loss, "threads={threads}");
+            assert_eq!(fused.train_accuracy, expected_acc, "threads={threads}");
+            assert_eq!(fused.test_accuracy, expected_test, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_evaluation_handles_empty_inputs() {
+        use agsfl_exec::Executor;
+        let model = LinearSoftmax::new(2, 2);
+        let params = vec![0.0; model.num_params()];
+        let exec = Executor::new(4).with_min_items(1);
+        let empty = global_evaluation(&model, &params, &[], &ClientShard::empty(2), &exec);
+        assert_eq!(empty.train_loss, 0.0);
+        assert_eq!(empty.train_accuracy, 0.0);
+        assert_eq!(empty.test_accuracy, 0.0);
+        // Empty shards in a non-empty list are skipped, like global_loss.
+        let a = shard(vec![vec![1.0, 0.0]; 2], vec![0, 0]);
+        let with_hole = vec![a.clone(), ClientShard::empty(2), a];
+        let fused = global_evaluation(&model, &params, &with_hole, &ClientShard::empty(2), &exec);
+        assert_eq!(fused.train_loss, global_loss(&model, &params, &with_hole));
     }
 
     #[test]

@@ -2,6 +2,7 @@ use agsfl_tensor::{init, ops, Matrix};
 use rand::RngCore;
 
 use crate::loss::batch_cross_entropy_with_grad;
+use crate::model::im2col::Im2colScratch;
 use crate::model::{check_input, check_params, Model};
 
 /// A small convolutional network: one 3x3 convolution, ReLU, 2x2 average
@@ -22,6 +23,22 @@ use crate::model::{check_input, check_params, Model};
 /// 3. fully connected weights `[pooled_dim x num_classes]` (row-major),
 /// 4. fully connected biases `[num_classes]`.
 ///
+/// # Implementation
+///
+/// Both passes run through an **im2col lowering** (see
+/// [`Im2colScratch`]): the batch is unrolled into a column matrix once, the
+/// convolution becomes a single `(O x C·9) · (C·9 x B·P)` matrix product,
+/// ReLU + average pooling are fused over the column layout, and the backward
+/// pass contracts the gradient against the same column buffer
+/// (`∂L/∂W_conv = dpre · colsᵀ`) instead of re-walking receptive fields. The
+/// original scalar-loop implementation survives as the executable spec in
+/// [`crate::reference`], and `crates/ml/tests/cnn_equivalence.rs` pins the
+/// two against each other. The plain [`Model`] methods reuse a per-thread
+/// workspace, so `dyn Model` callers (the FL round engine) amortize the
+/// buffers too; callers that want explicit control can hold an
+/// [`Im2colScratch`] and use [`SimpleCnn::forward_with`] /
+/// [`SimpleCnn::loss_and_grad_with`].
+///
 /// # Examples
 ///
 /// ```
@@ -41,6 +58,18 @@ pub struct SimpleCnn {
 }
 
 const KERNEL: usize = 3;
+
+thread_local! {
+    /// Per-thread im2col workspace behind the plain [`Model`] methods, so
+    /// trait-object callers (the FL round engine's `dyn Model` clients) get
+    /// scratch reuse without threading a workspace through the trait: a
+    /// round-engine worker processing its chunk of clients allocates once
+    /// per thread, not once per client. Sound because the scratch carries no
+    /// state between generations (observational purity, pinned by the
+    /// equivalence proptests), so the shared buffer never changes results.
+    static THREAD_SCRATCH: std::cell::RefCell<Im2colScratch> =
+        std::cell::RefCell::new(Im2colScratch::new());
+}
 
 impl SimpleCnn {
     /// Creates a CNN for `in_channels x height x width` inputs with
@@ -71,6 +100,26 @@ impl SimpleCnn {
         }
     }
 
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Input image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Input image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of 3x3 convolution filters (output channels).
+    pub fn filters(&self) -> usize {
+        self.out_channels
+    }
+
     /// Spatial size of the convolution output (`height - 2`, `width - 2`).
     pub fn conv_output_size(&self) -> (usize, usize) {
         (self.height - KERNEL + 1, self.width - KERNEL + 1)
@@ -82,8 +131,14 @@ impl SimpleCnn {
         (ch / 2, cw / 2)
     }
 
+    /// Length of a flattened receptive field (`in_channels · 3 · 3`) — the
+    /// row count of the im2col column matrix.
+    fn patch_dim(&self) -> usize {
+        self.in_channels * KERNEL * KERNEL
+    }
+
     fn conv_weight_len(&self) -> usize {
-        self.out_channels * self.in_channels * KERNEL * KERNEL
+        self.out_channels * self.patch_dim()
     }
 
     fn pooled_dim(&self) -> usize {
@@ -96,7 +151,7 @@ impl SimpleCnn {
     }
 
     /// Offsets of the four parameter blocks: `(conv_w, conv_b, fc_w, fc_b)`.
-    fn offsets(&self) -> (usize, usize, usize, usize) {
+    pub(crate) fn offsets(&self) -> (usize, usize, usize, usize) {
         let conv_w = 0;
         let conv_b = conv_w + self.conv_weight_len();
         let fc_w = conv_b + self.out_channels;
@@ -105,58 +160,225 @@ impl SimpleCnn {
     }
 
     #[inline]
-    fn input_index(&self, c: usize, y: usize, x: usize) -> usize {
+    pub(crate) fn input_index(&self, c: usize, y: usize, x: usize) -> usize {
         c * self.height * self.width + y * self.width + x
     }
 
     #[inline]
-    fn conv_w_index(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
+    pub(crate) fn conv_w_index(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
         ((o * self.in_channels + c) * KERNEL + ky) * KERNEL + kx
     }
 
-    /// Convolution + ReLU + average pooling for one sample.
+    /// Stages the two weight blocks of `params` as matrices in the scratch.
     ///
-    /// Returns `(pre_activation, pooled)` where `pre_activation` is the raw
-    /// convolution output (needed for the ReLU derivative).
-    fn forward_sample(&self, params: &[f32], sample: &[f32]) -> (Vec<f32>, Vec<f32>) {
-        let (conv_w_off, conv_b_off, _, _) = self.offsets();
+    /// Both blocks are already row-major in the layouts the lowering needs
+    /// (`O x C·9` and `pooled_dim x num_classes`), so this is two memcpys.
+    fn load_weights(&self, params: &[f32], scratch: &mut Im2colScratch) {
+        let (conv_w_off, _, fc_w_off, fc_b_off) = self.offsets();
+        scratch
+            .conv_w
+            .resize_for_overwrite(self.out_channels, self.patch_dim());
+        scratch
+            .conv_w
+            .as_mut_slice()
+            .copy_from_slice(&params[conv_w_off..conv_w_off + self.conv_weight_len()]);
+        scratch
+            .fc_w
+            .resize_for_overwrite(self.pooled_dim(), self.num_classes);
+        scratch
+            .fc_w
+            .as_mut_slice()
+            .copy_from_slice(&params[fc_w_off..fc_b_off]);
+    }
+
+    /// Unrolls the batch into the column matrix: column `b·P + p` holds the
+    /// flattened receptive field of output position `p` of sample `b`.
+    ///
+    /// Row `(c·3 + ky)·3 + kx` of the result is filled with contiguous
+    /// `copy_from_slice` runs of one output row each, because for fixed
+    /// `(c, ky, kx)` the receptive-field pixels of output positions
+    /// `(y, 0..cw)` are exactly the input pixels `(c, y+ky, kx..kx+cw)`.
+    fn im2col(&self, x: &Matrix, cols: &mut Matrix) {
         let (ch, cw) = self.conv_output_size();
-        let mut pre = vec![0.0f32; self.out_channels * ch * cw];
+        let positions = ch * cw;
+        let batch = x.rows();
+        cols.resize_for_overwrite(self.patch_dim(), batch * positions);
+        for c in 0..self.in_channels {
+            for ky in 0..KERNEL {
+                for kx in 0..KERNEL {
+                    let row = cols.row_mut((c * KERNEL + ky) * KERNEL + kx);
+                    for b in 0..batch {
+                        let sample = x.row(b);
+                        let dst = &mut row[b * positions..(b + 1) * positions];
+                        for y in 0..ch {
+                            let src_start = self.input_index(c, y + ky, kx);
+                            dst[y * cw..(y + 1) * cw]
+                                .copy_from_slice(&sample[src_start..src_start + cw]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs im2col, the convolution matmul (+ bias) and the fused
+    /// ReLU/average-pooling pass, leaving `cols`, `pre` and `pooled` staged
+    /// in the scratch for the backward pass.
+    fn forward_conv(&self, params: &[f32], x: &Matrix, scratch: &mut Im2colScratch) {
+        let (_, conv_b_off, _, _) = self.offsets();
+        let (ch, cw) = self.conv_output_size();
+        let (ph, pw) = self.pooled_size();
+        let positions = ch * cw;
+        let batch = x.rows();
+
+        self.load_weights(params, scratch);
+        self.im2col(x, &mut scratch.cols);
+        // Seed the pre-activations with the bias and accumulate the matmul
+        // on top: one write pass instead of a zero fill plus a read-modify
+        // bias pass, and the same bias-first fold as the scalar reference.
+        scratch
+            .pre
+            .resize_for_overwrite(self.out_channels, batch * positions);
         for o in 0..self.out_channels {
             let bias = params[conv_b_off + o];
-            for y in 0..ch {
-                for x in 0..cw {
-                    let mut acc = bias;
-                    for c in 0..self.in_channels {
-                        for ky in 0..KERNEL {
-                            for kx in 0..KERNEL {
-                                acc += sample[self.input_index(c, y + ky, x + kx)]
-                                    * params[conv_w_off + self.conv_w_index(o, c, ky, kx)];
+            scratch.pre.row_mut(o).fill(bias);
+        }
+        scratch.conv_w.matmul_acc(&scratch.cols, &mut scratch.pre);
+
+        // Fused ReLU + 2x2 average pooling straight off the column layout.
+        scratch
+            .pooled
+            .resize_for_overwrite(batch, self.pooled_dim());
+        for b in 0..batch {
+            let pre = &scratch.pre;
+            let pooled_row = scratch.pooled.row_mut(b);
+            for o in 0..self.out_channels {
+                let pre_row = &pre.row(o)[b * positions..(b + 1) * positions];
+                for py in 0..ph {
+                    let r0 = &pre_row[py * 2 * cw..py * 2 * cw + cw];
+                    let r1 = &pre_row[(py * 2 + 1) * cw..(py * 2 + 1) * cw + cw];
+                    let dst = &mut pooled_row[(o * ph + py) * pw..(o * ph + py) * pw + pw];
+                    // Same fold order as the scalar reference: (dy,dx) in
+                    // (0,0), (0,1), (1,0), (1,1).
+                    for (px, d) in dst.iter_mut().enumerate() {
+                        *d = (ops::relu(r0[px * 2])
+                            + ops::relu(r0[px * 2 + 1])
+                            + ops::relu(r1[px * 2])
+                            + ops::relu(r1[px * 2 + 1]))
+                            / 4.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward pass reusing an explicit [`Im2colScratch`] (the
+    /// allocation-free hot path; the [`Model::forward`] impl wraps this with
+    /// a per-call workspace).
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter/input dimension mismatches, like
+    /// [`Model::forward`].
+    pub fn forward_with(&self, params: &[f32], x: &Matrix, scratch: &mut Im2colScratch) -> Matrix {
+        check_params(self, params);
+        check_input(self, x);
+        let (_, _, _, fc_b_off) = self.offsets();
+        scratch.begin();
+        self.forward_conv(params, x, scratch);
+        let mut logits = scratch.pooled.matmul(&scratch.fc_w);
+        logits.add_row_broadcast(&params[fc_b_off..fc_b_off + self.num_classes]);
+        logits
+    }
+
+    /// Loss + gradient reusing an explicit [`Im2colScratch`] (the
+    /// allocation-free hot path; the [`Model::loss_and_grad`] impl wraps
+    /// this with a per-call workspace).
+    ///
+    /// The backward pass is the col2im-style contraction described on
+    /// [`Im2colScratch`]: both weight gradients are matrix products
+    /// accumulated directly into the flat gradient vector, in the
+    /// sample-major order documented on the [`Model`] trait.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter/input/label dimension mismatches, like
+    /// [`Model::loss_and_grad`].
+    pub fn loss_and_grad_with(
+        &self,
+        params: &[f32],
+        x: &Matrix,
+        labels: &[usize],
+        scratch: &mut Im2colScratch,
+    ) -> (f32, Vec<f32>) {
+        check_params(self, params);
+        check_input(self, x);
+        let (conv_w_off, conv_b_off, fc_w_off, fc_b_off) = self.offsets();
+        let (ch, cw) = self.conv_output_size();
+        let (ph, pw) = self.pooled_size();
+        let positions = ch * cw;
+        let batch = x.rows();
+
+        scratch.begin();
+        self.forward_conv(params, x, scratch);
+        let mut logits = scratch.pooled.matmul(&scratch.fc_w);
+        logits.add_row_broadcast(&params[fc_b_off..fc_b_off + self.num_classes]);
+        let (loss, dlogits) = batch_cross_entropy_with_grad(&logits, labels);
+
+        let mut grad = vec![0.0f32; self.num_params()];
+
+        // Fully connected layer: both gradients and the back-propagated
+        // pooled gradient are single matmuls.
+        scratch
+            .pooled
+            .transpose_matmul_acc(&dlogits, &mut grad[fc_w_off..fc_b_off]);
+        grad[fc_b_off..fc_b_off + self.num_classes].copy_from_slice(&dlogits.sum_rows());
+        scratch
+            .dpooled
+            .resize_for_overwrite(batch, self.pooled_dim());
+        scratch.dpooled.fill(0.0);
+        dlogits.matmul_transpose_acc(&scratch.fc_w, scratch.dpooled.as_mut_slice());
+
+        // Average pooling + ReLU backward into the column-layout
+        // pre-activations. Positions not covered by a 2x2 pooling window
+        // (odd trailing row/column) keep a zero gradient.
+        scratch
+            .dpre
+            .resize_for_overwrite(self.out_channels, batch * positions);
+        scratch.dpre.fill(0.0);
+        for b in 0..batch {
+            let dpooled_row = scratch.dpooled.row(b);
+            for o in 0..self.out_channels {
+                let pre_row = &scratch.pre.row(o)[b * positions..(b + 1) * positions];
+                let dpre_row = &mut scratch.dpre.row_mut(o)[b * positions..(b + 1) * positions];
+                for py in 0..ph {
+                    for px in 0..pw {
+                        let g = dpooled_row[(o * ph + py) * pw + px] / 4.0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = (py * 2 + dy) * cw + px * 2 + dx;
+                                dpre_row[idx] = g * ops::relu_grad(pre_row[idx]);
                             }
                         }
                     }
-                    pre[(o * ch + y) * cw + x] = acc;
                 }
             }
         }
-        let (ph, pw) = self.pooled_size();
-        let mut pooled = vec![0.0f32; self.out_channels * ph * pw];
+
+        // Convolution gradients: the bias gradient is a row sum and the
+        // weight gradient the col2im contraction against the column buffer.
         for o in 0..self.out_channels {
-            for py in 0..ph {
-                for px in 0..pw {
-                    let mut acc = 0.0f32;
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let y = py * 2 + dy;
-                            let x = px * 2 + dx;
-                            acc += ops::relu(pre[(o * ch + y) * cw + x]);
-                        }
-                    }
-                    pooled[(o * ph + py) * pw + px] = acc / 4.0;
-                }
+            let mut acc = 0.0f32;
+            for &g in scratch.dpre.row(o) {
+                acc += g;
             }
+            grad[conv_b_off + o] = acc;
         }
-        (pre, pooled)
+        scratch
+            .dpre
+            .matmul_transpose_acc(&scratch.cols, &mut grad[conv_w_off..conv_b_off]);
+
+        (loss, grad)
     }
 }
 
@@ -190,111 +412,11 @@ impl Model for SimpleCnn {
     }
 
     fn forward(&self, params: &[f32], x: &Matrix) -> Matrix {
-        check_params(self, params);
-        check_input(self, x);
-        let (_, _, fc_w_off, fc_b_off) = self.offsets();
-        let pooled_dim = self.pooled_dim();
-        let mut logits = Matrix::zeros(x.rows(), self.num_classes);
-        for i in 0..x.rows() {
-            let (_, pooled) = self.forward_sample(params, x.row(i));
-            let out = logits.row_mut(i);
-            for j in 0..self.num_classes {
-                let mut acc = params[fc_b_off + j];
-                for (p, &v) in pooled.iter().enumerate() {
-                    acc += v * params[fc_w_off + p * self.num_classes + j];
-                }
-                let _ = pooled_dim;
-                out[j] = acc;
-            }
-        }
-        logits
+        THREAD_SCRATCH.with(|s| self.forward_with(params, x, &mut s.borrow_mut()))
     }
 
     fn loss_and_grad(&self, params: &[f32], x: &Matrix, labels: &[usize]) -> (f32, Vec<f32>) {
-        check_params(self, params);
-        check_input(self, x);
-        let (conv_w_off, conv_b_off, fc_w_off, fc_b_off) = self.offsets();
-        let (ch, cw) = self.conv_output_size();
-        let (ph, pw) = self.pooled_size();
-
-        // Forward pass, caching per-sample intermediates.
-        let mut pres = Vec::with_capacity(x.rows());
-        let mut pooleds = Vec::with_capacity(x.rows());
-        let mut logits = Matrix::zeros(x.rows(), self.num_classes);
-        for i in 0..x.rows() {
-            let (pre, pooled) = self.forward_sample(params, x.row(i));
-            let out = logits.row_mut(i);
-            for j in 0..self.num_classes {
-                let mut acc = params[fc_b_off + j];
-                for (p, &v) in pooled.iter().enumerate() {
-                    acc += v * params[fc_w_off + p * self.num_classes + j];
-                }
-                out[j] = acc;
-            }
-            pres.push(pre);
-            pooleds.push(pooled);
-        }
-        let (loss, dlogits) = batch_cross_entropy_with_grad(&logits, labels);
-
-        let mut grad = vec![0.0f32; self.num_params()];
-        for i in 0..x.rows() {
-            let sample = x.row(i);
-            let dlog = dlogits.row(i);
-            let pooled = &pooleds[i];
-            let pre = &pres[i];
-
-            // Fully connected layer gradients and back-propagated pooled grad.
-            let mut dpooled = vec![0.0f32; pooled.len()];
-            for (p, &pv) in pooled.iter().enumerate() {
-                for j in 0..self.num_classes {
-                    grad[fc_w_off + p * self.num_classes + j] += pv * dlog[j];
-                    dpooled[p] += params[fc_w_off + p * self.num_classes + j] * dlog[j];
-                }
-            }
-            for j in 0..self.num_classes {
-                grad[fc_b_off + j] += dlog[j];
-            }
-
-            // Average pooling + ReLU backward into the convolution output.
-            let mut dpre = vec![0.0f32; pre.len()];
-            for o in 0..self.out_channels {
-                for py in 0..ph {
-                    for px in 0..pw {
-                        let g = dpooled[(o * ph + py) * pw + px] / 4.0;
-                        for dy in 0..2 {
-                            for dx in 0..2 {
-                                let y = py * 2 + dy;
-                                let x_ = px * 2 + dx;
-                                let idx = (o * ch + y) * cw + x_;
-                                dpre[idx] += g * ops::relu_grad(pre[idx]);
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Convolution weight and bias gradients.
-            for o in 0..self.out_channels {
-                for y in 0..ch {
-                    for x_ in 0..cw {
-                        let g = dpre[(o * ch + y) * cw + x_];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        grad[conv_b_off + o] += g;
-                        for c in 0..self.in_channels {
-                            for ky in 0..KERNEL {
-                                for kx in 0..KERNEL {
-                                    grad[conv_w_off + self.conv_w_index(o, c, ky, kx)] +=
-                                        g * sample[self.input_index(c, y + ky, x_ + kx)];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        (loss, grad)
+        THREAD_SCRATCH.with(|s| self.loss_and_grad_with(params, x, labels, &mut s.borrow_mut()))
     }
 }
 
@@ -340,6 +462,22 @@ mod tests {
     }
 
     #[test]
+    fn forward_matches_reference_loops() {
+        let m = SimpleCnn::new(2, 7, 6, 3, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let params = m.init_params(&mut rng);
+        let (x, _) = toy_batch(&m, 5);
+        let fast = m.forward(&params, &x);
+        let slow = crate::reference::cnn_forward(&m, &params, &x);
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice().iter()) {
+            assert!(
+                (a - b).abs() <= 1e-4 * a.abs().max(b.abs()).max(1.0),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
     fn gradient_matches_finite_difference() {
         let m = toy_cnn();
         let mut rng = ChaCha8Rng::seed_from_u64(42);
@@ -348,6 +486,31 @@ mod tests {
         let coords: Vec<usize> = (0..m.num_params()).step_by(2).collect();
         let worst = finite_difference_check(&m, &params, &x, &labels, &coords, 1e-2);
         assert!(worst < 1.5e-2, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_observationally_pure() {
+        let m = SimpleCnn::new(1, 6, 6, 2, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let params = m.init_params(&mut rng);
+        let (x, labels) = toy_batch(&m, 4);
+        let mut scratch = Im2colScratch::new();
+        // Warm the scratch on a *different* geometry first: stale contents
+        // must never leak into a later generation.
+        let other = SimpleCnn::new(2, 8, 5, 4, 2);
+        let other_params = vec![0.02; other.num_params()];
+        let (ox, olabels) = toy_batch(&other, 3);
+        let _ = other.loss_and_grad_with(&other_params, &ox, &olabels, &mut scratch);
+
+        let fresh = m.loss_and_grad(&params, &x, &labels);
+        let reused = m.loss_and_grad_with(&params, &x, &labels, &mut scratch);
+        assert_eq!(fresh, reused);
+        let again = m.loss_and_grad_with(&params, &x, &labels, &mut scratch);
+        assert_eq!(reused, again);
+        assert_eq!(
+            m.forward(&params, &x),
+            m.forward_with(&params, &x, &mut scratch)
+        );
     }
 
     #[test]
@@ -361,6 +524,18 @@ mod tests {
         for i in 0..2 {
             assert_eq!(agsfl_tensor::vecops::argmax(logits.row(i)), Some(1));
         }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let m = toy_cnn();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let params = m.init_params(&mut rng);
+        let x = Matrix::zeros(0, m.input_dim());
+        assert_eq!(m.forward(&params, &x).shape(), (0, 3));
+        let (loss, grad) = m.loss_and_grad(&params, &x, &[]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.len(), m.num_params());
     }
 
     #[test]
@@ -393,8 +568,9 @@ mod tests {
         let flat: Vec<f32> = rows.iter().flatten().copied().collect();
         let x = Matrix::from_vec(8, 36, flat);
         let initial = m.loss(&params, &x, &labels);
+        let mut scratch = Im2colScratch::new();
         for _ in 0..500 {
-            let (_, grad) = m.loss_and_grad(&params, &x, &labels);
+            let (_, grad) = m.loss_and_grad_with(&params, &x, &labels, &mut scratch);
             crate::optim::sgd_step(&mut params, &grad, 0.3);
         }
         let trained = m.loss(&params, &x, &labels);

@@ -1,0 +1,101 @@
+//! Reusable workspace for the im2col convolution lowering.
+//!
+//! [`SimpleCnn`] lowers its 3x3 valid convolution to a matrix multiply: the
+//! input batch is unrolled into a *column matrix* whose column `(b, y, x)`
+//! holds the flattened receptive field of output position `(y, x)` of sample
+//! `b`, so the whole batch's convolution becomes one
+//! `weights (O x C·9) · columns (C·9 x B·P)` product against
+//! [`agsfl_tensor::Matrix`]. The ReLU + 2x2 average pooling pass is fused
+//! directly over the column-major convolution output, and the backward pass
+//! reuses the same column buffer: both weight gradients are matrix products
+//! against matrices already in the workspace (`∂L/∂W_conv = dpre · columnsᵀ`,
+//! the col2im-style contraction), so no scatter back to image layout is ever
+//! needed — the convolution is the first layer and input gradients are not
+//! required.
+//!
+//! [`Im2colScratch`] owns every intermediate of that pipeline. Like
+//! `SelectionScratch` in `agsfl-sparse`, it is epoch-stamped and grow-only:
+//! [`Im2colScratch::begin`] bumps the generation counter and reshapes the
+//! buffers for the call's geometry, reusing their allocations (buffers only
+//! ever grow, and every active slot is either fully overwritten by its
+//! producer pass or explicitly cleared), so a caller that holds one scratch
+//! across rounds runs the CNN hot path allocation-free in steady state. The
+//! workspace carries no state between generations: two identical calls on a
+//! shared scratch return identical results (pinned by the reference
+//! proptests in `crates/ml/tests/cnn_equivalence.rs`).
+//!
+//! [`SimpleCnn`]: crate::model::SimpleCnn
+
+use agsfl_tensor::Matrix;
+
+/// Reusable buffers for [`SimpleCnn`]'s im2col forward and backward passes.
+///
+/// Create one with [`Im2colScratch::new`] and pass it to
+/// [`SimpleCnn::forward_with`] / [`SimpleCnn::loss_and_grad_with`]; the
+/// buffers are sized on first use and reused afterwards. See the module docs
+/// for the lowering itself.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_ml::model::{Im2colScratch, Model, SimpleCnn};
+/// use agsfl_tensor::Matrix;
+///
+/// let cnn = SimpleCnn::new(1, 6, 6, 2, 3);
+/// let params = vec![0.01; cnn.num_params()];
+/// let x = Matrix::zeros(4, cnn.input_dim());
+///
+/// let mut scratch = Im2colScratch::new();
+/// let a = cnn.forward_with(&params, &x, &mut scratch);
+/// let b = cnn.forward_with(&params, &x, &mut scratch); // allocation-free reuse
+/// assert_eq!(a, b);
+/// assert_eq!(scratch.epoch(), 2);
+/// ```
+///
+/// [`SimpleCnn`]: crate::model::SimpleCnn
+/// [`SimpleCnn::forward_with`]: crate::model::SimpleCnn::forward_with
+/// [`SimpleCnn::loss_and_grad_with`]: crate::model::SimpleCnn::loss_and_grad_with
+#[derive(Debug, Clone, Default)]
+pub struct Im2colScratch {
+    /// Generation counter: bumped by [`Im2colScratch::begin`]; buffers are
+    /// only meaningful within the generation that produced them.
+    epoch: u64,
+    /// Column matrix, shape `(C·K·K) x (B·P)`: column `b·P + p` is the
+    /// receptive field of output position `p` of sample `b`.
+    pub(crate) cols: Matrix,
+    /// Pre-activation convolution output, shape `O x (B·P)`.
+    pub(crate) pre: Matrix,
+    /// Pooled activations, shape `B x (O·ph·pw)` — the fully connected
+    /// layer's input batch.
+    pub(crate) pooled: Matrix,
+    /// Convolution weights staged as an `O x (C·K·K)` matrix (a row-major
+    /// copy of the flat parameter block).
+    pub(crate) conv_w: Matrix,
+    /// Fully connected weights staged as a `pooled_dim x num_classes`
+    /// matrix (a row-major copy of the flat parameter block).
+    pub(crate) fc_w: Matrix,
+    /// Backward: gradient at the convolution pre-activations, `O x (B·P)`.
+    pub(crate) dpre: Matrix,
+    /// Backward: gradient at the pooled activations, `B x (O·ph·pw)`.
+    pub(crate) dpooled: Matrix,
+}
+
+impl Im2colScratch {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current generation counter (starts at 0, bumped once per
+    /// forward/backward call). Exposed for tests and diagnostics.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Starts a new generation: bumps the epoch and returns `&mut self` for
+    /// the producing pass to reshape the buffers it needs. O(1) unless the
+    /// geometry grew.
+    pub(crate) fn begin(&mut self) {
+        self.epoch += 1;
+    }
+}

@@ -258,12 +258,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut params = m.init_params(&mut rng);
         // XOR-ish data that a linear model cannot fit but an MLP can.
-        let x = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[1.0, 1.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-        ]);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], &[1.0, 0.0]]);
         let labels = vec![0, 0, 1, 1];
         let initial = m.loss(&params, &x, &labels);
         for _ in 0..2000 {

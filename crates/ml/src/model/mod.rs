@@ -8,10 +8,12 @@
 //! updated by `w(m) = w(m-1) - η ∇_s L(w(m-1))` (Eq. (1)).
 
 mod cnn;
+mod im2col;
 mod linear;
 mod mlp;
 
 pub use cnn::SimpleCnn;
+pub use im2col::Im2colScratch;
 pub use linear::LinearSoftmax;
 pub use mlp::Mlp;
 
@@ -22,11 +24,35 @@ use crate::loss::batch_cross_entropy;
 
 /// A classification model whose parameters live in a single flat `Vec<f32>`.
 ///
-/// Implementations must be pure functions of `(params, inputs)`: the model
-/// object itself holds only the architecture (dimensions), never learned
-/// state. This guarantees that two federated clients holding identical
-/// parameter vectors compute identical losses and gradients, which is the
-/// synchronization invariant of Algorithm 1 in the paper.
+/// # Contract
+///
+/// Implementations must uphold the following, which the rest of the
+/// workspace (the sparsification layer, the parallel round engine and the
+/// sharded evaluation sweeps) relies on:
+///
+/// * **Purity.** Every method is a pure function of `(params, inputs)`: the
+///   model object itself holds only the architecture (dimensions), never
+///   learned state. This guarantees that two federated clients holding
+///   identical parameter vectors compute identical losses and gradients —
+///   the synchronization invariant of Algorithm 1 in the paper.
+/// * **Stable parameter layout.** A model defines a fixed layout of its
+///   parameter blocks inside the flat vector (documented per model, e.g.
+///   [`SimpleCnn`]'s `conv_w | conv_b | fc_w | fc_b`), and
+///   [`Model::init_params`] and [`Model::loss_and_grad`] must agree on it.
+///   The sparsifiers treat coordinates as opaque, so the layout may never
+///   change between calls.
+/// * **Sample-major gradient accumulation order.** The gradient returned by
+///   [`Model::loss_and_grad`] is accumulated over the batch rows in
+///   ascending sample order (row 0 first). Callers compare gradients across
+///   implementations (the `agsfl_ml::reference` equivalence tests), so the
+///   accumulation order is part of the observable behaviour, not an
+///   implementation detail.
+/// * **Row independence.** [`Model::forward`] must compute each output row
+///   as a function of that row's input alone — no batch statistics. This is
+///   what makes the executor's row-chunked evaluation sweeps
+///   ([`crate::metrics`]) bit-identical to the serial pass for any chunking:
+///   splitting a batch into contiguous sub-batches and concatenating the
+///   logits yields exactly the bits of the unsplit call.
 pub trait Model: Send + Sync + std::fmt::Debug {
     /// Dimension of a single input feature vector.
     fn input_dim(&self) -> usize;
@@ -149,7 +175,9 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn tiny_batch(input_dim: usize, classes: usize) -> (Matrix, Vec<usize>) {
-        let x = Matrix::from_fn(4, input_dim, |i, j| ((i * 7 + j * 3) % 5) as f32 * 0.1 - 0.2);
+        let x = Matrix::from_fn(4, input_dim, |i, j| {
+            ((i * 7 + j * 3) % 5) as f32 * 0.1 - 0.2
+        });
         let labels = (0..4).map(|i| i % classes).collect();
         (x, labels)
     }

@@ -97,7 +97,12 @@ impl SgdMomentum {
     pub fn step(&mut self, weights: &mut [f32], grad: &[f32]) {
         assert_eq!(weights.len(), self.velocity.len(), "weight length mismatch");
         assert_eq!(grad.len(), self.velocity.len(), "gradient length mismatch");
-        for ((v, w), g) in self.velocity.iter_mut().zip(weights.iter_mut()).zip(grad.iter()) {
+        for ((v, w), g) in self
+            .velocity
+            .iter_mut()
+            .zip(weights.iter_mut())
+            .zip(grad.iter())
+        {
             *v = self.momentum * *v + g;
             *w -= self.lr * *v;
         }

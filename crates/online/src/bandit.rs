@@ -43,8 +43,17 @@ impl ContinuousBandit {
     /// # Panics
     ///
     /// Panics if `delta0` or `eta0` is not positive.
-    pub fn new(interval: SearchInterval, initial_k: f64, delta0: f64, eta0: f64, seed: u64) -> Self {
-        assert!(delta0 > 0.0 && eta0 > 0.0, "delta0 and eta0 must be positive");
+    pub fn new(
+        interval: SearchInterval,
+        initial_k: f64,
+        delta0: f64,
+        eta0: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            delta0 > 0.0 && eta0 > 0.0,
+            "delta0 and eta0 must be positive"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let current_direction = if rng.gen::<bool>() { 1.0 } else { -1.0 };
         Self {

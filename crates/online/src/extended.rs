@@ -36,7 +36,10 @@ impl ExtendedConfig {
     }
 
     fn validate(&self) {
-        assert!(self.k_min >= 1.0 && self.k_min <= self.k_max, "invalid k range");
+        assert!(
+            self.k_min >= 1.0 && self.k_min <= self.k_max,
+            "invalid k range"
+        );
         assert!(self.alpha >= 1.0, "alpha must be at least 1");
         assert!(self.update_window > 0, "update window must be positive");
     }

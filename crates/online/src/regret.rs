@@ -32,13 +32,7 @@ impl SyntheticCostEnv {
     /// # Panics
     ///
     /// Panics if the slope range is invalid or non-positive.
-    pub fn generate(
-        rounds: usize,
-        k_star: f64,
-        slope_min: f64,
-        slope_max: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(rounds: usize, k_star: f64, slope_min: f64, slope_max: f64, seed: u64) -> Self {
         assert!(
             0.0 < slope_min && slope_min <= slope_max,
             "invalid slope range"
@@ -95,7 +89,10 @@ impl SyntheticCostEnv {
     /// `flip_prob < 0.5`. Such an oracle satisfies Eqs. (6)–(7) with
     /// `H = 1 / (1 − 2·flip_prob)`.
     pub fn noisy_sign<R: Rng + ?Sized>(&self, m: usize, k: f64, flip_prob: f64, rng: &mut R) -> i8 {
-        assert!((0.0..0.5).contains(&flip_prob), "flip_prob must be in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&flip_prob),
+            "flip_prob must be in [0, 0.5)"
+        );
         let exact = self.derivative_sign(m, k);
         if rng.gen::<f64>() < flip_prob {
             -exact

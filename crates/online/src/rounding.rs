@@ -26,7 +26,10 @@ use rand::Rng;
 ///
 /// Panics if `k` is not finite or is negative.
 pub fn stochastic_round<R: Rng + ?Sized>(k: f64, rng: &mut R) -> usize {
-    assert!(k.is_finite() && k >= 0.0, "k must be finite and non-negative, got {k}");
+    assert!(
+        k.is_finite() && k >= 0.0,
+        "k must be finite and non-negative, got {k}"
+    );
     let floor = k.floor();
     let frac = k - floor;
     let rounded = if frac == 0.0 {

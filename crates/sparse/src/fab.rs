@@ -194,7 +194,10 @@ impl FabTopK {
 
         enum FromWorker {
             Hist(Vec<usize>),
-            Cands { selected: usize, cands: Vec<(usize, f32)> },
+            Cands {
+                selected: usize,
+                cands: Vec<(usize, f32)>,
+            },
         }
         enum ToWorker {
             Kappa(usize),
@@ -306,7 +309,10 @@ impl FabTopK {
                             Some(_) => {}
                         }
                     }
-                    if to_main.send(FromWorker::Hist(shard.rank_counts.clone())).is_err() {
+                    if to_main
+                        .send(FromWorker::Hist(shard.rank_counts.clone()))
+                        .is_err()
+                    {
                         return;
                     }
                     let Ok(ToWorker::Kappa(kappa)) = rx.recv() else {
@@ -556,8 +562,16 @@ mod tests {
         ];
         let uploads = uploads_from_dense(&clients, 4);
         let result = FabTopK::new().select(&uploads, 10, 4);
-        assert!(result.contributions()[1] >= 2, "{:?}", result.contributions());
-        assert!(result.contributions()[0] >= 2, "{:?}", result.contributions());
+        assert!(
+            result.contributions()[1] >= 2,
+            "{:?}",
+            result.contributions()
+        );
+        assert!(
+            result.contributions()[0] >= 2,
+            "{:?}",
+            result.contributions()
+        );
     }
 
     #[test]
@@ -582,7 +596,10 @@ mod tests {
     #[test]
     fn upload_plan_is_top_k_own() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        assert_eq!(FabTopK::new().upload_plan(10, 3, &mut rng), UploadPlan::TopKOwn);
+        assert_eq!(
+            FabTopK::new().upload_plan(10, 3, &mut rng),
+            UploadPlan::TopKOwn
+        );
         assert_eq!(FabTopK::new().name(), "FAB-top-k");
     }
 

@@ -15,7 +15,7 @@ use crate::SparseGradient;
 /// as in FAB-top-k, but the server simply aggregates all uploaded values and
 /// keeps the `k` aggregated elements with the largest absolute values — the
 /// behaviour of global/bidirectional top-k schemes that ignore fairness
-/// ([28], [31] in the paper). Clients whose updates are consistently small
+/// (\[28\], \[31\] in the paper). Clients whose updates are consistently small
 /// may contribute nothing at all, which is the bias FAB-top-k avoids.
 ///
 /// # Examples
@@ -294,10 +294,7 @@ mod tests {
 
     #[test]
     fn keeps_largest_aggregated_magnitudes() {
-        let clients = vec![
-            vec![3.0, 0.0, 0.0, 1.0],
-            vec![3.0, 0.0, 2.5, 0.0],
-        ];
+        let clients = vec![vec![3.0, 0.0, 0.0, 1.0], vec![3.0, 0.0, 2.5, 0.0]];
         let uploads = uploads_from_dense(&clients, 2);
         let result = FubTopK::new().select(&uploads, 4, 2);
         // Aggregated values: j0 = 3.0, j2 = 1.25, j3 = 0.5 -> keep {0, 2}.
@@ -332,7 +329,10 @@ mod tests {
     fn name_and_plan() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert_eq!(FubTopK::new().name(), "FUB-top-k");
-        assert_eq!(FubTopK::new().upload_plan(10, 2, &mut rng), UploadPlan::TopKOwn);
+        assert_eq!(
+            FubTopK::new().upload_plan(10, 2, &mut rng),
+            UploadPlan::TopKOwn
+        );
     }
 
     #[test]

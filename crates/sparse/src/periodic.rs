@@ -4,7 +4,9 @@ use rand::RngCore;
 
 use crate::scratch::SelectionScratch;
 use crate::shard::{result_from_selected_sharded, ShardedScratch};
-use crate::sparsifier::{result_from_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::sparsifier::{
+    result_from_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan,
+};
 
 /// Periodic / random-k sparsification.
 ///
@@ -12,7 +14,7 @@ use crate::sparsifier::{result_from_selected, ClientUpload, SelectionResult, Spa
 /// set for every client); clients upload their accumulated values at exactly
 /// those coordinates and the server aggregates and broadcasts them. Over
 /// enough rounds every coordinate is visited, which is the "periodic
-/// averaging" family of GS methods ([8], [30] in the paper). The random
+/// averaging" family of GS methods (\[8\], \[30\] in the paper). The random
 /// choice ignores gradient magnitudes, which is why it generally loses to
 /// top-k selection.
 ///
@@ -71,7 +73,9 @@ impl Sparsifier for PeriodicK {
         // `downlink_elements`; this path canonicalizes them away instead.
         scratch.selected.clear();
         if let Some(first) = uploads.first() {
-            scratch.selected.extend(first.entries.iter().map(|&(j, _)| j));
+            scratch
+                .selected
+                .extend(first.entries.iter().map(|&(j, _)| j));
         }
         scratch.selected.sort_unstable();
         scratch.selected.dedup();
@@ -98,7 +102,9 @@ impl Sparsifier for PeriodicK {
         // set, sorted and deduplicated.
         scratch.selected.clear();
         if let Some(first) = uploads.first() {
-            scratch.selected.extend(first.entries.iter().map(|&(j, _)| j));
+            scratch
+                .selected
+                .extend(first.entries.iter().map(|&(j, _)| j));
         }
         scratch.selected.sort_unstable();
         scratch.selected.dedup();

@@ -167,8 +167,11 @@ pub fn send_all_select(uploads: &[ClientUpload], dim: usize) -> SelectionResult 
 /// measurable (`bench-report`'s `client_top_k` pair) and the new path's
 /// output equivalence testable.
 pub fn top_k_entries(values: &[f32], k: usize) -> Vec<(usize, f32)> {
-    let mut candidates: Vec<(usize, f32)> =
-        values.iter().enumerate().map(|(j, &v)| (j, v.abs())).collect();
+    let mut candidates: Vec<(usize, f32)> = values
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (j, v.abs()))
+        .collect();
     let k = k.min(candidates.len());
     if k == 0 {
         return Vec::new();
@@ -214,7 +217,11 @@ mod tests {
             .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.25)
             .collect();
         for k in [0, 1, 7, 100, 599, 600, 700] {
-            assert_eq!(top_k_entries(&values, k), topk::top_k_entries(&values, k), "k={k}");
+            assert_eq!(
+                top_k_entries(&values, k),
+                topk::top_k_entries(&values, k),
+                "k={k}"
+            );
         }
     }
 

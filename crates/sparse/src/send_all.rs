@@ -3,7 +3,9 @@ use rand::RngCore;
 
 use crate::scratch::SelectionScratch;
 use crate::shard::{result_from_selected_sharded, ShardedScratch};
-use crate::sparsifier::{result_from_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
+use crate::sparsifier::{
+    result_from_selected, ClientUpload, SelectionResult, Sparsifier, UploadPlan,
+};
 
 /// Always-send-all: clients upload their full accumulated gradients and the
 /// server broadcasts the full aggregated gradient every round.
@@ -115,7 +117,10 @@ mod tests {
     fn name_and_plan() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert_eq!(SendAll::new().name(), "Always send all");
-        assert_eq!(SendAll::new().upload_plan(7, 3, &mut rng), UploadPlan::Dense);
+        assert_eq!(
+            SendAll::new().upload_plan(7, 3, &mut rng),
+            UploadPlan::Dense
+        );
     }
 
     #[test]

@@ -113,7 +113,12 @@ impl ScratchShard {
 
     #[inline]
     fn local(&self, j: usize) -> usize {
-        debug_assert!(self.contains(j), "index {j} outside stripe {}..{}", self.lo, self.hi);
+        debug_assert!(
+            self.contains(j),
+            "index {j} outside stripe {}..{}",
+            self.lo,
+            self.hi
+        );
         j - self.lo
     }
 
@@ -451,8 +456,7 @@ mod tests {
     fn stripe_layout_partitions_dimension() {
         let mut sharded = ShardedScratch::new();
         sharded.stripe(10, 4);
-        let spans: Vec<(usize, usize)> =
-            sharded.shards.iter().map(|s| (s.lo, s.hi)).collect();
+        let spans: Vec<(usize, usize)> = sharded.shards.iter().map(|s| (s.lo, s.hi)).collect();
         assert_eq!(spans, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
         for j in 0..10 {
             let s = sharded.shard_of(j);
@@ -510,7 +514,11 @@ mod tests {
     fn merged_reset_positions_restore_entry_order() {
         // Entries deliberately not index-sorted: positions, not indices,
         // define the serial order.
-        let uploads = vec![ClientUpload::new(0, 1.0, vec![(6, 1.0), (1, 2.0), (7, 3.0)])];
+        let uploads = vec![ClientUpload::new(
+            0,
+            1.0,
+            vec![(6, 1.0), (1, 2.0), (7, 3.0)],
+        )];
         let mut sharded = ShardedScratch::new();
         sharded.stripe(8, 2);
         for shard in &mut sharded.shards {
@@ -523,6 +531,10 @@ mod tests {
             shard.sweep_marked(&uploads);
         }
         let resets = merge_reset_positions(&uploads, &sharded.shards);
-        assert_eq!(resets, vec![vec![6, 1, 7]], "upload entry order, not index order");
+        assert_eq!(
+            resets,
+            vec![vec![6, 1, 7]],
+            "upload entry order, not index order"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl SparseGradient {
                 _ => dedup.push((j, v)),
             }
         }
-        Self { dim, entries: dedup }
+        Self {
+            dim,
+            entries: dedup,
+        }
     }
 
     /// Creates a sparse gradient from entries that are **already sorted by

@@ -41,7 +41,10 @@ impl ClientUpload {
     ///
     /// Panics if `weight` is negative or not finite.
     pub fn new(client: usize, weight: f64, entries: Vec<(usize, f32)>) -> Self {
-        assert!(weight.is_finite() && weight >= 0.0, "invalid client weight {weight}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "invalid client weight {weight}"
+        );
         Self {
             client,
             weight,
@@ -289,7 +292,10 @@ pub(crate) fn aggregate_marked(
     dim: usize,
     scratch: &mut SelectionScratch,
 ) -> (SparseGradient, Vec<Vec<usize>>) {
-    debug_assert!(selected.windows(2).all(|w| w[0] < w[1]), "selected must be sorted");
+    debug_assert!(
+        selected.windows(2).all(|w| w[0] < w[1]),
+        "selected must be sorted"
+    );
     let mut reset_indices = vec![Vec::new(); uploads.len()];
     for (slot, upload) in uploads.iter().enumerate() {
         let resets = &mut reset_indices[slot];
@@ -304,7 +310,10 @@ pub(crate) fn aggregate_marked(
         .iter()
         .map(|&j| (j, scratch.sum(j) as f32))
         .collect();
-    (SparseGradient::from_sorted_entries(dim, entries), reset_indices)
+    (
+        SparseGradient::from_sorted_entries(dim, entries),
+        reset_indices,
+    )
 }
 
 /// Builds the full [`SelectionResult`] for sparsifiers whose downlink is a

@@ -34,7 +34,10 @@ fn magnitude_then_index(a: &(usize, f32), b: &(usize, f32)) -> Ordering {
 /// NaN values are treated as ties (ranked by index), which in practice never
 /// occurs for finite gradients.
 pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
-    top_k_entries(values, k).into_iter().map(|(j, _)| j).collect()
+    top_k_entries(values, k)
+        .into_iter()
+        .map(|(j, _)| j)
+        .collect()
 }
 
 /// Returns `(index, value)` pairs of the `k` largest absolute values,
@@ -110,7 +113,10 @@ pub fn top_k_entries_with(
 /// Returns the `kappa` largest-magnitude entries of an *already ranked*
 /// upload list (entries sorted by decreasing magnitude), i.e. the per-client
 /// `J_i^kappa` sets used by the fairness-aware selection.
-pub fn prefix_indices(ranked_entries: &[(usize, f32)], kappa: usize) -> impl Iterator<Item = usize> + '_ {
+pub fn prefix_indices(
+    ranked_entries: &[(usize, f32)],
+    kappa: usize,
+) -> impl Iterator<Item = usize> + '_ {
     ranked_entries.iter().take(kappa).map(|&(j, _)| j)
 }
 
@@ -163,7 +169,10 @@ mod tests {
         let v = [1.0, -10.0, 5.0, 0.5, -6.0, 0.0, 3.25];
         let mut scratch = Vec::new();
         for k in 0..=v.len() + 1 {
-            assert_eq!(top_k_entries_with(&v, k, &mut scratch), top_k_entries(&v, k));
+            assert_eq!(
+                top_k_entries_with(&v, k, &mut scratch),
+                top_k_entries(&v, k)
+            );
         }
     }
 

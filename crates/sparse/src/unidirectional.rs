@@ -11,7 +11,7 @@ use crate::SparseGradient;
 /// Clients upload the top-`k` entries of their accumulated gradients, and the
 /// server aggregates and broadcasts **every** uploaded coordinate. Because
 /// different clients select different indices, the downlink can carry up to
-/// `k · N` elements ([22] and related work), which is the communication
+/// `k · N` elements (\[22\] and related work), which is the communication
 /// inefficiency bidirectional schemes remove.
 ///
 /// # Examples

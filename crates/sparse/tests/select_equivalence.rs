@@ -85,19 +85,22 @@ fn assert_equivalent(
 ) {
     let via_wrapper = sparsifier.select(uploads, dim, k);
     assert_eq!(
-        &via_wrapper, expected,
+        &via_wrapper,
+        expected,
         "{} select() diverged from the reference implementation",
         sparsifier.name()
     );
     let first = sparsifier.select_into(uploads, dim, k, scratch);
     let second = sparsifier.select_into(uploads, dim, k, scratch);
     assert_eq!(
-        &first, expected,
+        &first,
+        expected,
         "{} select_into() diverged from the reference implementation",
         sparsifier.name()
     );
     assert_eq!(
-        first, second,
+        first,
+        second,
         "{} select_into() is not idempotent on a reused scratch",
         sparsifier.name()
     );
@@ -218,7 +221,13 @@ fn scratch_reuse_across_shifting_workloads_is_sound() {
     let fab = FabTopK::new();
     // Dimensions intentionally shrink and grow to exercise buffer reuse with
     // stale high-index state present.
-    for &(dim, n, k) in &[(64, 5, 9), (8, 2, 3), (128, 7, 17), (16, 3, 4), (128, 7, 17)] {
+    for &(dim, n, k) in &[
+        (64, 5, 9),
+        (8, 2, 3),
+        (128, 7, 17),
+        (16, 3, 4),
+        (128, 7, 17),
+    ] {
         let uploads = random_topk_uploads(&mut rng, n, dim, k);
         let expected = reference::fab_select(&uploads, dim, k);
         let got = fab.select_into(&uploads, dim, k, &mut shared);
@@ -261,11 +270,17 @@ fn degenerate_sharded_inputs_match_reference() {
     let fab = FabTopK::new();
 
     let expected = reference::fab_select(&[], 10, 3);
-    assert_eq!(fab.select_parallel(&[], 10, 3, &mut sharded, &exec), expected);
+    assert_eq!(
+        fab.select_parallel(&[], 10, 3, &mut sharded, &exec),
+        expected
+    );
 
     let uploads = vec![ClientUpload::new(0, 1.0, vec![(1, 2.0), (3, -1.0)])];
     let expected = reference::fab_select(&uploads, 5, 0);
-    assert_eq!(fab.select_parallel(&uploads, 5, 0, &mut sharded, &exec), expected);
+    assert_eq!(
+        fab.select_parallel(&uploads, 5, 0, &mut sharded, &exec),
+        expected
+    );
 
     // Clients with empty uploads mixed in, more shards than indices.
     let uploads = vec![
@@ -274,7 +289,10 @@ fn degenerate_sharded_inputs_match_reference() {
     ];
     let expected = reference::fab_select(&uploads, 4, 2);
     let exec = Executor::new(8).with_min_items(1);
-    assert_eq!(fab.select_parallel(&uploads, 4, 2, &mut sharded, &exec), expected);
+    assert_eq!(
+        fab.select_parallel(&uploads, 4, 2, &mut sharded, &exec),
+        expected
+    );
 }
 
 /// An out-of-range upload index must panic (as the serial path does), not

@@ -135,14 +135,20 @@ mod tests {
         assert_eq!(w.shape(), (200, 30));
         let std = (w.as_slice().iter().map(|x| x * x).sum::<f32>() / w.len() as f32).sqrt();
         let expected = (2.0f32 / 200.0).sqrt();
-        assert!((std - expected).abs() < 0.03, "std {std} expected {expected}");
+        assert!(
+            (std - expected).abs() < 0.03,
+            "std {std} expected {expected}"
+        );
     }
 
     #[test]
     fn deterministic_under_same_seed() {
         let mut a = ChaCha8Rng::seed_from_u64(9);
         let mut b = ChaCha8Rng::seed_from_u64(9);
-        assert_eq!(normal_vec(16, 0.0, 1.0, &mut a), normal_vec(16, 0.0, 1.0, &mut b));
+        assert_eq!(
+            normal_vec(16, 0.0, 1.0, &mut a),
+            normal_vec(16, 0.0, 1.0, &mut b)
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub fn cross_entropy_with_logits(logits: &[f32], target: usize) -> f32 {
 ///
 /// Panics if `class >= num_classes`.
 pub fn one_hot(class: usize, num_classes: usize) -> Vec<f32> {
-    assert!(class < num_classes, "class {class} out of range {num_classes}");
+    assert!(
+        class < num_classes,
+        "class {class} out of range {num_classes}"
+    );
     let mut v = vec![0.0f32; num_classes];
     v[class] = 1.0;
     v

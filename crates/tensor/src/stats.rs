@@ -62,7 +62,8 @@ impl Ecdf {
         if self.sorted.is_empty() {
             return None;
         }
-        let idx = ((q * (self.sorted.len() - 1) as f32).round() as usize).min(self.sorted.len() - 1);
+        let idx =
+            ((q * (self.sorted.len() - 1) as f32).round() as usize).min(self.sorted.len() - 1);
         Some(self.sorted[idx])
     }
 
@@ -167,7 +168,9 @@ mod tests {
         let cdf = Ecdf::new(vec![3.0, 1.0, 2.0]);
         let curve = cdf.curve();
         assert_eq!(curve.len(), 3);
-        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
         assert_eq!(curve.last().unwrap().1, 1.0);
     }
 

@@ -22,7 +22,13 @@
 ///
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
@@ -32,7 +38,13 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
-    assert_eq!(y.len(), x.len(), "axpy: length mismatch {} vs {}", y.len(), x.len());
+    assert_eq!(
+        y.len(),
+        x.len(),
+        "axpy: length mismatch {} vs {}",
+        y.len(),
+        x.len()
+    );
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;
     }
@@ -157,7 +169,10 @@ pub fn clamp(a: &mut [f32], lo: f32, hi: f32) {
 /// Panics if the slices have different lengths.
 pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
     assert_eq!(a.len(), b.len(), "lerp: length mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (1.0 - t) * x + t * y)
+        .collect()
 }
 
 #[cfg(test)]

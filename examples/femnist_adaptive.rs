@@ -12,7 +12,9 @@
 //! cheap communication the algorithm settles on a large `k`, with expensive
 //! communication on a small one.
 
-use agsfl::core::{ControllerSpec, DatasetSpec, Experiment, ExperimentConfig, ModelSpec, StopCondition};
+use agsfl::core::{
+    ControllerSpec, DatasetSpec, Experiment, ExperimentConfig, ModelSpec, StopCondition,
+};
 
 fn main() {
     let comm_times = [0.1, 1.0, 10.0, 100.0];
@@ -33,8 +35,10 @@ fn main() {
             .seed(11)
             .build();
         let mut experiment = Experiment::new(&config);
-        let history =
-            experiment.run_adaptive(ControllerSpec::Algorithm3, &StopCondition::after_rounds(rounds));
+        let history = experiment.run_adaptive(
+            ControllerSpec::Algorithm3,
+            &StopCondition::after_rounds(rounds),
+        );
         let ks = history.k_sequence();
         let tail = &ks[ks.len().saturating_sub(rounds / 4)..];
         let tail_mean = tail.iter().sum::<usize>() as f64 / tail.len() as f64;
@@ -45,7 +49,11 @@ fn main() {
             tail_mean,
             history.final_global_loss().unwrap_or(f64::NAN),
             history.final_test_accuracy().unwrap_or(f64::NAN),
-            history.points().last().map(|p| p.elapsed_time).unwrap_or(0.0),
+            history
+                .points()
+                .last()
+                .map(|p| p.elapsed_time)
+                .unwrap_or(0.0),
         );
     }
     println!("\nExpected shape: tail mean k decreases as the communication time grows.");

@@ -12,9 +12,16 @@
 //! Algorithm 3 adapting `k` online, and prints the loss/accuracy achieved
 //! within the same normalized time budget.
 
-use agsfl::core::{ControllerSpec, DatasetSpec, Experiment, ExperimentConfig, ModelSpec, StopCondition};
+use agsfl::core::{
+    ControllerSpec, DatasetSpec, Experiment, ExperimentConfig, ModelSpec, StopCondition,
+};
+use agsfl::exec::Parallelism;
 
 fn main() {
+    // `Parallelism::Auto` sizes the round engine to the machine; results are
+    // bit-identical for every setting (`Serial`, `Threads(n)`, `Auto`) — the
+    // knob only changes wall-clock time.
+    let parallelism = Parallelism::Auto;
     let config = ExperimentConfig::builder()
         .dataset(DatasetSpec::femnist_tiny())
         .model(ModelSpec::Mlp { hidden: vec![16] })
@@ -23,10 +30,15 @@ fn main() {
         .comm_time(10.0)
         .eval_every(10)
         .seed(42)
+        .parallelism(parallelism)
         .build();
 
     let time_budget = 400.0;
     println!("Model dimension D = {}", Experiment::new(&config).dim());
+    println!(
+        "Round engine: {parallelism:?} -> {} worker thread(s)",
+        parallelism.resolve()
+    );
     println!("Normalized time budget = {time_budget}\n");
 
     // 1. Fixed k = 5% of D.
@@ -42,8 +54,10 @@ fn main() {
 
     // 2. Adaptive k with the paper's Algorithm 3.
     let mut adaptive = Experiment::new(&config);
-    let adaptive_history =
-        adaptive.run_adaptive(ControllerSpec::Algorithm3, &StopCondition::after_time(time_budget));
+    let adaptive_history = adaptive.run_adaptive(
+        ControllerSpec::Algorithm3,
+        &StopCondition::after_time(time_budget),
+    );
     let ks = adaptive_history.k_sequence();
     println!(
         "Adaptive k     : {} rounds, final loss {:.4}, test accuracy {:.3}",

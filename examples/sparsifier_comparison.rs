@@ -13,8 +13,16 @@
 
 use agsfl::core::figures::fig4::{self, Fig4Config};
 use agsfl::core::{DatasetSpec, ExperimentConfig, ModelSpec};
+use agsfl::exec::Parallelism;
 
 fn main() {
+    // All compared runs share the machine-sized round engine; parallelism is
+    // purely a wall-clock knob (bit-identical results for every setting).
+    let parallelism = Parallelism::Auto;
+    println!(
+        "Round engine: {parallelism:?} -> {} worker thread(s)\n",
+        parallelism.resolve()
+    );
     let config = Fig4Config {
         base: ExperimentConfig::builder()
             .dataset(DatasetSpec::femnist_bench())
@@ -24,6 +32,7 @@ fn main() {
             .comm_time(10.0)
             .eval_every(10)
             .seed(7)
+            .parallelism(parallelism)
             .build(),
         k_fraction: 0.02,
         max_time: 800.0,

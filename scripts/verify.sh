@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the doc and formatting gates, so doc rot and
+# formatting drift fail fast. Run from anywhere inside the repository.
+#
+#   scripts/verify.sh          # build + tests + docs + fmt
+#   scripts/verify.sh --quick  # skip the full workspace test pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q (tier-1: root integration tests)"
+cargo test -q
+
+if [[ "$quick" -eq 0 ]]; then
+    step "cargo test --workspace -q (full suite)"
+    cargo test --workspace -q
+fi
+
+step "cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+step "cargo fmt --check"
+cargo fmt --check
+
+printf '\nverify: all gates passed\n'

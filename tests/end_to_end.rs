@@ -72,7 +72,11 @@ fn all_sparsifiers_complete_a_run_and_stay_finite() {
         let history = experiment.run_fixed_k(k, &StopCondition::after_rounds(30));
         assert_eq!(history.len(), 30, "{}", spec.name());
         let loss = history.final_global_loss().unwrap();
-        assert!(loss.is_finite() && loss > 0.0, "{}: loss {loss}", spec.name());
+        assert!(
+            loss.is_finite() && loss > 0.0,
+            "{}: loss {loss}",
+            spec.name()
+        );
     }
 }
 
@@ -133,8 +137,5 @@ fn fedavg_baseline_is_comparable_but_distinct() {
     let mut gs = Experiment::new(&config);
     let gs_history = gs.run_fixed_k(k, &StopCondition::after_rounds(60));
     // Same number of rounds but different algorithms: the trajectories differ.
-    assert_ne!(
-        fedavg.final_global_loss(),
-        gs_history.final_global_loss()
-    );
+    assert_ne!(fedavg.final_global_loss(), gs_history.final_global_loss());
 }

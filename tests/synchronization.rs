@@ -24,7 +24,8 @@ fn per_client_weight_copies_stay_identical_under_fab_topk() {
 
     // Independent weight copies and accumulators per client.
     let mut weights: Vec<Vec<f32>> = vec![init; n];
-    let mut accumulators: Vec<ResidualAccumulator> = (0..n).map(|_| ResidualAccumulator::new(dim)).collect();
+    let mut accumulators: Vec<ResidualAccumulator> =
+        (0..n).map(|_| ResidualAccumulator::new(dim)).collect();
     let sparsifier = FabTopK::new();
     let k = dim / 10;
     let eta = 0.05f32;
@@ -57,7 +58,10 @@ fn per_client_weight_copies_stay_identical_under_fab_topk() {
         }
         // Invariant: all weight copies identical after every round.
         for i in 1..n {
-            assert_eq!(weights[0], weights[i], "client {i} diverged in round {round}");
+            assert_eq!(
+                weights[0], weights[i],
+                "client {i} diverged in round {round}"
+            );
         }
     }
 }
@@ -71,7 +75,8 @@ fn fab_fairness_holds_throughout_training() {
     let mut weights = model.init_params(&mut rng);
     let n = fed.num_clients();
     let total: usize = fed.clients().iter().map(|c| c.len()).sum();
-    let mut accumulators: Vec<ResidualAccumulator> = (0..n).map(|_| ResidualAccumulator::new(dim)).collect();
+    let mut accumulators: Vec<ResidualAccumulator> =
+        (0..n).map(|_| ResidualAccumulator::new(dim)).collect();
     let sparsifier = FabTopK::new();
     let k = 2 * n; // floor(k/N) = 2 elements guaranteed per client.
 

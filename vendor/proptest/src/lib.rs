@@ -110,30 +110,42 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            Self { lo: n, hi_inclusive: n }
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec length range");
-            Self { lo: r.start, hi_inclusive: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            Self { lo: *r.start(), hi_inclusive: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
 
     /// Strategy generating a `Vec` whose elements come from `element` and
     /// whose length is drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
