@@ -13,7 +13,8 @@
 
 use agsfl_bench::femnist_base;
 use agsfl_bench::kernel_workload::{
-    cnn_workload, eval_workload, fab_workload, CNN_BATCH, FAB_CLIENTS, FAB_DIM, FAB_K,
+    cnn_workload, eval_workload, fab_workload, wire_workload, CNN_BATCH, FAB_CLIENTS, FAB_DIM,
+    FAB_K,
 };
 use agsfl_core::{Experiment, StopCondition};
 use agsfl_exec::Executor;
@@ -21,6 +22,7 @@ use agsfl_ml::metrics;
 use agsfl_ml::model::{Im2colScratch, Model};
 use agsfl_ml::reference as ml_reference;
 use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, ShardedScratch, Sparsifier};
+use agsfl_wire::{decode_frame, reference as wire_reference, Codec, DeltaVarint, WireScratch};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::Rng;
 use rand::SeedableRng;
@@ -182,6 +184,44 @@ fn bench_eval_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_wire_codecs(c: &mut Criterion) {
+    let message = wire_workload();
+    let mut group = c.benchmark_group("wire_codec");
+    // Encode: the allocating byte-at-a-time reference vs the
+    // scratch-reusing fast path (byte-identical frames; the `bench-report`
+    // binary asserts it).
+    group.bench_function(format!("encode_alloc_k{FAB_K}_d{FAB_DIM}"), |b| {
+        b.iter(|| {
+            black_box(wire_reference::delta_encode(
+                message.dim(),
+                black_box(message.entries()),
+            ))
+        })
+    });
+    let mut scratch = WireScratch::new();
+    group.bench_function(format!("encode_scratch_k{FAB_K}_d{FAB_DIM}"), |b| {
+        b.iter(|| {
+            black_box(
+                DeltaVarint
+                    .encode_gradient_into(black_box(&message), &mut scratch)
+                    .len(),
+            )
+        })
+    });
+    // Decode: fresh allocation per call vs a caller-reused entry buffer.
+    let frame = DeltaVarint
+        .encode_gradient_into(&message, &mut scratch)
+        .to_vec();
+    group.bench_function(format!("decode_alloc_k{FAB_K}_d{FAB_DIM}"), |b| {
+        b.iter(|| black_box(wire_reference::decode(black_box(&frame)).expect("valid frame")))
+    });
+    let mut entries = Vec::new();
+    group.bench_function(format!("decode_scratch_k{FAB_K}_d{FAB_DIM}"), |b| {
+        b.iter(|| black_box(decode_frame(black_box(&frame), &mut entries).expect("valid frame")))
+    });
+    group.finish();
+}
+
 fn bench_fl_round(c: &mut Criterion) {
     c.bench_function("fl_round_femnist_bench_k2pct", |b| {
         b.iter_batched(
@@ -198,6 +238,6 @@ fn bench_fl_round(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_topk_selection, bench_fab_selection, bench_cnn_forward, bench_eval_sweep, bench_fl_round
+    targets = bench_topk_selection, bench_fab_selection, bench_cnn_forward, bench_eval_sweep, bench_wire_codecs, bench_fl_round
 }
 criterion_main!(kernels);

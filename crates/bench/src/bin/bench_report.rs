@@ -21,20 +21,26 @@
 //! `eval_sweep` pair times one evaluation point's `O(N·D)` metric sweep
 //! through the seed's three serial passes and the fused executor sweep
 //! (`agsfl_ml::metrics::global_evaluation`), asserting on the way that both
-//! return identical bits. The JSON reports nanoseconds per iteration (mean
-//! of the fastest half of samples) and baseline/optimized speedups.
+//! return identical bits. The `wire_encode`/`wire_decode` pairs time the
+//! delta-varint wire codec on a dim = 10⁵, k = 10³ message through the
+//! allocating reference implementations (`agsfl_wire::reference`) and the
+//! scratch-reusing fast paths, asserting byte-identical frames. The JSON
+//! reports nanoseconds per iteration (mean of the fastest half of samples)
+//! and baseline/optimized speedups.
 
 use std::io::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use agsfl_bench::kernel_workload::{
-    cnn_workload, eval_workload, fab_workload, CNN_BATCH, EVAL_CLIENTS, FAB_CLIENTS, FAB_DIM, FAB_K,
+    cnn_workload, eval_workload, fab_workload, wire_workload, CNN_BATCH, EVAL_CLIENTS, FAB_CLIENTS,
+    FAB_DIM, FAB_K,
 };
 use agsfl_exec::Executor;
 use agsfl_ml::metrics;
 use agsfl_ml::model::{Im2colScratch, Model};
 use agsfl_ml::reference as ml_reference;
 use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, ShardedScratch, Sparsifier};
+use agsfl_wire::{decode_frame, reference as wire_reference, Codec, DeltaVarint, WireScratch};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -321,7 +327,87 @@ fn main() {
         eval_report.speedup()
     );
 
-    let kernels = [fab, fab_sharded, topk_report, cnn_report, eval_report];
+    // Wire codec encode/decode at the acceptance shape (a dim = 10⁵
+    // message with k = 10³ entries — what a k = D/100 round broadcasts):
+    // the allocating byte-at-a-time reference encoder vs the
+    // scratch-reusing `encode_into`, and the allocating reference decode
+    // vs `decode_frame` into a caller-reused entry buffer. Frames are
+    // byte-identical between the variants (the reference is the executable
+    // spec), asserted below.
+    let message = wire_workload();
+    let seed_ns = time_ns(|| {
+        black_box(wire_reference::delta_encode(
+            message.dim(),
+            black_box(message.entries()),
+        ));
+    });
+    let mut wire_scratch = WireScratch::new();
+    let scratch_ns = time_ns(|| {
+        black_box(DeltaVarint.encode_gradient_into(black_box(&message), &mut wire_scratch));
+    });
+    let frame = DeltaVarint
+        .encode_gradient_into(&message, &mut wire_scratch)
+        .to_vec();
+    assert_eq!(
+        frame,
+        wire_reference::delta_encode(message.dim(), message.entries()),
+        "reference encoder must emit the identical frame"
+    );
+    let wire_encode = KernelReport {
+        name: "wire_encode",
+        dim: FAB_DIM,
+        clients: 1,
+        k: FAB_K,
+        threads: 1,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  wire_encode (delta-varint, {} B frame): alloc {:.0} ns, scratch {:.0} ns -> {:.2}x",
+        frame.len(),
+        wire_encode.seed_ns,
+        wire_encode.scratch_ns,
+        wire_encode.speedup()
+    );
+
+    let seed_ns = time_ns(|| {
+        black_box(wire_reference::decode(black_box(&frame)).expect("valid frame"));
+    });
+    let mut entries_buf = Vec::new();
+    let scratch_ns = time_ns(|| {
+        black_box(decode_frame(black_box(&frame), &mut entries_buf).expect("valid frame"));
+    });
+    decode_frame(&frame, &mut entries_buf).expect("valid frame");
+    assert_eq!(
+        entries_buf,
+        message.entries(),
+        "decode must invert encode bit-exactly"
+    );
+    let wire_decode = KernelReport {
+        name: "wire_decode",
+        dim: FAB_DIM,
+        clients: 1,
+        k: FAB_K,
+        threads: 1,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  wire_decode (delta-varint): alloc {:.0} ns, reused-buffer {:.0} ns -> {:.2}x",
+        wire_decode.seed_ns,
+        wire_decode.scratch_ns,
+        wire_decode.speedup()
+    );
+
+    let kernels = [
+        fab,
+        fab_sharded,
+        topk_report,
+        cnn_report,
+        eval_report,
+        wire_encode,
+        wire_decode,
+    ];
     let body: Vec<String> = kernels.iter().map(KernelReport::to_json).collect();
     let json = format!(
         concat!(

@@ -2,15 +2,16 @@
 //!
 //! `benches/kernels.rs` (criterion) and the `bench-report` binary (plain
 //! timing + `BENCH_kernels.json`) must measure exactly the same inputs so
-//! their numbers are comparable across PRs; both build them here. Three
-//! workloads are tracked: the FAB server selection, the paper-shape CNN
-//! forward pass (im2col vs the seed scalar loops) and the per-evaluation
-//! `O(N·D)` metric sweep (fused executor sweep vs the seed's three serial
-//! passes).
+//! their numbers are comparable across PRs; both build them here. Four
+//! workload families are tracked: the FAB server selection, the
+//! paper-shape CNN forward pass (im2col vs the seed scalar loops), the
+//! per-evaluation `O(N·D)` metric sweep (fused executor sweep vs the
+//! seed's three serial passes), and the wire-codec message (encode/decode
+//! fast paths vs the allocating reference implementations).
 
 use agsfl_ml::data::{FederatedDataset, SyntheticFemnist, SyntheticFemnistConfig};
 use agsfl_ml::model::{Mlp, Model, SimpleCnn};
-use agsfl_sparse::{topk, ClientUpload};
+use agsfl_sparse::{topk, ClientUpload, SparseGradient};
 use agsfl_tensor::Matrix;
 use rand::Rng;
 use rand::SeedableRng;
@@ -41,6 +42,16 @@ pub fn fab_workload() -> Vec<ClientUpload> {
             )
         })
         .collect()
+}
+
+/// Builds the wire-codec workload: one sparse gradient message at the
+/// acceptance shape (dim = [`FAB_DIM`] = 10⁵, [`FAB_K`] = 10³ entries,
+/// fixed seed) — the message a `k = D/100` round actually broadcasts.
+pub fn wire_workload() -> SparseGradient {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let dense: Vec<f32> = (0..FAB_DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let entries = topk::top_k_entries(&dense, FAB_K);
+    SparseGradient::from_entries(FAB_DIM, entries)
 }
 
 /// Input channels of the CNN forward workload.
@@ -125,6 +136,13 @@ mod tests {
         assert_eq!(params.len(), model.num_params());
         assert_eq!(x.shape(), (CNN_BATCH, model.input_dim()));
         assert_eq!(labels.len(), CNN_BATCH);
+    }
+
+    #[test]
+    fn wire_workload_is_acceptance_shape() {
+        let g = wire_workload();
+        assert_eq!(g.dim(), FAB_DIM);
+        assert_eq!(g.nnz(), FAB_K);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Declarative experiment configuration.
 
 use agsfl_exec::Parallelism;
+use agsfl_fl::{ChannelModel, ClientLink, WireConfig};
 use agsfl_ml::data::{
     FederatedDataset, SyntheticCifar, SyntheticCifarConfig, SyntheticFemnist,
     SyntheticFemnistConfig,
 };
 use agsfl_ml::model::{LinearSoftmax, Mlp, Model, SimpleCnn};
 use agsfl_sparse::{FabTopK, FubTopK, PeriodicK, SendAll, Sparsifier, UnidirectionalTopK};
+use agsfl_wire::CodecSpec;
 use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Which federated dataset to generate.
@@ -203,6 +207,144 @@ impl SparsifierSpec {
     }
 }
 
+/// Optional sinusoidal bandwidth fluctuation of a [`ChannelSpec`]: client
+/// `i`'s bandwidths in round `m` are scaled by
+/// `1 − depth · (1 + sin(2π(m/period + i/N))) / 2`, i.e. they oscillate
+/// between full capacity and `1 − depth` of it with per-client phase
+/// offsets (clients don't all fade at once). Deterministic by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fluctuation {
+    /// Period of the oscillation in rounds.
+    pub period: usize,
+    /// Peak-to-trough depth in `(0, 1)`; `0.75` means bandwidth dips to a
+    /// quarter of nominal.
+    pub depth: f64,
+}
+
+/// Declarative description of the per-client channel a byte-priced
+/// experiment runs over; [`ChannelSpec::build`] turns it into the concrete
+/// [`ChannelModel`] once the client count is known.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Nominal uplink capacity in bytes per normalized time unit.
+    pub uplink_bytes_per_unit: f64,
+    /// Nominal downlink capacity in bytes per normalized time unit.
+    pub downlink_bytes_per_unit: f64,
+    /// Fixed per-message latency in normalized time units.
+    pub latency: f64,
+    /// Per-client heterogeneity: each client's bandwidths are scaled by a
+    /// factor drawn log-uniformly from `[1/spread, spread]` (seeded from
+    /// the experiment seed, so deterministic). `1.0` = homogeneous.
+    pub spread: f64,
+    /// Optional per-round bandwidth fluctuation.
+    pub fluctuation: Option<Fluctuation>,
+}
+
+impl ChannelSpec {
+    /// A homogeneous, static channel.
+    pub fn uniform(uplink_bytes_per_unit: f64, downlink_bytes_per_unit: f64, latency: f64) -> Self {
+        Self {
+            uplink_bytes_per_unit,
+            downlink_bytes_per_unit,
+            latency,
+            spread: 1.0,
+            fluctuation: None,
+        }
+    }
+
+    /// Adds log-uniform per-client bandwidth heterogeneity.
+    pub fn with_spread(mut self, spread: f64) -> Self {
+        assert!(spread >= 1.0, "spread must be >= 1");
+        self.spread = spread;
+        self
+    }
+
+    /// Adds a sinusoidal per-round bandwidth fluctuation.
+    pub fn with_fluctuation(mut self, period: usize, depth: f64) -> Self {
+        assert!(period > 0, "fluctuation period must be positive");
+        assert!((0.0..1.0).contains(&depth), "depth must be in [0, 1)");
+        self.fluctuation = Some(Fluctuation { period, depth });
+        self
+    }
+
+    /// Builds the concrete [`ChannelModel`] for `num_clients` clients.
+    /// Per-client heterogeneity is drawn from a ChaCha8 stream derived from
+    /// `seed`, so the same spec + seed always yields the same channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is out of range (`spread < 1`, a fluctuation with
+    /// `period == 0` or `depth` outside `[0, 1)`). The builder methods
+    /// already enforce these, but the fields are public and the spec is
+    /// deserializable, so the ranges are re-checked here — a bad spec must
+    /// not silently build a misbehaving channel.
+    pub fn build(&self, num_clients: usize, seed: u64) -> ChannelModel {
+        assert!(self.spread >= 1.0, "spread must be >= 1");
+        if let Some(Fluctuation { period, depth }) = self.fluctuation {
+            assert!(period > 0, "fluctuation period must be positive");
+            assert!((0.0..1.0).contains(&depth), "depth must be in [0, 1)");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00C0_FFEE_A11C_E5E5);
+        let links = (0..num_clients)
+            .map(|_| {
+                let factor = if self.spread > 1.0 {
+                    let ln = self.spread.ln();
+                    rng.gen_range(-ln..ln).exp()
+                } else {
+                    1.0
+                };
+                ClientLink::new(
+                    self.uplink_bytes_per_unit * factor,
+                    self.downlink_bytes_per_unit * factor,
+                    self.latency,
+                )
+            })
+            .collect();
+        let model = ChannelModel::new(1.0, links);
+        match self.fluctuation {
+            None => model,
+            Some(Fluctuation { period, depth }) => {
+                let trace = (0..period)
+                    .map(|m| {
+                        (0..num_clients)
+                            .map(|i| {
+                                let phase =
+                                    m as f64 / period as f64 + i as f64 / num_clients.max(1) as f64;
+                                let wave = (1.0 + (2.0 * std::f64::consts::PI * phase).sin()) / 2.0;
+                                1.0 - depth * wave
+                            })
+                            .collect()
+                    })
+                    .collect();
+                model.with_trace(trace)
+            }
+        }
+    }
+}
+
+/// Byte-priced exchange settings of an [`ExperimentConfig`]: which codec
+/// frames the messages and what channel they cross. When present, round
+/// times come from the channel model instead of the `comm_time` scalar
+/// proxy (training trajectories are unaffected — the codecs are lossless).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireSpec {
+    /// The wire codec.
+    pub codec: CodecSpec,
+    /// The channel description.
+    pub channel: ChannelSpec,
+}
+
+impl WireSpec {
+    /// Builds the simulator-level [`WireConfig`] for a concrete client
+    /// count and seed.
+    pub fn build(&self, num_clients: usize, seed: u64) -> WireConfig {
+        WireConfig {
+            codec: self.codec,
+            channel: self.channel.build(num_clients, seed),
+        }
+    }
+}
+
 /// Full description of one experiment workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -228,6 +370,10 @@ pub struct ExperimentConfig {
     /// results are bit-identical for every setting (the simulator's
     /// determinism invariant), so sweeps may mix serial and parallel runs.
     pub parallelism: Parallelism,
+    /// Optional byte-priced exchange (wire codec + channel model). When
+    /// set, `comm_time` is ignored for round pricing — the channel is the
+    /// cost signal; training trajectories stay bit-identical either way.
+    pub wire: Option<WireSpec>,
 }
 
 impl Default for ExperimentConfig {
@@ -242,6 +388,7 @@ impl Default for ExperimentConfig {
             eval_every: 10,
             seed: 0,
             parallelism: Parallelism::Auto,
+            wire: None,
         }
     }
 }
@@ -325,6 +472,12 @@ impl ExperimentConfigBuilder {
     /// Sets the worker-thread policy for the round engine.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Switches the experiment onto the byte-priced exchange path.
+    pub fn wire(mut self, wire: WireSpec) -> Self {
+        self.config.wire = Some(wire);
         self
     }
 
@@ -413,6 +566,49 @@ mod tests {
             let sparsifier = spec.build();
             assert_eq!(sparsifier.name(), spec.name());
         }
+    }
+
+    #[test]
+    fn channel_spec_builds_deterministically() {
+        let spec = ChannelSpec::uniform(1_000.0, 2_000.0, 0.1).with_spread(4.0);
+        let a = spec.build(6, 9);
+        let b = spec.build(6, 9);
+        assert_eq!(a, b, "same spec + seed must build the same channel");
+        let c = spec.build(6, 10);
+        assert_ne!(a, c, "different seeds draw different heterogeneity");
+        // Spread actually spreads: not all links equal.
+        assert!(a
+            .links()
+            .iter()
+            .any(|l| (l.uplink_bytes_per_unit - a.links()[0].uplink_bytes_per_unit).abs() > 1e-9));
+    }
+
+    #[test]
+    fn fluctuating_channel_has_positive_multipliers() {
+        let spec = ChannelSpec::uniform(1_000.0, 1_000.0, 0.0).with_fluctuation(12, 0.75);
+        let channel = spec.build(4, 0);
+        for round in 0..30 {
+            for client in 0..4 {
+                let m = channel.multiplier(round, client);
+                assert!(m > 0.0 && m <= 1.0, "round {round} client {client}: {m}");
+            }
+        }
+        // The trace actually moves.
+        assert_ne!(channel.multiplier(0, 0), channel.multiplier(6, 0));
+    }
+
+    #[test]
+    fn wire_builder_sets_spec() {
+        let cfg = ExperimentConfig::builder()
+            .wire(WireSpec {
+                codec: CodecSpec::Auto,
+                channel: ChannelSpec::uniform(500.0, 500.0, 0.0),
+            })
+            .build();
+        let wire = cfg.wire.expect("wire set");
+        assert_eq!(wire.codec, CodecSpec::Auto);
+        let built = wire.build(3, 1);
+        assert_eq!(built.channel.num_clients(), 3);
     }
 
     #[test]

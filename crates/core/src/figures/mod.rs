@@ -16,6 +16,7 @@
 //! | Fig. 7 (comm-time sweep, FEMNIST) | [`sweep::run_femnist`] |
 //! | Fig. 8 (comm-time sweep, CIFAR-10) | [`sweep::run_cifar`] |
 //! | Theorems 1–2 (regret bounds) | [`regret_check::run`] |
+//! | Wire codec × channel sweep (byte-priced, beyond the paper) | [`wire_sweep::run`] |
 
 pub mod fig1;
 pub mod fig4;
@@ -23,3 +24,4 @@ pub mod fig5;
 pub mod fig6;
 pub mod regret_check;
 pub mod sweep;
+pub mod wire_sweep;

@@ -52,8 +52,10 @@ pub mod report;
 mod runner;
 
 pub use agsfl_exec::{Executor, Parallelism};
+pub use agsfl_wire::CodecSpec;
 pub use config::{
-    DatasetSpec, ExperimentConfig, ExperimentConfigBuilder, ModelSpec, SparsifierSpec,
+    ChannelSpec, DatasetSpec, ExperimentConfig, ExperimentConfigBuilder, Fluctuation, ModelSpec,
+    SparsifierSpec, WireSpec,
 };
 pub use controllers::ControllerSpec;
 pub use runner::{Experiment, StopCondition};

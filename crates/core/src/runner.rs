@@ -104,6 +104,10 @@ impl Experiment {
         let model = config
             .model
             .build(dataset.feature_dim(), dataset.num_classes());
+        let wire = config
+            .wire
+            .as_ref()
+            .map(|w| w.build(dataset.num_clients(), config.seed));
         let sim = Simulation::new(
             model,
             dataset,
@@ -114,12 +118,13 @@ impl Experiment {
                 time_model: TimeModel::normalized(config.comm_time),
                 seed: config.seed,
                 parallelism: config.parallelism,
+                wire,
             },
         );
         Self {
             config: config.clone(),
             sim,
-            rounding_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0x51_7CC1B7_2722_0A95),
+            rounding_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0x517C_C1B7_2722_0A95),
         }
     }
 
@@ -199,8 +204,11 @@ impl Experiment {
             };
             controller.observe(&feedback);
             history.add_contributions(&report.contributions);
+            if let Some(wire) = &report.wire {
+                history.record_wire(wire);
+            }
 
-            let evaluate = round_in_run % self.config.eval_every == 0
+            let evaluate = round_in_run.is_multiple_of(self.config.eval_every)
                 || round_in_run == 1
                 || stop.rounds_exhausted(round_in_run)
                 || stop.time_exhausted(self.sim.elapsed_time() - start_time);
@@ -254,7 +262,10 @@ impl Experiment {
             round_in_run += 1;
             let report = self.sim.run_round(k, None);
             history.add_contributions(&report.contributions);
-            let evaluate = round_in_run % self.config.eval_every == 0 || round_in_run == 1;
+            if let Some(wire) = &report.wire {
+                history.record_wire(wire);
+            }
+            let evaluate = round_in_run.is_multiple_of(self.config.eval_every) || round_in_run == 1;
             let (global_loss, test_accuracy) = if evaluate {
                 // One fused parallel sweep for both metrics (bit-identical
                 // to the individual accessors; see Simulation::evaluate).
@@ -314,7 +325,7 @@ impl Experiment {
             }
             round += 1;
             let report = sim.run_round();
-            let evaluate = round % config.eval_every == 0 || round == 1;
+            let evaluate = round.is_multiple_of(config.eval_every) || round == 1;
             let (global_loss, test_accuracy) = if evaluate {
                 let eval = sim.evaluate();
                 (Some(eval.train_loss), Some(eval.test_accuracy))

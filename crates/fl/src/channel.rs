@@ -1,0 +1,284 @@
+//! Byte-accurate heterogeneous channel model.
+//!
+//! [`TimeModel`](crate::TimeModel) prices a round in the paper's abstract
+//! "scalars transmitted" currency, with every client on the same link.
+//! [`ChannelModel`] prices the *frames* the wire codecs actually emit
+//! (`agsfl_wire`): each client owns an uplink/downlink bandwidth and a
+//! latency, bandwidths may fluctuate round by round through a trace, and a
+//! round costs what the paper's synchronized protocol implies —
+//! computation, then the **slowest** selected client's upload (uplinks run
+//! in parallel, the server waits for all of them), then the broadcast
+//! downlink (complete when the slowest receiver has it).
+//!
+//! The online formulation only needs an additive per-round cost (the paper
+//! notes the objective extends to any such resource, Sections I and VI), so
+//! swapping this byte-priced time for the scalar proxy is a drop-in signal
+//! change behind [`SimulationConfig::wire`](crate::SimulationConfig::wire)
+//! — the controllers in `agsfl-online` adapt `k` against whichever signal
+//! the round reports.
+
+use serde::{Deserialize, Serialize};
+
+/// One client's link: uplink/downlink capacity in **bytes per normalized
+/// time unit** plus a fixed per-message latency (in normalized time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientLink {
+    /// Uplink capacity in bytes per normalized time unit.
+    pub uplink_bytes_per_unit: f64,
+    /// Downlink capacity in bytes per normalized time unit.
+    pub downlink_bytes_per_unit: f64,
+    /// Fixed per-message latency in normalized time units.
+    pub latency: f64,
+}
+
+impl ClientLink {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bandwidth is not strictly positive or the latency is
+    /// negative/not finite.
+    pub fn new(uplink_bytes_per_unit: f64, downlink_bytes_per_unit: f64, latency: f64) -> Self {
+        assert!(
+            uplink_bytes_per_unit.is_finite() && uplink_bytes_per_unit > 0.0,
+            "uplink bandwidth must be positive"
+        );
+        assert!(
+            downlink_bytes_per_unit.is_finite() && downlink_bytes_per_unit > 0.0,
+            "downlink bandwidth must be positive"
+        );
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "latency must be finite and non-negative"
+        );
+        Self {
+            uplink_bytes_per_unit,
+            downlink_bytes_per_unit,
+            latency,
+        }
+    }
+}
+
+/// Per-client channel conditions, optionally fluctuating per round.
+///
+/// # Examples
+///
+/// ```
+/// use agsfl_fl::ChannelModel;
+///
+/// // 4 clients, 1000 B per time unit each way, latency 0.1, compute 1.
+/// let channel = ChannelModel::uniform(4, 1.0, 1_000.0, 1_000.0, 0.1);
+/// // 500 B up per client, 800 B broadcast down:
+/// // 1 (compute) + 0.1 + 0.5 (slowest upload) + 0.1 + 0.8 (broadcast).
+/// let t = channel.round_time(0, &[500, 500, 500, 500], 800);
+/// assert!((t - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Per-round computation time (all clients in parallel), matching the
+    /// normalized convention of [`TimeModel`](crate::TimeModel).
+    compute_time: f64,
+    /// One link per client.
+    links: Vec<ClientLink>,
+    /// Optional bandwidth trace: `trace[m % trace.len()][i]` multiplies
+    /// client `i`'s bandwidths (both directions) in round `m` (0-based).
+    /// Empty means static conditions.
+    trace: Vec<Vec<f64>>,
+}
+
+impl ChannelModel {
+    /// Creates a channel model with per-client links and no trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is empty or `compute_time` is negative/not finite.
+    pub fn new(compute_time: f64, links: Vec<ClientLink>) -> Self {
+        assert!(!links.is_empty(), "channel model needs at least one client");
+        assert!(
+            compute_time.is_finite() && compute_time >= 0.0,
+            "compute_time must be finite and non-negative"
+        );
+        Self {
+            compute_time,
+            links,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Every client on the same link.
+    pub fn uniform(
+        num_clients: usize,
+        compute_time: f64,
+        uplink_bytes_per_unit: f64,
+        downlink_bytes_per_unit: f64,
+        latency: f64,
+    ) -> Self {
+        Self::new(
+            compute_time,
+            vec![
+                ClientLink::new(uplink_bytes_per_unit, downlink_bytes_per_unit, latency);
+                num_clients
+            ],
+        )
+    }
+
+    /// Attaches a per-round bandwidth trace. Round `m` uses row
+    /// `m % trace.len()`; each row holds one multiplier per client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's length differs from the client count or a
+    /// multiplier is not strictly positive.
+    pub fn with_trace(mut self, trace: Vec<Vec<f64>>) -> Self {
+        for row in &trace {
+            assert_eq!(
+                row.len(),
+                self.links.len(),
+                "trace row length must match client count"
+            );
+            assert!(
+                row.iter().all(|&m| m.is_finite() && m > 0.0),
+                "bandwidth multipliers must be positive"
+            );
+        }
+        self.trace = trace;
+        self
+    }
+
+    /// Number of clients this channel models.
+    pub fn num_clients(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Per-round computation time.
+    pub fn compute_time(&self) -> f64 {
+        self.compute_time
+    }
+
+    /// The configured links.
+    pub fn links(&self) -> &[ClientLink] {
+        &self.links
+    }
+
+    /// The bandwidth multiplier of client `i` in round `round` (0-based).
+    pub fn multiplier(&self, round: usize, client: usize) -> f64 {
+        if self.trace.is_empty() {
+            1.0
+        } else {
+            self.trace[round % self.trace.len()][client]
+        }
+    }
+
+    /// Time for client `i` to upload `bytes` in round `round`.
+    pub fn uplink_time(&self, round: usize, client: usize, bytes: usize) -> f64 {
+        let link = &self.links[client];
+        link.latency + bytes as f64 / (link.uplink_bytes_per_unit * self.multiplier(round, client))
+    }
+
+    /// Time for client `i` to receive a `bytes`-long broadcast in round
+    /// `round`.
+    pub fn downlink_time(&self, round: usize, client: usize, bytes: usize) -> f64 {
+        let link = &self.links[client];
+        link.latency
+            + bytes as f64 / (link.downlink_bytes_per_unit * self.multiplier(round, client))
+    }
+
+    /// Total time of one synchronized round (0-based `round`): computation,
+    /// plus the slowest upload across all clients, plus the broadcast
+    /// downlink (the slowest receiver; every client needs the update).
+    /// `uplink_bytes` holds one frame length per client. The protocol is
+    /// synchronized, so every client pays its uplink latency even for a
+    /// zero-byte message (it still has to check in before the server can
+    /// aggregate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uplink_bytes.len()` differs from the client count.
+    pub fn round_time(&self, round: usize, uplink_bytes: &[usize], downlink_bytes: usize) -> f64 {
+        assert_eq!(
+            uplink_bytes.len(),
+            self.links.len(),
+            "one uplink byte count per client"
+        );
+        let slowest_up = uplink_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| self.uplink_time(round, i, bytes))
+            .fold(0.0f64, f64::max);
+        let slowest_down = (0..self.links.len())
+            .map(|i| self.downlink_time(round, i, downlink_bytes))
+            .fold(0.0f64, f64::max);
+        self.compute_time + slowest_up + slowest_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_round_time_decomposes() {
+        let channel = ChannelModel::uniform(3, 1.0, 100.0, 200.0, 0.0);
+        // Slowest upload 50/100 = 0.5; broadcast 100/200 = 0.5.
+        let t = channel.round_time(0, &[10, 50, 20], 100);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_is_charged_per_phase() {
+        let channel = ChannelModel::uniform(2, 0.0, 1000.0, 1000.0, 0.25);
+        // Zero bytes still pay two latencies (uplink + downlink phases).
+        let t = channel.round_time(0, &[0, 0], 0);
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_slowest_client_dominates() {
+        let links = vec![
+            ClientLink::new(1_000.0, 1_000.0, 0.0),
+            ClientLink::new(10.0, 1_000.0, 0.0), // straggler uplink
+        ];
+        let channel = ChannelModel::new(1.0, links);
+        let t = channel.round_time(0, &[100, 100], 0);
+        // Straggler: 100 / 10 = 10 time units.
+        assert!((t - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_cycles_and_scales_bandwidth() {
+        let channel =
+            ChannelModel::uniform(1, 0.0, 100.0, 100.0, 0.0).with_trace(vec![vec![1.0], vec![0.5]]);
+        assert_eq!(channel.multiplier(0, 0), 1.0);
+        assert_eq!(channel.multiplier(1, 0), 0.5);
+        assert_eq!(channel.multiplier(2, 0), 1.0, "trace cycles");
+        let fast = channel.round_time(0, &[100], 0);
+        let slow = channel.round_time(1, &[100], 0);
+        assert!((fast - 1.0).abs() < 1e-12);
+        assert!((slow - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_links_panic() {
+        let _ = ChannelModel::new(1.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn trace_row_length_mismatch_panics() {
+        let _ = ChannelModel::uniform(2, 1.0, 1.0, 1.0, 0.0).with_trace(vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_panics() {
+        let _ = ClientLink::new(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uplink_count_mismatch_panics() {
+        let channel = ChannelModel::uniform(2, 1.0, 1.0, 1.0, 0.0);
+        let _ = channel.round_time(0, &[1], 1);
+    }
+}

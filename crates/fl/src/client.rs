@@ -3,6 +3,7 @@
 use agsfl_ml::data::{ClientShard, MinibatchSampler};
 use agsfl_ml::model::Model;
 use agsfl_sparse::{ClientUpload, ResidualAccumulator, UploadPlan};
+use agsfl_wire::{Codec, WireScratch};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -29,6 +30,9 @@ pub struct Client {
     /// Reused candidate buffer for top-k extraction, so building the uplink
     /// message allocates no full-dimension temporary after the first round.
     topk_scratch: Vec<(usize, f32)>,
+    /// Reused wire-encoding workspace; byte-priced rounds encode the uplink
+    /// message here without per-round allocation beyond the emitted frame.
+    wire_scratch: WireScratch,
 }
 
 impl Client {
@@ -60,6 +64,7 @@ impl Client {
             last_batch: Vec::new(),
             probe_sample: None,
             topk_scratch: Vec::new(),
+            wire_scratch: WireScratch::new(),
         }
     }
 
@@ -121,6 +126,24 @@ impl Client {
                 .collect(),
         };
         ClientUpload::new(self.id, self.weight, entries)
+    }
+
+    /// Encodes an uplink message into a wire frame using the client's own
+    /// reused [`WireScratch`] (the message's rank-ordered entries are
+    /// staged index-sorted first — entry order is presentation, not
+    /// payload; the server re-derives ranks from the decoded values).
+    ///
+    /// Returns the owned frame — the bytes that would actually cross the
+    /// client's uplink.
+    pub fn encode_upload(
+        &mut self,
+        codec: &dyn Codec,
+        dim: usize,
+        upload: &ClientUpload,
+    ) -> Vec<u8> {
+        self.wire_scratch
+            .encode_unsorted(codec, dim, &upload.entries)
+            .to_vec()
     }
 
     /// Resets the accumulator coordinates the server actually used

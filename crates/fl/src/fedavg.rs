@@ -308,7 +308,7 @@ impl FedAvgSimulation {
             train_loss += weight * loss as f64;
         }
 
-        let aggregated = self.round % self.config.aggregation_period == 0;
+        let aggregated = self.round.is_multiple_of(self.config.aggregation_period);
         let dim = self.clients[0].params.len();
         let round_time = if aggregated {
             let avg = self.averaged_params();

@@ -1,7 +1,10 @@
 //! Run histories: the time series the paper's figures plot.
 
 use agsfl_tensor::stats::Ecdf;
+use agsfl_wire::CodecId;
 use serde::{Deserialize, Serialize};
+
+use crate::round::WireRoundReport;
 
 /// One evaluated point of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,6 +32,14 @@ pub struct RunHistory {
     pub label: String,
     points: Vec<MetricPoint>,
     contributions: Vec<u64>,
+    /// Total uplink bytes over the run (0 unless byte-priced rounds were
+    /// recorded through [`RunHistory::record_wire`]).
+    uplink_bytes: u64,
+    /// Total downlink bytes over the run.
+    downlink_bytes: u64,
+    /// Per-[`CodecId`] uplink frame counts (index = `CodecId as usize`);
+    /// empty until a wire round is recorded.
+    codec_counts: Vec<u64>,
 }
 
 impl RunHistory {
@@ -38,6 +49,9 @@ impl RunHistory {
             label: label.into(),
             points: Vec::new(),
             contributions: vec![0; num_clients],
+            uplink_bytes: 0,
+            downlink_bytes: 0,
+            codec_counts: Vec::new(),
         }
     }
 
@@ -81,6 +95,31 @@ impl RunHistory {
     /// Total contributions per client accumulated over the run.
     pub fn contributions(&self) -> &[u64] {
         &self.contributions
+    }
+
+    /// Accumulates a byte-priced round's wire accounting.
+    pub fn record_wire(&mut self, wire: &WireRoundReport) {
+        self.uplink_bytes += wire.uplink_bytes.iter().map(|&b| b as u64).sum::<u64>();
+        self.downlink_bytes += wire.downlink_bytes as u64;
+        if self.codec_counts.is_empty() {
+            self.codec_counts = vec![0; CodecId::ALL.len()];
+        }
+        for &id in &wire.uplink_codecs {
+            self.codec_counts[id as usize] += 1;
+        }
+        self.codec_counts[wire.downlink_codec as usize] += 1;
+    }
+
+    /// Total `(uplink, downlink)` bytes on the wire over the run; zeros for
+    /// scalar-proxy runs.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        (self.uplink_bytes, self.downlink_bytes)
+    }
+
+    /// Frame counts per concrete encoding (uplinks and downlinks combined),
+    /// indexed by `CodecId as usize`. Empty for scalar-proxy runs.
+    pub fn codec_counts(&self) -> &[u64] {
+        &self.codec_counts
     }
 
     /// Empirical CDF of per-client total contributions (the paper's Fig. 4,
@@ -218,6 +257,30 @@ mod tests {
     fn contribution_length_mismatch_panics() {
         let mut h = RunHistory::new("test", 2);
         h.add_contributions(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_totals_accumulate() {
+        use agsfl_wire::CodecId;
+        let mut h = RunHistory::new("wire", 2);
+        assert_eq!(h.wire_bytes(), (0, 0));
+        assert!(h.codec_counts().is_empty());
+        h.record_wire(&WireRoundReport {
+            uplink_bytes: vec![100, 50],
+            max_uplink_bytes: 100,
+            downlink_bytes: 30,
+            uplink_codecs: vec![CodecId::DeltaVarint, CodecId::DeltaVarint],
+            downlink_codec: CodecId::CooF32,
+        });
+        h.record_wire(&WireRoundReport {
+            uplink_bytes: vec![10, 10],
+            max_uplink_bytes: 10,
+            downlink_bytes: 5,
+            uplink_codecs: vec![CodecId::Bitmap, CodecId::CooF32],
+            downlink_codec: CodecId::CooF32,
+        });
+        assert_eq!(h.wire_bytes(), (170, 35));
+        assert_eq!(h.codec_counts(), &[3, 2, 1]);
     }
 
     #[test]

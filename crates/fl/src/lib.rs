@@ -17,6 +17,20 @@
 //! sparsifiers: [`FedAvgSimulation`] (send-all-or-nothing local SGD with
 //! periodic weight averaging at equal average communication overhead).
 //!
+//! # Byte-priced exchange
+//!
+//! Alongside the scalar proxy, [`SimulationConfig::wire`] switches a run
+//! onto the **byte-accurate** cost path: every uplink/downlink message is
+//! encoded through an `agsfl_wire` codec, the server decodes the frames
+//! before aggregation, and the round time comes from a per-client
+//! [`ChannelModel`] (heterogeneous bandwidths, latency, optional per-round
+//! bandwidth trace; round time = slowest upload + broadcast downlink). The
+//! codecs are lossless and the top-k rank order is a total order of the
+//! values, so the training trajectory is bit-identical to the un-wired run
+//! — only the cost signal the adaptive-`k` controllers observe changes,
+//! which is exactly the drop-in additive-cost swap the paper's online
+//! formulation permits.
+//!
 //! # The parallel round engine
 //!
 //! Each round runs three parallel regions through one reusable
@@ -62,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod channel;
 mod client;
 mod fedavg;
 mod history;
@@ -71,10 +86,11 @@ mod simulation;
 mod time;
 
 pub use agsfl_exec::{Executor, Parallelism};
+pub use channel::{ChannelModel, ClientLink};
 pub use client::Client;
 pub use fedavg::{FedAvgConfig, FedAvgSimulation};
 pub use history::{MetricPoint, RunHistory};
 pub use resource::{CompositeCost, ResourceModel};
-pub use round::{ProbeReport, RoundReport};
-pub use simulation::{Simulation, SimulationConfig};
+pub use round::{ProbeReport, RoundReport, WireRoundReport};
+pub use simulation::{Simulation, SimulationConfig, WireConfig};
 pub use time::TimeModel;

@@ -9,6 +9,13 @@
 //! generalization: it prices a round in an arbitrary additive resource and
 //! can be combined with [`TimeModel`](crate::TimeModel) through
 //! [`CompositeCost`] to optimize a weighted sum of several resources.
+//!
+//! Like [`TimeModel`](crate::TimeModel), this prices the abstract `2k`
+//! scalars-transmitted proxy. When the resource should track the bytes the
+//! wire codecs actually put on each client's link, use the byte-priced path
+//! instead: [`ChannelModel`](crate::ChannelModel) behind
+//! [`SimulationConfig::wire`](crate::SimulationConfig::wire) — any additive
+//! per-round cost slots into the same online-learning machinery.
 
 use serde::{Deserialize, Serialize};
 

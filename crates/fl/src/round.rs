@@ -1,5 +1,6 @@
 //! Per-round reports produced by the simulator.
 
+use agsfl_wire::CodecId;
 use serde::{Deserialize, Serialize};
 
 /// The extra measurements needed by the derivative-sign estimator of
@@ -20,6 +21,32 @@ pub struct ProbeReport {
     pub loss_probe: f64,
     /// `θ_m(k')`: the time one round would have taken with `k'`-element GS.
     pub probe_round_time: f64,
+}
+
+/// Byte-level accounting of one round run with a wire configuration
+/// ([`SimulationConfig::wire`](crate::SimulationConfig::wire)): the actual
+/// frame sizes the codecs emitted and which encoding carried each message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRoundReport {
+    /// Encoded uplink frame length per client, in bytes.
+    pub uplink_bytes: Vec<usize>,
+    /// Largest per-client uplink frame (the slowest-link phase input).
+    pub max_uplink_bytes: usize,
+    /// Encoded downlink (broadcast) frame length in bytes.
+    pub downlink_bytes: usize,
+    /// The concrete encoding each client's uplink frame used (`Auto`
+    /// records its per-message choice here).
+    pub uplink_codecs: Vec<CodecId>,
+    /// The concrete encoding of the downlink frame.
+    pub downlink_codec: CodecId,
+}
+
+impl WireRoundReport {
+    /// Total bytes on the wire this round: every uplink plus one broadcast
+    /// downlink.
+    pub fn total_bytes(&self) -> u64 {
+        self.uplink_bytes.iter().map(|&b| b as u64).sum::<u64>() + self.downlink_bytes as u64
+    }
 }
 
 /// Everything the simulator reports about one completed round of Algorithm 1.
@@ -46,6 +73,10 @@ pub struct RoundReport {
     pub contributions: Vec<usize>,
     /// Probe measurements for the derivative-sign estimator, if requested.
     pub probe: Option<ProbeReport>,
+    /// Byte-level wire accounting, present when the round ran with a wire
+    /// configuration (in which case `round_time` is the channel-priced
+    /// time, not the scalar proxy).
+    pub wire: Option<WireRoundReport>,
 }
 
 impl RoundReport {
@@ -79,7 +110,20 @@ mod tests {
             max_uplink_scalars: 200,
             contributions: vec![50, 50],
             probe,
+            wire: None,
         }
+    }
+
+    #[test]
+    fn wire_report_totals_bytes() {
+        let w = WireRoundReport {
+            uplink_bytes: vec![100, 250],
+            max_uplink_bytes: 250,
+            downlink_bytes: 400,
+            uplink_codecs: vec![CodecId::DeltaVarint, CodecId::CooF32],
+            downlink_codec: CodecId::Bitmap,
+        };
+        assert_eq!(w.total_bytes(), 750);
     }
 
     #[test]

@@ -7,23 +7,45 @@ use agsfl_ml::metrics::{
     GlobalEvaluation,
 };
 use agsfl_ml::model::Model;
-use agsfl_sparse::{ClientUpload, SelectionResult, ShardedScratch, Sparsifier};
+use agsfl_sparse::{topk, ClientUpload, SelectionResult, ShardedScratch, Sparsifier, UploadPlan};
+use agsfl_wire::{decode_frame, decode_gradient, frame_codec, Codec, WireScratch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::channel::ChannelModel;
 use crate::client::Client;
-use crate::round::{ProbeReport, RoundReport};
+use crate::round::{ProbeReport, RoundReport, WireRoundReport};
 use crate::time::TimeModel;
 
+/// Byte-priced exchange configuration: which wire codec carries the
+/// messages and what channel each client sits behind.
+///
+/// When [`SimulationConfig::wire`] is set, every round actually encodes the
+/// uplink/downlink messages (`agsfl_wire`), the server decodes them before
+/// aggregation, and the reported `round_time` is the [`ChannelModel`] price
+/// of the emitted frames instead of the scalar-proxy
+/// [`TimeModel`](crate::TimeModel) time. Because the codecs are lossless
+/// and the rank order of top-k uploads is a total order of the values, the
+/// training trajectory is bit-identical to the un-wired run — only the cost
+/// signal the controllers see changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireConfig {
+    /// The wire codec (use [`agsfl_wire::CodecSpec::Auto`] for per-message
+    /// size-optimal encoding).
+    pub codec: agsfl_wire::CodecSpec,
+    /// Per-client channel conditions.
+    pub channel: ChannelModel,
+}
+
 /// Static configuration of a [`Simulation`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
     /// SGD step size `η`. The paper uses 0.01.
     pub learning_rate: f32,
     /// Mini-batch size per client per round. The paper uses 32.
     pub batch_size: usize,
-    /// Normalized time model.
+    /// Normalized time model (the paper's "scalars transmitted" proxy).
     pub time_model: TimeModel,
     /// Master seed; client RNGs and the server RNG are derived from it.
     pub seed: u64,
@@ -31,6 +53,10 @@ pub struct SimulationConfig {
     /// selection, probe evaluation). Results are bit-identical for every
     /// setting — parallelism only changes wall-clock time.
     pub parallelism: Parallelism,
+    /// Optional byte-priced exchange: encode messages through a wire codec
+    /// and price rounds on a per-client [`ChannelModel`] instead of the
+    /// scalar proxy.
+    pub wire: Option<WireConfig>,
 }
 
 impl Default for SimulationConfig {
@@ -41,7 +67,45 @@ impl Default for SimulationConfig {
             time_model: TimeModel::default(),
             seed: 0,
             parallelism: Parallelism::Auto,
+            wire: None,
         }
+    }
+}
+
+/// Runtime state of the byte-priced exchange path: the built codec, the
+/// channel, and the server-side encode workspace (downlink frames and
+/// hypothetical-`k'` probe pricing reuse it across rounds).
+struct WireState {
+    codec: Box<dyn Codec>,
+    channel: ChannelModel,
+    scratch: WireScratch,
+}
+
+impl WireState {
+    /// The channel-priced time a round with sparsity `k'` would have taken:
+    /// each client's hypothetical uplink is the `k'`-element prefix of the
+    /// message it actually built this round (for top-k plans the prefix is
+    /// exactly its top-`k'` message), priced at its exact encoded length;
+    /// the downlink is the probe selection's aggregate.
+    fn probe_round_time(
+        &mut self,
+        round_idx: usize,
+        dim: usize,
+        probe_k: usize,
+        uploads: &[ClientUpload],
+        probe_selection: &SelectionResult,
+    ) -> f64 {
+        let uplink_bytes: Vec<usize> = uploads
+            .iter()
+            .map(|upload| {
+                let prefix = &upload.entries[..probe_k.min(upload.entries.len())];
+                self.scratch
+                    .encoded_len_unsorted(self.codec.as_ref(), dim, prefix)
+            })
+            .collect();
+        let downlink_bytes = self.codec.encoded_len_gradient(&probe_selection.aggregated);
+        self.channel
+            .round_time(round_idx, &uplink_bytes, downlink_bytes)
     }
 }
 
@@ -70,6 +134,9 @@ pub struct Simulation {
     /// The round engine's executor, built once from the configured
     /// [`Parallelism`] and reused by every parallel region.
     executor: Executor,
+    /// Byte-priced exchange state, present when the config carries a
+    /// [`WireConfig`].
+    wire: Option<WireState>,
     round: usize,
     elapsed: f64,
 }
@@ -129,6 +196,22 @@ impl Simulation {
                 )
             })
             .collect();
+        let wire = config.wire.as_ref().map(|w| {
+            assert_eq!(
+                w.channel.num_clients(),
+                dataset.num_clients(),
+                "channel model covers {} clients but the dataset has {}",
+                w.channel.num_clients(),
+                dataset.num_clients()
+            );
+            WireState {
+                codec: w.codec.build(),
+                channel: w.channel.clone(),
+                scratch: WireScratch::new(),
+            }
+        });
+        let executor = config.parallelism.build();
+        let server_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD_EF01);
         Self {
             model,
             dataset,
@@ -136,9 +219,10 @@ impl Simulation {
             config,
             clients,
             params,
-            server_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD_EF01),
+            server_rng,
             scratch: ShardedScratch::new(),
-            executor: config.parallelism.build(),
+            executor,
+            wire,
             round: 0,
             elapsed: 0.0,
         }
@@ -266,21 +350,69 @@ impl Simulation {
         // top-k runs and the round spawns one worker region instead of a
         // parallel gradient pass plus a serial upload loop. Each client owns
         // its RNG and sampler, and the executor returns results in client
-        // order, so this is bit-identical to the sequential loop.
+        // order, so this is bit-identical to the sequential loop. On the
+        // byte-priced path each client additionally encodes its message
+        // into a wire frame (against its own reused scratch) in the same
+        // pass.
         let plan = self.sparsifier.upload_plan(dim, k, &mut self.server_rng);
         let model = self.model.as_ref();
         let params = &self.params;
-        let produced: Vec<(f64, f32, ClientUpload)> =
+        let wire_codec: Option<&dyn Codec> = self.wire.as_ref().map(|w| w.codec.as_ref());
+        let produced: Vec<(f64, f32, ClientUpload, Option<Vec<u8>>)> =
             self.executor.map_mut(&mut self.clients, |client| {
                 let loss = client.compute_local_gradient(model, params);
                 let upload = client.build_upload(&plan, k);
-                (client.weight(), loss, upload)
+                let frame = wire_codec.map(|codec| client.encode_upload(codec, dim, &upload));
+                (client.weight(), loss, upload, frame)
             });
         let mut train_loss = 0.0f64;
         let mut uploads = Vec::with_capacity(produced.len());
-        for (weight, loss, upload) in produced {
+        let mut frames = Vec::new();
+        for (weight, loss, upload, frame) in produced {
             train_loss += weight * loss as f64;
             uploads.push(upload);
+            if let Some(frame) = frame {
+                frames.push(frame);
+            }
+        }
+
+        // (1b) Byte-priced path: the server decodes every frame before
+        // aggregation — the decoded messages *replace* the locally built
+        // ones, so selection genuinely runs on what crossed the wire. The
+        // codecs are lossless and the top-k rank order is a total order of
+        // the values (`topk::compare_magnitude_then_index`), so re-ranking
+        // the decoded entries reproduces the uploads bit for bit; the
+        // debug assertion pins that every test run.
+        if wire_codec.is_some() {
+            let rerank = matches!(plan, UploadPlan::TopKOwn);
+            let to_decode: Vec<(usize, f64, &[u8])> = uploads
+                .iter()
+                .zip(frames.iter())
+                .map(|(u, f)| (u.client, u.weight, f.as_slice()))
+                .collect();
+            let decoded: Vec<ClientUpload> =
+                self.executor
+                    .map_ref(&to_decode, |&(client, weight, frame)| {
+                        let mut entries = Vec::new();
+                        let (frame_dim, _) = decode_frame(frame, &mut entries)
+                            .expect("self-encoded frame must decode");
+                        debug_assert_eq!(frame_dim, dim);
+                        if rerank {
+                            topk::rank_by_magnitude(&mut entries);
+                        }
+                        ClientUpload::new(client, weight, entries)
+                    });
+            debug_assert!(
+                decoded.iter().zip(uploads.iter()).all(|(d, u)| {
+                    d.entries.len() == u.entries.len()
+                        && d.entries
+                            .iter()
+                            .zip(u.entries.iter())
+                            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
+                }),
+                "decoded uploads must be bit-identical to the built ones"
+            );
+            uploads = decoded;
         }
 
         // (2) Server selection and aggregation, sharded across the
@@ -290,7 +422,9 @@ impl Simulation {
                 .select_parallel(&uploads, dim, k, &mut self.scratch, &self.executor);
 
         // Optional probe for the derivative-sign estimator; its second
-        // selection shares the same workspace.
+        // selection shares the same workspace. On the byte-priced path the
+        // hypothetical `θ_m(k')` is re-priced through the channel model.
+        let round_idx = self.round - 1;
         let probe = probe_k.map(|pk| {
             let pk = pk.clamp(1, dim);
             let probe_selection = self.sparsifier.select_parallel(
@@ -300,21 +434,68 @@ impl Simulation {
                 &mut self.scratch,
                 &self.executor,
             );
-            self.build_probe_report(pk, &selection, &probe_selection)
+            let mut report = self.build_probe_report(pk, &selection, &probe_selection);
+            if let Some(wire) = &mut self.wire {
+                report.probe_round_time =
+                    wire.probe_round_time(round_idx, dim, pk, &uploads, &probe_selection);
+            }
+            report
         });
 
         // (3) Downlink: every client applies the identical sparse update.
-        selection.aggregated.apply_sgd(&mut self.params, lr);
+        // On the byte-priced path the broadcast is encoded, priced, and
+        // *decoded* before application — the weights advance by what
+        // crossed the wire (bit-identical to the local aggregate because
+        // the codecs are lossless; debug-asserted below).
+        let (round_time, wire_report) = match &mut self.wire {
+            None => {
+                selection.aggregated.apply_sgd(&mut self.params, lr);
+                let round_time = self.config.time_model.round_time(
+                    dim,
+                    selection.max_uplink_scalars(),
+                    selection.downlink_scalars(),
+                );
+                (round_time, None)
+            }
+            Some(wire) => {
+                let frame = wire
+                    .codec
+                    .encode_gradient_into(&selection.aggregated, &mut wire.scratch);
+                let downlink_bytes = frame.len();
+                let downlink_codec = frame_codec(frame).expect("freshly encoded frame");
+                let broadcast = decode_gradient(frame).expect("self-encoded frame must decode");
+                debug_assert!(
+                    broadcast
+                        .entries()
+                        .iter()
+                        .zip(selection.aggregated.entries().iter())
+                        .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
+                        && broadcast.nnz() == selection.aggregated.nnz(),
+                    "decoded broadcast must be bit-identical to the aggregate"
+                );
+                broadcast.apply_sgd(&mut self.params, lr);
+                let uplink_bytes: Vec<usize> = frames.iter().map(Vec::len).collect();
+                let uplink_codecs = frames
+                    .iter()
+                    .map(|f| frame_codec(f).expect("freshly encoded frame"))
+                    .collect();
+                let round_time = wire
+                    .channel
+                    .round_time(round_idx, &uplink_bytes, downlink_bytes);
+                let max_uplink_bytes = uplink_bytes.iter().copied().max().unwrap_or(0);
+                let report = WireRoundReport {
+                    uplink_bytes,
+                    max_uplink_bytes,
+                    downlink_bytes,
+                    uplink_codecs,
+                    downlink_codec,
+                };
+                (round_time, Some(report))
+            }
+        };
         for (client, resets) in self.clients.iter_mut().zip(selection.reset_indices.iter()) {
             client.apply_reset(resets);
         }
-
-        // Time accounting.
-        let round_time = self.config.time_model.round_time(
-            dim,
-            selection.max_uplink_scalars(),
-            selection.downlink_scalars(),
-        );
         self.elapsed += round_time;
 
         RoundReport {
@@ -327,6 +508,7 @@ impl Simulation {
             max_uplink_scalars: selection.max_uplink_scalars(),
             contributions: selection.into_contributions(),
             probe,
+            wire: wire_report,
         }
     }
 
@@ -384,6 +566,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::channel::ClientLink;
     use agsfl_ml::data::{SyntheticFemnist, SyntheticFemnistConfig};
     use agsfl_ml::model::LinearSoftmax;
     use agsfl_sparse::{FabTopK, FubTopK, PeriodicK, SendAll, UnidirectionalTopK};
@@ -407,8 +590,39 @@ mod tests {
                 time_model: TimeModel::normalized(beta),
                 seed,
                 parallelism,
+                wire: None,
             },
         )
+    }
+
+    fn tiny_wire_sim(
+        sparsifier: Box<dyn Sparsifier>,
+        seed: u64,
+        parallelism: Parallelism,
+        codec: agsfl_wire::CodecSpec,
+        channel: impl Fn(usize) -> ChannelModel,
+    ) -> Simulation {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
+        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+        let channel = channel(fed.num_clients());
+        Simulation::new(
+            Box::new(model),
+            fed,
+            sparsifier,
+            SimulationConfig {
+                learning_rate: 0.05,
+                batch_size: 8,
+                time_model: TimeModel::normalized(5.0),
+                seed,
+                parallelism,
+                wire: Some(WireConfig { codec, channel }),
+            },
+        )
+    }
+
+    fn uniform_channel(n: usize) -> ChannelModel {
+        ChannelModel::uniform(n, 1.0, 2_000.0, 4_000.0, 0.05)
     }
 
     fn tiny_sim(sparsifier: Box<dyn Sparsifier>, beta: f64, seed: u64) -> Simulation {
@@ -571,6 +785,144 @@ mod tests {
         assert_eq!(
             serial.global_train_accuracy(),
             parallel.global_train_accuracy()
+        );
+    }
+
+    /// The byte-priced path must not perturb training by a single bit: the
+    /// codecs are lossless and decode + re-rank reproduces every upload, so
+    /// a wired and an un-wired run of the same seed walk the identical
+    /// trajectory — only the cost signal (round_time, wire report) differs.
+    #[test]
+    fn wire_path_keeps_training_bit_identical() {
+        let sparsifiers: [fn() -> Box<dyn Sparsifier>; 5] = [
+            || Box::new(FabTopK::new()),
+            || Box::new(FubTopK::new()),
+            || Box::new(UnidirectionalTopK::new()),
+            || Box::new(PeriodicK::new()),
+            || Box::new(SendAll::new()),
+        ];
+        for (which, make) in sparsifiers.into_iter().enumerate() {
+            let seed = 70 + which as u64;
+            let mut plain = tiny_sim(make(), 5.0, seed);
+            let mut wired = tiny_wire_sim(
+                make(),
+                seed,
+                Parallelism::Auto,
+                agsfl_wire::CodecSpec::Auto,
+                uniform_channel,
+            );
+            let k = plain.dim() / 6;
+            for round in 0..3 {
+                let probe = if round == 1 { Some(k / 2) } else { None };
+                let rp = plain.run_round(k, probe);
+                let rw = wired.run_round(k, probe);
+                assert_eq!(rp.train_loss, rw.train_loss, "sparsifier {which}");
+                assert_eq!(rp.contributions, rw.contributions, "sparsifier {which}");
+                assert_eq!(rp.downlink_elements, rw.downlink_elements);
+                let wire = rw.wire.expect("wire report present");
+                assert_eq!(wire.uplink_bytes.len(), wired.num_clients());
+                assert!(wire.downlink_bytes > 0);
+                assert!(
+                    rw.round_time > wired.config().wire.as_ref().unwrap().channel.compute_time()
+                );
+            }
+            assert_eq!(
+                plain.params(),
+                wired.params(),
+                "weights diverged for sparsifier {which}"
+            );
+        }
+    }
+
+    /// Acceptance invariant: byte-priced simulations stay serial-vs-parallel
+    /// identical (full round reports, wire accounting included) across
+    /// 1–8 workers.
+    #[test]
+    fn wire_serial_and_parallel_runs_are_identical() {
+        for threads in [2usize, 3, 5, 8] {
+            let mut serial = tiny_wire_sim(
+                Box::new(FabTopK::new()),
+                90,
+                Parallelism::Serial,
+                agsfl_wire::CodecSpec::Auto,
+                uniform_channel,
+            );
+            let mut parallel = tiny_wire_sim(
+                Box::new(FabTopK::new()),
+                90,
+                Parallelism::Threads(threads),
+                agsfl_wire::CodecSpec::Auto,
+                uniform_channel,
+            );
+            let k = serial.dim() / 6;
+            for round in 0..3 {
+                let probe = if round % 2 == 0 { Some(k / 2) } else { None };
+                let rs = serial.run_round(k, probe);
+                let rp = parallel.run_round(k, probe);
+                assert_eq!(rs, rp, "threads={threads}, round={round}");
+            }
+            assert_eq!(serial.params(), parallel.params(), "threads={threads}");
+        }
+    }
+
+    /// A straggler on a heterogeneous channel dominates the round time, and
+    /// a bandwidth trace modulates it round by round.
+    #[test]
+    fn heterogeneous_channel_prices_the_straggler() {
+        let mut fast = tiny_wire_sim(
+            Box::new(FabTopK::new()),
+            91,
+            Parallelism::Auto,
+            agsfl_wire::CodecSpec::Coo,
+            |n| ChannelModel::uniform(n, 1.0, 10_000.0, 10_000.0, 0.0),
+        );
+        let mut straggler = tiny_wire_sim(
+            Box::new(FabTopK::new()),
+            91,
+            Parallelism::Auto,
+            agsfl_wire::CodecSpec::Coo,
+            |n| {
+                let mut links = vec![ClientLink::new(10_000.0, 10_000.0, 0.0); n];
+                links[0] = ClientLink::new(100.0, 10_000.0, 0.0);
+                ChannelModel::new(1.0, links)
+            },
+        );
+        let k = fast.dim() / 6;
+        let rf = fast.run_round(k, None);
+        let rs = straggler.run_round(k, None);
+        assert!(
+            rs.round_time > rf.round_time * 2.0,
+            "straggler {} vs uniform {}",
+            rs.round_time,
+            rf.round_time
+        );
+        // Same trajectory regardless of the channel: the channel only
+        // prices rounds.
+        assert_eq!(rf.train_loss, rs.train_loss);
+        assert_eq!(fast.params(), straggler.params());
+    }
+
+    #[test]
+    fn bandwidth_trace_modulates_round_time() {
+        let mut sim = tiny_wire_sim(
+            Box::new(FabTopK::new()),
+            92,
+            Parallelism::Auto,
+            agsfl_wire::CodecSpec::Coo,
+            |n| {
+                ChannelModel::uniform(n, 0.0, 1_000.0, 1_000.0, 0.0)
+                    .with_trace(vec![vec![1.0; n], vec![0.25; n]])
+            },
+        );
+        let k = sim.dim() / 8;
+        let r0 = sim.run_round(k, None);
+        let r1 = sim.run_round(k, None);
+        // Round 1 runs at a quarter of the bandwidth: ~4x the comm time.
+        assert!(
+            r1.round_time > r0.round_time * 3.0,
+            "trace did not slow round 1: {} vs {}",
+            r1.round_time,
+            r0.round_time
         );
     }
 

@@ -10,6 +10,13 @@
 //! downlink speeds. Sparse messages carry an index alongside every value, so
 //! `k` sparse elements cost `2k` scalars — this is the factor behind the
 //! paper's FedAvg period of `⌊D/(2k)⌋`.
+//!
+//! The `2k`-scalar convention is a *proxy*: no bytes exist and every client
+//! shares one link. For byte-accurate pricing of the frames the wire codecs
+//! actually emit — per-client heterogeneous bandwidths, latency, bandwidth
+//! traces — use [`ChannelModel`](crate::ChannelModel) via
+//! [`SimulationConfig::wire`](crate::SimulationConfig::wire); the two cost
+//! models are interchangeable signals for the online controllers.
 
 use serde::{Deserialize, Serialize};
 

@@ -60,9 +60,8 @@ pub fn cross_entropy_logit_grad(logits: &Matrix, labels: &[usize]) -> Matrix {
     );
     let batch = labels.len().max(1) as f32;
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
-    for i in 0..logits.rows() {
+    for (i, &label) in labels.iter().enumerate() {
         let probs = ops::softmax(logits.row(i));
-        let label = labels[i];
         assert!(label < logits.cols(), "label {label} out of range");
         let row = grad.row_mut(i);
         for (j, p) in probs.into_iter().enumerate() {

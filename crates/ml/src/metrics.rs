@@ -100,7 +100,7 @@ pub fn correct_count(model: &dyn Model, params: &[f32], x: &Matrix, labels: &[us
 /// chunk when the executor would not parallelize the sweep).
 fn row_chunks(rows: usize, exec: &Executor) -> Vec<std::ops::Range<usize>> {
     if !exec.should_parallelize(rows) {
-        return vec![0..rows];
+        return std::iter::once(0..rows).collect();
     }
     let chunk = rows.div_ceil(exec.threads());
     (0..rows.div_ceil(chunk))

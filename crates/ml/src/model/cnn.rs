@@ -404,10 +404,10 @@ impl Model for SimpleCnn {
             (2.0 / conv_fan_in as f32).sqrt(),
             rng,
         ));
-        params.extend(std::iter::repeat(0.0f32).take(self.out_channels));
+        params.extend(std::iter::repeat_n(0.0f32, self.out_channels));
         let fc = init::xavier_uniform(self.pooled_dim(), self.num_classes, rng);
         params.extend_from_slice(fc.as_slice());
-        params.extend(std::iter::repeat(0.0f32).take(self.num_classes));
+        params.extend(std::iter::repeat_n(0.0f32, self.num_classes));
         params
     }
 

@@ -83,7 +83,7 @@ impl Model for LinearSoftmax {
 
     fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f32> {
         let mut params = init::xavier_uniform(self.input_dim, self.num_classes, rng).into_vec();
-        params.extend(std::iter::repeat(0.0f32).take(self.num_classes));
+        params.extend(std::iter::repeat_n(0.0f32, self.num_classes));
         params
     }
 

@@ -133,7 +133,7 @@ impl Model for Mlp {
                 init::xavier_uniform(fan_in, fan_out, rng)
             };
             params.extend_from_slice(w.as_slice());
-            params.extend(std::iter::repeat(0.0f32).take(fan_out));
+            params.extend(std::iter::repeat_n(0.0f32, fan_out));
         }
         params
     }

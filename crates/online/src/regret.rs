@@ -236,7 +236,7 @@ mod tests {
     fn g_bound_dominates_all_slopes() {
         let e = env(50, 2);
         let g = e.g_bound();
-        assert!(g <= 1.5 && g >= 0.5);
+        assert!((0.5..=1.5).contains(&g));
     }
 
     #[test]

@@ -121,7 +121,7 @@ mod tests {
             let d = if m % 2 == 0 { 50.0 } else { -50.0 };
             visited.push(alg.step(Some(d)));
         }
-        assert!(visited.iter().any(|&k| k == 1.0));
-        assert!(visited.iter().any(|&k| k == 1001.0));
+        assert!(visited.contains(&1.0));
+        assert!(visited.contains(&1001.0));
     }
 }

@@ -4,7 +4,7 @@ use agsfl_exec::Executor;
 use rand::RngCore;
 
 use crate::scratch::SelectionScratch;
-use crate::shard::{merge_reset_positions, validate_uploads, CachedEntry, ShardedScratch};
+use crate::shard::{bucket_channels, exchange_entries, merge_reset_positions, ShardedScratch};
 use crate::sparse_vec::SparseGradient;
 use crate::sparsifier::{aggregate_marked, ClientUpload, SelectionResult, Sparsifier, UploadPlan};
 use crate::topk;
@@ -206,7 +206,6 @@ impl FabTopK {
 
         let shard_count = sharded.shards.len();
         let width = sharded.width;
-        let slot_chunk = uploads.len().div_ceil(shard_count);
         let ShardedScratch {
             shards,
             rank_counts,
@@ -216,14 +215,9 @@ impl FabTopK {
         std::thread::scope(|scope| {
             // Bucket-exchange channels: worker `w` sends the entries of its
             // upload slice that belong to stripe `t` through `bucket_tx[t]`,
-            // tagged with `w` so receivers assemble caches in slot order.
-            let mut bucket_tx: Vec<mpsc::Sender<(usize, Vec<CachedEntry>)>> = Vec::new();
-            let mut bucket_rx = Vec::new();
-            for _ in 0..shard_count {
-                let (tx, rx) = mpsc::channel();
-                bucket_tx.push(tx);
-                bucket_rx.push(rx);
-            }
+            // tagged with `w` so receivers assemble caches in slot order
+            // (the shared map–shuffle in `shard::exchange_entries`).
+            let (bucket_tx, bucket_rx) = bucket_channels(shard_count);
             // Per-worker result channels (worker → coordinator), so a dead
             // worker is observed as a closed channel at exactly its slot in
             // the gather loops below: the coordinator bails out, drops its
@@ -240,47 +234,19 @@ impl FabTopK {
                 from_worker.push(result_rx);
                 let bucket_tx = bucket_tx.clone();
                 handles.push(scope.spawn(move || {
-                    // Phase 0 (map + shuffle): bucket this worker's upload
-                    // slice by stripe and exchange. Each bucket preserves
-                    // the serial (slot, pos) scan order; concatenating the
-                    // received buckets in sender order therefore rebuilds
-                    // the stripe's entries in exactly the order the serial
-                    // sweep would visit them.
-                    let lo_slot = (w * slot_chunk).min(uploads.len());
-                    let hi_slot = ((w + 1) * slot_chunk).min(uploads.len());
-                    let mut buckets: Vec<Vec<CachedEntry>> = vec![Vec::new(); shard_count];
-                    for (slot, upload) in uploads[lo_slot..hi_slot].iter().enumerate() {
-                        let slot = (lo_slot + slot) as u32;
-                        for (rank, &(j, v)) in upload.entries.iter().enumerate() {
-                            buckets[j / width].push(CachedEntry {
-                                slot,
-                                pos: rank as u32,
-                                j,
-                                v,
-                            });
-                        }
-                    }
-                    let mut own_bucket = None;
-                    for (t, bucket) in buckets.into_iter().enumerate() {
-                        if t == w {
-                            own_bucket = Some(bucket);
-                        } else if bucket_tx[t].send((w, bucket)).is_err() {
-                            return;
-                        }
-                    }
-                    drop(bucket_tx);
-                    let mut received: Vec<Option<Vec<CachedEntry>>> =
-                        (0..shard_count).map(|_| None).collect();
-                    received[w] = own_bucket;
-                    for _ in 0..shard_count - 1 {
-                        let Ok((from, bucket)) = my_rx.recv() else {
-                            return;
-                        };
-                        received[from] = Some(bucket);
-                    }
-                    shard.entries.clear();
-                    for bucket in received.into_iter().flatten() {
-                        shard.entries.extend_from_slice(&bucket);
+                    // Phase 0 (map + shuffle): the shared bucket exchange
+                    // rebuilds this stripe's entry cache in serial
+                    // (slot, pos) scan order.
+                    if !exchange_entries(
+                        w,
+                        uploads,
+                        dim,
+                        width,
+                        bucket_tx,
+                        &my_rx,
+                        &mut shard.entries,
+                    ) {
+                        return;
                     }
 
                     // Phase 1: minimum ranks + histogram over the cache.
@@ -362,9 +328,9 @@ impl FabTopK {
             // coordinator's originals lets the bucket exchange drain (with
             // recv errors) if any worker dies before sending.
             drop(bucket_tx);
-            // The stripe workers skip out-of-range indices, so the serial
-            // path's bounds check runs here, overlapped with phase 0/1.
-            validate_uploads(uploads, dim);
+            // The serial path's bounds check fires inside the workers'
+            // bucketing pass (`exchange_entries` asserts every index), so
+            // no coordinator-side re-scan is needed.
 
             // Merge the integer histograms and pick the largest feasible κ,
             // exactly as the serial scan does.

@@ -4,7 +4,7 @@ use agsfl_exec::Executor;
 use rand::RngCore;
 
 use crate::scratch::SelectionScratch;
-use crate::shard::{merge_reset_positions, validate_uploads, ShardedScratch};
+use crate::shard::{bucket_channels, exchange_entries, merge_reset_positions, ShardedScratch};
 use crate::sparsifier::{ClientUpload, SelectionResult, Sparsifier, UploadPlan};
 use crate::topk;
 use crate::SparseGradient;
@@ -41,12 +41,14 @@ impl FubTopK {
         Self
     }
 
-    /// The sharded engine behind [`Sparsifier::select_parallel`]: stripe
-    /// workers aggregate their coordinates (client-order folds, so the sums
+    /// The sharded engine behind [`Sparsifier::select_parallel`]: one
+    /// map–shuffle bucket exchange (shared with FAB — every upload entry is
+    /// scanned once in total, not once per worker), then stripe workers
+    /// aggregate their cached coordinates (client-order folds, so the sums
     /// are the serial bits) and send `(index, aggregated value)` candidate
     /// lists to the coordinator, which cuts the global top-`k` set under
     /// the same total order as the serial path and hands each worker its
-    /// stripe's membership slice for the reset sweep.
+    /// stripe's membership slice for the cached reset sweep.
     fn select_sharded(
         uploads: &[ClientUpload],
         dim: usize,
@@ -57,6 +59,7 @@ impl FubTopK {
         sharded.stripe(dim, exec.threads());
         let shard_count = sharded.shards.len();
         let width = sharded.width;
+        let n_clients = uploads.len();
         let ShardedScratch {
             shards,
             selected,
@@ -64,6 +67,7 @@ impl FubTopK {
             ..
         } = sharded;
         std::thread::scope(|scope| {
+            let (bucket_tx, bucket_rx) = bucket_channels(shard_count);
             // Per-worker result channels: a dead worker surfaces as a recv
             // error at its slot, so the coordinator aborts, releases its
             // channel ends and the scope re-raises the panic (a shared
@@ -71,28 +75,29 @@ impl FubTopK {
             let mut to_worker = Vec::with_capacity(shard_count);
             let mut from_worker = Vec::with_capacity(shard_count);
             let mut handles = Vec::with_capacity(shard_count);
-            for shard in shards.iter_mut() {
+            for (w, (shard, my_rx)) in shards.iter_mut().zip(bucket_rx).enumerate() {
                 let (tx, rx) = mpsc::channel::<Vec<usize>>();
                 to_worker.push(tx);
                 let (to_main, result_rx) = mpsc::channel::<Vec<(usize, f32)>>();
                 from_worker.push(result_rx);
+                let bucket_tx = bucket_tx.clone();
                 handles.push(scope.spawn(move || {
-                    // Phase 1: aggregate every in-stripe coordinate.
-                    shard.begin_sums();
-                    shard.touched.clear();
-                    for upload in uploads {
-                        let w = upload.weight;
-                        for &(j, v) in &upload.entries {
-                            if !shard.contains(j) {
-                                continue;
-                            }
-                            if !shard.is_marked(j) {
-                                shard.mark_selected(j);
-                                shard.touched.push(j);
-                            }
-                            shard.accumulate_if_marked(j, w * v as f64);
-                        }
+                    // Phase 0 (map + shuffle): rebuild this stripe's entry
+                    // cache in serial (slot, pos) scan order.
+                    if !exchange_entries(
+                        w,
+                        uploads,
+                        dim,
+                        width,
+                        bucket_tx,
+                        &my_rx,
+                        &mut shard.entries,
+                    ) {
+                        return;
                     }
+                    // Phase 1: aggregate every in-stripe coordinate over
+                    // the cache.
+                    shard.aggregate_union_cached(uploads);
                     let cands: Vec<(usize, f32)> = shard
                         .touched
                         .iter()
@@ -104,17 +109,21 @@ impl FubTopK {
                     let Ok(members) = rx.recv() else {
                         return;
                     };
-                    // Phase 2: membership + reset positions for the stripe.
-                    // Membership shares the ranks buffer; the sums stay
-                    // intact for the final entry emission.
+                    // Phase 2: membership + reset positions for the stripe,
+                    // over the cache. Membership shares the ranks buffer;
+                    // the sums stay intact for the final entry emission.
                     shard.begin_members();
                     for &j in &members {
                         shard.add_member(j);
                     }
-                    shard.sweep_members(uploads);
+                    shard.sweep_members_cached(n_clients);
                 }));
             }
-            validate_uploads(uploads, dim);
+            // The workers hold their own bucket-sender clones; dropping the
+            // coordinator's originals lets the exchange drain (with recv
+            // errors) if any worker dies before sending.
+            // The bounds check fires inside the workers' bucketing pass.
+            drop(bucket_tx);
 
             // Gather candidates in stripe order (deterministic) and keep
             // the top-k set. The partial selection's comparator is a total

@@ -86,7 +86,7 @@ pub fn fab_select_indices(uploads: &[ClientUpload], k: usize) -> Vec<usize> {
     let mut lo = 0usize;
     let mut hi = max_prefix.min(k);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if fab_union_size(uploads, mid) <= k {
             lo = mid;
         } else {

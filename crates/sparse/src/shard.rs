@@ -49,6 +49,8 @@
 //! [`Sparsifier::select_into`]: crate::Sparsifier::select_into
 //! [`Sparsifier::select_parallel`]: crate::Sparsifier::select_parallel
 
+use std::sync::mpsc;
+
 use agsfl_exec::Executor;
 
 use crate::scratch::{SelectionScratch, StampedBuf};
@@ -237,19 +239,128 @@ impl ScratchShard {
         }
     }
 
-    /// Membership sweep over all uploads for this stripe: records, per
-    /// upload slot, the positions of entries that are in the current
-    /// membership set (FUB's reset pass; the sums generation is untouched).
-    pub(crate) fn sweep_members(&mut self, uploads: &[ClientUpload]) {
-        self.reset_positions_for(uploads.len());
-        for (slot, upload) in uploads.iter().enumerate() {
-            for (pos, &(j, _)) in upload.entries.iter().enumerate() {
-                if self.contains(j) && self.is_member(j) {
-                    self.reset_positions[slot].push(pos);
-                }
+    /// Discovers and aggregates **every** in-stripe coordinate from the
+    /// entry cache in serial `(slot, pos)` scan order: first appearance
+    /// marks the coordinate (recorded in `touched`), every appearance
+    /// accumulates `weight · value` — the client-order fold of the serial
+    /// FUB/unidirectional pass, `O(U/S)` per worker after a bucket
+    /// exchange.
+    pub(crate) fn aggregate_union_cached(&mut self, uploads: &[ClientUpload]) {
+        self.begin_sums();
+        self.touched.clear();
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            if !self.is_marked(e.j) {
+                self.mark_selected(e.j);
+                self.touched.push(e.j);
+            }
+            self.accumulate_if_marked(e.j, uploads[e.slot as usize].weight * e.v as f64);
+        }
+    }
+
+    /// Membership sweep over the entry cache: records, per upload slot, the
+    /// positions of cached entries in the current membership set (FUB's
+    /// reset pass; the sums generation is untouched). The cache's
+    /// `(slot, pos)` order keeps every per-slot position list ascending,
+    /// as [`merge_reset_positions`] requires.
+    pub(crate) fn sweep_members_cached(&mut self, n_clients: usize) {
+        self.reset_positions_for(n_clients);
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            if self.is_member(e.j) {
+                self.reset_positions[e.slot as usize].push(e.pos as usize);
             }
         }
     }
+}
+
+/// A bucket-exchange channel pair per stripe worker (the "shuffle" wiring
+/// of the map–shuffle pass).
+pub(crate) type BucketChannels = (
+    Vec<mpsc::Sender<(usize, Vec<CachedEntry>)>>,
+    Vec<mpsc::Receiver<(usize, Vec<CachedEntry>)>>,
+);
+
+/// Creates one bucket channel per stripe worker.
+pub(crate) fn bucket_channels(shard_count: usize) -> BucketChannels {
+    let mut txs = Vec::with_capacity(shard_count);
+    let mut rxs = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    (txs, rxs)
+}
+
+/// The map–shuffle bucket exchange run by stripe worker `w`: buckets the
+/// worker's contiguous *upload slice* by stripe, exchanges buckets over the
+/// channels, and rebuilds this stripe's entry cache in `entries` — so every
+/// upload entry is scanned once **in total** across workers instead of once
+/// per worker.
+///
+/// Each bucket preserves the serial `(slot, pos)` scan order, and the
+/// received buckets are concatenated in sender order (sender `t` covers the
+/// slot chunk `t`), so the cache lists the stripe's entries exactly in the
+/// order the serial sweep would visit them — the property every cached
+/// sweep's floating-point fold relies on.
+///
+/// The bucketing pass is the one place every upload entry is scanned, so
+/// the serial path's bounds check lives here: an index `>= dim` panics
+/// with the canonical message (the scope re-raises it on the caller), the
+/// engines that exchange entries need no separate [`validate_uploads`]
+/// sweep.
+///
+/// Returns `false` if a peer's channel closed (the peer panicked); the
+/// caller should return and let the scope re-raise the panic.
+pub(crate) fn exchange_entries(
+    w: usize,
+    uploads: &[ClientUpload],
+    dim: usize,
+    width: usize,
+    bucket_tx: Vec<mpsc::Sender<(usize, Vec<CachedEntry>)>>,
+    my_rx: &mpsc::Receiver<(usize, Vec<CachedEntry>)>,
+    entries: &mut Vec<CachedEntry>,
+) -> bool {
+    let shard_count = bucket_tx.len();
+    let slot_chunk = uploads.len().div_ceil(shard_count);
+    let lo_slot = (w * slot_chunk).min(uploads.len());
+    let hi_slot = ((w + 1) * slot_chunk).min(uploads.len());
+    let mut buckets: Vec<Vec<CachedEntry>> = vec![Vec::new(); shard_count];
+    for (slot, upload) in uploads[lo_slot..hi_slot].iter().enumerate() {
+        let slot = (lo_slot + slot) as u32;
+        for (rank, &(j, v)) in upload.entries.iter().enumerate() {
+            assert!(j < dim, "upload index {j} out of range (dim {dim})");
+            buckets[j / width].push(CachedEntry {
+                slot,
+                pos: rank as u32,
+                j,
+                v,
+            });
+        }
+    }
+    let mut own_bucket = None;
+    for (t, bucket) in buckets.into_iter().enumerate() {
+        if t == w {
+            own_bucket = Some(bucket);
+        } else if bucket_tx[t].send((w, bucket)).is_err() {
+            return false;
+        }
+    }
+    drop(bucket_tx);
+    let mut received: Vec<Option<Vec<CachedEntry>>> = (0..shard_count).map(|_| None).collect();
+    received[w] = own_bucket;
+    for _ in 0..shard_count - 1 {
+        let Ok((from, bucket)) = my_rx.recv() else {
+            return false;
+        };
+        received[from] = Some(bucket);
+    }
+    entries.clear();
+    for bucket in received.into_iter().flatten() {
+        entries.extend_from_slice(&bucket);
+    }
+    true
 }
 
 /// Reusable workspace for [`Sparsifier::select_parallel`]: per-worker
@@ -359,9 +470,12 @@ impl ShardedScratch {
 }
 
 /// Panics (like the serial sweeps do) if any upload references an index
-/// `>= dim`. The parallel engines run this on the coordinating thread,
-/// overlapped with the workers' first pass, because a stripe worker simply
-/// skips out-of-stripe indices and would otherwise mask the error.
+/// `>= dim`. Used by the engines whose stripe workers sweep the raw upload
+/// list and simply skip out-of-stripe indices (periodic-k/send-all via
+/// [`result_from_selected_sharded`]) — run on the coordinating thread,
+/// overlapped with the workers, so the error is not masked. The
+/// bucket-exchange engines (FAB/FUB/unidirectional) don't need it: their
+/// single bucketing scan asserts every index in [`exchange_entries`].
 pub(crate) fn validate_uploads(uploads: &[ClientUpload], dim: usize) {
     for upload in uploads {
         for &(j, _) in &upload.entries {

@@ -2,7 +2,7 @@ use agsfl_exec::Executor;
 use rand::RngCore;
 
 use crate::scratch::SelectionScratch;
-use crate::shard::{validate_uploads, ShardedScratch};
+use crate::shard::{bucket_channels, exchange_entries, ShardedScratch};
 use crate::sparsifier::{ClientUpload, SelectionResult, Sparsifier, UploadPlan};
 use crate::SparseGradient;
 
@@ -99,33 +99,42 @@ impl Sparsifier for UnidirectionalTopK {
             return self.select_into(uploads, dim, k, scratch.serial_scratch());
         }
         scratch.stripe(dim, exec.threads());
-        // The downlink is the union of every uploaded coordinate, so each
-        // stripe worker discovers and aggregates its coordinates in one
-        // sweep; the reset sets are simply every client's uploaded indices,
-        // assembled by the coordinator while the workers run.
+        // The downlink is the union of every uploaded coordinate, so after
+        // the shared map–shuffle bucket exchange (every upload entry is
+        // scanned once in total, not once per worker) each stripe worker
+        // discovers and aggregates its cached coordinates in one sweep; the
+        // reset sets are simply every client's uploaded indices, assembled
+        // by the coordinator while the workers run.
+        let shard_count = scratch.shards.len();
+        let width = scratch.width;
         let mut reset_indices: Vec<Vec<usize>> = Vec::with_capacity(uploads.len());
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(scratch.shards.len());
-            for shard in scratch.shards.iter_mut() {
+            let (bucket_tx, bucket_rx) = bucket_channels(shard_count);
+            let mut handles = Vec::with_capacity(shard_count);
+            for (w, (shard, my_rx)) in scratch.shards.iter_mut().zip(bucket_rx).enumerate() {
+                let bucket_tx = bucket_tx.clone();
                 handles.push(scope.spawn(move || {
-                    shard.begin_sums();
-                    shard.selected.clear();
-                    for upload in uploads {
-                        let w = upload.weight;
-                        for &(j, v) in &upload.entries {
-                            if !shard.contains(j) {
-                                continue;
-                            }
-                            if !shard.is_marked(j) {
-                                shard.mark_selected(j);
-                                shard.selected.push(j);
-                            }
-                            shard.accumulate_if_marked(j, w * v as f64);
-                        }
+                    if !exchange_entries(
+                        w,
+                        uploads,
+                        dim,
+                        width,
+                        bucket_tx,
+                        &my_rx,
+                        &mut shard.entries,
+                    ) {
+                        return;
                     }
+                    // The union sweep records first appearances in
+                    // `touched`; this sparsifier broadcasts exactly that
+                    // union, so it becomes the stripe's selected set.
+                    shard.aggregate_union_cached(uploads);
+                    shard.selected.clear();
+                    std::mem::swap(&mut shard.selected, &mut shard.touched);
                 }));
             }
-            validate_uploads(uploads, dim);
+            // The bounds check fires inside the workers' bucketing pass.
+            drop(bucket_tx);
             for upload in uploads {
                 reset_indices.push(upload.entries.iter().map(|&(j, _)| j).collect());
             }

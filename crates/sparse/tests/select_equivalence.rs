@@ -296,7 +296,7 @@ fn degenerate_sharded_inputs_match_reference() {
 }
 
 /// An out-of-range upload index must panic (as the serial path does), not
-/// deadlock the coordination: the coordinator's bounds check and the
+/// deadlock the coordination: the bucketing pass's bounds check and the
 /// per-worker result channels guarantee the scope unwinds.
 #[test]
 #[should_panic]

@@ -136,8 +136,8 @@ mod tests {
         let sm = softmax_rows(&logits);
         for i in 0..2 {
             let expected = softmax(logits.row(i));
-            for j in 0..2 {
-                assert!((sm.get(i, j) - expected[j]).abs() < 1e-6);
+            for (j, &e) in expected.iter().enumerate() {
+                assert!((sm.get(i, j) - e).abs() < 1e-6);
             }
         }
     }
@@ -155,9 +155,9 @@ mod tests {
     fn cross_entropy_matches_manual_softmax() {
         let logits = [0.5, -1.0, 2.0];
         let p = softmax(&logits);
-        for target in 0..3 {
+        for (target, &pt) in p.iter().enumerate() {
             let ce = cross_entropy_with_logits(&logits, target);
-            assert!((ce + p[target].ln()).abs() < 1e-5);
+            assert!((ce + pt.ln()).abs() < 1e-5);
         }
     }
 

@@ -1,0 +1,62 @@
+//! Decode errors.
+//!
+//! Encoding cannot fail (the encoder owns both ends of every invariant), so
+//! only the decode path returns a [`Result`]: a frame that arrives off the
+//! wire is untrusted input, and every malformed shape maps to a distinct
+//! [`WireError`] instead of a panic.
+
+use std::fmt;
+
+/// Why a wire frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before the decoder read everything the header
+    /// promised.
+    Truncated,
+    /// The frame's codec identifier byte is not a known [`crate::CodecId`].
+    UnknownCodec(u8),
+    /// A decoded index is `>= dim` or an index delta overflowed.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// The dimension declared in the frame header.
+        dim: u64,
+    },
+    /// Decoded indices were not strictly increasing (corrupt COO payload).
+    NotSorted,
+    /// The frame carries bytes past the encoded payload.
+    TrailingBytes,
+    /// The bitmap payload's population count disagrees with the header's
+    /// entry count.
+    CountMismatch {
+        /// Entry count declared in the header.
+        header: u64,
+        /// Set bits actually present in the bitmap.
+        payload: u64,
+    },
+    /// A varint ran past 10 bytes (no `u64` needs more in LEB128).
+    VarintOverflow,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            WireError::IndexOutOfRange { index, dim } => {
+                write!(f, "decoded index {index} out of range (dim {dim})")
+            }
+            WireError::NotSorted => write!(f, "decoded indices not strictly increasing"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            WireError::CountMismatch { header, payload } => {
+                write!(
+                    f,
+                    "bitmap holds {payload} entries, header declares {header}"
+                )
+            }
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,189 @@
+//! Straightforward allocating codec implementations — the executable
+//! specification the scratch-reusing fast paths are benchmarked and
+//! property-tested against, mirroring `agsfl_sparse::reference` and
+//! `agsfl_ml::reference`.
+//!
+//! Every function here allocates its output per call and pushes bytes one
+//! at a time; the frames are **byte-identical** to the ones
+//! [`crate::Codec::encode_into`] produces (pinned by the equivalence tests
+//! in `tests/codec_roundtrip.rs`), so the `bench-report` encode/decode
+//! pairs measure pure implementation overhead, not format drift.
+
+use crate::codec::CodecId;
+use crate::error::WireError;
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn push_header(out: &mut Vec<u8>, id: CodecId, dim: usize, nnz: usize) {
+    out.push(id as u8);
+    push_varint(out, dim as u64);
+    push_varint(out, nnz as u64);
+}
+
+/// Allocating [`crate::CooF32`] encoder.
+pub fn coo_encode(dim: usize, entries: &[(usize, f32)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_header(&mut out, CodecId::CooF32, dim, entries.len());
+    for &(j, v) in entries {
+        for b in (j as u32).to_le_bytes() {
+            out.push(b);
+        }
+        for b in v.to_le_bytes() {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Allocating [`crate::DeltaVarint`] encoder.
+pub fn delta_encode(dim: usize, entries: &[(usize, f32)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_header(&mut out, CodecId::DeltaVarint, dim, entries.len());
+    let mut prev = 0u64;
+    for &(j, v) in entries {
+        push_varint(&mut out, j as u64 - prev);
+        prev = j as u64;
+        for b in v.to_le_bytes() {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Allocating [`crate::Bitmap`] encoder.
+pub fn bitmap_encode(dim: usize, entries: &[(usize, f32)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_header(&mut out, CodecId::Bitmap, dim, entries.len());
+    let mut bitmap = vec![0u8; dim.div_ceil(8)];
+    for &(j, _) in entries {
+        bitmap[j / 8] |= 1 << (j % 8);
+    }
+    out.extend_from_slice(&bitmap);
+    for &(_, v) in entries {
+        for b in v.to_le_bytes() {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Allocating seed-style decoder, implemented independently of the fast
+/// path: the header and payload are parsed into intermediate index/value
+/// vectors that are zipped into a fresh entry vector at the end — the
+/// staged-buffers shape a first-version deserializer naturally takes
+/// (compare the serde-ndim "shape plus flat data" idiom). For every valid
+/// frame it returns exactly what [`crate::decode_frame`] decodes; error
+/// reporting on malformed frames is coarser (any malformation is an
+/// error, but not necessarily the same [`WireError`] variant).
+pub fn decode(frame: &[u8]) -> Result<(usize, Vec<(usize, f32)>), WireError> {
+    fn read_varint(frame: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let &byte = frame.get(*pos).ok_or(WireError::Truncated)?;
+            *pos += 1;
+            if shift >= 64 {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    let &id = frame.first().ok_or(WireError::Truncated)?;
+    let mut pos = 1usize;
+    let dim = read_varint(frame, &mut pos)? as usize;
+    let nnz = read_varint(frame, &mut pos)? as usize;
+
+    // Stage 1: parse indices and values into separate buffers.
+    let mut indices: Vec<usize> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    let read_value = |frame: &[u8], pos: &mut usize| -> Result<f32, WireError> {
+        let bytes: [u8; 4] = frame
+            .get(*pos..*pos + 4)
+            .ok_or(WireError::Truncated)?
+            .try_into()
+            .expect("4-byte slice");
+        *pos += 4;
+        Ok(f32::from_le_bytes(bytes))
+    };
+    match id {
+        0 => {
+            for _ in 0..nnz {
+                let bytes: [u8; 4] = frame
+                    .get(pos..pos + 4)
+                    .ok_or(WireError::Truncated)?
+                    .try_into()
+                    .expect("4-byte slice");
+                pos += 4;
+                indices.push(u32::from_le_bytes(bytes) as usize);
+                values.push(read_value(frame, &mut pos)?);
+            }
+        }
+        1 => {
+            let mut prev = 0u64;
+            for i in 0..nnz {
+                let delta = read_varint(frame, &mut pos)?;
+                if i > 0 && delta == 0 {
+                    return Err(WireError::NotSorted);
+                }
+                prev = prev.checked_add(delta).ok_or(WireError::VarintOverflow)?;
+                indices.push(prev as usize);
+                values.push(read_value(frame, &mut pos)?);
+            }
+        }
+        2 => {
+            let bm_len = dim.div_ceil(8);
+            let bitmap = frame.get(pos..pos + bm_len).ok_or(WireError::Truncated)?;
+            pos += bm_len;
+            for (byte_idx, &byte) in bitmap.iter().enumerate() {
+                for bit in 0..8 {
+                    if byte & (1 << bit) != 0 {
+                        indices.push(byte_idx * 8 + bit);
+                    }
+                }
+            }
+            if indices.len() != nnz {
+                return Err(WireError::CountMismatch {
+                    header: nnz as u64,
+                    payload: indices.len() as u64,
+                });
+            }
+            for _ in 0..nnz {
+                values.push(read_value(frame, &mut pos)?);
+            }
+        }
+        other => return Err(WireError::UnknownCodec(other)),
+    }
+    if pos != frame.len() {
+        return Err(WireError::TrailingBytes);
+    }
+    for (i, &j) in indices.iter().enumerate() {
+        if j >= dim {
+            return Err(WireError::IndexOutOfRange {
+                index: j as u64,
+                dim: dim as u64,
+            });
+        }
+        if i > 0 && indices[i - 1] >= j {
+            return Err(WireError::NotSorted);
+        }
+    }
+
+    // Stage 2: zip the staged buffers into the entry list.
+    let entries = indices.into_iter().zip(values).collect();
+    Ok((dim, entries))
+}

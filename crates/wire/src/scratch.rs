@@ -1,0 +1,104 @@
+//! Reusable encode workspace.
+
+use crate::codec::Codec;
+
+/// Reusable workspace for [`Codec::encode_into`], matching the house style
+/// of `agsfl_sparse::SelectionScratch` and `agsfl_ml`'s `Im2colScratch`:
+/// grow-only buffers invalidated by a generation bump, so steady-state
+/// encoding performs no heap allocation.
+///
+/// * `frame` — the output byte buffer; it grows to the largest frame ever
+///   encoded and is logically cleared by starting a new generation.
+/// * `staging` — an index-sort buffer used by
+///   [`WireScratch::encode_unsorted`] to canonicalize rank-ordered uplink
+///   messages before encoding.
+///
+/// Each encode starts a new generation (see [`WireScratch::generation`]);
+/// the byte slice returned by an encode borrows the workspace, so the
+/// borrow checker guarantees a frame is copied out or consumed before the
+/// next generation can overwrite it. The workspace carries no message
+/// state across calls: encoding the same message twice yields identical
+/// bytes.
+#[derive(Debug, Clone, Default)]
+pub struct WireScratch {
+    generation: u64,
+    frame: Vec<u8>,
+    staging: Vec<(usize, f32)>,
+}
+
+impl WireScratch {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of frames encoded through this workspace so far. Each encode
+    /// bumps the generation, invalidating the previous frame in O(1) (the
+    /// buffer's capacity is retained).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Starts a new encode generation and hands out the (cleared) frame
+    /// buffer.
+    pub(crate) fn begin(&mut self) -> &mut Vec<u8> {
+        self.generation += 1;
+        self.frame.clear();
+        &mut self.frame
+    }
+
+    /// The current generation's frame bytes.
+    pub(crate) fn frame(&self) -> &[u8] {
+        &self.frame
+    }
+
+    /// Encodes a message whose entries are in **arbitrary order** (e.g. the
+    /// magnitude-ranked uplink messages of the top-k sparsifiers): the
+    /// entries are staged index-sorted in the workspace, then encoded.
+    ///
+    /// The entry order is presentation, not payload — a lossless codec
+    /// carries the `(index, value)` *set*, and the receiver re-derives any
+    /// rank order it needs (see `agsfl_fl`'s wire path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` contains a duplicate or out-of-range index
+    /// (debug: duplicates are caught by the strict-ordering assertion in the
+    /// codec; release: out-of-range indices are caught by the encoder).
+    pub fn encode_unsorted(
+        &mut self,
+        codec: &dyn Codec,
+        dim: usize,
+        entries: &[(usize, f32)],
+    ) -> &[u8] {
+        let staging = self.stage_sorted(entries);
+        let frame_len = codec.encode_into(dim, &staging, self).len();
+        self.staging = staging;
+        &self.frame[..frame_len]
+    }
+
+    /// Exact encoded size of a message whose entries are in arbitrary
+    /// order, without encoding it (used for hypothetical-`k'` probe
+    /// pricing).
+    pub fn encoded_len_unsorted(
+        &mut self,
+        codec: &dyn Codec,
+        dim: usize,
+        entries: &[(usize, f32)],
+    ) -> usize {
+        let staging = self.stage_sorted(entries);
+        let len = codec.encoded_len(dim, &staging);
+        self.staging = staging;
+        len
+    }
+
+    /// Takes the staging buffer out of the workspace, filled with `entries`
+    /// sorted by index. The caller must put it back.
+    fn stage_sorted(&mut self, entries: &[(usize, f32)]) -> Vec<(usize, f32)> {
+        let mut staging = std::mem::take(&mut self.staging);
+        staging.clear();
+        staging.extend_from_slice(entries);
+        staging.sort_unstable_by_key(|&(j, _)| j);
+        staging
+    }
+}

@@ -1,0 +1,286 @@
+//! Property tests pinning the codec layer:
+//!
+//! * **Bit-exact roundtrip** for every codec over the messages the FL
+//!   stack actually produces — the uplink messages and aggregated downlink
+//!   of all five sparsifiers, plus empty and dense-degenerate messages.
+//! * **Size ordering**: `Auto` never exceeds `CooF32` (or any concrete
+//!   codec), and every `encoded_len` equals the emitted frame length.
+//! * **Reference equivalence**: the allocating `reference` encoders emit
+//!   byte-identical frames to the scratch fast paths (the executable-spec
+//!   contract the bench pairs rely on).
+
+use agsfl_sparse::{
+    topk, ClientUpload, FabTopK, FubTopK, PeriodicK, SendAll, SparseGradient, Sparsifier,
+    UnidirectionalTopK,
+};
+use agsfl_wire::{
+    decode_frame, decode_gradient, frame_codec, reference, Auto, Bitmap, Codec, CooF32,
+    DeltaVarint, WireScratch,
+};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn codecs() -> [Box<dyn Codec>; 4] {
+    [
+        Box::new(CooF32),
+        Box::new(DeltaVarint),
+        Box::new(Bitmap),
+        Box::new(Auto),
+    ]
+}
+
+fn sparsifiers() -> [Box<dyn Sparsifier>; 5] {
+    [
+        Box::new(FabTopK::new()),
+        Box::new(FubTopK::new()),
+        Box::new(UnidirectionalTopK::new()),
+        Box::new(PeriodicK::new()),
+        Box::new(SendAll::new()),
+    ]
+}
+
+/// Asserts a frame decodes back to exactly `g`, bit for bit.
+fn assert_bit_exact_roundtrip(codec: &dyn Codec, g: &SparseGradient) {
+    let mut scratch = WireScratch::new();
+    let frame = codec.encode_gradient_into(g, &mut scratch).to_vec();
+    assert_eq!(
+        frame.len(),
+        codec.encoded_len_gradient(g),
+        "encoded_len disagrees with the emitted frame ({})",
+        codec.name()
+    );
+    let mut out = Vec::new();
+    let dim = codec.decode_into(&frame, &mut out).expect("valid frame");
+    assert_eq!(dim, g.dim(), "{}", codec.name());
+    let got: Vec<(usize, u32)> = out.iter().map(|&(j, v)| (j, v.to_bits())).collect();
+    let expected: Vec<(usize, u32)> = g.entries().iter().map(|&(j, v)| (j, v.to_bits())).collect();
+    assert_eq!(got, expected, "{}", codec.name());
+}
+
+/// Builds ranked uploads from seeded dense per-client accumulators.
+fn random_uploads(seed: u64, n_clients: usize, dim: usize, k: usize) -> Vec<ClientUpload> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n_clients)
+        .map(|i| {
+            let dense: Vec<f32> = (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+            ClientUpload::new(i, 1.0 / n_clients as f64, topk::top_k_entries(&dense, k))
+        })
+        .collect()
+}
+
+#[test]
+fn degenerate_messages_round_trip() {
+    let empty = SparseGradient::zeros(1_000);
+    let dense = SparseGradient::from_sorted_entries(
+        257,
+        (0..257).map(|j| (j, (j as f32 - 128.0) * 0.5)).collect(),
+    );
+    let single = SparseGradient::from_entries(1, vec![(0, f32::MIN_POSITIVE)]);
+    for codec in codecs() {
+        for g in [&empty, &dense, &single] {
+            assert_bit_exact_roundtrip(codec.as_ref(), g);
+        }
+    }
+}
+
+#[test]
+fn reference_encoders_emit_identical_frames() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let dense: Vec<f32> = (0..2_000).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let entries: Vec<(usize, f32)> = dense
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| j % 7 == 0)
+        .map(|(j, &v)| (j, v))
+        .collect();
+    let dim = dense.len();
+    let mut scratch = WireScratch::new();
+    assert_eq!(
+        reference::coo_encode(dim, &entries),
+        CooF32.encode_into(dim, &entries, &mut scratch)
+    );
+    assert_eq!(
+        reference::delta_encode(dim, &entries),
+        DeltaVarint.encode_into(dim, &entries, &mut scratch)
+    );
+    assert_eq!(
+        reference::bitmap_encode(dim, &entries),
+        Bitmap.encode_into(dim, &entries, &mut scratch)
+    );
+    let frame = CooF32.encode_into(dim, &entries, &mut scratch).to_vec();
+    let (ref_dim, ref_entries) = reference::decode(&frame).unwrap();
+    assert_eq!(ref_dim, dim);
+    assert_eq!(ref_entries, entries);
+}
+
+/// Every codec must round-trip the messages every sparsifier actually
+/// produces: each client's uplink (index-sorted canonical form) and the
+/// aggregated downlink.
+#[test]
+fn all_sparsifier_outputs_round_trip_through_all_codecs() {
+    for (which, sparsifier) in sparsifiers().into_iter().enumerate() {
+        let dim = 400;
+        let k = 37;
+        let mut rng = ChaCha8Rng::seed_from_u64(100 + which as u64);
+        let plan = sparsifier.upload_plan(dim, k, &mut rng);
+        let uploads: Vec<ClientUpload> = {
+            let raw = random_uploads(200 + which as u64, 4, dim, k);
+            match &plan {
+                agsfl_sparse::UploadPlan::Coordinates(coords) => raw
+                    .iter()
+                    .map(|u| {
+                        let entries = coords.iter().map(|&j| (j, j as f32 * 0.1)).collect();
+                        ClientUpload::new(u.client, u.weight, entries)
+                    })
+                    .collect(),
+                _ => raw,
+            }
+        };
+        let result = sparsifier.select(&uploads, dim, k);
+        let mut scratch = WireScratch::new();
+        for codec in codecs() {
+            // Downlink: already a SparseGradient.
+            assert_bit_exact_roundtrip(codec.as_ref(), &result.aggregated);
+            // Uplinks: rank-ordered entries go through the unsorted path.
+            for upload in &uploads {
+                let frame = scratch
+                    .encode_unsorted(codec.as_ref(), dim, &upload.entries)
+                    .to_vec();
+                let decoded = decode_gradient(&frame).unwrap();
+                let mut expected = upload.entries.clone();
+                expected.sort_unstable_by_key(|&(j, _)| j);
+                let got: Vec<(usize, u32)> = decoded
+                    .entries()
+                    .iter()
+                    .map(|&(j, v)| (j, v.to_bits()))
+                    .collect();
+                let expected: Vec<(usize, u32)> =
+                    expected.iter().map(|&(j, v)| (j, v.to_bits())).collect();
+                assert_eq!(got, expected, "{} / {}", sparsifier.name(), codec.name());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary sparse messages (including exact-zero and extreme values)
+    /// round-trip bit-exactly through every codec.
+    #[test]
+    fn prop_roundtrip_bit_exact(
+        dim in 1usize..600,
+        raw in proptest::collection::vec((0usize..600, -1.0e30f32..1.0e30), 0..80),
+    ) {
+        let entries: Vec<(usize, f32)> = raw
+            .into_iter()
+            .map(|(j, v)| (j % dim, v))
+            .collect();
+        let g = SparseGradient::from_entries(dim, entries);
+        for codec in codecs() {
+            assert_bit_exact_roundtrip(codec.as_ref(), &g);
+        }
+    }
+
+    /// `Auto` emits the smallest frame and never exceeds `CooF32`.
+    #[test]
+    fn prop_auto_never_exceeds_coo(
+        dim in 1usize..2_000,
+        raw in proptest::collection::vec((0usize..2_000, -10.0f32..10.0), 0..120),
+    ) {
+        let entries: Vec<(usize, f32)> = raw
+            .into_iter()
+            .map(|(j, v)| (j % dim, v))
+            .collect();
+        let g = SparseGradient::from_entries(dim, entries);
+        let auto = Auto.encoded_len_gradient(&g);
+        prop_assert!(auto <= CooF32.encoded_len_gradient(&g));
+        prop_assert!(auto <= DeltaVarint.encoded_len_gradient(&g));
+        prop_assert!(auto <= Bitmap.encoded_len_gradient(&g));
+        // And its emitted frame matches the deterministic choice.
+        let mut scratch = WireScratch::new();
+        let frame = Auto.encode_gradient_into(&g, &mut scratch);
+        prop_assert_eq!(frame.len(), auto);
+        prop_assert_eq!(
+            frame_codec(frame).unwrap(),
+            Auto.choose(g.dim(), g.entries())
+        );
+    }
+
+    /// Seeded sparsifier rounds: uplinks and downlink of every sparsifier
+    /// family round-trip through `Auto` (the codec the simulation defaults
+    /// to), and decoding is the exact inverse of encoding.
+    #[test]
+    fn prop_sparsifier_messages_roundtrip(
+        seed in 0u64..200,
+        n_clients in 1usize..5,
+        dim in 8usize..120,
+        k_raw in 1usize..40,
+    ) {
+        let k = 1 + k_raw % dim.min(32);
+        let uploads = random_uploads(seed, n_clients, dim, k);
+        let mut scratch = WireScratch::new();
+        let mut out = Vec::new();
+        for sparsifier in sparsifiers() {
+            let result = sparsifier.select(&uploads, dim, k);
+            let frame = Auto
+                .encode_gradient_into(&result.aggregated, &mut scratch)
+                .to_vec();
+            let (frame_dim, id) = decode_frame(&frame, &mut out).unwrap();
+            prop_assert_eq!(frame_dim, dim);
+            prop_assert_eq!(id, Auto.choose(dim, result.aggregated.entries()));
+            let got: Vec<(usize, u32)> =
+                out.iter().map(|&(j, v)| (j, v.to_bits())).collect();
+            let expected: Vec<(usize, u32)> = result
+                .aggregated
+                .entries()
+                .iter()
+                .map(|&(j, v)| (j, v.to_bits()))
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// The reference encoders stay byte-identical to the fast paths for
+    /// arbitrary messages.
+    #[test]
+    fn prop_reference_equivalence(
+        dim in 1usize..300,
+        raw in proptest::collection::vec((0usize..300, -10.0f32..10.0), 0..60),
+    ) {
+        let entries: Vec<(usize, f32)> = raw
+            .into_iter()
+            .map(|(j, v)| (j % dim, v))
+            .collect();
+        let g = SparseGradient::from_entries(dim, entries);
+        let mut scratch = WireScratch::new();
+        prop_assert_eq!(
+            reference::coo_encode(dim, g.entries()),
+            CooF32.encode_gradient_into(&g, &mut scratch)
+        );
+        prop_assert_eq!(
+            reference::delta_encode(dim, g.entries()),
+            DeltaVarint.encode_gradient_into(&g, &mut scratch)
+        );
+        prop_assert_eq!(
+            reference::bitmap_encode(dim, g.entries()),
+            Bitmap.encode_gradient_into(&g, &mut scratch)
+        );
+        // The independent reference decoder agrees with the fast path on
+        // every valid frame of every codec.
+        let mut out = Vec::new();
+        for codec in codecs() {
+            let frame = codec.encode_gradient_into(&g, &mut scratch).to_vec();
+            let (ref_dim, ref_entries) = reference::decode(&frame).unwrap();
+            let fast_dim = codec.decode_into(&frame, &mut out).unwrap();
+            prop_assert_eq!(ref_dim, fast_dim);
+            prop_assert_eq!(ref_entries.len(), out.len());
+            for (a, b) in ref_entries.iter().zip(out.iter()) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+}

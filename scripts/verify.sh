@@ -2,8 +2,8 @@
 # Tier-1 verification plus the doc and formatting gates, so doc rot and
 # formatting drift fail fast. Run from anywhere inside the repository.
 #
-#   scripts/verify.sh          # build + tests + docs + fmt
-#   scripts/verify.sh --quick  # skip the full workspace test pass
+#   scripts/verify.sh          # build + tests + clippy + docs + fmt
+#   scripts/verify.sh --quick  # skip the full workspace test pass and clippy
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +23,9 @@ cargo test -q
 if [[ "$quick" -eq 0 ]]; then
     step "cargo test --workspace -q (full suite)"
     cargo test --workspace -q
+
+    step "cargo clippy --workspace (warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
 fi
 
 step "cargo doc --no-deps (warnings are errors)"

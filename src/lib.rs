@@ -6,3 +6,4 @@ pub use agsfl_ml as ml;
 pub use agsfl_online as online;
 pub use agsfl_sparse as sparse;
 pub use agsfl_tensor as tensor;
+pub use agsfl_wire as wire;

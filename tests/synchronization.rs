@@ -104,8 +104,8 @@ fn fab_fairness_holds_throughout_training() {
             );
         }
         selection.aggregated.apply_sgd(&mut weights, 0.05);
-        for i in 0..n {
-            accumulators[i].reset_indices(&selection.reset_indices[i]);
+        for (acc, resets) in accumulators.iter_mut().zip(selection.reset_indices.iter()) {
+            acc.reset_indices(resets);
         }
     }
 }
