@@ -24,16 +24,20 @@
 //! return identical bits. The `wire_encode`/`wire_decode` pairs time the
 //! delta-varint wire codec on a dim = 10⁵, k = 10³ message through the
 //! allocating reference implementations (`agsfl_wire::reference`) and the
-//! scratch-reusing fast paths, asserting byte-identical frames. The JSON
-//! reports nanoseconds per iteration (mean of the fastest half of samples)
-//! and baseline/optimized speedups.
+//! scratch-reusing fast paths, asserting byte-identical frames. The
+//! `checkpoint_save`/`checkpoint_load` pairs time simulation snapshots at
+//! the paper's >400k-weight scale: allocating `save_state` vs the
+//! buffer-reusing `save_state_into`, and rebuilding the simulation from
+//! its inputs vs `restore_state` of the serialized blob. The JSON reports
+//! nanoseconds per iteration (mean of the fastest half of samples) and
+//! baseline/optimized speedups.
 
 use std::io::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use agsfl_bench::kernel_workload::{
-    cnn_workload, eval_workload, fab_workload, wire_workload, CNN_BATCH, EVAL_CLIENTS, FAB_CLIENTS,
-    FAB_DIM, FAB_K,
+    checkpoint_workload, cnn_workload, eval_workload, fab_workload, fresh_checkpoint_sim,
+    wire_workload, CKPT_CLIENTS, CNN_BATCH, EVAL_CLIENTS, FAB_CLIENTS, FAB_DIM, FAB_K,
 };
 use agsfl_exec::Executor;
 use agsfl_ml::metrics;
@@ -399,6 +403,67 @@ fn main() {
         wire_decode.speedup()
     );
 
+    // Checkpoint save/load at the paper's >400k-weight scale: the fault
+    // path's resume story priced as kernels. `checkpoint_save` compares the
+    // allocating `save_state` against `save_state_into` reusing one buffer
+    // across rounds (the shape periodic checkpointing actually runs);
+    // `checkpoint_load` compares rebuilding the simulation from its inputs
+    // (dataset regeneration + model init — the no-checkpoint baseline)
+    // against `restore_state` of the serialized blob.
+    let ckpt_sim = checkpoint_workload();
+    let ckpt_dim = ckpt_sim.dim();
+    let seed_ns = time_ns(|| {
+        black_box(ckpt_sim.save_state());
+    });
+    let mut ckpt_buf = Vec::new();
+    let scratch_ns = time_ns(|| {
+        ckpt_sim.save_state_into(black_box(&mut ckpt_buf));
+    });
+    let ckpt_save = KernelReport {
+        name: "checkpoint_save",
+        dim: ckpt_dim,
+        clients: CKPT_CLIENTS,
+        k: 0,
+        threads: 1,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  checkpoint_save (D={ckpt_dim}): alloc {:.0} ns, reused-buffer {:.0} ns -> {:.2}x",
+        ckpt_save.seed_ns,
+        ckpt_save.scratch_ns,
+        ckpt_save.speedup()
+    );
+
+    let blob = ckpt_sim.save_state();
+    let seed_ns = time_ns(|| {
+        black_box(fresh_checkpoint_sim());
+    });
+    let mut target = fresh_checkpoint_sim();
+    let scratch_ns = time_ns(|| {
+        target
+            .restore_state(black_box(&blob))
+            .expect("same-fingerprint restore");
+    });
+    // The restore must reproduce the saved state bit-exactly.
+    assert_eq!(target.save_state(), blob, "restore must be bit-exact");
+    let ckpt_load = KernelReport {
+        name: "checkpoint_load",
+        dim: ckpt_dim,
+        clients: CKPT_CLIENTS,
+        k: 0,
+        threads: 1,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  checkpoint_load (D={ckpt_dim}, {} B blob): rebuild {:.0} ns, restore {:.0} ns -> {:.2}x",
+        blob.len(),
+        ckpt_load.seed_ns,
+        ckpt_load.scratch_ns,
+        ckpt_load.speedup()
+    );
+
     let kernels = [
         fab,
         fab_sharded,
@@ -407,6 +472,8 @@ fn main() {
         eval_report,
         wire_encode,
         wire_decode,
+        ckpt_save,
+        ckpt_load,
     ];
     let body: Vec<String> = kernels.iter().map(KernelReport::to_json).collect();
     let json = format!(

@@ -9,9 +9,11 @@
 //! seed's three serial passes), and the wire-codec message (encode/decode
 //! fast paths vs the allocating reference implementations).
 
+use agsfl_exec::Parallelism;
+use agsfl_fl::{Simulation, SimulationConfig, TimeModel};
 use agsfl_ml::data::{FederatedDataset, SyntheticFemnist, SyntheticFemnistConfig};
-use agsfl_ml::model::{Mlp, Model, SimpleCnn};
-use agsfl_sparse::{topk, ClientUpload, SparseGradient};
+use agsfl_ml::model::{LinearSoftmax, Mlp, Model, SimpleCnn};
+use agsfl_sparse::{topk, ClientUpload, FabTopK, SparseGradient};
 use agsfl_tensor::Matrix;
 use rand::Rng;
 use rand::SeedableRng;
@@ -113,6 +115,65 @@ pub fn eval_workload() -> (Box<dyn Model>, Vec<f32>, FederatedDataset) {
     (Box::new(model), params, dataset)
 }
 
+/// Feature dimension of the checkpoint workload; with [`CKPT_CLASSES`]
+/// classes the linear model carries `(6751 + 1) * 62 = 418,624` parameters
+/// — the paper's >400k-weight scale.
+pub const CKPT_FEATURES: usize = 6_751;
+/// Output classes of the checkpoint workload (FEMNIST's 62).
+pub const CKPT_CLASSES: usize = 62;
+/// Clients of the checkpoint workload.
+pub const CKPT_CLIENTS: usize = 8;
+
+fn ckpt_config() -> SyntheticFemnistConfig {
+    SyntheticFemnistConfig {
+        num_clients: CKPT_CLIENTS,
+        samples_per_client: 4,
+        feature_dim: CKPT_FEATURES,
+        num_classes: CKPT_CLASSES,
+        classes_per_client: 4,
+        writer_shift_std: 0.4,
+        noise_std: 0.3,
+        test_samples: 8,
+    }
+}
+
+fn ckpt_sim_config() -> SimulationConfig {
+    SimulationConfig {
+        learning_rate: 0.05,
+        batch_size: 4,
+        time_model: TimeModel::normalized(10.0),
+        seed: super::BENCH_SEED,
+        parallelism: Parallelism::Serial,
+        wire: None,
+        fault: None,
+    }
+}
+
+/// Builds the checkpoint workload: a ~420k-parameter linear simulation
+/// (8 clients) advanced a few rounds so per-client residuals, RNG streams
+/// and the server model all carry non-trivial state.
+pub fn checkpoint_workload() -> Simulation {
+    let mut sim = fresh_checkpoint_sim();
+    for _ in 0..3 {
+        sim.run_round(CKPT_FEATURES / 100, None);
+    }
+    sim
+}
+
+/// Builds the checkpoint-workload simulation at round zero — the
+/// "rebuild from scratch" baseline a restore is measured against.
+pub fn fresh_checkpoint_sim() -> Simulation {
+    let mut rng = ChaCha8Rng::seed_from_u64(super::BENCH_SEED);
+    let dataset = SyntheticFemnist::new(ckpt_config()).generate(&mut rng);
+    let model = LinearSoftmax::new(dataset.feature_dim(), dataset.num_classes());
+    Simulation::new(
+        Box::new(model),
+        dataset,
+        Box::new(FabTopK::new()),
+        ckpt_sim_config(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +212,22 @@ mod tests {
         assert_eq!(dataset.num_clients(), EVAL_CLIENTS);
         assert_eq!(params.len(), model.num_params());
         assert_eq!(dataset.test().len(), 400);
+    }
+
+    #[test]
+    fn checkpoint_workload_is_paper_scale_and_restorable() {
+        let sim = checkpoint_workload();
+        assert!(
+            sim.dim() > 400_000,
+            "paper scale is >400k weights, got {}",
+            sim.dim()
+        );
+        assert_eq!(sim.num_clients(), CKPT_CLIENTS);
+        let blob = sim.save_state();
+        let mut fresh = fresh_checkpoint_sim();
+        fresh
+            .restore_state(&blob)
+            .expect("same-fingerprint restore");
+        assert_eq!(fresh.save_state(), blob);
     }
 }

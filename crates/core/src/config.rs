@@ -1,7 +1,7 @@
 //! Declarative experiment configuration.
 
 use agsfl_exec::Parallelism;
-use agsfl_fl::{ChannelModel, ClientLink, WireConfig};
+use agsfl_fl::{ChannelModel, ClientLink, FaultConfigError, FaultModel, WireConfig};
 use agsfl_ml::data::{
     FederatedDataset, SyntheticCifar, SyntheticCifarConfig, SyntheticFemnist,
     SyntheticFemnistConfig,
@@ -374,6 +374,11 @@ pub struct ExperimentConfig {
     /// set, `comm_time` is ignored for round pricing — the channel is the
     /// cost signal; training trajectories stay bit-identical either way.
     pub wire: Option<WireSpec>,
+    /// Optional seeded fault model: client dropout, crash outages,
+    /// stragglers, wire-frame corruption with bounded retries, and a round
+    /// deadline. Wire-level faults (corruption, retries, deadline pricing)
+    /// require [`ExperimentConfig::wire`] to be set.
+    pub fault: Option<FaultModel>,
 }
 
 impl Default for ExperimentConfig {
@@ -389,7 +394,54 @@ impl Default for ExperimentConfig {
             seed: 0,
             parallelism: Parallelism::Auto,
             wire: None,
+            fault: None,
         }
+    }
+}
+
+/// Typed validation error for an [`ExperimentConfig`].
+///
+/// Returned by [`ExperimentConfig::try_validate`] and
+/// [`ExperimentConfigBuilder::try_build`], so a bad configuration surfaces
+/// as a value at build time instead of a panic mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The learning rate is zero, negative, or not finite.
+    InvalidLearningRate,
+    /// The mini-batch size is zero.
+    ZeroBatchSize,
+    /// The scalar communication time is negative or not finite.
+    InvalidCommTime,
+    /// The evaluation cadence is zero.
+    ZeroEvalEvery,
+    /// The fault model is out of range or needs a wire configuration.
+    Fault(FaultConfigError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidLearningRate => write!(f, "learning rate must be positive and finite"),
+            Self::ZeroBatchSize => write!(f, "batch size must be positive"),
+            Self::InvalidCommTime => write!(f, "comm time must be non-negative and finite"),
+            Self::ZeroEvalEvery => write!(f, "eval_every must be positive"),
+            Self::Fault(e) => write!(f, "invalid fault model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultConfigError> for ConfigError {
+    fn from(e: FaultConfigError) -> Self {
+        Self::Fault(e)
     }
 }
 
@@ -401,16 +453,37 @@ impl ExperimentConfig {
         }
     }
 
+    /// Validates the configuration, returning a typed error on the first
+    /// out-of-range field.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(ConfigError::InvalidLearningRate);
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if !(self.comm_time >= 0.0 && self.comm_time.is_finite()) {
+            return Err(ConfigError::InvalidCommTime);
+        }
+        if self.eval_every == 0 {
+            return Err(ConfigError::ZeroEvalEvery);
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate(self.wire.is_some())?;
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if a field is out of range.
+    /// Panics if a field is out of range; [`ExperimentConfig::try_validate`]
+    /// is the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(self.batch_size > 0, "batch size must be positive");
-        assert!(self.comm_time >= 0.0, "comm time must be non-negative");
-        assert!(self.eval_every > 0, "eval_every must be positive");
+        if let Err(error) = self.try_validate() {
+            panic!("invalid experiment config: {error}");
+        }
     }
 }
 
@@ -481,14 +554,30 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Enables fault injection with the given model.
+    pub fn fault(mut self, fault: FaultModel) -> Self {
+        self.config.fault = Some(fault);
+        self
+    }
+
+    /// Finalizes the configuration, returning a typed error if any field is
+    /// out of range.
+    pub fn try_build(self) -> Result<ExperimentConfig, ConfigError> {
+        self.config.try_validate()?;
+        Ok(self.config)
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid;
+    /// [`ExperimentConfigBuilder::try_build`] is the non-panicking form.
     pub fn build(self) -> ExperimentConfig {
-        self.config.validate();
-        self.config
+        match self.try_build() {
+            Ok(config) => config,
+            Err(error) => panic!("invalid experiment config: {error}"),
+        }
     }
 }
 
@@ -520,6 +609,69 @@ mod tests {
     #[should_panic]
     fn invalid_learning_rate_panics() {
         let _ = ExperimentConfig::builder().learning_rate(0.0).build();
+    }
+
+    #[test]
+    fn try_build_returns_typed_errors() {
+        assert_eq!(
+            ExperimentConfig::builder().learning_rate(-1.0).try_build(),
+            Err(ConfigError::InvalidLearningRate)
+        );
+        assert_eq!(
+            ExperimentConfig::builder().batch_size(0).try_build(),
+            Err(ConfigError::ZeroBatchSize)
+        );
+        assert_eq!(
+            ExperimentConfig::builder().comm_time(f64::NAN).try_build(),
+            Err(ConfigError::InvalidCommTime)
+        );
+        assert_eq!(
+            ExperimentConfig::builder().eval_every(0).try_build(),
+            Err(ConfigError::ZeroEvalEvery)
+        );
+        assert!(ExperimentConfig::builder().try_build().is_ok());
+    }
+
+    #[test]
+    fn wire_dependent_faults_need_a_wire_spec() {
+        let fault = FaultModel {
+            corrupt_prob: 0.1,
+            ..FaultModel::default()
+        };
+        let err = ExperimentConfig::builder()
+            .fault(fault.clone())
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Fault(FaultConfigError::RequiresWire("corrupt_prob"))
+        );
+        // The same model is fine once a wire spec prices the bytes.
+        let ok = ExperimentConfig::builder()
+            .fault(fault)
+            .wire(WireSpec {
+                codec: CodecSpec::Auto,
+                channel: ChannelSpec::uniform(500.0, 500.0, 0.0),
+            })
+            .try_build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn out_of_range_fault_probability_is_a_typed_error() {
+        let fault = FaultModel {
+            drop_prob: 1.5,
+            ..FaultModel::default()
+        };
+        assert!(matches!(
+            ExperimentConfig::builder().fault(fault).try_build(),
+            Err(ConfigError::Fault(
+                FaultConfigError::ProbabilityOutOfRange {
+                    field: "drop_prob",
+                    ..
+                }
+            ))
+        ));
     }
 
     #[test]

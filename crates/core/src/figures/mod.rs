@@ -17,7 +17,9 @@
 //! | Fig. 8 (comm-time sweep, CIFAR-10) | [`sweep::run_cifar`] |
 //! | Theorems 1–2 (regret bounds) | [`regret_check::run`] |
 //! | Wire codec × channel sweep (byte-priced, beyond the paper) | [`wire_sweep::run`] |
+//! | Fault-severity sweep (robustness, beyond the paper) | [`fault_sweep::run`] |
 
+pub mod fault_sweep;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;

@@ -52,10 +52,11 @@ pub mod report;
 mod runner;
 
 pub use agsfl_exec::{Executor, Parallelism};
+pub use agsfl_fl::{CheckpointError, FaultConfigError, FaultModel, FaultRoundReport, FaultTotals};
 pub use agsfl_wire::CodecSpec;
 pub use config::{
-    ChannelSpec, DatasetSpec, ExperimentConfig, ExperimentConfigBuilder, Fluctuation, ModelSpec,
-    SparsifierSpec, WireSpec,
+    ChannelSpec, ConfigError, DatasetSpec, ExperimentConfig, ExperimentConfigBuilder, Fluctuation,
+    ModelSpec, SparsifierSpec, WireSpec,
 };
 pub use controllers::ControllerSpec;
-pub use runner::{Experiment, StopCondition};
+pub use runner::{CheckpointSpec, Experiment, StopCondition};

@@ -92,6 +92,36 @@ pub fn contribution_summary(histories: &[&RunHistory]) -> String {
     out
 }
 
+/// Formats the accumulated fault counters of the given histories: uploads
+/// lost per fault class, retry overhead on the wire, and the smallest
+/// cohort the server ever aggregated over.
+pub fn fault_summary(histories: &[&RunHistory]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26}{:>8}{:>10}{:>8}{:>8}{:>10}{:>12}{:>10}\n",
+        "method", "lost", "offline", "corrupt", "ddl", "retries", "rtx [B]", "min surv"
+    ));
+    for h in histories {
+        let t = h.fault_totals();
+        let min_survivors = t
+            .min_survivors
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:<26}{:>8}{:>10}{:>8}{:>8}{:>10}{:>12}{:>10}\n",
+            truncate(&h.label, 26),
+            t.lost(),
+            t.offline,
+            t.corrupt_lost,
+            t.deadline_dropped,
+            t.retries,
+            t.retransmitted_bytes,
+            min_survivors
+        ));
+    }
+    out
+}
+
 /// Evenly spaced sample times from 0 to `max_time` (inclusive) with `steps`
 /// intervals.
 pub fn sample_times(max_time: f64, steps: usize) -> Vec<f64> {
@@ -168,6 +198,26 @@ mod tests {
         let a = history("fair", &[(1.0, 1.0)]);
         let summary = contribution_summary(&[&a]);
         assert!(summary.contains("50.0%"), "{summary}");
+    }
+
+    #[test]
+    fn fault_summary_reports_totals_and_dashes_cleanly() {
+        use agsfl_fl::FaultRoundReport;
+        let clean = history("clean", &[(1.0, 1.0)]);
+        let mut faulty = history("faulty", &[(1.0, 1.0)]);
+        faulty.record_fault(&FaultRoundReport {
+            offline: 1,
+            dropped: 2,
+            retries: 3,
+            retransmitted_bytes: 512,
+            survivors: 5,
+            ..FaultRoundReport::default()
+        });
+        let table = fault_summary(&[&clean, &faulty]);
+        assert!(table.contains("clean"));
+        assert!(table.contains("faulty"));
+        assert!(table.contains("512"), "{table}");
+        assert!(table.contains('-'), "clean run has no min survivors");
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! The experiment runner: drives the FL simulator with a `k` controller.
 
+use std::path::PathBuf;
+
+use agsfl_fl::checkpoint::{self, SnapshotReader, SnapshotWriter};
 use agsfl_fl::{
-    FedAvgConfig, FedAvgSimulation, MetricPoint, RunHistory, Simulation, SimulationConfig,
-    TimeModel,
+    CheckpointError, FedAvgConfig, FedAvgSimulation, MetricPoint, RunHistory, Simulation,
+    SimulationConfig, TimeModel,
 };
 use agsfl_online::{stochastic_round, KController, RoundFeedback};
 use rand::SeedableRng;
@@ -11,6 +14,38 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 use crate::controllers::ControllerSpec;
+
+/// Magic bytes and version of the run-level checkpoint file: the simulation
+/// blob plus the runner's own state (rounding RNG, controller state, round
+/// counter, start time, history).
+const RUN_MAGIC: [u8; 4] = *b"AGCK";
+const RUN_VERSION: u32 = 1;
+
+/// Where and how often a run writes checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path; each write atomically replaces the previous
+    /// checkpoint (tmp + rename), so the file always holds one complete
+    /// snapshot.
+    pub path: PathBuf,
+    /// Write a checkpoint every this many rounds.
+    pub every: usize,
+}
+
+impl CheckpointSpec {
+    /// Creates a spec checkpointing to `path` every `every` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        Self {
+            path: path.into(),
+            every,
+        }
+    }
+}
 
 /// When to stop a training run.
 ///
@@ -119,6 +154,7 @@ impl Experiment {
                 seed: config.seed,
                 parallelism: config.parallelism,
                 wire,
+                fault: config.fault.clone(),
             },
         );
         Self {
@@ -169,10 +205,108 @@ impl Experiment {
         stop: &StopCondition,
         label: &str,
     ) -> RunHistory {
-        let dim = self.dim();
-        let mut history = RunHistory::new(label, self.num_clients());
-        let mut round_in_run = 0usize;
+        let history = RunHistory::new(label, self.num_clients());
         let start_time = self.sim.elapsed_time();
+        self.run_loop(controller, stop, history, 0, start_time, None)
+            .expect("a checkpoint-free run performs no I/O and cannot fail")
+    }
+
+    /// Like [`Experiment::run_with_controller`], but atomically writes a
+    /// checkpoint file every [`CheckpointSpec::every`] rounds. A run killed
+    /// between checkpoints can be continued with
+    /// [`Experiment::resume_with_controller`]; the resumed run is
+    /// bit-identical to one that was never interrupted.
+    pub fn run_with_controller_checkpointed(
+        &mut self,
+        controller: &mut dyn KController,
+        stop: &StopCondition,
+        label: &str,
+        spec: &CheckpointSpec,
+    ) -> Result<RunHistory, CheckpointError> {
+        let history = RunHistory::new(label, self.num_clients());
+        let start_time = self.sim.elapsed_time();
+        self.run_loop(controller, stop, history, 0, start_time, Some(spec))
+    }
+
+    /// Resumes a run from the checkpoint file at [`CheckpointSpec::path`].
+    ///
+    /// The experiment must be freshly built from the *same*
+    /// [`ExperimentConfig`] the checkpointed run used, and `controller` must
+    /// be freshly constructed with the same parameters — the checkpoint
+    /// transports only mutable state and rejects mismatched configurations
+    /// with [`CheckpointError::Mismatch`]. The run continues (checkpointing
+    /// on the same spec) until `stop` triggers, counting rounds from the
+    /// checkpointed round number.
+    pub fn resume_with_controller(
+        &mut self,
+        controller: &mut dyn KController,
+        stop: &StopCondition,
+        spec: &CheckpointSpec,
+    ) -> Result<RunHistory, CheckpointError> {
+        let bytes = checkpoint::read_file(&spec.path)?;
+        let mut r = SnapshotReader::new(&bytes);
+        r.header(RUN_MAGIC, RUN_VERSION)?;
+        let sim_blob = r.bytes()?;
+        let rounding_rng = r.rng()?;
+        let controller_bytes = r.bytes()?;
+        let round_in_run = r.usize()?;
+        let start_time = r.f64()?;
+        let history = RunHistory::read_state(&mut r)?;
+        r.finish()?;
+        // Restore the simulation first: it fingerprints the configuration
+        // and rejects a checkpoint from a different experiment before any
+        // runner state is touched.
+        self.sim.restore_state(&sim_blob)?;
+        controller
+            .restore_state(&controller_bytes)
+            .map_err(|_| CheckpointError::Invalid("controller state"))?;
+        self.rounding_rng = rounding_rng;
+        self.run_loop(
+            controller,
+            stop,
+            history,
+            round_in_run,
+            start_time,
+            Some(spec),
+        )
+    }
+
+    /// Serializes the full run state (simulation, rounding RNG, controller,
+    /// round counter, history) and writes it atomically to `path`.
+    fn save_checkpoint(
+        &self,
+        controller: &dyn KController,
+        history: &RunHistory,
+        round_in_run: usize,
+        start_time: f64,
+        path: &std::path::Path,
+    ) -> Result<(), CheckpointError> {
+        let mut w = SnapshotWriter::new();
+        w.header(RUN_MAGIC, RUN_VERSION);
+        w.bytes(&self.sim.save_state());
+        w.rng(&self.rounding_rng);
+        w.bytes(&controller.save_state());
+        w.usize(round_in_run);
+        w.f64(start_time);
+        history.write_state(&mut w);
+        checkpoint::write_atomic(path, &w.into_bytes())
+    }
+
+    /// The shared round loop behind [`Experiment::run_with_controller`],
+    /// [`Experiment::run_with_controller_checkpointed`] and
+    /// [`Experiment::resume_with_controller`]. Checkpoint writes happen
+    /// after a round is fully recorded and never touch any RNG, so a
+    /// checkpointed run's trajectory is bit-identical to an unobserved one.
+    fn run_loop(
+        &mut self,
+        controller: &mut dyn KController,
+        stop: &StopCondition,
+        mut history: RunHistory,
+        mut round_in_run: usize,
+        start_time: f64,
+        checkpoint: Option<&CheckpointSpec>,
+    ) -> Result<RunHistory, CheckpointError> {
+        let dim = self.dim();
         loop {
             if stop.rounds_exhausted(round_in_run)
                 || stop.time_exhausted(self.sim.elapsed_time() - start_time)
@@ -207,11 +341,17 @@ impl Experiment {
             if let Some(wire) = &report.wire {
                 history.record_wire(wire);
             }
+            if let Some(fault) = &report.fault {
+                history.record_fault(fault);
+            }
 
-            let evaluate = round_in_run.is_multiple_of(self.config.eval_every)
-                || round_in_run == 1
-                || stop.rounds_exhausted(round_in_run)
-                || stop.time_exhausted(self.sim.elapsed_time() - start_time);
+            // Evaluate strictly on the cadence (plus round 1). The final
+            // round of a run that stops off-cadence is filled in after the
+            // loop — crucially *after* its checkpoint was written, so a
+            // checkpoint never encodes where this particular run chose to
+            // stop and a resumed run stays bit-identical to an
+            // uninterrupted one.
+            let evaluate = round_in_run.is_multiple_of(self.config.eval_every) || round_in_run == 1;
             let (global_loss, test_accuracy) = if evaluate {
                 // One fused parallel sweep for both metrics (bit-identical
                 // to the individual accessors; see Simulation::evaluate).
@@ -231,11 +371,31 @@ impl Experiment {
                 global_loss,
                 test_accuracy,
             });
+            if let Some(spec) = checkpoint {
+                if round_in_run.is_multiple_of(spec.every) {
+                    self.save_checkpoint(
+                        controller,
+                        &history,
+                        round_in_run,
+                        start_time,
+                        &spec.path,
+                    )?;
+                }
+            }
             if stop.loss_reached(global_loss) {
                 break;
             }
         }
-        history
+        // Evaluation is a read-only measurement, so filling it in here
+        // records exactly the values an in-loop evaluation would have.
+        if let Some(last) = history.last_point_mut() {
+            if last.global_loss.is_none() {
+                let eval = self.sim.evaluate();
+                last.global_loss = Some(eval.train_loss as f64);
+                last.test_accuracy = Some(eval.test_accuracy as f64);
+            }
+        }
+        Ok(history)
     }
 
     /// Runs with a prescribed sequence of `k` values (used by Figs. 7 and 8
@@ -264,6 +424,9 @@ impl Experiment {
             history.add_contributions(&report.contributions);
             if let Some(wire) = &report.wire {
                 history.record_wire(wire);
+            }
+            if let Some(fault) = &report.fault {
+                history.record_fault(fault);
             }
             let evaluate = round_in_run.is_multiple_of(self.config.eval_every) || round_in_run == 1;
             let (global_loss, test_accuracy) = if evaluate {
@@ -483,5 +646,151 @@ mod tests {
         let ha = a.run_adaptive(ControllerSpec::Algorithm2, &stop);
         let hb = b.run_adaptive(ControllerSpec::Algorithm2, &stop);
         assert_eq!(ha.points(), hb.points());
+    }
+
+    fn faulty_wired_config(seed: u64) -> ExperimentConfig {
+        use crate::config::{ChannelSpec, WireSpec};
+        use agsfl_fl::FaultModel;
+        use agsfl_wire::CodecSpec;
+        ExperimentConfig::builder()
+            .dataset(DatasetSpec::femnist_tiny())
+            .model(ModelSpec::Linear)
+            .learning_rate(0.05)
+            .batch_size(8)
+            .comm_time(10.0)
+            .eval_every(5)
+            .seed(seed)
+            .wire(WireSpec {
+                codec: CodecSpec::Auto,
+                channel: ChannelSpec::uniform(2_000.0, 4_000.0, 0.05),
+            })
+            .fault(FaultModel {
+                drop_prob: 0.15,
+                crash_prob: 0.05,
+                outage_rounds: (1, 2),
+                straggle_prob: 0.2,
+                straggle_factor: 4.0,
+                deadline: None,
+                corrupt_prob: 0.2,
+                max_retries: 2,
+                retry_backoff: 0.01,
+                seed: seed ^ 0xFA,
+            })
+            .build()
+    }
+
+    fn unique_ckpt_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("agsfl_run_ckpt_{}_{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let cfg = tiny_config(10.0, 21);
+        let total = 10;
+        let mut reference = Experiment::new(&cfg);
+        let mut c_ref = ControllerSpec::Algorithm3.build(reference.dim(), cfg.seed);
+        let full = reference.run_with_controller(
+            c_ref.as_mut(),
+            &StopCondition::after_rounds(total),
+            "run",
+        );
+        for interrupt in [1usize, 5, 9] {
+            let spec = CheckpointSpec::new(unique_ckpt_path(&format!("plain_{interrupt}")), 1);
+            let mut first = Experiment::new(&cfg);
+            let mut c1 = ControllerSpec::Algorithm3.build(first.dim(), cfg.seed);
+            first
+                .run_with_controller_checkpointed(
+                    c1.as_mut(),
+                    &StopCondition::after_rounds(interrupt),
+                    "run",
+                    &spec,
+                )
+                .unwrap();
+            // A fresh experiment + fresh controller stand in for a new
+            // process picking the run back up from the file.
+            let mut second = Experiment::new(&cfg);
+            let mut c2 = ControllerSpec::Algorithm3.build(second.dim(), cfg.seed);
+            let resumed = second
+                .resume_with_controller(c2.as_mut(), &StopCondition::after_rounds(total), &spec)
+                .unwrap();
+            assert_eq!(
+                resumed.points(),
+                full.points(),
+                "interrupt at round {interrupt} diverged"
+            );
+            std::fs::remove_file(&spec.path).ok();
+        }
+    }
+
+    #[test]
+    fn faulty_wired_run_resumes_bit_identically() {
+        let cfg = faulty_wired_config(31);
+        let total = 8;
+        let mut reference = Experiment::new(&cfg);
+        let mut c_ref = ControllerSpec::Algorithm2.build(reference.dim(), cfg.seed);
+        let full = reference.run_with_controller(
+            c_ref.as_mut(),
+            &StopCondition::after_rounds(total),
+            "faulty",
+        );
+        // Faults actually fired, and the runner recorded them.
+        let totals = full.fault_totals();
+        assert!(
+            totals.lost() + totals.stragglers > 0,
+            "chaos model was inert"
+        );
+
+        let spec = CheckpointSpec::new(unique_ckpt_path("faulty"), 2);
+        let mut first = Experiment::new(&cfg);
+        let mut c1 = ControllerSpec::Algorithm2.build(first.dim(), cfg.seed);
+        first
+            .run_with_controller_checkpointed(
+                c1.as_mut(),
+                &StopCondition::after_rounds(4),
+                "faulty",
+                &spec,
+            )
+            .unwrap();
+        let mut second = Experiment::new(&cfg);
+        let mut c2 = ControllerSpec::Algorithm2.build(second.dim(), cfg.seed);
+        let resumed = second
+            .resume_with_controller(c2.as_mut(), &StopCondition::after_rounds(total), &spec)
+            .unwrap();
+        assert_eq!(resumed.points(), full.points());
+        assert_eq!(resumed.fault_totals(), full.fault_totals());
+        std::fs::remove_file(&spec.path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_checkpoint_from_different_experiment() {
+        let cfg = tiny_config(10.0, 41);
+        let spec = CheckpointSpec::new(unique_ckpt_path("mismatch"), 1);
+        let mut first = Experiment::new(&cfg);
+        let mut c1 = ControllerSpec::Algorithm3.build(first.dim(), cfg.seed);
+        first
+            .run_with_controller_checkpointed(
+                c1.as_mut(),
+                &StopCondition::after_rounds(2),
+                "run",
+                &spec,
+            )
+            .unwrap();
+        // Same shape, different seed: the simulation fingerprint must refuse.
+        let other_cfg = tiny_config(10.0, 42);
+        let mut other = Experiment::new(&other_cfg);
+        let mut c2 = ControllerSpec::Algorithm3.build(other.dim(), other_cfg.seed);
+        let err = other
+            .resume_with_controller(c2.as_mut(), &StopCondition::after_rounds(4), &spec)
+            .unwrap_err();
+        assert_eq!(err, CheckpointError::Mismatch { field: "seed" });
+        // A missing file is a typed I/O error, not a panic.
+        std::fs::remove_file(&spec.path).unwrap();
+        let mut c3 = ControllerSpec::Algorithm3.build(other.dim(), other_cfg.seed);
+        assert!(matches!(
+            Experiment::new(&other_cfg)
+                .resume_with_controller(c3.as_mut(), &StopCondition::after_rounds(4), &spec)
+                .unwrap_err(),
+            CheckpointError::Io(_)
+        ));
     }
 }

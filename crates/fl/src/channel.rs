@@ -171,8 +171,24 @@ impl ChannelModel {
 
     /// Time for client `i` to upload `bytes` in round `round`.
     pub fn uplink_time(&self, round: usize, client: usize, bytes: usize) -> f64 {
+        self.uplink_time_scaled(round, client, bytes, 1.0)
+    }
+
+    /// [`ChannelModel::uplink_time`] with a transmission slowdown factor:
+    /// the latency is unchanged but the transfer term is multiplied by
+    /// `slowdown` (stragglers under fault injection). A factor of exactly
+    /// `1.0` is bit-identical to the unscaled time.
+    pub fn uplink_time_scaled(
+        &self,
+        round: usize,
+        client: usize,
+        bytes: usize,
+        slowdown: f64,
+    ) -> f64 {
         let link = &self.links[client];
-        link.latency + bytes as f64 / (link.uplink_bytes_per_unit * self.multiplier(round, client))
+        link.latency
+            + (bytes as f64 / (link.uplink_bytes_per_unit * self.multiplier(round, client)))
+                * slowdown
     }
 
     /// Time for client `i` to receive a `bytes`-long broadcast in round
@@ -195,20 +211,36 @@ impl ChannelModel {
     ///
     /// Panics if `uplink_bytes.len()` differs from the client count.
     pub fn round_time(&self, round: usize, uplink_bytes: &[usize], downlink_bytes: usize) -> f64 {
+        self.compute_time
+            + self.uplink_phase_time(round, uplink_bytes)
+            + self.downlink_phase_time(round, downlink_bytes)
+    }
+
+    /// The uplink phase of a synchronized round: the slowest client's upload
+    /// time, with one frame length per client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uplink_bytes.len()` differs from the client count.
+    pub fn uplink_phase_time(&self, round: usize, uplink_bytes: &[usize]) -> f64 {
         assert_eq!(
             uplink_bytes.len(),
             self.links.len(),
             "one uplink byte count per client"
         );
-        let slowest_up = uplink_bytes
+        uplink_bytes
             .iter()
             .enumerate()
             .map(|(i, &bytes)| self.uplink_time(round, i, bytes))
-            .fold(0.0f64, f64::max);
-        let slowest_down = (0..self.links.len())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// The broadcast phase of a synchronized round: the slowest receiver's
+    /// downlink time for a `downlink_bytes`-long frame.
+    pub fn downlink_phase_time(&self, round: usize, downlink_bytes: usize) -> f64 {
+        (0..self.links.len())
             .map(|i| self.downlink_time(round, i, downlink_bytes))
-            .fold(0.0f64, f64::max);
-        self.compute_time + slowest_up + slowest_down
+            .fold(0.0f64, f64::max)
     }
 }
 
@@ -255,6 +287,30 @@ mod tests {
         let slow = channel.round_time(1, &[100], 0);
         assert!((fast - 1.0).abs() < 1e-12);
         assert!((slow - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_uplink_time_slows_only_the_transfer_term() {
+        let channel = ChannelModel::uniform(1, 0.0, 100.0, 100.0, 0.25);
+        let nominal = channel.uplink_time(0, 0, 50);
+        let slowed = channel.uplink_time_scaled(0, 0, 50, 4.0);
+        assert_eq!(
+            nominal.to_bits(),
+            channel.uplink_time_scaled(0, 0, 50, 1.0).to_bits()
+        );
+        // latency 0.25 + 0.5 * 4 = 2.25, not 4 * (0.25 + 0.5).
+        assert!((slowed - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_times_decompose_round_time() {
+        let channel = ChannelModel::uniform(3, 1.0, 100.0, 200.0, 0.1);
+        let up = channel.uplink_phase_time(2, &[10, 50, 20]);
+        let down = channel.downlink_phase_time(2, 100);
+        assert_eq!(
+            channel.round_time(2, &[10, 50, 20], 100).to_bits(),
+            (1.0 + up + down).to_bits()
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
+
 /// One federated client of Algorithm 1.
 ///
 /// The client owns its local shard, a mini-batch sampler, its residual
@@ -152,6 +154,61 @@ impl Client {
         self.accumulator.reset_indices(indices);
     }
 
+    /// Serializes the client's mutable state: RNG position, residual,
+    /// sampler epoch, and the estimator's probe bookkeeping. The reused
+    /// scratch buffers carry no cross-round state and are not saved.
+    pub(crate) fn write_state(&self, w: &mut SnapshotWriter) {
+        w.rng(&self.rng);
+        w.f32s(self.accumulator.as_slice());
+        w.usizes(self.sampler.order());
+        w.usize(self.sampler.cursor());
+        w.usizes(&self.last_batch);
+        w.opt_usize(self.probe_sample);
+    }
+
+    /// Restores state captured by [`Client::write_state`] onto a client
+    /// constructed from the same dataset and configuration.
+    pub(crate) fn read_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
+        let rng = r.rng()?;
+        let residual = r.f32s()?;
+        if residual.len() != self.accumulator.dim() {
+            return Err(CheckpointError::Mismatch {
+                field: "client residual length",
+            });
+        }
+        let order = r.usizes()?;
+        if order.len() != self.sampler.order().len() {
+            return Err(CheckpointError::Mismatch {
+                field: "client sampler order length",
+            });
+        }
+        let cursor = r.usize()?;
+        if cursor >= order.len().max(1) {
+            return Err(CheckpointError::Invalid("sampler cursor out of range"));
+        }
+        let mut seen = vec![false; order.len()];
+        for &i in &order {
+            if i >= order.len() || seen[i] {
+                return Err(CheckpointError::Invalid("sampler order not a permutation"));
+            }
+            seen[i] = true;
+        }
+        let last_batch = r.usizes()?;
+        if last_batch.iter().any(|&i| i >= self.shard.len()) {
+            return Err(CheckpointError::Invalid("batch index out of range"));
+        }
+        let probe_sample = r.opt_usize()?;
+        if probe_sample.is_some_and(|i| i >= self.shard.len()) {
+            return Err(CheckpointError::Invalid("probe sample out of range"));
+        }
+        self.rng = rng;
+        self.accumulator.restore(&residual);
+        self.sampler.restore(order, cursor);
+        self.last_batch = last_batch;
+        self.probe_sample = probe_sample;
+        Ok(())
+    }
+
     /// Loss of the round's probe sample evaluated at `params` — the
     /// single-sample losses `f_{i,h}(·)` of the derivative-sign estimator
     /// (Section IV-E of the paper).
@@ -277,5 +334,56 @@ mod tests {
     #[should_panic]
     fn empty_shard_panics() {
         let _ = Client::new(0, ClientShard::empty(4), 0.1, 10, 4, 0);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_gradient_stream() {
+        let (mut a, model, params) = client_and_model();
+        for _ in 0..3 {
+            a.compute_local_gradient(&model, &params);
+        }
+        let mut w = SnapshotWriter::new();
+        a.write_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let (mut b, _, _) = client_and_model();
+        let mut r = SnapshotReader::new(&bytes);
+        b.read_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(a.accumulator().as_slice(), b.accumulator().as_slice());
+        for _ in 0..4 {
+            let la = a.compute_local_gradient(&model, &params);
+            let lb = b.compute_local_gradient(&model, &params);
+            assert_eq!(la.to_bits(), lb.to_bits());
+        }
+        assert_eq!(a.accumulator().as_slice(), b.accumulator().as_slice());
+        assert_eq!(
+            a.probe_loss(&model, &params).map(f32::to_bits),
+            b.probe_loss(&model, &params).map(f32::to_bits)
+        );
+    }
+
+    #[test]
+    fn state_restore_rejects_wrong_shape() {
+        let (mut a, model, params) = client_and_model();
+        a.compute_local_gradient(&model, &params);
+        let mut w = SnapshotWriter::new();
+        a.write_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // A client over a different dimension must refuse the snapshot.
+        let other_model = LinearSoftmax::new(4, 2);
+        let mut other = Client::new(0, shard(12, 4, 3), 0.5, other_model.num_params(), 4, 42);
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(
+            other.read_state(&mut r),
+            Err(CheckpointError::Mismatch { .. })
+        ));
+        // Truncations surface as typed errors, never panics.
+        for cut in 0..bytes.len() {
+            let (mut fresh, _, _) = client_and_model();
+            let mut r = SnapshotReader::new(&bytes[..cut]);
+            assert!(fresh.read_state(&mut r).is_err(), "cut at {cut}");
+        }
     }
 }

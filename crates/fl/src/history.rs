@@ -4,7 +4,44 @@ use agsfl_tensor::stats::Ecdf;
 use agsfl_wire::CodecId;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
+use crate::fault::FaultRoundReport;
 use crate::round::WireRoundReport;
+
+/// Run-level fault accounting: the per-round
+/// [`FaultRoundReport`](crate::FaultRoundReport) counters summed over every
+/// recorded round, plus the worst-case surviving cohort size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultTotals {
+    /// Rounds recorded through [`RunHistory::record_fault`].
+    pub rounds: u64,
+    /// Client-rounds spent offline in crash outages.
+    pub offline: u64,
+    /// Uploads lost to Bernoulli dropout.
+    pub dropped: u64,
+    /// Straggler client-rounds (slowed uplink transmissions).
+    pub stragglers: u64,
+    /// Corrupted uplink frames observed (each failed validated decode).
+    pub corrupt_frames: u64,
+    /// Clients lost after exhausting retries on corrupted frames.
+    pub corrupt_lost: u64,
+    /// Clients dropped for exceeding the round deadline.
+    pub deadline_dropped: u64,
+    /// Extra uplink attempts beyond each client's first.
+    pub retries: u64,
+    /// Bytes re-transmitted by retry attempts.
+    pub retransmitted_bytes: u64,
+    /// Smallest surviving cohort aggregated in any recorded round; `None`
+    /// until a fault round is recorded.
+    pub min_survivors: Option<u64>,
+}
+
+impl FaultTotals {
+    /// Total uploads lost to any fault over the run.
+    pub fn lost(&self) -> u64 {
+        self.offline + self.dropped + self.corrupt_lost + self.deadline_dropped
+    }
+}
 
 /// One evaluated point of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +77,9 @@ pub struct RunHistory {
     /// Per-[`CodecId`] uplink frame counts (index = `CodecId as usize`);
     /// empty until a wire round is recorded.
     codec_counts: Vec<u64>,
+    /// Summed fault counters (all-zero unless fault rounds were recorded
+    /// through [`RunHistory::record_fault`]).
+    fault: FaultTotals,
 }
 
 impl RunHistory {
@@ -52,6 +92,7 @@ impl RunHistory {
             uplink_bytes: 0,
             downlink_bytes: 0,
             codec_counts: Vec::new(),
+            fault: FaultTotals::default(),
         }
     }
 
@@ -82,6 +123,12 @@ impl RunHistory {
         &self.points
     }
 
+    /// Mutable access to the most recent point, if any. Used by runners to
+    /// fill in a final evaluation after their loop exits.
+    pub fn last_point_mut(&mut self) -> Option<&mut MetricPoint> {
+        self.points.last_mut()
+    }
+
     /// Number of recorded points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -108,6 +155,32 @@ impl RunHistory {
             self.codec_counts[id as usize] += 1;
         }
         self.codec_counts[wire.downlink_codec as usize] += 1;
+    }
+
+    /// Accumulates a fault-injected round's accounting (call once per round
+    /// whenever a fault model is configured; clean rounds contribute zeros
+    /// but still advance the round counter and the survivor minimum).
+    pub fn record_fault(&mut self, fault: &FaultRoundReport) {
+        self.fault.rounds += 1;
+        self.fault.offline += fault.offline as u64;
+        self.fault.dropped += fault.dropped as u64;
+        self.fault.stragglers += fault.stragglers as u64;
+        self.fault.corrupt_frames += fault.corrupt_frames as u64;
+        self.fault.corrupt_lost += fault.corrupt_lost as u64;
+        self.fault.deadline_dropped += fault.deadline_dropped as u64;
+        self.fault.retries += fault.retries as u64;
+        self.fault.retransmitted_bytes += fault.retransmitted_bytes;
+        let survivors = fault.survivors as u64;
+        self.fault.min_survivors = Some(match self.fault.min_survivors {
+            Some(current) => current.min(survivors),
+            None => survivors,
+        });
+    }
+
+    /// The summed fault counters over the run (all-zero defaults for runs
+    /// without a fault model).
+    pub fn fault_totals(&self) -> &FaultTotals {
+        &self.fault
     }
 
     /// Total `(uplink, downlink)` bytes on the wire over the run; zeros for
@@ -172,6 +245,83 @@ impl RunHistory {
     /// The sequence of `k` values used, one entry per recorded point.
     pub fn k_sequence(&self) -> Vec<usize> {
         self.points.iter().map(|p| p.k).collect()
+    }
+
+    /// Serializes the full history (checkpointing). Floats are stored as
+    /// raw bits, so a restored history is bit-identical.
+    pub fn write_state(&self, w: &mut SnapshotWriter) {
+        w.str(&self.label);
+        w.usize(self.points.len());
+        for p in &self.points {
+            w.usize(p.round);
+            w.f64(p.elapsed_time);
+            w.usize(p.k);
+            w.f64(p.train_loss);
+            w.opt_f64(p.global_loss);
+            w.opt_f64(p.test_accuracy);
+        }
+        w.u64s(&self.contributions);
+        w.u64(self.uplink_bytes);
+        w.u64(self.downlink_bytes);
+        w.u64s(&self.codec_counts);
+        w.u64(self.fault.rounds);
+        w.u64(self.fault.offline);
+        w.u64(self.fault.dropped);
+        w.u64(self.fault.stragglers);
+        w.u64(self.fault.corrupt_frames);
+        w.u64(self.fault.corrupt_lost);
+        w.u64(self.fault.deadline_dropped);
+        w.u64(self.fault.retries);
+        w.u64(self.fault.retransmitted_bytes);
+        match self.fault.min_survivors {
+            Some(v) => {
+                w.bool(true);
+                w.u64(v);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Rebuilds a history serialized by [`RunHistory::write_state`].
+    pub fn read_state(r: &mut SnapshotReader<'_>) -> Result<Self, CheckpointError> {
+        let label = r.str()?;
+        let num_points = r.usize()?;
+        let mut points = Vec::with_capacity(num_points.min(1 << 20));
+        for _ in 0..num_points {
+            points.push(MetricPoint {
+                round: r.usize()?,
+                elapsed_time: r.f64()?,
+                k: r.usize()?,
+                train_loss: r.f64()?,
+                global_loss: r.opt_f64()?,
+                test_accuracy: r.opt_f64()?,
+            });
+        }
+        let contributions = r.u64s()?;
+        let uplink_bytes = r.u64()?;
+        let downlink_bytes = r.u64()?;
+        let codec_counts = r.u64s()?;
+        let fault = FaultTotals {
+            rounds: r.u64()?,
+            offline: r.u64()?,
+            dropped: r.u64()?,
+            stragglers: r.u64()?,
+            corrupt_frames: r.u64()?,
+            corrupt_lost: r.u64()?,
+            deadline_dropped: r.u64()?,
+            retries: r.u64()?,
+            retransmitted_bytes: r.u64()?,
+            min_survivors: if r.bool()? { Some(r.u64()?) } else { None },
+        };
+        Ok(Self {
+            label,
+            points,
+            contributions,
+            uplink_bytes,
+            downlink_bytes,
+            codec_counts,
+            fault,
+        })
     }
 
     /// Renders the history as CSV (`round,time,k,train_loss,global_loss,test_accuracy`).
@@ -281,6 +431,65 @@ mod tests {
         });
         assert_eq!(h.wire_bytes(), (170, 35));
         assert_eq!(h.codec_counts(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn fault_totals_accumulate_and_track_min_survivors() {
+        let mut h = RunHistory::new("faulty", 4);
+        assert_eq!(h.fault_totals(), &FaultTotals::default());
+        h.record_fault(&FaultRoundReport {
+            offline: 1,
+            dropped: 2,
+            stragglers: 1,
+            corrupt_frames: 3,
+            corrupt_lost: 1,
+            deadline_dropped: 0,
+            retries: 4,
+            retransmitted_bytes: 120,
+            survivors: 1,
+        });
+        h.record_fault(&FaultRoundReport {
+            survivors: 4,
+            ..FaultRoundReport::default()
+        });
+        let totals = h.fault_totals();
+        assert_eq!(totals.rounds, 2);
+        assert_eq!(totals.dropped, 2);
+        assert_eq!(totals.lost(), 4);
+        assert_eq!(totals.retransmitted_bytes, 120);
+        assert_eq!(totals.min_survivors, Some(1));
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact() {
+        let mut h = RunHistory::new("snapshot", 2);
+        h.push(point(1, 1.5, Some(2.0), None));
+        h.push(point(2, 3.0, None, Some(0.4)));
+        h.add_contributions(&[3, 1]);
+        h.record_wire(&WireRoundReport {
+            uplink_bytes: vec![10, 20],
+            max_uplink_bytes: 20,
+            downlink_bytes: 15,
+            uplink_codecs: vec![CodecId::CooF32, CodecId::Bitmap],
+            downlink_codec: CodecId::DeltaVarint,
+        });
+        h.record_fault(&FaultRoundReport {
+            dropped: 1,
+            survivors: 1,
+            ..FaultRoundReport::default()
+        });
+        let mut w = SnapshotWriter::new();
+        h.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let restored = RunHistory::read_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(h, restored);
+        // Truncations error instead of panicking.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = SnapshotReader::new(&bytes[..cut]);
+            assert!(RunHistory::read_state(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

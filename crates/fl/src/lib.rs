@@ -77,7 +77,9 @@
 #![warn(missing_docs)]
 
 mod channel;
+pub mod checkpoint;
 mod client;
+mod fault;
 mod fedavg;
 mod history;
 mod resource;
@@ -87,9 +89,11 @@ mod time;
 
 pub use agsfl_exec::{Executor, Parallelism};
 pub use channel::{ChannelModel, ClientLink};
+pub use checkpoint::CheckpointError;
 pub use client::Client;
+pub use fault::{FaultConfigError, FaultModel, FaultRoundReport, MAX_RETRY_LIMIT};
 pub use fedavg::{FedAvgConfig, FedAvgSimulation};
-pub use history::{MetricPoint, RunHistory};
+pub use history::{FaultTotals, MetricPoint, RunHistory};
 pub use resource::{CompositeCost, ResourceModel};
 pub use round::{ProbeReport, RoundReport, WireRoundReport};
 pub use simulation::{Simulation, SimulationConfig, WireConfig};

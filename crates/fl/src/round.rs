@@ -3,6 +3,8 @@
 use agsfl_wire::CodecId;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultRoundReport;
+
 /// The extra measurements needed by the derivative-sign estimator of
 /// Section IV-E, produced when a round is run with a probe sparsity `k'`.
 ///
@@ -77,6 +79,11 @@ pub struct RoundReport {
     /// configuration (in which case `round_time` is the channel-priced
     /// time, not the scalar proxy).
     pub wire: Option<WireRoundReport>,
+    /// Fault accounting, present when the round ran with a
+    /// [`FaultModel`](crate::FaultModel) (all-zero counters on clean
+    /// rounds). `contributions` stays per-client: lost clients simply
+    /// contribute zero elements this round.
+    pub fault: Option<FaultRoundReport>,
 }
 
 impl RoundReport {
@@ -111,6 +118,7 @@ mod tests {
             contributions: vec![50, 50],
             probe,
             wire: None,
+            fault: None,
         }
     }
 

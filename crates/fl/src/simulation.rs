@@ -14,9 +14,15 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::channel::ChannelModel;
+use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::client::Client;
+use crate::fault::{corrupt_frame, FaultConfigError, FaultModel, FaultRoundReport, FaultState};
 use crate::round::{ProbeReport, RoundReport, WireRoundReport};
 use crate::time::TimeModel;
+
+/// What one client's fused pass produces when it is online: its weight,
+/// local loss, upload, and (on the byte-priced path) the encoded frame.
+type ClientPassOutput = Option<(f64, f32, ClientUpload, Option<Vec<u8>>)>;
 
 /// Byte-priced exchange configuration: which wire codec carries the
 /// messages and what channel each client sits behind.
@@ -57,6 +63,13 @@ pub struct SimulationConfig {
     /// and price rounds on a per-client [`ChannelModel`] instead of the
     /// scalar proxy.
     pub wire: Option<WireConfig>,
+    /// Optional deterministic fault injection: per-client upload dropout,
+    /// multi-round crash outages, straggler slowdowns, a round deadline,
+    /// and wire-frame corruption with bounded retry. Faults degrade rounds
+    /// gracefully — the server aggregates over the surviving cohort and
+    /// error feedback absorbs lost updates — and a model with every rate at
+    /// zero is bit-identical to `None` (pinned by tests).
+    pub fault: Option<FaultModel>,
 }
 
 impl Default for SimulationConfig {
@@ -68,7 +81,22 @@ impl Default for SimulationConfig {
             seed: 0,
             parallelism: Parallelism::Auto,
             wire: None,
+            fault: None,
         }
+    }
+}
+
+impl SimulationConfig {
+    /// Validates the configuration before a run starts, returning a typed
+    /// error instead of panicking mid-round. Today this covers the fault
+    /// model (out-of-range probabilities, non-positive deadlines, oversized
+    /// retry limits, and byte-level faults configured without a wire to act
+    /// on); the remaining fields are structurally valid by construction.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if let Some(fault) = &self.fault {
+            fault.validate(self.wire.is_some())?;
+        }
+        Ok(())
     }
 }
 
@@ -87,6 +115,11 @@ impl WireState {
     /// message it actually built this round (for top-k plans the prefix is
     /// exactly its top-`k'` message), priced at its exact encoded length;
     /// the downlink is the probe selection's aggregate.
+    ///
+    /// Uploads are addressed by their carried client id (not their slot), so
+    /// the pricing also holds under fault injection when only a surviving
+    /// subset of clients delivered this round; for a full cohort the result
+    /// is bit-identical to pricing the complete byte vector.
     fn probe_round_time(
         &mut self,
         round_idx: usize,
@@ -95,17 +128,20 @@ impl WireState {
         uploads: &[ClientUpload],
         probe_selection: &SelectionResult,
     ) -> f64 {
-        let uplink_bytes: Vec<usize> = uploads
+        let uplink_phase = uploads
             .iter()
             .map(|upload| {
                 let prefix = &upload.entries[..probe_k.min(upload.entries.len())];
-                self.scratch
-                    .encoded_len_unsorted(self.codec.as_ref(), dim, prefix)
+                let bytes = self
+                    .scratch
+                    .encoded_len_unsorted(self.codec.as_ref(), dim, prefix);
+                self.channel.uplink_time(round_idx, upload.client, bytes)
             })
-            .collect();
+            .fold(0.0f64, f64::max);
         let downlink_bytes = self.codec.encoded_len_gradient(&probe_selection.aggregated);
-        self.channel
-            .round_time(round_idx, &uplink_bytes, downlink_bytes)
+        self.channel.compute_time()
+            + uplink_phase
+            + self.channel.downlink_phase_time(round_idx, downlink_bytes)
     }
 }
 
@@ -137,6 +173,10 @@ pub struct Simulation {
     /// Byte-priced exchange state, present when the config carries a
     /// [`WireConfig`].
     wire: Option<WireState>,
+    /// Fault injector state, present when the config carries a
+    /// [`FaultModel`]. Owns its own RNG stream, so its presence never
+    /// perturbs the data, client, or server streams.
+    fault: Option<FaultState>,
     round: usize,
     elapsed: f64,
 }
@@ -162,6 +202,9 @@ impl Simulation {
         sparsifier: Box<dyn Sparsifier>,
         config: SimulationConfig,
     ) -> Self {
+        if let Err(error) = config.validate() {
+            panic!("invalid simulation config: {error}");
+        }
         assert_eq!(
             model.input_dim(),
             dataset.feature_dim(),
@@ -212,6 +255,10 @@ impl Simulation {
         });
         let executor = config.parallelism.build();
         let server_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD_EF01);
+        let fault = config
+            .fault
+            .clone()
+            .map(|m| FaultState::new(m, dataset.num_clients()));
         Self {
             model,
             dataset,
@@ -223,6 +270,7 @@ impl Simulation {
             scratch: ShardedScratch::new(),
             executor,
             wire,
+            fault,
             round: 0,
             elapsed: 0.0,
         }
@@ -343,6 +391,19 @@ impl Simulation {
         self.round += 1;
         let dim = self.dim();
         let lr = self.config.learning_rate;
+        let num_clients = self.clients.len();
+        let round_idx = self.round - 1;
+
+        // (0) Fault plan for the round, drawn serially in client order from
+        // the injector's dedicated stream *before* any parallel work: the
+        // plan — never the worker schedule — decides every fault, so the
+        // determinism invariant (identical seeds, identical bits, any
+        // thread count) survives fault injection unchanged.
+        let plans = self.fault.as_mut().map(|f| {
+            let max_attempts = f.model().max_retries + 1;
+            f.plan_round(round_idx, max_attempts)
+        });
+        let mut fault_report = plans.as_ref().map(|_| FaultRoundReport::default());
 
         // (1) One fused parallel pass per client: local gradient computation
         // (Line 4) immediately followed by building the uplink message
@@ -358,22 +419,112 @@ impl Simulation {
         let model = self.model.as_ref();
         let params = &self.params;
         let wire_codec: Option<&dyn Codec> = self.wire.as_ref().map(|w| w.codec.as_ref());
-        let produced: Vec<(f64, f32, ClientUpload, Option<Vec<u8>>)> =
-            self.executor.map_mut(&mut self.clients, |client| {
-                let loss = client.compute_local_gradient(model, params);
-                let upload = client.build_upload(&plan, k);
-                let frame = wire_codec.map(|codec| client.encode_upload(codec, dim, &upload));
-                (client.weight(), loss, upload, frame)
-            });
+        let plans_ref = plans.as_deref();
+        let produced: Vec<ClientPassOutput> = self.executor.map_mut(&mut self.clients, |client| {
+            if plans_ref.is_some_and(|p| p[client.id()].offline) {
+                // Mid-outage: no compute, no upload, and none of the
+                // client's streams advance, so recovery resumes them at
+                // exactly the position an always-online run never left.
+                return None;
+            }
+            let loss = client.compute_local_gradient(model, params);
+            let upload = client.build_upload(&plan, k);
+            let frame = wire_codec.map(|codec| client.encode_upload(codec, dim, &upload));
+            Some((client.weight(), loss, upload, frame))
+        });
         let mut train_loss = 0.0f64;
         let mut uploads = Vec::with_capacity(produced.len());
         let mut frames = Vec::new();
-        for (weight, loss, upload, frame) in produced {
+        for (client_id, item) in produced.into_iter().enumerate() {
+            let Some((weight, loss, upload, frame)) = item else {
+                if let Some(fr) = fault_report.as_mut() {
+                    fr.offline += 1;
+                }
+                continue;
+            };
             train_loss += weight * loss as f64;
+            if plans_ref.is_some_and(|p| p[client_id].dropped) {
+                // Upload lost in transit, no retry. The computed gradient
+                // stays in the client's residual accumulator (no reset will
+                // target it), so error feedback re-sends the mass later.
+                if let Some(fr) = fault_report.as_mut() {
+                    fr.dropped += 1;
+                }
+                continue;
+            }
             uploads.push(upload);
             if let Some(frame) = frame {
                 frames.push(frame);
             }
+        }
+
+        // (1a) Wire-level fault pass, serial in client order: replay every
+        // corrupted uplink attempt through the *real* validated decoder
+        // (the `WireError` path), price retries with backoff on the
+        // client's own link, and enforce the round deadline. A damaged
+        // frame that happens to decode is still treated as detected-corrupt
+        // — the link-layer checksum stand-in — so corruption delays rounds
+        // but can never skew the training trajectory.
+        let mut uplink_times: Vec<Option<f64>> = Vec::new();
+        if let (Some(plans), Some(wire), Some(fr), Some(fault)) = (
+            plans.as_ref(),
+            self.wire.as_ref(),
+            fault_report.as_mut(),
+            self.fault.as_ref(),
+        ) {
+            let fmodel = fault.model();
+            let max_attempts = fmodel.max_retries + 1;
+            let backoff = fmodel.retry_backoff;
+            let deadline = fmodel.deadline;
+            uplink_times = vec![None; num_clients];
+            let mut kept_uploads = Vec::with_capacity(uploads.len());
+            let mut kept_frames = Vec::with_capacity(frames.len());
+            let mut damaged_entries: Vec<(usize, f32)> = Vec::new();
+            for (upload, frame) in uploads.drain(..).zip(frames.drain(..)) {
+                let p = &plans[upload.client];
+                if p.slowdown > 1.0 {
+                    fr.stragglers += 1;
+                }
+                let attempt_time = wire.channel.uplink_time_scaled(
+                    round_idx,
+                    upload.client,
+                    frame.len(),
+                    p.slowdown,
+                );
+                for &corruption in &p.corruptions {
+                    damaged_entries.clear();
+                    let damaged = corrupt_frame(&frame, corruption);
+                    let _ = decode_frame(&damaged, &mut damaged_entries);
+                    fr.corrupt_frames += 1;
+                }
+                let failures = p.corruptions.len();
+                let lost = failures >= max_attempts;
+                let attempts_made = if lost { max_attempts } else { failures + 1 };
+                fr.retries += attempts_made - 1;
+                fr.retransmitted_bytes += frame.len() as u64 * (attempts_made - 1) as u64;
+                let total_time =
+                    attempt_time * attempts_made as f64 + backoff * (attempts_made - 1) as f64;
+                if lost {
+                    // Retries exhausted; the server still listened through
+                    // every failed attempt, so the time counts toward the
+                    // uplink phase (unless a deadline caps it below).
+                    fr.corrupt_lost += 1;
+                    uplink_times[upload.client] = Some(total_time);
+                    continue;
+                }
+                if deadline.is_some_and(|d| total_time > d) {
+                    fr.deadline_dropped += 1;
+                    continue;
+                }
+                uplink_times[upload.client] = Some(total_time);
+                kept_uploads.push(upload);
+                kept_frames.push(frame);
+            }
+            uploads = kept_uploads;
+            frames = kept_frames;
+        }
+        if let Some(fr) = fault_report.as_mut() {
+            fr.survivors = uploads.len();
         }
 
         // (1b) Byte-priced path: the server decodes every frame before
@@ -423,8 +574,9 @@ impl Simulation {
 
         // Optional probe for the derivative-sign estimator; its second
         // selection shares the same workspace. On the byte-priced path the
-        // hypothetical `θ_m(k')` is re-priced through the channel model.
-        let round_idx = self.round - 1;
+        // hypothetical `θ_m(k')` is re-priced through the channel model
+        // (over the surviving cohort when faults are active — the probe is
+        // priced as a clean hypothetical round of those clients).
         let probe = probe_k.map(|pk| {
             let pk = pk.clamp(1, dim);
             let probe_selection = self.sparsifier.select_parallel(
@@ -474,14 +626,47 @@ impl Simulation {
                     "decoded broadcast must be bit-identical to the aggregate"
                 );
                 broadcast.apply_sgd(&mut self.params, lr);
-                let uplink_bytes: Vec<usize> = frames.iter().map(Vec::len).collect();
+                // Byte accounting is scattered by the carried client id —
+                // the identity mapping on a clean round, and zero bytes for
+                // clients that never delivered under fault injection.
+                let mut uplink_bytes = vec![0usize; num_clients];
+                for (upload, frame) in uploads.iter().zip(frames.iter()) {
+                    uplink_bytes[upload.client] = frame.len();
+                }
                 let uplink_codecs = frames
                     .iter()
                     .map(|f| frame_codec(f).expect("freshly encoded frame"))
                     .collect();
-                let round_time = wire
-                    .channel
-                    .round_time(round_idx, &uplink_bytes, downlink_bytes);
+                let round_time = if let Some(fr) = fault_report.as_ref() {
+                    // Fault path: the uplink phase is the slowest delivery
+                    // the server actually waited out — retries, backoff and
+                    // straggler slowdown included, corrupt-lost clients'
+                    // futile attempts included — capped at the deadline,
+                    // which the server waits out in full whenever anyone is
+                    // missing. With every rate at zero this folds the exact
+                    // per-client times of the clean path in the same order,
+                    // so the price is bit-identical to `round_time`.
+                    let deadline = self
+                        .fault
+                        .as_ref()
+                        .expect("fault state present")
+                        .model()
+                        .deadline;
+                    let uplink_phase = match deadline {
+                        Some(d) if fr.lost() > 0 => d,
+                        _ => uplink_times
+                            .iter()
+                            .flatten()
+                            .copied()
+                            .fold(0.0f64, f64::max),
+                    };
+                    wire.channel.compute_time()
+                        + uplink_phase
+                        + wire.channel.downlink_phase_time(round_idx, downlink_bytes)
+                } else {
+                    wire.channel
+                        .round_time(round_idx, &uplink_bytes, downlink_bytes)
+                };
                 let max_uplink_bytes = uplink_bytes.iter().copied().max().unwrap_or(0);
                 let report = WireRoundReport {
                     uplink_bytes,
@@ -493,10 +678,21 @@ impl Simulation {
                 (round_time, Some(report))
             }
         };
-        for (client, resets) in self.clients.iter_mut().zip(selection.reset_indices.iter()) {
-            client.apply_reset(resets);
+        // Resets and contributions are scattered by each upload's carried
+        // client id (slot order equals client order only on clean rounds):
+        // exactly the clients whose uploads were aggregated get their used
+        // coordinates reset, so a lost client's residual keeps its update.
+        for (slot, resets) in selection.reset_indices.iter().enumerate() {
+            self.clients[uploads[slot].client].apply_reset(resets);
         }
         self.elapsed += round_time;
+
+        let downlink_elements = selection.downlink_elements;
+        let max_uplink_scalars = selection.max_uplink_scalars();
+        let mut contributions = vec![0usize; num_clients];
+        for (slot, used) in selection.into_contributions().into_iter().enumerate() {
+            contributions[uploads[slot].client] = used;
+        }
 
         RoundReport {
             round: self.round,
@@ -504,11 +700,12 @@ impl Simulation {
             train_loss,
             round_time,
             elapsed_time: self.elapsed,
-            downlink_elements: selection.downlink_elements,
-            max_uplink_scalars: selection.max_uplink_scalars(),
-            contributions: selection.into_contributions(),
+            downlink_elements,
+            max_uplink_scalars,
+            contributions,
             probe,
             wire: wire_report,
+            fault: fault_report,
         }
     }
 
@@ -561,7 +758,105 @@ impl Simulation {
                 .sparse_round_time(self.dim(), probe_k),
         }
     }
+
+    /// Serializes the complete mutable simulation state — round counter,
+    /// elapsed time, global weights, server RNG position, every client's
+    /// RNG/residual/sampler/probe state, and the fault injector — prefixed
+    /// by a configuration fingerprint. A run restored from these bytes into
+    /// a simulation built from the same inputs continues *bit-identically*
+    /// to the uninterrupted run (pinned by tests across sparsifiers, thread
+    /// counts, and interrupt points).
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.save_state_into(&mut buf);
+        buf
+    }
+
+    /// [`Simulation::save_state`] writing into a caller-owned buffer
+    /// (cleared first), so periodic checkpointing reuses one allocation
+    /// across rounds.
+    pub fn save_state_into(&self, buf: &mut Vec<u8>) {
+        let mut w = SnapshotWriter::with_buf(std::mem::take(buf));
+        w.header(SIM_MAGIC, SIM_VERSION);
+        // Fingerprint: enough static configuration to reject a restore into
+        // a differently-shaped simulation with a typed error.
+        w.usize(self.params.len());
+        w.usize(self.clients.len());
+        w.u64(self.config.seed);
+        w.usize(self.config.batch_size);
+        w.str(self.sparsifier.name());
+        w.bool(self.config.wire.is_some());
+        w.bool(self.fault.is_some());
+        // Mutable state.
+        w.usize(self.round);
+        w.f64(self.elapsed);
+        w.f32s(&self.params);
+        w.rng(&self.server_rng);
+        for client in &self.clients {
+            client.write_state(&mut w);
+        }
+        if let Some(fault) = &self.fault {
+            fault.write_state(&mut w);
+        }
+        *buf = w.into_bytes();
+    }
+
+    /// Restores state produced by [`Simulation::save_state`] into a
+    /// simulation built from the **same** model, dataset, sparsifier, and
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] on malformed or truncated bytes
+    /// and on any fingerprint mismatch (dimension, client count, seed,
+    /// batch size, sparsifier, wire/fault presence). On error the
+    /// simulation may be partially overwritten and must be discarded.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = SnapshotReader::new(bytes);
+        r.header(SIM_MAGIC, SIM_VERSION)?;
+        let checks: [(&'static str, bool); 7] = [
+            ("dim", r.usize()? == self.params.len()),
+            ("num_clients", r.usize()? == self.clients.len()),
+            ("seed", r.u64()? == self.config.seed),
+            ("batch_size", r.usize()? == self.config.batch_size),
+            ("sparsifier", r.str()? == self.sparsifier.name()),
+            (
+                "wire configuration",
+                r.bool()? == self.config.wire.is_some(),
+            ),
+            ("fault model", r.bool()? == self.fault.is_some()),
+        ];
+        for (field, ok) in checks {
+            if !ok {
+                return Err(CheckpointError::Mismatch { field });
+            }
+        }
+        let round = r.usize()?;
+        let elapsed = r.f64()?;
+        let params = r.f32s()?;
+        if params.len() != self.params.len() {
+            return Err(CheckpointError::Invalid("params length"));
+        }
+        let server_rng = r.rng()?;
+        for client in &mut self.clients {
+            client.read_state(&mut r)?;
+        }
+        if let Some(fault) = &mut self.fault {
+            fault.read_state(&mut r)?;
+        }
+        r.finish()?;
+        self.round = round;
+        self.elapsed = elapsed;
+        self.params = params;
+        self.server_rng = server_rng;
+        Ok(())
+    }
 }
+
+/// Magic bytes of a serialized [`Simulation`] state blob.
+const SIM_MAGIC: [u8; 4] = *b"AGSF";
+/// Current simulation state format version.
+const SIM_VERSION: u32 = 1;
 
 #[cfg(test)]
 mod tests {
@@ -591,6 +886,7 @@ mod tests {
                 seed,
                 parallelism,
                 wire: None,
+                fault: None,
             },
         )
     }
@@ -617,8 +913,68 @@ mod tests {
                 seed,
                 parallelism,
                 wire: Some(WireConfig { codec, channel }),
+                fault: None,
             },
         )
+    }
+
+    /// A tiny simulation with an optional fault model, wired (uniform
+    /// channel, auto codec) or scalar-priced.
+    fn tiny_fault_sim(
+        sparsifier: Box<dyn Sparsifier>,
+        seed: u64,
+        parallelism: Parallelism,
+        wired: bool,
+        fault: Option<FaultModel>,
+    ) -> Simulation {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
+        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+        let wire = wired.then(|| WireConfig {
+            codec: agsfl_wire::CodecSpec::Auto,
+            channel: uniform_channel(fed.num_clients()),
+        });
+        Simulation::new(
+            Box::new(model),
+            fed,
+            sparsifier,
+            SimulationConfig {
+                learning_rate: 0.05,
+                batch_size: 8,
+                time_model: TimeModel::normalized(5.0),
+                seed,
+                parallelism,
+                wire,
+                fault,
+            },
+        )
+    }
+
+    /// An aggressive every-fault-at-once model for robustness tests.
+    fn chaos_model(seed: u64) -> FaultModel {
+        FaultModel {
+            drop_prob: 0.2,
+            crash_prob: 0.1,
+            outage_rounds: (1, 2),
+            straggle_prob: 0.25,
+            straggle_factor: 5.0,
+            deadline: Some(40.0),
+            corrupt_prob: 0.3,
+            max_retries: 2,
+            retry_backoff: 0.01,
+            seed,
+        }
+    }
+
+    /// Runs rounds `[from, to)` with a probe on even rounds, collecting the
+    /// reports.
+    fn drive(sim: &mut Simulation, from: usize, to: usize, k: usize) -> Vec<RoundReport> {
+        (from..to)
+            .map(|round| {
+                let probe = (round % 2 == 0).then(|| (k / 2).max(1));
+                sim.run_round(k, probe)
+            })
+            .collect()
     }
 
     fn uniform_channel(n: usize) -> ChannelModel {
@@ -938,5 +1294,421 @@ mod tests {
     fn zero_k_panics() {
         let mut sim = tiny_sim(Box::new(FabTopK::new()), 1.0, 6);
         let _ = sim.run_round(0, None);
+    }
+
+    /// A fault model with every rate at zero must not perturb a single bit
+    /// of the run — same reports (modulo the attached all-zero fault
+    /// accounting), same weights — wired or not.
+    #[test]
+    fn zero_rate_fault_model_is_bit_identical_to_no_fault() {
+        for wired in [false, true] {
+            let mut plain = tiny_fault_sim(
+                Box::new(FabTopK::new()),
+                105,
+                Parallelism::Auto,
+                wired,
+                None,
+            );
+            let mut faulted = tiny_fault_sim(
+                Box::new(FabTopK::new()),
+                105,
+                Parallelism::Auto,
+                wired,
+                Some(FaultModel::default()),
+            );
+            let k = plain.dim() / 6;
+            let n = plain.num_clients();
+            for round in 0..4 {
+                let probe = (round % 2 == 0).then_some(k / 2);
+                let rp = plain.run_round(k, probe);
+                let rf = faulted.run_round(k, probe);
+                assert_eq!(
+                    rf.fault.expect("fault accounting attached"),
+                    FaultRoundReport {
+                        survivors: n,
+                        ..FaultRoundReport::default()
+                    },
+                    "wired={wired}, round={round}"
+                );
+                let stripped = RoundReport { fault: None, ..rf };
+                assert_eq!(rp, stripped, "wired={wired}, round={round}");
+            }
+            assert_eq!(plain.params(), faulted.params(), "wired={wired}");
+        }
+    }
+
+    /// Acceptance invariant: no fault configuration aborts a round. Chaos
+    /// at high rates — dropouts, crashes, stragglers, corruption with
+    /// retries, and a deadline all at once — still yields a completed run
+    /// with coherent survivor accounting every round.
+    #[test]
+    fn faults_never_abort_a_round() {
+        let mut sim = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            106,
+            Parallelism::Auto,
+            true,
+            Some(chaos_model(7)),
+        );
+        let n = sim.num_clients();
+        let k = sim.dim() / 6;
+        let mut lost_any = false;
+        for round in 0..8 {
+            let probe = (round % 2 == 0).then_some(k / 2);
+            let report = sim.run_round(k, probe);
+            let fault = report.fault.expect("fault accounting attached");
+            assert_eq!(fault.survivors + fault.lost(), n, "round {round}");
+            assert_eq!(
+                fault.corrupt_frames,
+                fault.retries + fault.corrupt_lost,
+                "round {round}: every corrupt frame is a retry or part of an exhausted client"
+            );
+            assert!(report.round_time.is_finite() && report.round_time > 0.0);
+            assert_eq!(report.contributions.len(), n);
+            lost_any |= fault.lost() > 0;
+        }
+        assert!(lost_any, "chaos rates should lose at least one upload");
+    }
+
+    /// Even a total blackout (every upload lost, zero survivors) completes
+    /// rounds gracefully: empty aggregate, zero contributions, no panic.
+    #[test]
+    fn total_blackout_still_completes_rounds() {
+        let model = FaultModel {
+            drop_prob: 1.0,
+            seed: 1,
+            ..FaultModel::default()
+        };
+        let mut sim = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            107,
+            Parallelism::Auto,
+            true,
+            Some(model),
+        );
+        let before = sim.params().to_vec();
+        for _ in 0..3 {
+            let report = sim.run_round(sim.dim() / 6, None);
+            let fault = report.fault.expect("fault accounting attached");
+            assert_eq!(fault.survivors, 0);
+            assert_eq!(fault.dropped, sim.num_clients());
+            assert!(report.contributions.iter().all(|&c| c == 0));
+        }
+        // Nothing was aggregated, so the weights never moved; the updates
+        // wait in the residual accumulators.
+        assert_eq!(sim.params(), &before[..]);
+    }
+
+    /// Fault injection preserves the serial-vs-parallel identity: the plan,
+    /// drawn serially before the parallel client pass, decides every fault.
+    #[test]
+    fn faulty_serial_and_parallel_runs_are_identical() {
+        for threads in [2usize, 4, 8] {
+            let mut serial = tiny_fault_sim(
+                Box::new(FabTopK::new()),
+                108,
+                Parallelism::Serial,
+                true,
+                Some(chaos_model(9)),
+            );
+            let mut parallel = tiny_fault_sim(
+                Box::new(FabTopK::new()),
+                108,
+                Parallelism::Threads(threads),
+                true,
+                Some(chaos_model(9)),
+            );
+            let k = serial.dim() / 6;
+            for round in 0..5 {
+                let probe = (round % 2 == 0).then_some(k / 2);
+                let rs = serial.run_round(k, probe);
+                let rp = parallel.run_round(k, probe);
+                assert_eq!(rs, rp, "threads={threads}, round={round}");
+            }
+            assert_eq!(serial.params(), parallel.params(), "threads={threads}");
+        }
+    }
+
+    /// A deadline drops the client whose uplink cannot finish in time, caps
+    /// the uplink phase at the deadline, and leaves the fast clients'
+    /// aggregation intact.
+    #[test]
+    fn deadline_drops_slow_clients_and_caps_the_phase() {
+        let mut rng = ChaCha8Rng::seed_from_u64(160);
+        let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
+        let n = fed.num_clients();
+        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+        let mut links = vec![ClientLink::new(10_000.0, 10_000.0, 0.0); n];
+        links[0] = ClientLink::new(10.0, 10_000.0, 0.0); // crawling uplink
+        let mut sim = Simulation::new(
+            Box::new(model),
+            fed,
+            Box::new(FabTopK::new()),
+            SimulationConfig {
+                learning_rate: 0.05,
+                batch_size: 8,
+                time_model: TimeModel::normalized(5.0),
+                seed: 160,
+                parallelism: Parallelism::Auto,
+                wire: Some(WireConfig {
+                    codec: agsfl_wire::CodecSpec::Auto,
+                    channel: ChannelModel::new(1.0, links),
+                }),
+                fault: Some(FaultModel {
+                    deadline: Some(5.0),
+                    seed: 2,
+                    ..FaultModel::default()
+                }),
+            },
+        );
+        let report = sim.run_round(sim.dim() / 6, None);
+        let fault = report.fault.expect("fault accounting attached");
+        assert_eq!(fault.deadline_dropped, 1);
+        assert_eq!(fault.survivors, n - 1);
+        assert_eq!(report.contributions[0], 0);
+        // compute (1.0) + deadline (5.0) + a fast broadcast.
+        assert!(
+            report.round_time > 6.0 && report.round_time < 7.0,
+            "phase not capped at the deadline: {}",
+            report.round_time
+        );
+    }
+
+    /// Stragglers slow the round they straggle in but never touch the
+    /// training trajectory — the slowdown only scales link timing.
+    #[test]
+    fn stragglers_slow_the_round_but_not_training() {
+        let mut clean = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            161,
+            Parallelism::Auto,
+            true,
+            Some(FaultModel {
+                seed: 3,
+                ..FaultModel::default()
+            }),
+        );
+        let mut straggly = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            161,
+            Parallelism::Auto,
+            true,
+            Some(FaultModel {
+                straggle_prob: 1.0,
+                straggle_factor: 10.0,
+                seed: 3,
+                ..FaultModel::default()
+            }),
+        );
+        let k = clean.dim() / 6;
+        let n = clean.num_clients();
+        for _ in 0..3 {
+            let rc = clean.run_round(k, None);
+            let rs = straggly.run_round(k, None);
+            assert!(rs.round_time > rc.round_time);
+            assert_eq!(rc.train_loss, rs.train_loss);
+            assert_eq!(rs.fault.unwrap().stragglers, n);
+        }
+        assert_eq!(clean.params(), straggly.params());
+    }
+
+    /// Satellite 4, full grid: interrupt at the first round, mid-run, and
+    /// last-but-one; resume from the saved bytes; the stitched run must be
+    /// bit-identical to the uninterrupted one — for every sparsifier,
+    /// serial and parallel, with chaos-level faults active.
+    #[test]
+    fn resume_is_bit_identical_for_every_sparsifier_and_interrupt() {
+        let sparsifiers: [fn() -> Box<dyn Sparsifier>; 5] = [
+            || Box::new(FabTopK::new()),
+            || Box::new(FubTopK::new()),
+            || Box::new(UnidirectionalTopK::new()),
+            || Box::new(PeriodicK::new()),
+            || Box::new(SendAll::new()),
+        ];
+        for (which, make) in sparsifiers.into_iter().enumerate() {
+            let seed = 120 + which as u64;
+            for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+                let fault = Some(chaos_model(seed));
+                let mut reference = tiny_fault_sim(make(), seed, parallelism, true, fault.clone());
+                let k = reference.dim() / 6;
+                let full = drive(&mut reference, 0, 6, k);
+                for interrupt in [1usize, 3, 5] {
+                    let mut first = tiny_fault_sim(make(), seed, parallelism, true, fault.clone());
+                    let before = drive(&mut first, 0, interrupt, k);
+                    let bytes = first.save_state();
+                    let mut resumed =
+                        tiny_fault_sim(make(), seed, parallelism, true, fault.clone());
+                    resumed.restore_state(&bytes).unwrap();
+                    assert_eq!(resumed.round(), interrupt);
+                    let after = drive(&mut resumed, interrupt, 6, k);
+                    let stitched: Vec<RoundReport> = before.into_iter().chain(after).collect();
+                    assert_eq!(
+                        full, stitched,
+                        "sparsifier {which}, parallelism {parallelism:?}, interrupt {interrupt}"
+                    );
+                    assert_eq!(
+                        reference.params(),
+                        resumed.params(),
+                        "sparsifier {which}, interrupt {interrupt}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Resume composes with the thread-count invariant: an interrupted run
+    /// resumed under any worker count reproduces the serial uninterrupted
+    /// run bit for bit.
+    #[test]
+    fn resume_matches_across_worker_counts() {
+        let fault = Some(chaos_model(11));
+        let mut reference = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            140,
+            Parallelism::Serial,
+            true,
+            fault.clone(),
+        );
+        let k = reference.dim() / 6;
+        let full = drive(&mut reference, 0, 6, k);
+        for threads in [1usize, 2, 3, 5, 8] {
+            let parallelism = if threads == 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::Threads(threads)
+            };
+            let mut first = tiny_fault_sim(
+                Box::new(FabTopK::new()),
+                140,
+                parallelism,
+                true,
+                fault.clone(),
+            );
+            let before = drive(&mut first, 0, 3, k);
+            let bytes = first.save_state();
+            let mut resumed = tiny_fault_sim(
+                Box::new(FabTopK::new()),
+                140,
+                parallelism,
+                true,
+                fault.clone(),
+            );
+            resumed.restore_state(&bytes).unwrap();
+            let after = drive(&mut resumed, 3, 6, k);
+            let stitched: Vec<RoundReport> = before.into_iter().chain(after).collect();
+            assert_eq!(full, stitched, "threads={threads}");
+            assert_eq!(reference.params(), resumed.params(), "threads={threads}");
+        }
+    }
+
+    /// Save/resume also holds on the plain scalar-priced path with no fault
+    /// model at all — checkpointing is independent of both subsystems.
+    #[test]
+    fn resume_without_wire_or_faults_is_bit_identical() {
+        let mut reference = tiny_sim(Box::new(FabTopK::new()), 5.0, 145);
+        let k = reference.dim() / 6;
+        let full = drive(&mut reference, 0, 6, k);
+        let mut first = tiny_sim(Box::new(FabTopK::new()), 5.0, 145);
+        let before = drive(&mut first, 0, 3, k);
+        let bytes = first.save_state();
+        let mut resumed = tiny_sim(Box::new(FabTopK::new()), 5.0, 145);
+        resumed.restore_state(&bytes).unwrap();
+        let after = drive(&mut resumed, 3, 6, k);
+        let stitched: Vec<RoundReport> = before.into_iter().chain(after).collect();
+        assert_eq!(full, stitched);
+        assert_eq!(reference.params(), resumed.params());
+    }
+
+    /// Restore validates its input: fingerprint mismatches and truncations
+    /// yield typed errors, never panics.
+    #[test]
+    fn restore_rejects_mismatched_or_corrupt_state() {
+        let fault = Some(FaultModel::default());
+        let mut sim = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            150,
+            Parallelism::Auto,
+            true,
+            fault.clone(),
+        );
+        let k = sim.dim() / 6;
+        drive(&mut sim, 0, 2, k);
+        let bytes = sim.save_state();
+
+        let mut other_seed = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            151,
+            Parallelism::Auto,
+            true,
+            fault.clone(),
+        );
+        assert!(matches!(
+            other_seed.restore_state(&bytes),
+            Err(CheckpointError::Mismatch { field: "seed" })
+        ));
+        let mut no_fault =
+            tiny_fault_sim(Box::new(FabTopK::new()), 150, Parallelism::Auto, true, None);
+        assert!(matches!(
+            no_fault.restore_state(&bytes),
+            Err(CheckpointError::Mismatch {
+                field: "fault model"
+            })
+        ));
+        let mut other_sparsifier = tiny_fault_sim(
+            Box::new(FubTopK::new()),
+            150,
+            Parallelism::Auto,
+            true,
+            fault.clone(),
+        );
+        assert!(matches!(
+            other_sparsifier.restore_state(&bytes),
+            Err(CheckpointError::Mismatch {
+                field: "sparsifier"
+            })
+        ));
+
+        for cut in [0, 3, 4, 11, bytes.len() / 2, bytes.len() - 1] {
+            let mut target = tiny_fault_sim(
+                Box::new(FabTopK::new()),
+                150,
+                Parallelism::Auto,
+                true,
+                fault.clone(),
+            );
+            assert!(
+                target.restore_state(&bytes[..cut]).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let mut target = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            150,
+            Parallelism::Auto,
+            true,
+            fault,
+        );
+        assert_eq!(
+            target.restore_state(&extended),
+            Err(CheckpointError::TrailingBytes)
+        );
+    }
+
+    /// Misconfigured fault models are rejected before the run starts.
+    #[test]
+    #[should_panic(expected = "invalid simulation config")]
+    fn invalid_fault_config_panics_at_construction() {
+        let _ = tiny_fault_sim(
+            Box::new(FabTopK::new()),
+            155,
+            Parallelism::Auto,
+            false,
+            Some(FaultModel {
+                corrupt_prob: 0.5, // requires a wire configuration
+                ..FaultModel::default()
+            }),
+        );
     }
 }

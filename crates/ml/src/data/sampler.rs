@@ -57,6 +57,47 @@ impl MinibatchSampler {
         self.batch_size
     }
 
+    /// The current epoch's visit order (for checkpointing).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Position of the next sample within [`MinibatchSampler::order`]
+    /// (for checkpointing).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Restores a position previously captured via
+    /// [`MinibatchSampler::order`]/[`MinibatchSampler::cursor`], so a
+    /// resumed run draws exactly the batches the uninterrupted run would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the current sample set or
+    /// `cursor` is out of range.
+    pub fn restore(&mut self, order: Vec<usize>, cursor: usize) {
+        assert_eq!(
+            order.len(),
+            self.order.len(),
+            "restored order length does not match the shard"
+        );
+        assert!(
+            cursor < order.len().max(1),
+            "restored cursor {cursor} out of range"
+        );
+        let mut seen = vec![false; order.len()];
+        for &i in &order {
+            assert!(
+                i < order.len() && !seen[i],
+                "restored order is not a permutation"
+            );
+            seen[i] = true;
+        }
+        self.order = order;
+        self.cursor = cursor;
+    }
+
     /// Draws the next mini-batch, reshuffling at epoch boundaries.
     ///
     /// Returns `(features, labels, sample_indices)`; the indices refer to rows
@@ -163,6 +204,32 @@ mod tests {
             let (_, _, ib) = b.next_batch(&s, &mut rng_b);
             assert_eq!(ia, ib);
         }
+    }
+
+    #[test]
+    fn restore_resumes_mid_epoch() {
+        let s = shard(9);
+        let mut a = MinibatchSampler::new(&s, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        a.next_batch(&s, &mut rng); // leaves the cursor mid-epoch
+        let order = a.order().to_vec();
+        let cursor = a.cursor();
+        let mut b = MinibatchSampler::new(&s, 4);
+        b.restore(order, cursor);
+        let mut rng_b = rng.clone();
+        for _ in 0..6 {
+            let (_, _, ia) = a.next_batch(&s, &mut rng);
+            let (_, _, ib) = b.next_batch(&s, &mut rng_b);
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn restore_rejects_non_permutation() {
+        let s = shard(4);
+        let mut sampler = MinibatchSampler::new(&s, 2);
+        sampler.restore(vec![0, 0, 1, 2], 0);
     }
 
     #[test]

@@ -20,8 +20,18 @@ use crate::estimator::{DerivativeSignEstimator, EstimatorInputs};
 use crate::exp3::Exp3;
 use crate::extended::ExtendedSignOgd;
 use crate::sign_ogd::SignOgd;
+use crate::snapshot::{StateError, StateReader, StateWriter};
 use crate::value_based::ValueBasedDescent;
 use crate::{KController, RoundFeedback};
+
+/// One-byte controller-type tags guarding [`KController::restore_state`]
+/// against snapshots taken from a different controller.
+const TAG_SIGN_OGD: u8 = 1;
+const TAG_EXTENDED: u8 = 2;
+const TAG_VALUE_BASED: u8 = 3;
+const TAG_FIXED_K: u8 = 4;
+const TAG_EXP3: u8 = 5;
+const TAG_BANDIT: u8 = 6;
 
 /// Builds the estimator inputs from a round's feedback, if the probe data is
 /// complete.
@@ -70,6 +80,23 @@ impl KController for SignOgd {
             .and_then(|inputs| DerivativeSignEstimator::new().estimate(&inputs));
         self.step(sign);
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.tag(TAG_SIGN_OGD);
+        self.write_state(&mut w);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        r.tag(TAG_SIGN_OGD, "sign OGD")?;
+        let mut restored = self.clone();
+        restored.read_state(&mut r)?;
+        r.finish()?;
+        *self = restored;
+        Ok(())
+    }
 }
 
 impl KController for ExtendedSignOgd {
@@ -90,6 +117,23 @@ impl KController for ExtendedSignOgd {
             .and_then(|inputs| DerivativeSignEstimator::new().estimate(&inputs));
         self.step(sign);
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.tag(TAG_EXTENDED);
+        self.write_state(&mut w);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        r.tag(TAG_EXTENDED, "extended sign OGD")?;
+        let mut restored = self.clone();
+        restored.read_state(&mut r)?;
+        r.finish()?;
+        *self = restored;
+        Ok(())
+    }
 }
 
 impl KController for ValueBasedDescent {
@@ -109,6 +153,23 @@ impl KController for ValueBasedDescent {
         let derivative = estimator_inputs(feedback)
             .and_then(|inputs| DerivativeSignEstimator::new().estimate_derivative(&inputs));
         self.step(derivative);
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.tag(TAG_VALUE_BASED);
+        self.write_state(&mut w);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        r.tag(TAG_VALUE_BASED, "value-based descent")?;
+        let mut restored = self.clone();
+        restored.read_state(&mut r)?;
+        r.finish()?;
+        *self = restored;
+        Ok(())
     }
 }
 
@@ -145,6 +206,25 @@ impl KController for FixedK {
     }
 
     fn observe(&mut self, _feedback: &RoundFeedback) {}
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.tag(TAG_FIXED_K);
+        w.f64(self.k);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        r.tag(TAG_FIXED_K, "fixed k")?;
+        let k = r.f64()?;
+        if !k.is_finite() || k < 1.0 {
+            return Err(StateError::Invalid("fixed k"));
+        }
+        r.finish()?;
+        self.k = k;
+        Ok(())
+    }
 }
 
 /// EXP3 adapted to the adaptive-`k` problem: arms are candidate `k` values,
@@ -199,6 +279,35 @@ impl KController for Exp3Controller {
         }
         self.current_arm = self.exp3.draw();
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.tag(TAG_EXP3);
+        self.exp3.write_state(&mut w);
+        w.usize(self.current_arm);
+        w.f64(self.best_cost);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        r.tag(TAG_EXP3, "EXP3")?;
+        let mut exp3 = self.exp3.clone();
+        exp3.read_state(&mut r)?;
+        let current_arm = r.usize()?;
+        if current_arm >= exp3.num_arms() {
+            return Err(StateError::Invalid("current arm"));
+        }
+        let best_cost = r.f64()?;
+        if best_cost.is_nan() {
+            return Err(StateError::Invalid("best cost"));
+        }
+        r.finish()?;
+        self.exp3 = exp3;
+        self.current_arm = current_arm;
+        self.best_cost = best_cost;
+        Ok(())
+    }
 }
 
 /// The continuous one-point bandit adapted to the adaptive-`k` problem, with
@@ -243,6 +352,29 @@ impl KController for BanditController {
             let reference = *self.reference_cost.get_or_insert(cost.max(1e-12));
             self.bandit.observe_cost(cost / reference);
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.tag(TAG_BANDIT);
+        self.bandit.write_state(&mut w);
+        w.opt_f64(self.reference_cost);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        r.tag(TAG_BANDIT, "continuous bandit")?;
+        let mut bandit = self.bandit.clone();
+        bandit.read_state(&mut r)?;
+        let reference_cost = r.opt_f64()?;
+        if reference_cost.is_some_and(|c| !c.is_finite() || c <= 0.0) {
+            return Err(StateError::Invalid("reference cost"));
+        }
+        r.finish()?;
+        self.bandit = bandit;
+        self.reference_cost = reference_cost;
+        Ok(())
     }
 }
 
@@ -361,6 +493,134 @@ mod tests {
             });
         }
         assert!(c.bandit().center().is_finite());
+    }
+
+    /// Deterministic synthetic feedback stream exercising both the probe
+    /// path (sign controllers) and the cost path (bandit controllers).
+    fn synthetic_feedback(round: usize, k: f64) -> RoundFeedback {
+        let phase = (round % 7) as f64;
+        let drift = 0.001 * round as f64;
+        RoundFeedback {
+            k_used: k.round().max(1.0) as usize,
+            round_time: 5.0 + k / 100.0 + phase * 0.3,
+            probe_loss_prev: Some(2.0 - drift),
+            probe_loss_now: Some(1.95 - drift),
+            probe_loss_alt: Some(if round.is_multiple_of(3) {
+                1.95 - drift
+            } else {
+                1.99 - drift
+            }),
+            probe_round_time: Some(4.0 + k / 120.0),
+            probe_k: Some(((k * 0.8) as usize).max(1)),
+            loss_decrease: Some(0.05 + 0.01 * phase),
+        }
+    }
+
+    /// Drives a controller, snapshots it, restores the snapshot into a fresh
+    /// instance, and checks both continue bit-identically.
+    fn roundtrip_continues_identically(make: &dyn Fn() -> Box<dyn KController>) {
+        let mut original = make();
+        for round in 0..25 {
+            let k = original.propose_k();
+            original.observe(&synthetic_feedback(round, k));
+        }
+        let snapshot = original.save_state();
+        let mut restored = make();
+        restored.restore_state(&snapshot).unwrap();
+        for round in 25..60 {
+            let k_a = original.propose_k();
+            let k_b = restored.propose_k();
+            assert_eq!(k_a.to_bits(), k_b.to_bits(), "k diverged at round {round}");
+            assert_eq!(
+                original.probe_k().map(f64::to_bits),
+                restored.probe_k().map(f64::to_bits),
+                "probe k diverged at round {round}"
+            );
+            original.observe(&synthetic_feedback(round, k_a));
+            restored.observe(&synthetic_feedback(round, k_b));
+        }
+    }
+
+    #[test]
+    fn every_controller_roundtrips_its_state_bit_identically() {
+        let factories: Vec<Box<dyn Fn() -> Box<dyn KController>>> = vec![
+            Box::new(|| Box::new(SignOgd::new(SearchInterval::new(1.0, 1001.0), 800.0))),
+            Box::new(|| {
+                Box::new(ExtendedSignOgd::new(ExtendedConfig {
+                    k_min: 1.0,
+                    k_max: 1000.0,
+                    alpha: 1.5,
+                    update_window: 5,
+                    initial_k: 500.0,
+                }))
+            }),
+            Box::new(|| {
+                Box::new(ValueBasedDescent::new(
+                    SearchInterval::new(1.0, 1001.0),
+                    500.0,
+                ))
+            }),
+            Box::new(|| Box::new(FixedK::new(123.0))),
+            Box::new(|| {
+                Box::new(Exp3Controller::new(Exp3::new(
+                    Exp3::geometric_arms(10.0, 1000.0, 6),
+                    0.2,
+                    42,
+                )))
+            }),
+            Box::new(|| {
+                Box::new(BanditController::new(
+                    ContinuousBandit::with_default_scales(
+                        SearchInterval::new(10.0, 1010.0),
+                        500.0,
+                        7,
+                    ),
+                ))
+            }),
+        ];
+        for factory in &factories {
+            roundtrip_continues_identically(factory.as_ref());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_controller_and_corrupt_bytes() {
+        let sign = SignOgd::new(SearchInterval::new(1.0, 101.0), 50.0);
+        let snapshot = sign.save_state();
+
+        // A snapshot from another controller type is a typed error.
+        let mut fixed = FixedK::new(10.0);
+        assert!(matches!(
+            fixed.restore_state(&snapshot),
+            Err(crate::StateError::WrongController { .. })
+        ));
+
+        // Every truncation errors and leaves the controller untouched.
+        let mut target = SignOgd::new(SearchInterval::new(1.0, 101.0), 50.0);
+        for cut in 0..snapshot.len() {
+            let before = target.clone();
+            assert!(target.restore_state(&snapshot[..cut]).is_err());
+            assert_eq!(target, before, "cut at {cut} mutated the controller");
+        }
+
+        // Trailing garbage is rejected too.
+        let mut extended = snapshot.clone();
+        extended.push(0);
+        assert_eq!(
+            target.restore_state(&extended),
+            Err(crate::StateError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn exp3_restore_rejects_mismatched_arm_count() {
+        let donor = Exp3Controller::new(Exp3::new(vec![10.0, 100.0, 1000.0], 0.2, 1));
+        let snapshot = donor.save_state();
+        let mut two_arms = Exp3Controller::new(Exp3::new(vec![10.0, 100.0], 0.2, 1));
+        assert_eq!(
+            two_arms.restore_state(&snapshot),
+            Err(crate::StateError::Invalid("weight count"))
+        );
     }
 
     #[test]

@@ -5,6 +5,8 @@ use rand_chacha::ChaCha8Rng;
 
 use agsfl_tensor::init::sample_weighted;
 
+use crate::snapshot::{StateError, StateReader, StateWriter};
+
 /// EXP3 (Auer et al.) over a finite set of candidate `k` values.
 ///
 /// The paper's second baseline in Fig. 5: every candidate `k` is an arm of a
@@ -136,6 +138,28 @@ impl Exp3 {
                 *w /= max;
             }
         }
+    }
+
+    pub(crate) fn write_state(&self, w: &mut StateWriter) {
+        w.f64s(&self.weights);
+        w.usize(self.draws);
+        w.rng(&self.rng);
+    }
+
+    pub(crate) fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let weights = r.f64s()?;
+        if weights.len() != self.arms.len() {
+            return Err(StateError::Invalid("weight count"));
+        }
+        if !weights.iter().all(|w| w.is_finite() && *w > 0.0) {
+            return Err(StateError::Invalid("weight value"));
+        }
+        let draws = r.usize()?;
+        let rng = r.rng()?;
+        self.weights = weights;
+        self.draws = draws;
+        self.rng = rng;
+        Ok(())
     }
 }
 

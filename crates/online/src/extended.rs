@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::sign_ogd::SearchInterval;
+use crate::snapshot::{StateError, StateReader, StateWriter};
 
 /// Configuration of [`ExtendedSignOgd`] (Algorithm 3).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -180,6 +181,40 @@ impl ExtendedSignOgd {
             self.window_max = 0.0;
         }
         self.k
+    }
+
+    pub(crate) fn write_state(&self, w: &mut StateWriter) {
+        self.interval.write_state(w);
+        w.f64(self.k);
+        w.usize(self.instance_rounds);
+        w.usize(self.previous_instance_rounds);
+        w.usize(self.window_count);
+        w.f64(self.window_min);
+        w.f64(self.window_max);
+        w.usize(self.restarts);
+    }
+
+    pub(crate) fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let interval = SearchInterval::read_state(r)?;
+        let k = r.f64()?;
+        if !interval.contains(k) {
+            return Err(StateError::Invalid("k outside interval"));
+        }
+        let instance_rounds = r.usize()?;
+        let previous_instance_rounds = r.usize()?;
+        let window_count = r.usize()?;
+        let window_min = r.f64()?;
+        let window_max = r.f64()?;
+        let restarts = r.usize()?;
+        self.interval = interval;
+        self.k = k;
+        self.instance_rounds = instance_rounds;
+        self.previous_instance_rounds = previous_instance_rounds;
+        self.window_count = window_count;
+        self.window_min = window_min;
+        self.window_max = window_max;
+        self.restarts = restarts;
+        Ok(())
     }
 }
 

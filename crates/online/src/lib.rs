@@ -47,6 +47,7 @@ mod extended;
 pub mod regret;
 mod rounding;
 mod sign_ogd;
+pub mod snapshot;
 mod value_based;
 
 pub use bandit::ContinuousBandit;
@@ -56,6 +57,7 @@ pub use exp3::Exp3;
 pub use extended::{ExtendedConfig, ExtendedSignOgd};
 pub use rounding::stochastic_round;
 pub use sign_ogd::{SearchInterval, SignOgd};
+pub use snapshot::StateError;
 pub use value_based::ValueBasedDescent;
 
 /// A controller that proposes the sparsity degree `k` for the next round and
@@ -78,6 +80,21 @@ pub trait KController: Send + std::fmt::Debug {
 
     /// Feeds back the outcome of the round that used [`KController::propose_k`].
     fn observe(&mut self, feedback: &RoundFeedback);
+
+    /// Serializes the controller's mutable state (bit-exact, including any
+    /// internal RNG position) for checkpointing. Restoring the bytes into a
+    /// freshly constructed controller with the same configuration via
+    /// [`KController::restore_state`] must reproduce the exact decision
+    /// sequence the snapshotted controller would have produced.
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restores state previously produced by [`KController::save_state`].
+    ///
+    /// The controller must already be constructed with the same configuration
+    /// (search interval, arms, schedules) the snapshot was taken under; only
+    /// the mutable state is transported. Malformed or mismatched bytes leave
+    /// the controller untouched and return a [`StateError`].
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError>;
 }
 
 /// Feedback given to a [`KController`] after each round.

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::snapshot::{StateError, StateReader, StateWriter};
+
 /// The closed search interval `K = [kmin, kmax]` for the sparsity degree.
 ///
 /// # Examples
@@ -57,6 +59,20 @@ impl SearchInterval {
     /// Returns `true` if `k` lies within the interval (inclusive).
     pub fn contains(&self, k: f64) -> bool {
         (self.min..=self.max).contains(&k)
+    }
+
+    pub(crate) fn write_state(&self, w: &mut StateWriter) {
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+
+    pub(crate) fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let min = r.f64()?;
+        let max = r.f64()?;
+        if !min.is_finite() || !max.is_finite() || min < 1.0 || min > max {
+            return Err(StateError::Invalid("search interval"));
+        }
+        Ok(Self { min, max })
     }
 }
 
@@ -142,6 +158,25 @@ impl SignOgd {
         let delta = self.interval.width() / (2.0 * self.m as f64).sqrt();
         self.k = self.interval.project(self.k - delta * sign as f64);
         self.k
+    }
+
+    pub(crate) fn write_state(&self, w: &mut StateWriter) {
+        self.interval.write_state(w);
+        w.f64(self.k);
+        w.usize(self.m);
+    }
+
+    pub(crate) fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let interval = SearchInterval::read_state(r)?;
+        let k = r.f64()?;
+        if !interval.contains(k) {
+            return Err(StateError::Invalid("k outside interval"));
+        }
+        let m = r.usize()?;
+        self.interval = interval;
+        self.k = k;
+        self.m = m;
+        Ok(())
     }
 }
 

@@ -1,0 +1,310 @@
+//! Controller state snapshots for checkpoint/resume.
+//!
+//! The experiment harness in `agsfl-core` checkpoints a run as the FL
+//! simulation state plus the [`KController`](crate::KController) state; this
+//! module supplies the binary codec for the controller half. It mirrors the
+//! snapshot discipline of `agsfl-fl`'s checkpoint codec — little-endian
+//! fixed-width scalars, floats as raw IEEE-754 bits (bit-identical resume
+//! forbids any text round-trip), `u64` length prefixes, and fully validated
+//! reads that return [`StateError`] instead of panicking — but is
+//! self-contained because `agsfl-online` sits below `agsfl-fl` in the crate
+//! graph.
+//!
+//! Every controller's payload starts with a one-byte tag naming the
+//! controller type, so restoring an EXP3 snapshot into a sign-OGD controller
+//! fails with [`StateError::WrongController`] rather than silently
+//! reinterpreting bytes.
+
+use rand_chacha::ChaCha8Rng;
+
+/// Error produced when restoring a controller state snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The byte stream ended before the expected field.
+    Truncated,
+    /// The snapshot was taken from a different controller type.
+    WrongController {
+        /// The controller type the restore target expected.
+        expected: &'static str,
+    },
+    /// A field decoded to an out-of-range or inconsistent value.
+    Invalid(&'static str),
+    /// Bytes remained after the final field.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "controller state truncated"),
+            Self::WrongController { expected } => {
+                write!(f, "controller state is not a {expected} snapshot")
+            }
+            Self::Invalid(what) => write!(f, "invalid controller state field: {what}"),
+            Self::TrailingBytes => write!(f, "trailing bytes after controller state"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Append-only binary encoder for controller state.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes the one-byte controller-type tag.
+    pub fn tag(&mut self, tag: u8) {
+        self.buf.push(tag);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its raw IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed flat `f64` slice.
+    pub fn f64s(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    /// Writes an optional `f64` as a presence flag plus raw bits.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.buf.push(1);
+                self.f64(x);
+            }
+            None => self.buf.push(0),
+        }
+    }
+
+    /// Writes a ChaCha8 stream position (`key`, `counter`, `cursor`).
+    pub fn rng(&mut self, rng: &ChaCha8Rng) {
+        let (key, counter, cursor) = rng.state();
+        for word in key {
+            self.u32(word);
+        }
+        self.u64(counter);
+        self.u32(cursor);
+    }
+}
+
+/// Validating decoder over a controller state byte slice.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Number of undecoded bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns [`StateError::TrailingBytes`] unless the reader is exactly
+    /// exhausted.
+    pub fn finish(&self) -> Result<(), StateError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StateError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StateError> {
+        if self.remaining() < n {
+            return Err(StateError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads and checks the controller-type tag.
+    pub fn tag(&mut self, expected: u8, name: &'static str) -> Result<(), StateError> {
+        if self.take(1)?[0] == expected {
+            Ok(())
+        } else {
+            Err(StateError::WrongController { expected: name })
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StateError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StateError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` stored as `u64`, rejecting values that overflow the
+    /// platform's `usize`.
+    pub fn usize(&mut self) -> Result<usize, StateError> {
+        usize::try_from(self.u64()?).map_err(|_| StateError::Invalid("usize overflow"))
+    }
+
+    /// Reads an `f64` from its raw bits.
+    pub fn f64(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed flat `f64` vector; a corrupt length prefix
+    /// cannot trigger a huge allocation.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, StateError> {
+        let n = self.usize()?;
+        if n.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+            return Err(StateError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads an optional `f64` written by [`StateWriter::opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, StateError> {
+        match self.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            _ => Err(StateError::Invalid("option flag")),
+        }
+    }
+
+    /// Reads a ChaCha8 stream position and rebuilds the generator.
+    pub fn rng(&mut self) -> Result<ChaCha8Rng, StateError> {
+        let mut key = [0u32; 8];
+        for word in &mut key {
+            *word = self.u32()?;
+        }
+        let counter = self.u64()?;
+        let cursor = self.u32()?;
+        Ok(ChaCha8Rng::from_state(key, counter, cursor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn scalar_roundtrip_is_bit_exact() {
+        let mut w = StateWriter::new();
+        w.tag(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.usize(42);
+        w.f64(f64::INFINITY);
+        w.f64(-0.0);
+        w.f64s(&[1.5, f64::NAN]);
+        w.opt_f64(Some(2.5));
+        w.opt_f64(None);
+        let bytes = w.into_bytes();
+
+        let mut r = StateReader::new(&bytes);
+        r.tag(7, "test").unwrap();
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap().to_bits(), f64::INFINITY.to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        let v = r.f64s().unwrap();
+        assert_eq!(v[0], 1.5);
+        assert!(v[1].is_nan());
+        assert_eq!(r.opt_f64().unwrap(), Some(2.5));
+        assert_eq!(r.opt_f64().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn wrong_tag_is_a_typed_error() {
+        let mut w = StateWriter::new();
+        w.tag(3);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            StateReader::new(&bytes).tag(4, "other"),
+            Err(StateError::WrongController { expected: "other" })
+        );
+    }
+
+    #[test]
+    fn truncation_yields_typed_errors_never_panics() {
+        let mut w = StateWriter::new();
+        w.tag(1);
+        w.f64s(&[1.0, 2.0, 3.0]);
+        w.rng(&ChaCha8Rng::seed_from_u64(5));
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = StateReader::new(&bytes[..cut]);
+            let result = r
+                .tag(1, "test")
+                .and_then(|_| r.f64s())
+                .and_then(|_| r.rng().map(|_| ()));
+            assert!(result.is_err(), "cut at {cut} must error");
+        }
+        // A bogus huge length prefix must not allocate.
+        let mut w = StateWriter::new();
+        w.u64(u64::MAX / 2);
+        let bogus = w.into_bytes();
+        assert_eq!(StateReader::new(&bogus).f64s(), Err(StateError::Truncated));
+    }
+
+    #[test]
+    fn rng_roundtrip_resumes_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..7 {
+            rng.next_u32();
+        }
+        let mut w = StateWriter::new();
+        w.rng(&rng);
+        let bytes = w.into_bytes();
+        let mut restored = StateReader::new(&bytes).rng().unwrap();
+        for _ in 0..64 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+}

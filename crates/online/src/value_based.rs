@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::sign_ogd::SearchInterval;
+use crate::snapshot::{StateError, StateReader, StateWriter};
 
 /// Online gradient (derivative) descent that uses the *value* of the
 /// estimated derivative rather than only its sign — the first baseline of
@@ -63,6 +64,25 @@ impl ValueBasedDescent {
         let delta = self.interval.width() / (2.0 * self.m as f64).sqrt();
         self.k = self.interval.project(self.k - delta * derivative);
         self.k
+    }
+
+    pub(crate) fn write_state(&self, w: &mut StateWriter) {
+        self.interval.write_state(w);
+        w.f64(self.k);
+        w.usize(self.m);
+    }
+
+    pub(crate) fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let interval = SearchInterval::read_state(r)?;
+        let k = r.f64()?;
+        if !interval.contains(k) {
+            return Err(StateError::Invalid("k outside interval"));
+        }
+        let m = r.usize()?;
+        self.interval = interval;
+        self.k = k;
+        self.m = m;
+        Ok(())
     }
 }
 

@@ -47,6 +47,21 @@ impl ResidualAccumulator {
         &self.residual
     }
 
+    /// Overwrites the residual with a previously captured snapshot
+    /// (checkpoint restore); the copy is bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual.len() != dim()`.
+    pub fn restore(&mut self, residual: &[f32]) {
+        assert_eq!(
+            residual.len(),
+            self.residual.len(),
+            "restored residual length mismatch"
+        );
+        self.residual.copy_from_slice(residual);
+    }
+
     /// Adds a freshly computed local gradient (Line 4 of Algorithm 1).
     ///
     /// # Panics

@@ -56,6 +56,7 @@ fn main() {
                 codec: CodecSpec::Auto,
                 channel,
             }),
+            fault: None,
         },
     );
 

@@ -20,6 +20,13 @@ cargo build --release
 step "cargo test -q (tier-1: root integration tests)"
 cargo test -q
 
+step "resume equivalence (interrupted + resumed runs are bit-identical)"
+cargo test -q -p agsfl-fl resume
+cargo test -q -p agsfl-core resume
+
+step "decode fuzz (hostile frames never panic the wire layer)"
+cargo test -q -p agsfl-wire --test decode_fuzz
+
 if [[ "$quick" -eq 0 ]]; then
     step "cargo test --workspace -q (full suite)"
     cargo test --workspace -q
