@@ -31,6 +31,13 @@
 //! its inputs vs `restore_state` of the serialized blob. The JSON reports
 //! nanoseconds per iteration (mean of the fastest half of samples) and
 //! baseline/optimized speedups.
+//!
+//! Beyond the kernels, the report records the process' peak RSS and runs
+//! the `figures::scale_sweep` memory audit — fixed-cohort rounds at
+//! N = 10³..10⁶ with per-population rounds/sec and resident-set bytes —
+//! writing the points into `BENCH_kernels.json` (`"scale"`) and appending
+//! a dedicated `scale_sweep` line to the history log, so the O(cohort·k)
+//! memory claim is tracked across PRs alongside the timings.
 
 use std::io::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -39,7 +46,8 @@ use agsfl_bench::kernel_workload::{
     checkpoint_workload, cnn_workload, eval_workload, fab_workload, fresh_checkpoint_sim,
     wire_workload, CKPT_CLIENTS, CNN_BATCH, EVAL_CLIENTS, FAB_CLIENTS, FAB_DIM, FAB_K,
 };
-use agsfl_exec::Executor;
+use agsfl_core::figures::scale_sweep::{self, ScaleSweepConfig};
+use agsfl_exec::{mem, Executor};
 use agsfl_ml::metrics;
 use agsfl_ml::model::{Im2colScratch, Model};
 use agsfl_ml::reference as ml_reference;
@@ -464,6 +472,57 @@ fn main() {
         ckpt_load.speedup()
     );
 
+    // Population-scale sweep: fixed-cohort rounds over lazily materialized
+    // populations, with resident memory observed by the OS. This is what
+    // makes the O(cohort·k) scale claim auditable next to the ns/iter
+    // numbers — the rss column must stay flat while N grows 1000x.
+    let scale_config = ScaleSweepConfig::default();
+    eprintln!(
+        "bench-report: scale sweep over N={:?}, cohort={}",
+        scale_config.populations, scale_config.cohort
+    );
+    let scale = scale_sweep::run(&scale_config);
+    for p in &scale.points {
+        eprintln!(
+            "  scale N={}: {:.1} rounds/s, rss {} B (peak {} B), {} resident clients",
+            p.population,
+            p.rounds_per_sec,
+            p.current_rss_bytes.unwrap_or(0),
+            p.peak_rss_bytes.unwrap_or(0),
+            p.resident_clients
+        );
+    }
+    // Peak RSS of this whole process — an upper bound on every workload
+    // above, recorded so memory regressions show up in the snapshot diff.
+    let peak_rss = mem::peak_rss_bytes();
+    let peak_rss_json = peak_rss.map_or_else(|| "null".to_string(), |b| b.to_string());
+    let scale_points_json: Vec<String> = scale
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"population\": {},\n",
+                    "      \"cohort\": {},\n",
+                    "      \"rounds_per_sec\": {:.1},\n",
+                    "      \"resident_clients\": {},\n",
+                    "      \"current_rss_bytes\": {},\n",
+                    "      \"peak_rss_bytes\": {}\n",
+                    "    }}"
+                ),
+                p.population,
+                p.cohort,
+                p.rounds_per_sec,
+                p.resident_clients,
+                p.current_rss_bytes
+                    .map_or_else(|| "null".to_string(), |b| b.to_string()),
+                p.peak_rss_bytes
+                    .map_or_else(|| "null".to_string(), |b| b.to_string()),
+            )
+        })
+        .collect();
+
     let kernels = [
         fab,
         fab_sharded,
@@ -482,14 +541,18 @@ fn main() {
             "  \"suite\": \"selection_kernels\",\n",
             "  \"workload\": {{ \"dim\": {}, \"clients\": {}, \"k\": {} }},\n",
             "  \"cores\": {},\n",
-            "  \"kernels\": [\n{}\n  ]\n",
+            "  \"peak_rss_bytes\": {},\n",
+            "  \"kernels\": [\n{}\n  ],\n",
+            "  \"scale\": [\n{}\n  ]\n",
             "}}\n"
         ),
         FAB_DIM,
         FAB_CLIENTS,
         FAB_K,
         cores,
-        body.join(",\n")
+        peak_rss_json,
+        body.join(",\n"),
+        scale_points_json.join(",\n")
     );
     std::fs::write(&out_path, json).expect("failed to write bench report");
     eprintln!("bench-report: wrote {out_path}");
@@ -502,12 +565,13 @@ fn main() {
         .unwrap_or(0);
     let history_kernels: Vec<String> = kernels.iter().map(KernelReport::to_history_json).collect();
     let line = format!(
-        "{{\"unix_time\":{},\"suite\":\"selection_kernels\",\"workload\":{{\"dim\":{},\"clients\":{},\"k\":{}}},\"cores\":{},\"kernels\":[{}]}}\n",
+        "{{\"unix_time\":{},\"suite\":\"selection_kernels\",\"workload\":{{\"dim\":{},\"clients\":{},\"k\":{}}},\"cores\":{},\"peak_rss_bytes\":{},\"kernels\":[{}]}}\n",
         unix_secs,
         FAB_DIM,
         FAB_CLIENTS,
         FAB_K,
         cores,
+        peak_rss_json,
         history_kernels.join(",")
     );
     let mut history = std::fs::OpenOptions::new()
@@ -518,5 +582,11 @@ fn main() {
     history
         .write_all(line.as_bytes())
         .expect("failed to append bench history");
+    // The scale sweep gets its own history line (suite "scale_sweep"):
+    // per-population rounds/sec and RSS, so the flat-memory claim is
+    // tracked across PRs, not just asserted once.
+    history
+        .write_all(scale.history_json_line(unix_secs).as_bytes())
+        .expect("failed to append scale-sweep history");
     eprintln!("bench-report: appended to {history_path}");
 }

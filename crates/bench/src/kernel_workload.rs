@@ -146,6 +146,7 @@ fn ckpt_sim_config() -> SimulationConfig {
         parallelism: Parallelism::Serial,
         wire: None,
         fault: None,
+        cohort: None,
     }
 }
 

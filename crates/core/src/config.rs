@@ -379,6 +379,11 @@ pub struct ExperimentConfig {
     /// deadline. Wire-level faults (corruption, retries, deadline pricing)
     /// require [`ExperimentConfig::wire`] to be set.
     pub fault: Option<FaultModel>,
+    /// Optional cohort size: each round samples this many clients without
+    /// replacement from the population and only their state is resident.
+    /// `None` (the default) runs every client every round; `Some(c)` with
+    /// `c >= num_clients` is equivalent to `None` bit-for-bit.
+    pub cohort: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -395,6 +400,7 @@ impl Default for ExperimentConfig {
             parallelism: Parallelism::Auto,
             wire: None,
             fault: None,
+            cohort: None,
         }
     }
 }
@@ -414,6 +420,8 @@ pub enum ConfigError {
     InvalidCommTime,
     /// The evaluation cadence is zero.
     ZeroEvalEvery,
+    /// The sampled cohort size is zero.
+    ZeroCohort,
     /// The fault model is out of range or needs a wire configuration.
     Fault(FaultConfigError),
 }
@@ -425,6 +433,7 @@ impl std::fmt::Display for ConfigError {
             Self::ZeroBatchSize => write!(f, "batch size must be positive"),
             Self::InvalidCommTime => write!(f, "comm time must be non-negative and finite"),
             Self::ZeroEvalEvery => write!(f, "eval_every must be positive"),
+            Self::ZeroCohort => write!(f, "cohort size must be positive when set"),
             Self::Fault(e) => write!(f, "invalid fault model: {e}"),
         }
     }
@@ -467,6 +476,9 @@ impl ExperimentConfig {
         }
         if self.eval_every == 0 {
             return Err(ConfigError::ZeroEvalEvery);
+        }
+        if self.cohort == Some(0) {
+            return Err(ConfigError::ZeroCohort);
         }
         if let Some(fault) = &self.fault {
             fault.validate(self.wire.is_some())?;
@@ -557,6 +569,13 @@ impl ExperimentConfigBuilder {
     /// Enables fault injection with the given model.
     pub fn fault(mut self, fault: FaultModel) -> Self {
         self.config.fault = Some(fault);
+        self
+    }
+
+    /// Samples a cohort of this many clients each round instead of running
+    /// the full population.
+    pub fn cohort(mut self, cohort: usize) -> Self {
+        self.config.cohort = Some(cohort);
         self
     }
 

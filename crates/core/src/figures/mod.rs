@@ -18,6 +18,7 @@
 //! | Theorems 1–2 (regret bounds) | [`regret_check::run`] |
 //! | Wire codec × channel sweep (byte-priced, beyond the paper) | [`wire_sweep::run`] |
 //! | Fault-severity sweep (robustness, beyond the paper) | [`fault_sweep::run`] |
+//! | Population-scale sweep (cohort memory audit, beyond the paper) | [`scale_sweep::run`] |
 
 pub mod fault_sweep;
 pub mod fig1;
@@ -25,5 +26,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod regret_check;
+pub mod scale_sweep;
 pub mod sweep;
 pub mod wire_sweep;

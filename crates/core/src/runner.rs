@@ -155,6 +155,7 @@ impl Experiment {
                 parallelism: config.parallelism,
                 wire,
                 fault: config.fault.clone(),
+                cohort: config.cohort,
             },
         );
         Self {
@@ -337,7 +338,7 @@ impl Experiment {
                 loss_decrease: None,
             };
             controller.observe(&feedback);
-            history.add_contributions(&report.contributions);
+            history.add_cohort_contributions(&report.cohort, &report.contributions);
             if let Some(wire) = &report.wire {
                 history.record_wire(wire);
             }
@@ -421,7 +422,7 @@ impl Experiment {
             let k = sequence[round_in_run.min(sequence.len() - 1)].clamp(1, dim);
             round_in_run += 1;
             let report = self.sim.run_round(k, None);
-            history.add_contributions(&report.contributions);
+            history.add_cohort_contributions(&report.cohort, &report.contributions);
             if let Some(wire) = &report.wire {
                 history.record_wire(wire);
             }

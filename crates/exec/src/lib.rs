@@ -52,6 +52,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mem;
+
 use std::num::NonZeroUsize;
 
 use serde::{Deserialize, Serialize};

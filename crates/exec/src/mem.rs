@@ -1,0 +1,79 @@
+//! Process resident-memory probes.
+//!
+//! The scale experiments (`figures::scale_sweep` in `agsfl-core`, the
+//! bounded-RSS smoke step in `scripts/verify.sh`) and the benchmark
+//! reporter need to *observe* server memory, not model it: the whole point
+//! of the streamed cohort engine is that a million-client round runs in
+//! `O(cohort · k)` resident memory, and only the OS can attest to that.
+//!
+//! Both probes read `/proc/self/status` (Linux). On platforms without
+//! procfs they return `None`; callers must degrade gracefully (print
+//! `n/a`, skip the assertion) rather than fail, so the workspace stays
+//! portable.
+
+/// Current resident set size of this process in bytes (`VmRSS`), or `None`
+/// if the platform does not expose `/proc/self/status`.
+///
+/// # Examples
+///
+/// ```
+/// if let Some(rss) = agsfl_exec::mem::current_rss_bytes() {
+///     assert!(rss > 0);
+/// }
+/// ```
+pub fn current_rss_bytes() -> Option<u64> {
+    status_field_kib("VmRSS:").map(|kib| kib * 1024)
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM`, the
+/// high-water mark since process start), or `None` if unavailable.
+///
+/// Note the kernel never lowers this value; per-phase deltas need
+/// [`current_rss_bytes`] samples instead.
+pub fn peak_rss_bytes() -> Option<u64> {
+    status_field_kib("VmHWM:").map(|kib| kib * 1024)
+}
+
+/// Reads a `kB`-denominated field from `/proc/self/status`.
+fn status_field_kib(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_report_plausible_values_on_linux() {
+        // On Linux both fields exist and peak >= current > 0; elsewhere the
+        // probes must simply return None instead of panicking.
+        match (current_rss_bytes(), peak_rss_bytes()) {
+            (Some(rss), Some(peak)) => {
+                assert!(rss > 0);
+                assert!(peak >= rss, "peak {peak} < current {rss}");
+            }
+            (None, None) => {}
+            other => panic!("probes disagree about procfs availability: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rss_grows_when_memory_is_held() {
+        let Some(before) = current_rss_bytes() else {
+            return; // no procfs on this platform
+        };
+        let held = vec![1u8; 64 << 20];
+        let after = current_rss_bytes().expect("procfs vanished mid-test");
+        assert!(
+            after >= before + (32 << 20),
+            "rss {after} did not grow over {before} while holding 64 MiB"
+        );
+        drop(held);
+    }
+}

@@ -8,8 +8,6 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
-
 /// One federated client of Algorithm 1.
 ///
 /// The client owns its local shard, a mini-batch sampler, its residual
@@ -68,6 +66,83 @@ impl Client {
             topk_scratch: Vec::new(),
             wire_scratch: WireScratch::new(),
         }
+    }
+
+    /// Creates an unbound cohort slot: an empty shard, zero weight, and a
+    /// placeholder RNG. The cohort engine binds a real client onto the slot
+    /// each round ([`Client::bind`], shard materialization, then either a
+    /// population-row swap or [`Client::reset_persistent`]); a placeholder
+    /// never computes a gradient on its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub(crate) fn placeholder(feature_dim: usize, dim: usize, batch_size: usize) -> Self {
+        let shard = ClientShard::empty(feature_dim);
+        let sampler = MinibatchSampler::new(&shard, batch_size);
+        Self {
+            id: usize::MAX,
+            shard,
+            weight: 0.0,
+            sampler,
+            accumulator: ResidualAccumulator::new(dim),
+            rng: ChaCha8Rng::seed_from_u64(0),
+            last_batch: Vec::new(),
+            probe_sample: None,
+            topk_scratch: Vec::new(),
+            wire_scratch: WireScratch::new(),
+        }
+    }
+
+    /// Rebinds this slot to client `id` with aggregation weight `weight`
+    /// (cohort hydration; the persistent state is installed separately).
+    pub(crate) fn bind(&mut self, id: usize, weight: f64) {
+        self.id = id;
+        self.weight = weight;
+    }
+
+    /// Mutable access to the local shard, so a [`ShardSource`] can
+    /// materialize a cohort member's data into the slot's reused buffers.
+    ///
+    /// [`ShardSource`]: agsfl_ml::data::ShardSource
+    pub(crate) fn shard_mut(&mut self) -> &mut ClientShard {
+        &mut self.shard
+    }
+
+    /// Swaps the client's *persistent* state (RNG stream, residual, sampler
+    /// epoch, estimator bookkeeping) with the caller's buffers in O(1).
+    ///
+    /// Symmetric: the cohort engine calls it once to install a population
+    /// row into a slot and once more to put the (updated) row back after
+    /// the round. No validation happens here — the buffers must come from
+    /// the same client's row, which the population index guarantees.
+    pub(crate) fn swap_persistent(
+        &mut self,
+        rng: &mut ChaCha8Rng,
+        residual: &mut Vec<f32>,
+        order: &mut Vec<usize>,
+        cursor: &mut usize,
+        last_batch: &mut Vec<usize>,
+        probe_sample: &mut Option<usize>,
+    ) {
+        std::mem::swap(&mut self.rng, rng);
+        self.accumulator.swap_storage(residual);
+        self.sampler.swap_state(order, cursor);
+        std::mem::swap(&mut self.last_batch, last_batch);
+        std::mem::swap(&mut self.probe_sample, probe_sample);
+    }
+
+    /// Resets the slot to the pristine persistent state of a client that
+    /// has never participated: a fresh RNG at `seed`, a zero residual of
+    /// dimension `dim`, an identity sampler epoch over `shard_len` samples,
+    /// and no estimator bookkeeping. Allocation-free once the slot's
+    /// buffers have grown.
+    pub(crate) fn reset_persistent(&mut self, seed: u64, dim: usize, shard_len: usize) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        self.accumulator.reset_to_dim(dim);
+        self.sampler.reset_identity(shard_len);
+        self.last_batch.clear();
+        self.probe_sample = None;
     }
 
     /// Client identifier.
@@ -148,65 +223,43 @@ impl Client {
             .to_vec()
     }
 
+    /// [`Client::build_upload`] writing the ranked entries into a
+    /// caller-owned buffer instead of allocating a fresh message — the
+    /// allocation-free uplink builder of the cohort engine. The entry
+    /// sequence is identical to what `build_upload` would package.
+    pub(crate) fn build_upload_into(
+        &mut self,
+        plan: &UploadPlan,
+        k: usize,
+        out: &mut Vec<(usize, f32)>,
+    ) {
+        match plan {
+            UploadPlan::TopKOwn => {
+                self.accumulator
+                    .top_k_entries_into(k, &mut self.topk_scratch, out)
+            }
+            UploadPlan::Coordinates(coords) => self.accumulator.entries_at_into(coords, out),
+            UploadPlan::Dense => self.accumulator.dense_entries_into(out),
+        }
+    }
+
+    /// [`Client::encode_upload`] writing the frame into a caller-owned
+    /// buffer (cleared first) instead of allocating one per round.
+    pub(crate) fn encode_upload_into(
+        &mut self,
+        codec: &dyn Codec,
+        dim: usize,
+        entries: &[(usize, f32)],
+        frame: &mut Vec<u8>,
+    ) {
+        frame.clear();
+        frame.extend_from_slice(self.wire_scratch.encode_unsorted(codec, dim, entries));
+    }
+
     /// Resets the accumulator coordinates the server actually used
     /// (Lines 16–17 of Algorithm 1).
     pub fn apply_reset(&mut self, indices: &[usize]) {
         self.accumulator.reset_indices(indices);
-    }
-
-    /// Serializes the client's mutable state: RNG position, residual,
-    /// sampler epoch, and the estimator's probe bookkeeping. The reused
-    /// scratch buffers carry no cross-round state and are not saved.
-    pub(crate) fn write_state(&self, w: &mut SnapshotWriter) {
-        w.rng(&self.rng);
-        w.f32s(self.accumulator.as_slice());
-        w.usizes(self.sampler.order());
-        w.usize(self.sampler.cursor());
-        w.usizes(&self.last_batch);
-        w.opt_usize(self.probe_sample);
-    }
-
-    /// Restores state captured by [`Client::write_state`] onto a client
-    /// constructed from the same dataset and configuration.
-    pub(crate) fn read_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
-        let rng = r.rng()?;
-        let residual = r.f32s()?;
-        if residual.len() != self.accumulator.dim() {
-            return Err(CheckpointError::Mismatch {
-                field: "client residual length",
-            });
-        }
-        let order = r.usizes()?;
-        if order.len() != self.sampler.order().len() {
-            return Err(CheckpointError::Mismatch {
-                field: "client sampler order length",
-            });
-        }
-        let cursor = r.usize()?;
-        if cursor >= order.len().max(1) {
-            return Err(CheckpointError::Invalid("sampler cursor out of range"));
-        }
-        let mut seen = vec![false; order.len()];
-        for &i in &order {
-            if i >= order.len() || seen[i] {
-                return Err(CheckpointError::Invalid("sampler order not a permutation"));
-            }
-            seen[i] = true;
-        }
-        let last_batch = r.usizes()?;
-        if last_batch.iter().any(|&i| i >= self.shard.len()) {
-            return Err(CheckpointError::Invalid("batch index out of range"));
-        }
-        let probe_sample = r.opt_usize()?;
-        if probe_sample.is_some_and(|i| i >= self.shard.len()) {
-            return Err(CheckpointError::Invalid("probe sample out of range"));
-        }
-        self.rng = rng;
-        self.accumulator.restore(&residual);
-        self.sampler.restore(order, cursor);
-        self.last_batch = last_batch;
-        self.probe_sample = probe_sample;
-        Ok(())
     }
 
     /// Loss of the round's probe sample evaluated at `params` — the
@@ -331,6 +384,80 @@ mod tests {
     }
 
     #[test]
+    fn upload_into_matches_owned_builder() {
+        let (mut client, model, params) = client_and_model();
+        client.compute_local_gradient(&model, &params);
+        let mut out = Vec::new();
+        for plan in [
+            UploadPlan::TopKOwn,
+            UploadPlan::Coordinates(vec![0, 5, 7]),
+            UploadPlan::Dense,
+        ] {
+            let owned = client.build_upload(&plan, 3);
+            client.build_upload_into(&plan, 3, &mut out);
+            assert_eq!(owned.entries, out, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn hydrated_placeholder_matches_fresh_client() {
+        let model = LinearSoftmax::new(4, 3);
+        let params = vec![0.02; model.num_params()];
+        let data = shard(10, 4, 3);
+        let mut fresh = Client::new(7, data.clone(), 0.5, model.num_params(), 4, 99);
+
+        let mut slot = Client::placeholder(4, model.num_params(), 4);
+        slot.bind(7, 0.5);
+        *slot.shard_mut() = data;
+        slot.reset_persistent(99, model.num_params(), 10);
+
+        for _ in 0..3 {
+            let lf = fresh.compute_local_gradient(&model, &params);
+            let ls = slot.compute_local_gradient(&model, &params);
+            assert_eq!(lf.to_bits(), ls.to_bits());
+        }
+        assert_eq!(
+            fresh.accumulator().as_slice(),
+            slot.accumulator().as_slice()
+        );
+
+        // Dehydrate the slot's persistent state, rehydrate it into another
+        // placeholder, and the gradient stream continues bit-identically.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut residual = Vec::new();
+        let mut order = Vec::new();
+        let mut cursor = 0usize;
+        let mut last_batch = Vec::new();
+        let mut probe = None;
+        slot.swap_persistent(
+            &mut rng,
+            &mut residual,
+            &mut order,
+            &mut cursor,
+            &mut last_batch,
+            &mut probe,
+        );
+        let mut slot2 = Client::placeholder(4, model.num_params(), 4);
+        slot2.bind(7, 0.5);
+        *slot2.shard_mut() = slot.shard().clone();
+        slot2.swap_persistent(
+            &mut rng,
+            &mut residual,
+            &mut order,
+            &mut cursor,
+            &mut last_batch,
+            &mut probe,
+        );
+        let lf = fresh.compute_local_gradient(&model, &params);
+        let ls = slot2.compute_local_gradient(&model, &params);
+        assert_eq!(lf.to_bits(), ls.to_bits());
+        assert_eq!(
+            fresh.accumulator().as_slice(),
+            slot2.accumulator().as_slice()
+        );
+    }
+
+    #[test]
     #[should_panic]
     fn empty_shard_panics() {
         let _ = Client::new(0, ClientShard::empty(4), 0.1, 10, 4, 0);
@@ -338,18 +465,28 @@ mod tests {
 
     #[test]
     fn state_roundtrip_resumes_gradient_stream() {
+        use crate::checkpoint::{SnapshotReader, SnapshotWriter};
+        use crate::population::ClientPopulation;
+
         let (mut a, model, params) = client_and_model();
         for _ in 0..3 {
             a.compute_local_gradient(&model, &params);
         }
+        // Park the client's persistent state in a population row and
+        // serialize it, the shape every checkpoint now uses.
+        let mut donor = a.clone();
+        let mut pop = ClientPopulation::new();
+        pop.dehydrate(0, None, true, &mut donor);
         let mut w = SnapshotWriter::new();
-        a.write_state(&mut w);
+        pop.write_state(&mut w);
         let bytes = w.into_bytes();
 
         let (mut b, _, _) = client_and_model();
         let mut r = SnapshotReader::new(&bytes);
-        b.read_state(&mut r).unwrap();
+        let mut restored =
+            ClientPopulation::read_state(&mut r, model.num_params(), 1, |_| 12).unwrap();
         r.finish().unwrap();
+        assert_eq!(restored.hydrate(0, &mut b), Some(0));
         assert_eq!(a.accumulator().as_slice(), b.accumulator().as_slice());
         for _ in 0..4 {
             let la = a.compute_local_gradient(&model, &params);
@@ -365,25 +502,38 @@ mod tests {
 
     #[test]
     fn state_restore_rejects_wrong_shape() {
+        use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
+        use crate::population::ClientPopulation;
+
         let (mut a, model, params) = client_and_model();
         a.compute_local_gradient(&model, &params);
+        let mut pop = ClientPopulation::new();
+        pop.dehydrate(0, None, true, &mut a);
         let mut w = SnapshotWriter::new();
-        a.write_state(&mut w);
+        pop.write_state(&mut w);
         let bytes = w.into_bytes();
 
-        // A client over a different dimension must refuse the snapshot.
-        let other_model = LinearSoftmax::new(4, 2);
-        let mut other = Client::new(0, shard(12, 4, 3), 0.5, other_model.num_params(), 4, 42);
+        // A population over a different model dimension must refuse the
+        // snapshot.
         let mut r = SnapshotReader::new(&bytes);
         assert!(matches!(
-            other.read_state(&mut r),
+            ClientPopulation::read_state(&mut r, model.num_params() - 1, 1, |_| 12),
             Err(CheckpointError::Mismatch { .. })
         ));
+        // A shorter shard invalidates the serialized sampler epoch.
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(
+            ClientPopulation::read_state(&mut r, model.num_params(), 1, |_| 11).is_err(),
+            "mismatched shard length must be rejected"
+        );
         // Truncations surface as typed errors, never panics.
         for cut in 0..bytes.len() {
-            let (mut fresh, _, _) = client_and_model();
             let mut r = SnapshotReader::new(&bytes[..cut]);
-            assert!(fresh.read_state(&mut r).is_err(), "cut at {cut}");
+            assert!(
+                ClientPopulation::read_state(&mut r, model.num_params(), 1, |_| 12).is_err()
+                    || r.finish().is_err(),
+                "cut at {cut}"
+            );
         }
     }
 }

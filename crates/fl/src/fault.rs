@@ -12,6 +12,8 @@
 //! for a round is drawn serially in client order before the parallel client
 //! pass begins.
 
+use std::collections::BTreeMap;
+
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -263,13 +265,25 @@ impl ClientFaultPlan {
 }
 
 /// Runtime state of the fault injector: the model, its dedicated RNG
-/// stream, and the per-client outage bookkeeping.
+/// stream, and the outage bookkeeping.
+///
+/// The outage table is *sparse*: only clients currently (or recently) in an
+/// outage hold an entry, so the injector's resident footprint scales with
+/// the number of crashed clients, not the population size — a requirement
+/// of the million-client cohort engine. Planning is cohort-scoped: only the
+/// sampled members draw from the fault stream each round, and a
+/// full-population cohort replays exactly the stream the old dense planner
+/// drew.
 #[derive(Debug, Clone)]
 pub(crate) struct FaultState {
     model: FaultModel,
     rng: ChaCha8Rng,
-    /// Exclusive 0-based round index until which each client is offline.
-    outage_until: Vec<u64>,
+    num_clients: usize,
+    /// Client id → exclusive 0-based round index until which that client is
+    /// offline. A `BTreeMap` keeps checkpoint serialization and iteration
+    /// deterministic; expired entries are dropped lazily when the client is
+    /// next planned.
+    outage_until: BTreeMap<u64, u64>,
 }
 
 impl FaultState {
@@ -286,7 +300,8 @@ impl FaultState {
         Self {
             model,
             rng,
-            outage_until: vec![0; num_clients],
+            num_clients,
+            outage_until: BTreeMap::new(),
         }
     }
 
@@ -295,18 +310,38 @@ impl FaultState {
         &self.model
     }
 
-    /// Draws the fault plan for one round, serially in client order.
-    /// `round` is the 0-based round index; `max_attempts` is `1 +
-    /// max_retries` and bounds the corruption draws per client.
+    /// Draws the fault plan for every client, serially in client order.
+    /// Equivalent to [`FaultState::plan_round_for`] over `0..num_clients`.
+    #[cfg(test)]
     pub fn plan_round(&mut self, round: usize, max_attempts: usize) -> Vec<ClientFaultPlan> {
-        let n = self.outage_until.len();
-        let mut plans = Vec::with_capacity(n);
-        for client in 0..n {
+        let cohort: Vec<usize> = (0..self.num_clients).collect();
+        self.plan_round_for(round, max_attempts, &cohort)
+    }
+
+    /// Draws the fault plan for one round's cohort, serially in member
+    /// order; the returned plans are parallel to `cohort`. `round` is the
+    /// 0-based round index; `max_attempts` is `1 + max_retries` and bounds
+    /// the corruption draws per member. With `cohort == 0..num_clients`
+    /// the drawn stream is bit-identical to the historical full-population
+    /// planner.
+    pub fn plan_round_for(
+        &mut self,
+        round: usize,
+        max_attempts: usize,
+        cohort: &[usize],
+    ) -> Vec<ClientFaultPlan> {
+        let mut plans = Vec::with_capacity(cohort.len());
+        for &client in cohort {
+            debug_assert!(client < self.num_clients, "cohort member out of range");
             let mut plan = ClientFaultPlan::clean();
-            if (round as u64) < self.outage_until[client] {
-                plan.offline = true;
-                plans.push(plan);
-                continue;
+            let key = client as u64;
+            if let Some(&until) = self.outage_until.get(&key) {
+                if (round as u64) < until {
+                    plan.offline = true;
+                    plans.push(plan);
+                    continue;
+                }
+                self.outage_until.remove(&key);
             }
             if self.model.crash_prob > 0.0 && self.rng.gen_bool(self.model.crash_prob) {
                 let (min, max) = self.model.outage_rounds;
@@ -315,7 +350,7 @@ impl FaultState {
                 } else {
                     min
                 };
-                self.outage_until[client] = round as u64 + span as u64;
+                self.outage_until.insert(key, round as u64 + span as u64);
                 plan.offline = true;
                 plans.push(plan);
                 continue;
@@ -349,23 +384,32 @@ impl FaultState {
         plans
     }
 
-    /// Serializes the injector state (RNG position plus outage bookkeeping).
+    /// Serializes the injector state (RNG position plus the sparse outage
+    /// table as parallel key/value vectors in ascending client order).
     pub fn write_state(&self, w: &mut SnapshotWriter) {
         w.rng(&self.rng);
-        w.u64s(&self.outage_until);
+        let keys: Vec<u64> = self.outage_until.keys().copied().collect();
+        let values: Vec<u64> = self.outage_until.values().copied().collect();
+        w.u64s(&keys);
+        w.u64s(&values);
     }
 
     /// Restores state produced by [`FaultState::write_state`].
     pub fn read_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), CheckpointError> {
         let rng = r.rng()?;
-        let outage_until = r.u64s()?;
-        if outage_until.len() != self.outage_until.len() {
+        let keys = r.u64s()?;
+        let values = r.u64s()?;
+        if keys.len() != values.len() {
             return Err(CheckpointError::Mismatch {
                 field: "fault outage table length",
             });
         }
+        let strictly_ascending = keys.windows(2).all(|w| w[0] < w[1]);
+        if !strictly_ascending || keys.iter().any(|&k| k >= self.num_clients as u64) {
+            return Err(CheckpointError::Invalid("fault outage table keys"));
+        }
         self.rng = rng;
-        self.outage_until = outage_until;
+        self.outage_until = keys.into_iter().zip(values).collect();
         Ok(())
     }
 }
@@ -563,6 +607,45 @@ mod tests {
             saw_outage_continuation,
             "outages of 2+ rounds must keep clients offline across rounds"
         );
+    }
+
+    #[test]
+    fn cohort_plans_match_full_population_prefix() {
+        // Planning a cohort draws exactly the stream a full-population plan
+        // would draw for those members (when they lead the client order).
+        let model = FaultModel {
+            drop_prob: 0.3,
+            crash_prob: 0.1,
+            straggle_prob: 0.2,
+            corrupt_prob: 0.4,
+            seed: 17,
+            ..FaultModel::default()
+        };
+        let mut full = FaultState::new(model.clone(), 6);
+        let mut sampled = FaultState::new(model, 6);
+        for round in 0..15 {
+            let all = full.plan_round(round, 3);
+            let cohort: Vec<usize> = (0..6).collect();
+            let sub = sampled.plan_round_for(round, 3, &cohort);
+            assert_eq!(all, sub, "round {round}");
+        }
+    }
+
+    #[test]
+    fn outage_table_stays_sparse() {
+        let model = FaultModel {
+            crash_prob: 0.5,
+            outage_rounds: (1, 1),
+            seed: 9,
+            ..FaultModel::default()
+        };
+        let mut state = FaultState::new(model, 1000);
+        // Only the sampled members can ever enter the table.
+        let cohort = [3usize, 400, 999];
+        for round in 0..50 {
+            state.plan_round_for(round, 1, &cohort);
+            assert!(state.outage_until.len() <= cohort.len());
+        }
     }
 
     #[test]

@@ -118,6 +118,25 @@ impl RunHistory {
         }
     }
 
+    /// Adds a sampled-cohort round's contribution counts, scattering
+    /// `per_member[i]` to global client `cohort[i]`. With a full-population
+    /// cohort (`cohort == [0, 1, .., N-1]`) this is exactly
+    /// [`RunHistory::add_contributions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a member id is out of range.
+    pub fn add_cohort_contributions(&mut self, cohort: &[usize], per_member: &[usize]) {
+        assert_eq!(
+            cohort.len(),
+            per_member.len(),
+            "cohort / contribution vector length mismatch"
+        );
+        for (&client, &c) in cohort.iter().zip(per_member.iter()) {
+            self.contributions[client] += c as u64;
+        }
+    }
+
     /// The recorded points in chronological order.
     pub fn points(&self) -> &[MetricPoint] {
         &self.points
@@ -400,6 +419,27 @@ mod tests {
         let cdf = h.contribution_cdf();
         assert_eq!(cdf.eval(0.0), 1.0 / 3.0);
         assert_eq!(cdf.eval(4.0), 1.0);
+    }
+
+    #[test]
+    fn cohort_contributions_scatter_by_member_id() {
+        let mut h = RunHistory::new("cohort", 5);
+        h.add_cohort_contributions(&[4, 1], &[7, 2]);
+        h.add_cohort_contributions(&[1, 3], &[1, 9]);
+        assert_eq!(h.contributions(), &[0, 3, 0, 9, 7]);
+        // A full-population cohort is exactly add_contributions.
+        let mut full = RunHistory::new("full", 3);
+        full.add_cohort_contributions(&[0, 1, 2], &[1, 0, 2]);
+        let mut dense = RunHistory::new("full", 3);
+        dense.add_contributions(&[1, 0, 2]);
+        assert_eq!(full.contributions(), dense.contributions());
+    }
+
+    #[test]
+    #[should_panic]
+    fn cohort_contribution_out_of_range_panics() {
+        let mut h = RunHistory::new("cohort", 2);
+        h.add_cohort_contributions(&[2], &[1]);
     }
 
     #[test]

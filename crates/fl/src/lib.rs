@@ -31,6 +31,21 @@
 //! which is exactly the drop-in additive-cost swap the paper's online
 //! formulation permits.
 //!
+//! # Sampled cohorts and million-client populations
+//!
+//! Per-client *persistent* state (residual accumulator, RNG stream,
+//! sampler cursor) lives in a struct-of-arrays `ClientPopulation` holding
+//! rows only for clients that have participated, and each round hydrates
+//! the participating clients into a reusable arena of cohort slots.
+//! [`SimulationConfig::cohort`] samples that many clients per round
+//! (without replacement, from a dedicated seeded stream, drawn serially
+//! before the parallel pass); `None` runs everyone and is bit-identical
+//! to a full-population cohort. Combined with a lazy
+//! [`agsfl_ml::data::ShardSource`] (see [`Simulation::with_source`]),
+//! server memory is `O(cohort · k + touched_clients · D)` — independent
+//! of the population size, so a million-client round runs in the same
+//! resident set as a thousand-client one.
+//!
 //! # The parallel round engine
 //!
 //! Each round runs three parallel regions through one reusable
@@ -82,6 +97,7 @@ mod client;
 mod fault;
 mod fedavg;
 mod history;
+mod population;
 mod resource;
 mod round;
 mod simulation;

@@ -70,8 +70,16 @@ pub struct RoundReport {
     pub downlink_elements: usize,
     /// Largest number of scalars any client sent on the uplink.
     pub max_uplink_scalars: usize,
-    /// Per-client count of elements used from that client's upload
-    /// (`|J ∩ J_i|`) — the fairness statistic of Fig. 4 (right).
+    /// The client ids that participated this round, in ascending order.
+    /// With no cohort sampling configured this is simply `0..num_clients`;
+    /// with [`SimulationConfig::cohort`](crate::SimulationConfig::cohort)
+    /// set it is the seeded sample drawn for this round.
+    pub cohort: Vec<usize>,
+    /// Per-cohort-member count of elements used from that member's upload
+    /// (`|J ∩ J_i|`) — the fairness statistic of Fig. 4 (right). Indexed
+    /// parallel to [`RoundReport::cohort`]: `contributions[i]` belongs to
+    /// client `cohort[i]`, so with a full-population cohort the vector is
+    /// per-client exactly as before.
     pub contributions: Vec<usize>,
     /// Probe measurements for the derivative-sign estimator, if requested.
     pub probe: Option<ProbeReport>,
@@ -81,8 +89,8 @@ pub struct RoundReport {
     pub wire: Option<WireRoundReport>,
     /// Fault accounting, present when the round ran with a
     /// [`FaultModel`](crate::FaultModel) (all-zero counters on clean
-    /// rounds). `contributions` stays per-client: lost clients simply
-    /// contribute zero elements this round.
+    /// rounds). `contributions` stays parallel to `cohort`: lost members
+    /// simply contribute zero elements this round.
     pub fault: Option<FaultRoundReport>,
 }
 
@@ -115,6 +123,7 @@ mod tests {
             elapsed_time: 9.0,
             downlink_elements: 100,
             max_uplink_scalars: 200,
+            cohort: vec![0, 1],
             contributions: vec![50, 50],
             probe,
             wire: None,

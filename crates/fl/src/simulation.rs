@@ -1,28 +1,24 @@
 //! The synchronized sparse-gradient FL simulation (Algorithm 1).
 
 use agsfl_exec::{Executor, Parallelism};
-use agsfl_ml::data::FederatedDataset;
+use agsfl_ml::data::{ClientShard, FederatedDataset, ShardSource};
 use agsfl_ml::metrics::{
     accuracy_parallel, global_accuracy_parallel, global_evaluation, global_loss_parallel,
     GlobalEvaluation,
 };
 use agsfl_ml::model::Model;
 use agsfl_sparse::{topk, ClientUpload, SelectionResult, ShardedScratch, Sparsifier, UploadPlan};
-use agsfl_wire::{decode_frame, decode_gradient, frame_codec, Codec, WireScratch};
+use agsfl_wire::{decode_frame, decode_frame_with, frame_codec, Codec, WireScratch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::channel::ChannelModel;
 use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
-use crate::client::Client;
 use crate::fault::{corrupt_frame, FaultConfigError, FaultModel, FaultRoundReport, FaultState};
+use crate::population::{draw_cohort, ClientPopulation, Slot};
 use crate::round::{ProbeReport, RoundReport, WireRoundReport};
 use crate::time::TimeModel;
-
-/// What one client's fused pass produces when it is online: its weight,
-/// local loss, upload, and (on the byte-priced path) the encoded frame.
-type ClientPassOutput = Option<(f64, f32, ClientUpload, Option<Vec<u8>>)>;
 
 /// Byte-priced exchange configuration: which wire codec carries the
 /// messages and what channel each client sits behind.
@@ -70,6 +66,14 @@ pub struct SimulationConfig {
     /// error feedback absorbs lost updates — and a model with every rate at
     /// zero is bit-identical to `None` (pinned by tests).
     pub fault: Option<FaultModel>,
+    /// Optional cohort size: each round a seeded sample of this many
+    /// clients participates instead of the whole population (partial
+    /// participation, the standard million-client FL setting). Cohorts are
+    /// drawn without replacement from a dedicated ChaCha8 stream, serially
+    /// before any parallel work. `None` — or any value at least the
+    /// population size — runs every client and never touches the cohort
+    /// stream, so `Some(N)` is bit-identical to `None`.
+    pub cohort: Option<usize>,
 }
 
 impl Default for SimulationConfig {
@@ -82,6 +86,7 @@ impl Default for SimulationConfig {
             parallelism: Parallelism::Auto,
             wire: None,
             fault: None,
+            cohort: None,
         }
     }
 }
@@ -147,25 +152,52 @@ impl WireState {
 
 /// A synchronized federated-learning run using sparse gradient aggregation.
 ///
-/// The simulation owns the model architecture, the federated dataset, the
-/// per-client state (mini-batch samplers and residual accumulators) and a
-/// single global weight vector. Keeping one weight vector is sound because
-/// every client applies exactly the same downlink update (the paper's
-/// synchronization argument for Algorithm 1); an integration test in
-/// `tests/` additionally verifies this by replaying updates on independent
-/// per-client copies.
+/// The simulation owns the model architecture, a [`ShardSource`] describing
+/// the client population, the persistent per-client state in a
+/// struct-of-arrays `ClientPopulation`, a small arena of reusable cohort
+/// `Slot`s, and a single global weight vector. Keeping one weight vector
+/// is sound because every client applies exactly the same downlink update
+/// (the paper's synchronization argument for Algorithm 1); an integration
+/// test in `tests/` additionally verifies this by replaying updates on
+/// independent per-client copies.
+///
+/// Each round hydrates the sampled cohort into the slot arena, runs the
+/// fused gradient/upload pass over the slots, streams surviving wire frames
+/// straight into the reusable upload arena the server aggregates from, and
+/// dehydrates the persistent state back into the population — so resident
+/// memory is `O(cohort + touched_clients · dim)` rather than `O(N)`, and
+/// the byte-priced round is allocation-free in steady state.
 pub struct Simulation {
     model: Box<dyn Model>,
-    dataset: FederatedDataset,
+    source: Box<dyn ShardSource>,
     sparsifier: Box<dyn Sparsifier>,
     config: SimulationConfig,
-    clients: Vec<Client>,
+    /// Persistent per-client state (RNG stream, residual, sampler epoch,
+    /// probe bookkeeping), stored only for clients that have participated.
+    population: ClientPopulation,
+    /// The reusable cohort arena: one slot per cohort member, rebound to
+    /// this round's sample and reused across rounds.
+    slots: Vec<Slot>,
+    /// Persistent aggregation inputs: the first `survivors` entries are
+    /// rebuilt each round (decoded straight from the wire frames on the
+    /// byte-priced path), reusing their entry buffers.
+    uploads: Vec<ClientUpload>,
     params: Vec<f32>,
     server_rng: ChaCha8Rng,
+    /// Dedicated stream for cohort draws; untouched on full-population
+    /// rounds so sampling is opt-in without perturbing any other stream.
+    cohort_rng: ChaCha8Rng,
+    /// This round's sampled client ids, ascending (reused buffer).
+    cohort: Vec<usize>,
+    /// Slot indices of the members whose uploads reached the server
+    /// (reused buffer, rebuilt each round).
+    survivors: Vec<usize>,
     /// Reusable (sharded) server-side selection workspace; buffers are
     /// sized on the first round and reused (including by the probe's second
     /// selection), keeping the per-round server path allocation-free in
-    /// steady state on the serial path.
+    /// steady state on the serial path. Shrunk once per round when cohort
+    /// demand drops, so a small cohort never stays priced at a big one's
+    /// high-water mark.
     scratch: ShardedScratch,
     /// The round engine's executor, built once from the configured
     /// [`Parallelism`] and reused by every parallel region.
@@ -185,7 +217,8 @@ impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("sparsifier", &self.sparsifier.name())
-            .field("num_clients", &self.clients.len())
+            .field("num_clients", &self.source.num_clients())
+            .field("cohort_slots", &self.slots.len())
             .field("dim", &self.params.len())
             .field("round", &self.round)
             .field("elapsed", &self.elapsed)
@@ -194,58 +227,60 @@ impl std::fmt::Debug for Simulation {
 }
 
 impl Simulation {
-    /// Creates a simulation: initializes the global weights and one client per
-    /// dataset shard.
+    /// Creates a simulation over a fully materialized dataset (the eager
+    /// [`ShardSource`]).
     pub fn new(
         model: Box<dyn Model>,
         dataset: FederatedDataset,
         sparsifier: Box<dyn Sparsifier>,
         config: SimulationConfig,
     ) -> Self {
+        Self::with_source(model, Box::new(dataset), sparsifier, config)
+    }
+
+    /// Creates a simulation over any [`ShardSource`] — eager datasets and
+    /// lazily materialized million-client populations alike. Only the
+    /// sampled cohort's shards are ever resident.
+    pub fn with_source(
+        model: Box<dyn Model>,
+        source: Box<dyn ShardSource>,
+        sparsifier: Box<dyn Sparsifier>,
+        config: SimulationConfig,
+    ) -> Self {
         if let Err(error) = config.validate() {
             panic!("invalid simulation config: {error}");
         }
+        assert!(
+            config.cohort != Some(0),
+            "invalid simulation config: cohort size must be positive"
+        );
         assert_eq!(
             model.input_dim(),
-            dataset.feature_dim(),
+            source.feature_dim(),
             "model input dimension {} does not match dataset feature dimension {}",
             model.input_dim(),
-            dataset.feature_dim()
+            source.feature_dim()
         );
         assert!(
-            model.num_classes() >= dataset.num_classes(),
+            model.num_classes() >= source.num_classes(),
             "model has fewer classes than the dataset"
         );
+        let num_clients = source.num_clients();
+        assert!(num_clients > 0, "population must not be empty");
         let mut init_rng = ChaCha8Rng::seed_from_u64(config.seed);
         let params = model.init_params(&mut init_rng);
         let dim = params.len();
-        let total_samples = dataset.total_samples() as f64;
-        let clients = dataset
-            .clients()
-            .iter()
-            .enumerate()
-            .map(|(i, shard)| {
-                Client::new(
-                    i,
-                    shard.clone(),
-                    shard.len() as f64 / total_samples,
-                    dim,
-                    config.batch_size,
-                    config
-                        .seed
-                        .wrapping_add(1)
-                        .wrapping_mul(0x9E37_79B9)
-                        .wrapping_add(i as u64),
-                )
-            })
+        let slot_count = config.cohort.map_or(num_clients, |c| c.min(num_clients));
+        let slots = (0..slot_count)
+            .map(|_| Slot::new(source.feature_dim(), dim, config.batch_size))
             .collect();
         let wire = config.wire.as_ref().map(|w| {
             assert_eq!(
                 w.channel.num_clients(),
-                dataset.num_clients(),
+                num_clients,
                 "channel model covers {} clients but the dataset has {}",
                 w.channel.num_clients(),
-                dataset.num_clients()
+                num_clients
             );
             WireState {
                 codec: w.codec.build(),
@@ -255,18 +290,24 @@ impl Simulation {
         });
         let executor = config.parallelism.build();
         let server_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD_EF01);
+        let cohort_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5EED_C0C0_4071_0001);
         let fault = config
             .fault
             .clone()
-            .map(|m| FaultState::new(m, dataset.num_clients()));
+            .map(|m| FaultState::new(m, num_clients));
         Self {
             model,
-            dataset,
+            source,
             sparsifier,
             config,
-            clients,
+            population: ClientPopulation::new(),
+            slots,
+            uploads: Vec::new(),
             params,
             server_rng,
+            cohort_rng,
+            cohort: Vec::new(),
+            survivors: Vec::new(),
             scratch: ShardedScratch::new(),
             executor,
             wire,
@@ -283,7 +324,19 @@ impl Simulation {
 
     /// Number of clients `N`.
     pub fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.source.num_clients()
+    }
+
+    /// Number of cohort slots (the per-round participant count).
+    pub fn cohort_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of clients with persistent state resident in the population
+    /// (participated online at least once) — the `touched_clients` factor
+    /// of the memory bound, exposed for the scale sweep's audits.
+    pub fn resident_clients(&self) -> usize {
+        self.population.resident_rows()
     }
 
     /// Rounds completed so far.
@@ -316,27 +369,72 @@ impl Simulation {
         &self.config
     }
 
+    /// The shard source driving this run.
+    pub fn source(&self) -> &dyn ShardSource {
+        self.source.as_ref()
+    }
+
     /// The federated dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulation runs over a lazy [`ShardSource`] with no
+    /// resident dataset; use [`Simulation::source`] in source-generic code.
     pub fn dataset(&self) -> &FederatedDataset {
-        &self.dataset
+        self.source
+            .as_dataset()
+            .expect("simulation over a lazy source has no resident dataset")
+    }
+
+    /// Streams every shard of a lazy source through one reusable buffer and
+    /// folds `per_shard(features, labels) * len` in shard order — exactly
+    /// the serial association of `agsfl_ml::metrics::global_loss` /
+    /// `global_accuracy`, so the lazy sweep is bit-identical to the eager
+    /// one for a source that materializes the same shards.
+    fn streamed_weighted_sweep(
+        &self,
+        per_shard: impl Fn(&agsfl_tensor::Matrix, &[usize]) -> f32,
+    ) -> f32 {
+        let total = self.source.total_samples();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut shard = ClientShard::empty(self.source.feature_dim());
+        let mut acc = 0.0f64;
+        for id in 0..self.source.num_clients() {
+            self.source.materialize_into(id, &mut shard);
+            if shard.is_empty() {
+                continue;
+            }
+            acc += per_shard(&shard.features, &shard.labels) as f64 * shard.len() as f64;
+        }
+        (acc / total as f64) as f32
     }
 
     /// Global training loss `L(w)` over all client data at the current
-    /// weights, swept client-parallel through the round engine's executor
-    /// (bit-identical to the serial sweep; see `agsfl_ml::metrics`).
+    /// weights. Over an eager dataset the sweep is client-parallel through
+    /// the round engine's executor (bit-identical to the serial sweep; see
+    /// `agsfl_ml::metrics`); over a lazy source the shards are streamed one
+    /// at a time through a reusable buffer, so evaluation stays `O(shard)`
+    /// resident even at a million clients.
     pub fn global_train_loss(&self) -> f64 {
-        global_loss_parallel(
-            self.model.as_ref(),
-            &self.params,
-            self.dataset.clients(),
-            &self.executor,
-        ) as f64
+        match self.source.as_dataset() {
+            Some(ds) => global_loss_parallel(
+                self.model.as_ref(),
+                &self.params,
+                ds.clients(),
+                &self.executor,
+            ) as f64,
+            None => self
+                .streamed_weighted_sweep(|x, labels| self.model.loss(&self.params, x, labels))
+                as f64,
+        }
     }
 
     /// Test-set accuracy at the current weights (row-chunked parallel sweep,
     /// bit-identical to the serial pass).
     pub fn test_accuracy(&self) -> f64 {
-        let test = self.dataset.test();
+        let test = self.source.test();
         accuracy_parallel(
             self.model.as_ref(),
             &self.params,
@@ -347,31 +445,45 @@ impl Simulation {
     }
 
     /// Weighted training accuracy over all client data at the current
-    /// weights (client-parallel sweep, bit-identical to the serial pass).
+    /// weights (client-parallel over an eager dataset, shard-streamed over
+    /// a lazy source; both bit-identical to the serial pass).
     pub fn global_train_accuracy(&self) -> f64 {
-        global_accuracy_parallel(
-            self.model.as_ref(),
-            &self.params,
-            self.dataset.clients(),
-            &self.executor,
-        ) as f64
+        match self.source.as_dataset() {
+            Some(ds) => global_accuracy_parallel(
+                self.model.as_ref(),
+                &self.params,
+                ds.clients(),
+                &self.executor,
+            ) as f64,
+            None => self
+                .streamed_weighted_sweep(|x, labels| self.model.accuracy(&self.params, x, labels))
+                as f64,
+        }
     }
 
     /// Everything an evaluation point reports — global train loss, global
     /// train accuracy and test accuracy — from **one** fused parallel sweep
     /// over one work list, so an `eval_every` point spawns a single worker
     /// region and forwards every client shard exactly once (the individual
-    /// accessors forward the shards once per metric).
+    /// accessors forward the shards once per metric). Over a lazy source
+    /// the train metrics stream shard-by-shard instead.
     ///
     /// Each metric is bit-identical to its individual accessor.
     pub fn evaluate(&self) -> GlobalEvaluation {
-        global_evaluation(
-            self.model.as_ref(),
-            &self.params,
-            self.dataset.clients(),
-            self.dataset.test(),
-            &self.executor,
-        )
+        match self.source.as_dataset() {
+            Some(ds) => global_evaluation(
+                self.model.as_ref(),
+                &self.params,
+                ds.clients(),
+                ds.test(),
+                &self.executor,
+            ),
+            None => GlobalEvaluation {
+                train_loss: self.global_train_loss() as f32,
+                train_accuracy: self.global_train_accuracy() as f32,
+                test_accuracy: self.test_accuracy() as f32,
+            },
+        }
     }
 
     /// Runs one round of Algorithm 1 with `k`-element sparsification.
@@ -391,80 +503,134 @@ impl Simulation {
         self.round += 1;
         let dim = self.dim();
         let lr = self.config.learning_rate;
-        let num_clients = self.clients.len();
         let round_idx = self.round - 1;
 
-        // (0) Fault plan for the round, drawn serially in client order from
+        // (0) Cohort draw, serial from its dedicated stream before any
+        // parallel work (a full-population cohort makes no draw at all —
+        // see `draw_cohort`). The buffer is taken out of `self` so the
+        // round body can borrow members while mutating other fields.
+        let mut cohort = std::mem::take(&mut self.cohort);
+        draw_cohort(
+            &mut self.cohort_rng,
+            self.source.num_clients(),
+            self.config.cohort,
+            &mut cohort,
+        );
+        let c = cohort.len();
+        debug_assert!(c <= self.slots.len(), "cohort exceeds the slot arena");
+        // Aggregation weights are renormalized over the cohort's samples
+        // (`C_i / Σ_{j∈cohort} C_j`); with every client participating the
+        // denominator is the population total, exactly the historical
+        // weighting.
+        let cohort_samples: usize = cohort.iter().map(|&id| self.source.shard_len(id)).sum();
+        assert!(cohort_samples > 0, "cohort holds no samples");
+
+        // (0a) Fault plan for the round, drawn serially in cohort order from
         // the injector's dedicated stream *before* any parallel work: the
         // plan — never the worker schedule — decides every fault, so the
         // determinism invariant (identical seeds, identical bits, any
-        // thread count) survives fault injection unchanged.
+        // thread count) survives fault injection unchanged. Plans are
+        // indexed parallel to the cohort.
         let plans = self.fault.as_mut().map(|f| {
             let max_attempts = f.model().max_retries + 1;
-            f.plan_round(round_idx, max_attempts)
+            f.plan_round_for(round_idx, max_attempts, &cohort)
         });
         let mut fault_report = plans.as_ref().map(|_| FaultRoundReport::default());
 
-        // (1) One fused parallel pass per client: local gradient computation
-        // (Line 4) immediately followed by building the uplink message
-        // (Line 6), so each client's residual is still hot in cache when its
-        // top-k runs and the round spawns one worker region instead of a
-        // parallel gradient pass plus a serial upload loop. Each client owns
-        // its RNG and sampler, and the executor returns results in client
-        // order, so this is bit-identical to the sequential loop. On the
-        // byte-priced path each client additionally encodes its message
-        // into a wire frame (against its own reused scratch) in the same
-        // pass.
+        // (0b) Hydration, serial: bind each slot to its cohort member,
+        // materialize the shard if the slot held a different client's last
+        // round, and install the member's persistent state — swapped in
+        // O(1) from the population for returning participants, freshly
+        // derived from `(seed, id)` for first-timers (the same derivation
+        // the owned-client path used at construction, so lazy creation is
+        // invisible to the trajectory).
+        let seed = self.config.seed;
+        for (pos, &id) in cohort.iter().enumerate() {
+            let slot = &mut self.slots[pos];
+            let shard_len = self.source.shard_len(id);
+            slot.client
+                .bind(id, shard_len as f64 / cohort_samples as f64);
+            slot.cohort_pos = pos;
+            slot.offline = plans.as_ref().is_some_and(|p| p[pos].offline);
+            slot.dropped = plans.as_ref().is_some_and(|p| p[pos].dropped);
+            slot.online = false;
+            slot.loss = 0.0;
+            if slot.shard_of != Some(id) {
+                self.source.materialize_into(id, slot.client.shard_mut());
+                slot.shard_of = Some(id);
+            }
+            slot.cached_row = self.population.hydrate(id, &mut slot.client);
+            if slot.cached_row.is_none() {
+                slot.client.reset_persistent(
+                    seed.wrapping_add(1)
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(id as u64),
+                    dim,
+                    shard_len,
+                );
+            }
+        }
+
+        // (1) One fused parallel pass per cohort slot: local gradient
+        // computation (Line 4) immediately followed by building the uplink
+        // message (Line 6), so each member's residual is still hot in cache
+        // when its top-k runs and the round spawns one worker region
+        // instead of a parallel gradient pass plus a serial upload loop.
+        // Each slot owns its member's RNG and sampler and writes only into
+        // its own reused buffers, so this is bit-identical to the
+        // sequential loop and allocation-free in steady state. On the
+        // byte-priced path each member additionally encodes its message
+        // into its slot's wire frame in the same pass.
         let plan = self.sparsifier.upload_plan(dim, k, &mut self.server_rng);
         let model = self.model.as_ref();
         let params = &self.params;
         let wire_codec: Option<&dyn Codec> = self.wire.as_ref().map(|w| w.codec.as_ref());
-        let plans_ref = plans.as_deref();
-        let produced: Vec<ClientPassOutput> = self.executor.map_mut(&mut self.clients, |client| {
-            if plans_ref.is_some_and(|p| p[client.id()].offline) {
+        let _: Vec<()> = self.executor.map_mut(&mut self.slots[..c], |slot| {
+            if slot.offline {
                 // Mid-outage: no compute, no upload, and none of the
-                // client's streams advance, so recovery resumes them at
+                // member's streams advance, so recovery resumes them at
                 // exactly the position an always-online run never left.
-                return None;
+                return;
             }
-            let loss = client.compute_local_gradient(model, params);
-            let upload = client.build_upload(&plan, k);
-            let frame = wire_codec.map(|codec| client.encode_upload(codec, dim, &upload));
-            Some((client.weight(), loss, upload, frame))
+            slot.loss = slot.client.compute_local_gradient(model, params);
+            slot.client.build_upload_into(&plan, k, &mut slot.entries);
+            if let Some(codec) = wire_codec {
+                slot.client
+                    .encode_upload_into(codec, dim, &slot.entries, &mut slot.frame);
+            }
+            slot.online = true;
         });
         let mut train_loss = 0.0f64;
-        let mut uploads = Vec::with_capacity(produced.len());
-        let mut frames = Vec::new();
-        for (client_id, item) in produced.into_iter().enumerate() {
-            let Some((weight, loss, upload, frame)) = item else {
+        self.survivors.clear();
+        for (pos, slot) in self.slots[..c].iter().enumerate() {
+            if slot.offline {
                 if let Some(fr) = fault_report.as_mut() {
                     fr.offline += 1;
                 }
                 continue;
-            };
-            train_loss += weight * loss as f64;
-            if plans_ref.is_some_and(|p| p[client_id].dropped) {
+            }
+            train_loss += slot.client.weight() * slot.loss as f64;
+            if slot.dropped {
                 // Upload lost in transit, no retry. The computed gradient
-                // stays in the client's residual accumulator (no reset will
+                // stays in the member's residual accumulator (no reset will
                 // target it), so error feedback re-sends the mass later.
                 if let Some(fr) = fault_report.as_mut() {
                     fr.dropped += 1;
                 }
                 continue;
             }
-            uploads.push(upload);
-            if let Some(frame) = frame {
-                frames.push(frame);
-            }
+            self.survivors.push(pos);
         }
 
-        // (1a) Wire-level fault pass, serial in client order: replay every
+        // (1a) Wire-level fault pass, serial in cohort order: replay every
         // corrupted uplink attempt through the *real* validated decoder
         // (the `WireError` path), price retries with backoff on the
-        // client's own link, and enforce the round deadline. A damaged
+        // member's own link, and enforce the round deadline. A damaged
         // frame that happens to decode is still treated as detected-corrupt
         // — the link-layer checksum stand-in — so corruption delays rounds
-        // but can never skew the training trajectory.
+        // but can never skew the training trajectory. Survivors are
+        // compacted in place; uplink times are indexed parallel to the
+        // cohort.
         let mut uplink_times: Vec<Option<f64>> = Vec::new();
         if let (Some(plans), Some(wire), Some(fr), Some(fault)) = (
             plans.as_ref(),
@@ -476,24 +642,26 @@ impl Simulation {
             let max_attempts = fmodel.max_retries + 1;
             let backoff = fmodel.retry_backoff;
             let deadline = fmodel.deadline;
-            uplink_times = vec![None; num_clients];
-            let mut kept_uploads = Vec::with_capacity(uploads.len());
-            let mut kept_frames = Vec::with_capacity(frames.len());
+            uplink_times = vec![None; c];
             let mut damaged_entries: Vec<(usize, f32)> = Vec::new();
-            for (upload, frame) in uploads.drain(..).zip(frames.drain(..)) {
-                let p = &plans[upload.client];
+            let mut kept = 0usize;
+            for i in 0..self.survivors.len() {
+                let pos = self.survivors[i];
+                let slot = &self.slots[pos];
+                let frame = &slot.frame;
+                let p = &plans[pos];
                 if p.slowdown > 1.0 {
                     fr.stragglers += 1;
                 }
                 let attempt_time = wire.channel.uplink_time_scaled(
                     round_idx,
-                    upload.client,
+                    slot.client.id(),
                     frame.len(),
                     p.slowdown,
                 );
                 for &corruption in &p.corruptions {
                     damaged_entries.clear();
-                    let damaged = corrupt_frame(&frame, corruption);
+                    let damaged = corrupt_frame(frame, corruption);
                     let _ = decode_frame(&damaged, &mut damaged_entries);
                     fr.corrupt_frames += 1;
                 }
@@ -509,68 +677,74 @@ impl Simulation {
                     // every failed attempt, so the time counts toward the
                     // uplink phase (unless a deadline caps it below).
                     fr.corrupt_lost += 1;
-                    uplink_times[upload.client] = Some(total_time);
+                    uplink_times[pos] = Some(total_time);
                     continue;
                 }
                 if deadline.is_some_and(|d| total_time > d) {
                     fr.deadline_dropped += 1;
                     continue;
                 }
-                uplink_times[upload.client] = Some(total_time);
-                kept_uploads.push(upload);
-                kept_frames.push(frame);
+                uplink_times[pos] = Some(total_time);
+                self.survivors[kept] = pos;
+                kept += 1;
             }
-            uploads = kept_uploads;
-            frames = kept_frames;
+            self.survivors.truncate(kept);
         }
         if let Some(fr) = fault_report.as_mut() {
-            fr.survivors = uploads.len();
+            fr.survivors = self.survivors.len();
         }
 
-        // (1b) Byte-priced path: the server decodes every frame before
-        // aggregation — the decoded messages *replace* the locally built
-        // ones, so selection genuinely runs on what crossed the wire. The
-        // codecs are lossless and the top-k rank order is a total order of
-        // the values (`topk::compare_magnitude_then_index`), so re-ranking
-        // the decoded entries reproduces the uploads bit for bit; the
-        // debug assertion pins that every test run.
-        if wire_codec.is_some() {
-            let rerank = matches!(plan, UploadPlan::TopKOwn);
-            let to_decode: Vec<(usize, f64, &[u8])> = uploads
-                .iter()
-                .zip(frames.iter())
-                .map(|(u, f)| (u.client, u.weight, f.as_slice()))
-                .collect();
-            let decoded: Vec<ClientUpload> =
-                self.executor
-                    .map_ref(&to_decode, |&(client, weight, frame)| {
-                        let mut entries = Vec::new();
-                        let (frame_dim, _) = decode_frame(frame, &mut entries)
-                            .expect("self-encoded frame must decode");
-                        debug_assert_eq!(frame_dim, dim);
-                        if rerank {
-                            topk::rank_by_magnitude(&mut entries);
-                        }
-                        ClientUpload::new(client, weight, entries)
-                    });
-            debug_assert!(
-                decoded.iter().zip(uploads.iter()).all(|(d, u)| {
-                    d.entries.len() == u.entries.len()
-                        && d.entries
+        // (1b) Fill the persistent aggregation inputs, one per surviving
+        // member, reusing their entry buffers. On the byte-priced path the
+        // server decodes each surviving frame *directly into* its
+        // aggregation input — no intermediate per-client gradient is
+        // allocated — so selection genuinely runs on what crossed the wire.
+        // The codecs are lossless and the top-k rank order is a total order
+        // of the values (`topk::compare_magnitude_then_index`), so
+        // re-ranking the decoded entries reproduces the built uploads bit
+        // for bit; the debug assertion pins that every test run.
+        let s = self.survivors.len();
+        while self.uploads.len() < s {
+            self.uploads.push(ClientUpload::new(0, 0.0, Vec::new()));
+        }
+        let rerank = matches!(plan, UploadPlan::TopKOwn);
+        let wired = self.wire.is_some();
+        for (u_idx, &pos) in self.survivors.iter().enumerate() {
+            let slot = &self.slots[pos];
+            let upload = &mut self.uploads[u_idx];
+            upload.client = slot.client.id();
+            upload.weight = slot.client.weight();
+            upload.entries.clear();
+            if wired {
+                let (frame_dim, _) = decode_frame(&slot.frame, &mut upload.entries)
+                    .expect("self-encoded frame must decode");
+                debug_assert_eq!(frame_dim, dim);
+                if rerank {
+                    topk::rank_by_magnitude(&mut upload.entries);
+                }
+                debug_assert!(
+                    upload.entries.len() == slot.entries.len()
+                        && upload
+                            .entries
                             .iter()
-                            .zip(u.entries.iter())
-                            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
-                }),
-                "decoded uploads must be bit-identical to the built ones"
-            );
-            uploads = decoded;
+                            .zip(slot.entries.iter())
+                            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+                    "decoded uploads must be bit-identical to the built ones"
+                );
+            } else {
+                upload.entries.extend_from_slice(&slot.entries);
+            }
         }
 
         // (2) Server selection and aggregation, sharded across the
         // executor's workers and reusing the round workspace.
-        let selection =
-            self.sparsifier
-                .select_parallel(&uploads, dim, k, &mut self.scratch, &self.executor);
+        let selection = self.sparsifier.select_parallel(
+            &self.uploads[..s],
+            dim,
+            k,
+            &mut self.scratch,
+            &self.executor,
+        );
 
         // Optional probe for the derivative-sign estimator; its second
         // selection shares the same workspace. On the byte-priced path the
@@ -580,16 +754,16 @@ impl Simulation {
         let probe = probe_k.map(|pk| {
             let pk = pk.clamp(1, dim);
             let probe_selection = self.sparsifier.select_parallel(
-                &uploads,
+                &self.uploads[..s],
                 dim,
                 pk,
                 &mut self.scratch,
                 &self.executor,
             );
-            let mut report = self.build_probe_report(pk, &selection, &probe_selection);
+            let mut report = self.build_probe_report(c, pk, &selection, &probe_selection);
             if let Some(wire) = &mut self.wire {
                 report.probe_round_time =
-                    wire.probe_round_time(round_idx, dim, pk, &uploads, &probe_selection);
+                    wire.probe_round_time(round_idx, dim, pk, &self.uploads[..s], &probe_selection);
             }
             report
         });
@@ -615,36 +789,49 @@ impl Simulation {
                     .encode_gradient_into(&selection.aggregated, &mut wire.scratch);
                 let downlink_bytes = frame.len();
                 let downlink_codec = frame_codec(frame).expect("freshly encoded frame");
-                let broadcast = decode_gradient(frame).expect("self-encoded frame must decode");
-                debug_assert!(
-                    broadcast
-                        .entries()
-                        .iter()
-                        .zip(selection.aggregated.entries().iter())
-                        .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
-                        && broadcast.nnz() == selection.aggregated.nnz(),
-                    "decoded broadcast must be bit-identical to the aggregate"
-                );
-                broadcast.apply_sgd(&mut self.params, lr);
-                // Byte accounting is scattered by the carried client id —
-                // the identity mapping on a clean round, and zero bytes for
-                // clients that never delivered under fault injection.
-                let mut uplink_bytes = vec![0usize; num_clients];
-                for (upload, frame) in uploads.iter().zip(frames.iter()) {
-                    uplink_bytes[upload.client] = frame.len();
+                #[cfg(debug_assertions)]
+                {
+                    let broadcast =
+                        agsfl_wire::decode_gradient(frame).expect("self-encoded frame must decode");
+                    debug_assert!(
+                        broadcast
+                            .entries()
+                            .iter()
+                            .zip(selection.aggregated.entries().iter())
+                            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
+                            && broadcast.nnz() == selection.aggregated.nnz(),
+                        "decoded broadcast must be bit-identical to the aggregate"
+                    );
                 }
-                let uplink_codecs = frames
+                // Streaming application: the decoded broadcast coordinates
+                // go straight into the weight vector, visiting them in
+                // frame order — exactly the entry order `apply_sgd` on the
+                // decoded gradient used to walk, with no intermediate
+                // gradient materialized.
+                let params = &mut self.params;
+                decode_frame_with(frame, |j, v| params[j] -= lr * v)
+                    .expect("self-encoded frame must decode");
+                // Byte accounting is indexed parallel to the cohort — the
+                // per-client identity mapping on a full clean cohort, and
+                // zero bytes for members that never delivered under fault
+                // injection.
+                let mut uplink_bytes = vec![0usize; c];
+                for &pos in &self.survivors {
+                    uplink_bytes[pos] = self.slots[pos].frame.len();
+                }
+                let uplink_codecs = self
+                    .survivors
                     .iter()
-                    .map(|f| frame_codec(f).expect("freshly encoded frame"))
+                    .map(|&pos| frame_codec(&self.slots[pos].frame).expect("freshly encoded frame"))
                     .collect();
                 let round_time = if let Some(fr) = fault_report.as_ref() {
                     // Fault path: the uplink phase is the slowest delivery
                     // the server actually waited out — retries, backoff and
-                    // straggler slowdown included, corrupt-lost clients'
+                    // straggler slowdown included, corrupt-lost members'
                     // futile attempts included — capped at the deadline,
                     // which the server waits out in full whenever anyone is
                     // missing. With every rate at zero this folds the exact
-                    // per-client times of the clean path in the same order,
+                    // per-member times of the clean path in the same order,
                     // so the price is bit-identical to `round_time`.
                     let deadline = self
                         .fault
@@ -664,8 +851,16 @@ impl Simulation {
                         + uplink_phase
                         + wire.channel.downlink_phase_time(round_idx, downlink_bytes)
                 } else {
-                    wire.channel
-                        .round_time(round_idx, &uplink_bytes, downlink_bytes)
+                    // Clean path: the uplink phase waits for the cohort's
+                    // own links; the downlink is still a broadcast priced
+                    // over every link (the server pushes the global model
+                    // to the whole population). For a full cohort this is
+                    // exactly `ChannelModel::round_time`.
+                    wire.channel.compute_time()
+                        + wire
+                            .channel
+                            .uplink_phase_time_for(round_idx, &cohort, &uplink_bytes)
+                        + wire.channel.downlink_phase_time(round_idx, downlink_bytes)
                 };
                 let max_uplink_bytes = uplink_bytes.iter().copied().max().unwrap_or(0);
                 let report = WireRoundReport {
@@ -678,23 +873,37 @@ impl Simulation {
                 (round_time, Some(report))
             }
         };
-        // Resets and contributions are scattered by each upload's carried
-        // client id (slot order equals client order only on clean rounds):
-        // exactly the clients whose uploads were aggregated get their used
-        // coordinates reset, so a lost client's residual keeps its update.
-        for (slot, resets) in selection.reset_indices.iter().enumerate() {
-            self.clients[uploads[slot].client].apply_reset(resets);
+        // Resets and contributions target the surviving members' slots:
+        // exactly the members whose uploads were aggregated get their used
+        // coordinates reset, so a lost member's residual keeps its update.
+        for (u_idx, resets) in selection.reset_indices.iter().enumerate() {
+            self.slots[self.survivors[u_idx]].client.apply_reset(resets);
         }
         self.elapsed += round_time;
 
         let downlink_elements = selection.downlink_elements;
         let max_uplink_scalars = selection.max_uplink_scalars();
-        let mut contributions = vec![0usize; num_clients];
-        for (slot, used) in selection.into_contributions().into_iter().enumerate() {
-            contributions[uploads[slot].client] = used;
+        let mut contributions = vec![0usize; c];
+        for (u_idx, used) in selection.into_contributions().into_iter().enumerate() {
+            contributions[self.survivors[u_idx]] = used;
         }
 
-        RoundReport {
+        // (4) Dehydration, serial: every member's persistent state returns
+        // to the population (first-time online participants get a new row;
+        // pristine offline first-timers are dropped and recreated
+        // identically on their next appearance). The selection workspace
+        // then notes this round's demand, so a shrinking cohort or `k`
+        // releases capacity instead of staying priced at its high-water
+        // mark.
+        for (pos, &id) in cohort.iter().enumerate() {
+            let slot = &mut self.slots[pos];
+            self.population
+                .dehydrate(id, slot.cached_row, slot.online, &mut slot.client);
+            slot.cached_row = None;
+        }
+        self.scratch.shrink_to_recent_demand();
+
+        let report = RoundReport {
             round: self.round,
             k_used: k,
             train_loss,
@@ -702,17 +911,21 @@ impl Simulation {
             elapsed_time: self.elapsed,
             downlink_elements,
             max_uplink_scalars,
+            cohort: cohort.clone(),
             contributions,
             probe,
             wire: wire_report,
             fault: fault_report,
-        }
+        };
+        self.cohort = cohort;
+        report
     }
 
     /// Evaluates the probe losses `L̃(w(m-1))`, `L̃(w(m))`, `L̃(w'(m))` of the
     /// derivative-sign estimator.
     fn build_probe_report(
         &self,
+        cohort_len: usize,
         probe_k: usize,
         selection: &SelectionResult,
         probe_selection: &SelectionResult,
@@ -725,14 +938,17 @@ impl Simulation {
         let mut w_probe = self.params.clone();
         probe_selection.aggregated.apply_sgd(&mut w_probe, lr);
 
-        // One pass per client: the probe sample is fetched once and the
-        // three weight vectors evaluated together (historically three
-        // independent `probe_loss` calls per client). The per-client
-        // results come back in client order, so the serial reduction below
-        // accumulates exactly as a sequential loop would.
-        let losses: Vec<Option<[f32; 3]>> = self.executor.map_ref(&self.clients, |client| {
-            client.probe_losses(model, [&self.params, &w_now, &w_probe])
-        });
+        // One pass per cohort slot (every hydrated member, offline ones
+        // included — their stale probe sample is exactly what the
+        // historical all-client sweep evaluated): the probe sample is
+        // fetched once and the three weight vectors evaluated together.
+        // The per-member results come back in cohort order, so the serial
+        // reduction below accumulates exactly as a sequential loop would.
+        let losses: Vec<Option<[f32; 3]>> =
+            self.executor.map_ref(&self.slots[..cohort_len], |slot| {
+                slot.client
+                    .probe_losses(model, [&self.params, &w_now, &w_probe])
+            });
         let mut prev_sum = 0.0f64;
         let mut now_sum = 0.0f64;
         let mut probe_sum = 0.0f64;
@@ -781,20 +997,24 @@ impl Simulation {
         // Fingerprint: enough static configuration to reject a restore into
         // a differently-shaped simulation with a typed error.
         w.usize(self.params.len());
-        w.usize(self.clients.len());
+        w.usize(self.source.num_clients());
         w.u64(self.config.seed);
         w.usize(self.config.batch_size);
         w.str(self.sparsifier.name());
         w.bool(self.config.wire.is_some());
         w.bool(self.fault.is_some());
-        // Mutable state.
+        w.opt_usize(self.config.cohort);
+        // Mutable state. Only the *resident* population rows are written
+        // (clients that participated online at least once) — an untouched
+        // client's state is a pure function of `(seed, id)` and is
+        // recreated on demand, so a million-client snapshot stays
+        // proportional to the touched set, not `N`.
         w.usize(self.round);
         w.f64(self.elapsed);
         w.f32s(&self.params);
         w.rng(&self.server_rng);
-        for client in &self.clients {
-            client.write_state(&mut w);
-        }
+        w.rng(&self.cohort_rng);
+        self.population.write_state(&mut w);
         if let Some(fault) = &self.fault {
             fault.write_state(&mut w);
         }
@@ -807,16 +1027,23 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns a typed [`CheckpointError`] on malformed or truncated bytes
-    /// and on any fingerprint mismatch (dimension, client count, seed,
-    /// batch size, sparsifier, wire/fault presence). On error the
-    /// simulation may be partially overwritten and must be discarded.
+    /// Returns a typed [`CheckpointError`] on malformed or truncated bytes,
+    /// on an unsupported format version, and on any fingerprint mismatch
+    /// (dimension, client count, seed, batch size, sparsifier, wire/fault
+    /// presence, cohort size). On error the simulation may be partially
+    /// overwritten and must be discarded.
     pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
         let mut r = SnapshotReader::new(bytes);
-        r.header(SIM_MAGIC, SIM_VERSION)?;
-        let checks: [(&'static str, bool); 7] = [
+        let version = r.header(SIM_MAGIC, SIM_VERSION)?;
+        if version != SIM_VERSION {
+            // Version 1 serialized one dense row per client with no cohort
+            // stream; the population layout cannot represent its bytes, so
+            // the old format is rejected rather than silently misread.
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let checks: [(&'static str, bool); 8] = [
             ("dim", r.usize()? == self.params.len()),
-            ("num_clients", r.usize()? == self.clients.len()),
+            ("num_clients", r.usize()? == self.source.num_clients()),
             ("seed", r.u64()? == self.config.seed),
             ("batch_size", r.usize()? == self.config.batch_size),
             ("sparsifier", r.str()? == self.sparsifier.name()),
@@ -825,6 +1052,7 @@ impl Simulation {
                 r.bool()? == self.config.wire.is_some(),
             ),
             ("fault model", r.bool()? == self.fault.is_some()),
+            ("cohort size", r.opt_usize()? == self.config.cohort),
         ];
         for (field, ok) in checks {
             if !ok {
@@ -838,9 +1066,13 @@ impl Simulation {
             return Err(CheckpointError::Invalid("params length"));
         }
         let server_rng = r.rng()?;
-        for client in &mut self.clients {
-            client.read_state(&mut r)?;
-        }
+        let cohort_rng = r.rng()?;
+        let population = ClientPopulation::read_state(
+            &mut r,
+            self.params.len(),
+            self.source.num_clients(),
+            |id| self.source.shard_len(id),
+        )?;
         if let Some(fault) = &mut self.fault {
             fault.read_state(&mut r)?;
         }
@@ -849,14 +1081,18 @@ impl Simulation {
         self.elapsed = elapsed;
         self.params = params;
         self.server_rng = server_rng;
+        self.cohort_rng = cohort_rng;
+        self.population = population;
         Ok(())
     }
 }
 
 /// Magic bytes of a serialized [`Simulation`] state blob.
 const SIM_MAGIC: [u8; 4] = *b"AGSF";
-/// Current simulation state format version.
-const SIM_VERSION: u32 = 1;
+/// Current simulation state format version: v2 replaced the dense
+/// per-client state section with the resident [`ClientPopulation`] rows and
+/// added the cohort stream/fingerprint (v1 blobs are rejected).
+const SIM_VERSION: u32 = 2;
 
 #[cfg(test)]
 mod tests {
@@ -887,6 +1123,7 @@ mod tests {
                 parallelism,
                 wire: None,
                 fault: None,
+                cohort: None,
             },
         )
     }
@@ -914,6 +1151,7 @@ mod tests {
                 parallelism,
                 wire: Some(WireConfig { codec, channel }),
                 fault: None,
+                cohort: None,
             },
         )
     }
@@ -946,6 +1184,7 @@ mod tests {
                 parallelism,
                 wire,
                 fault,
+                cohort: None,
             },
         )
     }
@@ -1459,6 +1698,7 @@ mod tests {
                     seed: 2,
                     ..FaultModel::default()
                 }),
+                cohort: None,
             },
         );
         let report = sim.run_round(sim.dim() / 6, None);
@@ -1710,5 +1950,244 @@ mod tests {
                 ..FaultModel::default()
             }),
         );
+    }
+
+    /// A tiny FAB-top-k simulation with cohort sampling enabled.
+    fn tiny_cohort_sim(seed: u64, cohort: usize, parallelism: Parallelism) -> Simulation {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
+        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+        Simulation::new(
+            Box::new(model),
+            fed,
+            Box::new(FabTopK::new()),
+            SimulationConfig {
+                learning_rate: 0.05,
+                batch_size: 8,
+                time_model: TimeModel::normalized(5.0),
+                seed,
+                parallelism,
+                wire: None,
+                fault: None,
+                cohort: Some(cohort),
+            },
+        )
+    }
+
+    /// Partial participation basics: reports carry the sampled members in
+    /// ascending order, contributions stay parallel to the cohort, every
+    /// client is eventually drawn, and the persistent population grows only
+    /// with touched clients.
+    #[test]
+    fn sampled_cohorts_report_members_and_grow_population_lazily() {
+        let mut sim = tiny_cohort_sim(21, 3, Parallelism::Serial);
+        let n = sim.num_clients();
+        assert!(n > 3, "tiny dataset must be larger than the cohort");
+        assert_eq!(sim.cohort_size(), 3);
+        assert_eq!(sim.resident_clients(), 0);
+        let mut seen = vec![false; n];
+        for _ in 0..40 {
+            let report = sim.run_round(8, None);
+            assert_eq!(report.cohort.len(), 3);
+            assert_eq!(report.contributions.len(), 3);
+            assert!(report.cohort.windows(2).all(|w| w[0] < w[1]));
+            assert!(report.cohort.iter().all(|&id| id < n));
+            for &id in &report.cohort {
+                seen[id] = true;
+            }
+            let touched = seen.iter().filter(|&&s| s).count();
+            assert_eq!(sim.resident_clients(), touched);
+        }
+        assert!(seen.iter().all(|&s| s), "sampler starves some clients");
+    }
+
+    /// Cohort-sampled rounds are bit-identical for every worker count,
+    /// probes included — parallelism stays a pure wall-clock knob under
+    /// partial participation.
+    #[test]
+    fn sampled_cohort_runs_are_identical_across_worker_counts() {
+        let mut serial = tiny_cohort_sim(27, 3, Parallelism::Serial);
+        let mut runs: Vec<Simulation> = [2, 4, 8]
+            .iter()
+            .map(|&t| tiny_cohort_sim(27, 3, Parallelism::Threads(t)))
+            .collect();
+        for round in 0..6 {
+            let probe = (round % 2 == 0).then_some(4);
+            let reference = serial.run_round(8, probe);
+            for sim in &mut runs {
+                assert_eq!(sim.run_round(8, probe), reference, "round {round}");
+            }
+        }
+        for sim in &runs {
+            assert_eq!(sim.params(), serial.params());
+        }
+    }
+
+    /// Wired, fault-injected cohort rounds keep the same determinism
+    /// contract: byte pricing, retries, and outages are all decided by the
+    /// serially drawn plan, never the worker schedule.
+    #[test]
+    fn wired_fault_cohort_runs_are_identical_across_worker_counts() {
+        let build = |parallelism| {
+            let mut rng = ChaCha8Rng::seed_from_u64(29);
+            let fed = SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng);
+            let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+            let channel = uniform_channel(fed.num_clients());
+            Simulation::new(
+                Box::new(model),
+                fed,
+                Box::new(FubTopK::new()),
+                SimulationConfig {
+                    learning_rate: 0.05,
+                    batch_size: 8,
+                    time_model: TimeModel::normalized(5.0),
+                    seed: 29,
+                    parallelism,
+                    wire: Some(WireConfig {
+                        codec: agsfl_wire::CodecSpec::Auto,
+                        channel,
+                    }),
+                    fault: Some(chaos_model(29)),
+                    cohort: Some(3),
+                },
+            )
+        };
+        let mut serial = build(Parallelism::Serial);
+        let mut parallel = build(Parallelism::Threads(4));
+        for round in 0..8 {
+            let rs = serial.run_round(8, None);
+            let rp = parallel.run_round(8, None);
+            assert_eq!(rs, rp, "round {round}");
+        }
+        assert_eq!(serial.params(), parallel.params());
+    }
+
+    /// Checkpoint/resume under cohort sampling is bit-identical to the
+    /// uninterrupted run at every interrupt point — the snapshot carries
+    /// the cohort stream and exactly the resident population rows.
+    #[test]
+    fn sampled_cohort_resume_is_bit_identical() {
+        let mut reference = tiny_cohort_sim(33, 3, Parallelism::Auto);
+        let mut reports = Vec::new();
+        for round in 0..8 {
+            let probe = (round % 2 == 0).then_some(4);
+            reports.push(reference.run_round(8, probe));
+        }
+        for interrupt in [0usize, 1, 3, 7] {
+            let mut sim = tiny_cohort_sim(33, 3, Parallelism::Auto);
+            for round in 0..interrupt {
+                let probe = (round % 2 == 0).then_some(4);
+                sim.run_round(8, probe);
+            }
+            let bytes = sim.save_state();
+            let mut resumed = tiny_cohort_sim(33, 3, Parallelism::Serial);
+            resumed.restore_state(&bytes).unwrap();
+            for (round, report) in reports.iter().enumerate().skip(interrupt) {
+                let probe = (round % 2 == 0).then_some(4);
+                assert_eq!(
+                    &resumed.run_round(8, probe),
+                    report,
+                    "interrupt {interrupt}, round {round}"
+                );
+            }
+            assert_eq!(
+                resumed.params(),
+                reference.params(),
+                "interrupt {interrupt}"
+            );
+        }
+    }
+
+    /// The v2 format explicitly rejects v1 blobs (the dense per-client
+    /// layout cannot be reinterpreted as population rows) and a snapshot
+    /// from a different cohort size fails the fingerprint.
+    #[test]
+    fn restore_rejects_v1_blobs_and_cohort_mismatch() {
+        let mut w = SnapshotWriter::new();
+        w.header(SIM_MAGIC, 1);
+        let v1 = w.into_bytes();
+        let mut target = tiny_cohort_sim(40, 3, Parallelism::Serial);
+        assert_eq!(
+            target.restore_state(&v1),
+            Err(CheckpointError::UnsupportedVersion(1))
+        );
+
+        let mut donor = tiny_cohort_sim(41, 3, Parallelism::Serial);
+        donor.run_round(8, None);
+        let bytes = donor.save_state();
+        let mut other = tiny_cohort_sim(41, 4, Parallelism::Serial);
+        assert_eq!(
+            other.restore_state(&bytes),
+            Err(CheckpointError::Mismatch {
+                field: "cohort size"
+            })
+        );
+    }
+
+    /// A lazy [`ShardSource`] behind `with_source` is indistinguishable
+    /// from an eager dataset holding the same bytes: identical round
+    /// reports, identical weights, and the streamed evaluation sweeps are
+    /// bit-identical to the eager parallel ones.
+    #[test]
+    fn lazy_source_matches_eager_dataset_with_same_shards() {
+        use agsfl_ml::data::LazySyntheticFemnist;
+
+        let cfg = SyntheticFemnistConfig::tiny();
+        let src = LazySyntheticFemnist::new(cfg, 5);
+        let n = ShardSource::num_clients(&src);
+        let mut shards = Vec::new();
+        for i in 0..n {
+            let mut shard = ClientShard::empty(cfg.feature_dim);
+            src.materialize_into(i, &mut shard);
+            shards.push(shard);
+        }
+        let fed = FederatedDataset::new(shards, src.test().clone(), cfg.num_classes);
+        let config = SimulationConfig {
+            learning_rate: 0.05,
+            batch_size: 8,
+            time_model: TimeModel::normalized(5.0),
+            seed: 5,
+            parallelism: Parallelism::Auto,
+            wire: None,
+            fault: None,
+            cohort: Some(4),
+        };
+        let mut lazy = Simulation::with_source(
+            Box::new(LinearSoftmax::new(cfg.feature_dim, cfg.num_classes)),
+            Box::new(src),
+            Box::new(FabTopK::new()),
+            config.clone(),
+        );
+        let mut eager = Simulation::new(
+            Box::new(LinearSoftmax::new(cfg.feature_dim, cfg.num_classes)),
+            fed,
+            Box::new(FabTopK::new()),
+            config,
+        );
+        for round in 0..5 {
+            let probe = (round % 2 == 0).then_some(4);
+            assert_eq!(
+                lazy.run_round(8, probe),
+                eager.run_round(8, probe),
+                "round {round}"
+            );
+        }
+        assert_eq!(lazy.params(), eager.params());
+        assert_eq!(
+            lazy.global_train_loss().to_bits(),
+            eager.global_train_loss().to_bits()
+        );
+        assert_eq!(
+            lazy.global_train_accuracy().to_bits(),
+            eager.global_train_accuracy().to_bits()
+        );
+        assert_eq!(
+            lazy.test_accuracy().to_bits(),
+            eager.test_accuracy().to_bits()
+        );
+        let (le, ee) = (lazy.evaluate(), eager.evaluate());
+        assert_eq!(le.train_loss.to_bits(), ee.train_loss.to_bits());
+        assert_eq!(le.train_accuracy.to_bits(), ee.train_accuracy.to_bits());
+        assert_eq!(le.test_accuracy.to_bits(), ee.test_accuracy.to_bits());
     }
 }

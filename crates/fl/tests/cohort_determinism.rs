@@ -1,0 +1,120 @@
+//! Property tests for the sampled-cohort engine's determinism contract:
+//! for *any* seed, cohort size, thread count and interrupt point, a
+//! cohort-sampled run is bit-identical to its serial / uninterrupted twin.
+//!
+//! These generalize the hand-picked cases in `simulation.rs`'s unit tests
+//! (and the historical pins in `golden_trajectory.rs`) across the whole
+//! configuration space: cohort draws and RNG streams advance serially in
+//! client order before any parallel region, so neither the worker count
+//! nor a checkpoint/restore cycle may perturb a single bit.
+
+use agsfl_exec::Parallelism;
+use agsfl_fl::{ChannelModel, Simulation, SimulationConfig, TimeModel, WireConfig};
+use agsfl_ml::data::{FederatedDataset, SyntheticFemnist, SyntheticFemnistConfig};
+use agsfl_ml::model::LinearSoftmax;
+use agsfl_sparse::FubTopK;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_dataset(seed: u64) -> FederatedDataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng)
+}
+
+fn build_sim(seed: u64, cohort: usize, parallelism: Parallelism, wired: bool) -> Simulation {
+    let fed = tiny_dataset(seed);
+    let num_clients = fed.num_clients();
+    let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+    let wire = wired.then(|| WireConfig {
+        codec: agsfl_wire::CodecSpec::Auto,
+        channel: ChannelModel::uniform(num_clients, 1.0, 2_000.0, 4_000.0, 0.05),
+    });
+    Simulation::new(
+        Box::new(model),
+        fed,
+        Box::new(FubTopK::new()),
+        SimulationConfig {
+            learning_rate: 0.05,
+            batch_size: 8,
+            time_model: TimeModel::normalized(5.0),
+            seed,
+            parallelism,
+            wire,
+            fault: None,
+            cohort: Some(cohort),
+        },
+    )
+}
+
+/// Advances `rounds` rounds (k = 16, probes on even rounds) and returns a
+/// bit-exact fingerprint: weight bits, elapsed-time bits, per-round cohort
+/// members and contribution counts.
+fn run_fingerprint(sim: &mut Simulation, rounds: usize) -> (Vec<u32>, u64, Vec<Vec<usize>>) {
+    let mut cohorts = Vec::new();
+    for round in 0..rounds {
+        let probe = (round % 2 == 0).then_some(4);
+        let report = sim.run_round(16, probe);
+        cohorts.push(report.cohort.clone());
+    }
+    let params = sim.params().iter().map(|v| v.to_bits()).collect();
+    (params, sim.elapsed_time().to_bits(), cohorts)
+}
+
+proptest! {
+    // Each case runs several full simulations; a handful of cases per
+    // property already sweeps seeds, cohort sizes and thread counts far
+    // beyond the hand-picked unit tests.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Serial and 2–8-worker runs of the same sampled-cohort configuration
+    /// are bit-identical, wired or not.
+    #[test]
+    fn prop_cohort_runs_identical_across_worker_counts(
+        seed in 0u64..10_000,
+        cohort in 1usize..9,
+        threads in 2usize..9,
+        wired_bit in 0u32..2,
+        rounds in 1usize..6,
+    ) {
+        let wired = wired_bit == 1;
+        let mut serial = build_sim(seed, cohort, Parallelism::Serial, wired);
+        let mut threaded = build_sim(seed, cohort, Parallelism::Threads(threads), wired);
+        let a = run_fingerprint(&mut serial, rounds);
+        let b = run_fingerprint(&mut threaded, rounds);
+        prop_assert_eq!(a, b, "serial vs {} workers diverged", threads);
+    }
+
+    /// Interrupting a sampled-cohort run with a checkpoint/restore cycle at
+    /// any round leaves the remainder bit-identical to the uninterrupted
+    /// run — the cohort stream resumes exactly where it stopped.
+    #[test]
+    fn prop_cohort_resume_is_bit_identical(
+        seed in 0u64..10_000,
+        cohort in 1usize..9,
+        interrupt in 0usize..6,
+        wired_bit in 0u32..2,
+    ) {
+        let wired = wired_bit == 1;
+        let rounds = 6;
+        let mut baseline = build_sim(seed, cohort, Parallelism::Serial, wired);
+        let want = run_fingerprint(&mut baseline, rounds);
+
+        let mut first = build_sim(seed, cohort, Parallelism::Serial, wired);
+        let (_, _, mut cohorts) = run_fingerprint(&mut first, interrupt);
+        let blob = first.save_state();
+        let mut resumed = build_sim(seed, cohort, Parallelism::Serial, wired);
+        resumed.restore_state(&blob).expect("same-shape restore");
+        for round in interrupt..rounds {
+            let probe = (round % 2 == 0).then_some(4);
+            let report = resumed.run_round(16, probe);
+            cohorts.push(report.cohort.clone());
+        }
+        let got = (
+            resumed.params().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            resumed.elapsed_time().to_bits(),
+            cohorts,
+        );
+        prop_assert_eq!(got, want, "resume at round {} diverged", interrupt);
+    }
+}

@@ -1,0 +1,207 @@
+//! Golden-trajectory pins for the cohort round engine.
+//!
+//! The hashes below were captured from the historical owned-client engine
+//! (one resident `Client` per dataset shard, dense per-client state) before
+//! the struct-of-arrays `ClientPopulation` rewrite. The rewrite must keep
+//! every trajectory — plain, byte-priced, and fault-injected — **bit
+//! identical**, and a full-population cohort (`cohort: Some(N)` or `None`)
+//! must match the historical path exactly. Any change to these hashes is a
+//! silent break of the determinism contract and must be treated as a bug,
+//! not re-captured.
+
+use agsfl_exec::Parallelism;
+use agsfl_fl::{ChannelModel, FaultModel, Simulation, SimulationConfig, TimeModel, WireConfig};
+use agsfl_ml::data::{FederatedDataset, SyntheticFemnist, SyntheticFemnistConfig};
+use agsfl_ml::model::LinearSoftmax;
+use agsfl_sparse::{FabTopK, FubTopK, PeriodicK, SendAll, Sparsifier, UnidirectionalTopK};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// FNV-1a over the little-endian bytes of the weight vector.
+fn fnv(params: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in params {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn sparsifiers() -> Vec<Box<dyn Sparsifier>> {
+    vec![
+        Box::new(FabTopK::new()),
+        Box::new(FubTopK::new()),
+        Box::new(UnidirectionalTopK::new()),
+        Box::new(PeriodicK::new()),
+        Box::new(SendAll::new()),
+    ]
+}
+
+fn tiny_dataset(seed: u64) -> FederatedDataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SyntheticFemnist::new(SyntheticFemnistConfig::tiny()).generate(&mut rng)
+}
+
+fn chaos_model(seed: u64) -> FaultModel {
+    FaultModel {
+        drop_prob: 0.2,
+        crash_prob: 0.1,
+        outage_rounds: (1, 2),
+        straggle_prob: 0.25,
+        straggle_factor: 5.0,
+        deadline: Some(40.0),
+        corrupt_prob: 0.3,
+        max_retries: 2,
+        retry_backoff: 0.01,
+        seed,
+    }
+}
+
+/// Runs four rounds (six on the fault path) and returns the weight-vector
+/// hash plus the elapsed-time bits.
+fn run(sim: &mut Simulation, rounds: usize, probing: bool) -> (u64, u64) {
+    for round in 0..rounds {
+        let probe = (probing && round % 2 == 0).then_some(4);
+        sim.run_round(8, probe);
+    }
+    (fnv(sim.params()), sim.elapsed_time().to_bits())
+}
+
+/// The historical scalar-proxy trajectories, one per sparsifier.
+const PLAIN_GOLDEN: [(u64, u64); 5] = [
+    (0x74fc29cadc8985c7, 0x4017878787878788), // FAB-top-k
+    (0xaed054333c0967ee, 0x4017878787878788), // FUB-top-k
+    (0xa2102885277a096b, 0x40251e1e1e1e1e1e), // Unidirectional top-k
+    (0x0abe9967c7524efa, 0x4017878787878788), // Periodic-k
+    (0x892fe4fe8c000b7a, 0x4038000000000000), // Always send all
+];
+
+/// The historical byte-priced trajectories (Auto codec, uniform channel).
+const WIRE_GOLDEN: [(u64, u64); 5] = [
+    (0x2675f3a18f23e381, 0x401220c49ba5e354), // FAB-top-k
+    (0x5b8d5874550c6685, 0x401220c49ba5e354), // FUB-top-k
+    (0x5be7d40b4b67ee4c, 0x4012c8b439581063), // Unidirectional top-k
+    (0x2c66bd30006b88c5, 0x401220c49ba5e354), // Periodic-k
+    (0x6063f78cb8c35c2c, 0x401a15810624dd2f), // Always send all
+];
+
+/// The historical fault-injected trajectory (FUB-top-k, wired, chaos model).
+const FAULT_GOLDEN: (u64, u64) = (0xe4d0f29a4b5293cc, 0x406ecbb645a1cac1);
+
+fn plain_config(seed: u64, cohort: Option<usize>) -> SimulationConfig {
+    SimulationConfig {
+        learning_rate: 0.05,
+        batch_size: 8,
+        time_model: TimeModel::normalized(5.0),
+        seed,
+        parallelism: Parallelism::Serial,
+        wire: None,
+        fault: None,
+        cohort,
+    }
+}
+
+fn wire_config(
+    seed: u64,
+    num_clients: usize,
+    fault: Option<FaultModel>,
+    cohort: Option<usize>,
+) -> SimulationConfig {
+    SimulationConfig {
+        learning_rate: 0.05,
+        batch_size: 8,
+        time_model: TimeModel::normalized(5.0),
+        seed,
+        parallelism: Parallelism::Serial,
+        wire: Some(WireConfig {
+            codec: agsfl_wire::CodecSpec::Auto,
+            channel: ChannelModel::uniform(num_clients, 1.0, 2_000.0, 4_000.0, 0.05),
+        }),
+        fault,
+        cohort,
+    }
+}
+
+#[test]
+fn plain_trajectories_match_the_owned_client_engine() {
+    // `None` and `Some(N)` both run the full population; both must
+    // reproduce the historical hashes exactly.
+    for cohort_of in [
+        (|_n: usize| None) as fn(usize) -> Option<usize>,
+        |n: usize| Some(n),
+    ] {
+        for (sp, &(want_params, want_elapsed)) in sparsifiers().into_iter().zip(&PLAIN_GOLDEN) {
+            let name = sp.name();
+            let fed = tiny_dataset(42);
+            let cohort = cohort_of(fed.num_clients());
+            let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+            let mut sim = Simulation::new(Box::new(model), fed, sp, plain_config(42, cohort));
+            let (params, elapsed) = run(&mut sim, 4, true);
+            assert_eq!(
+                params, want_params,
+                "{name} params drifted (cohort {cohort:?})"
+            );
+            assert_eq!(
+                elapsed, want_elapsed,
+                "{name} elapsed drifted (cohort {cohort:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_trajectories_match_the_owned_client_engine() {
+    for cohort_of in [
+        (|_n: usize| None) as fn(usize) -> Option<usize>,
+        |n: usize| Some(n),
+    ] {
+        for (sp, &(want_params, want_elapsed)) in sparsifiers().into_iter().zip(&WIRE_GOLDEN) {
+            let name = sp.name();
+            let fed = tiny_dataset(7);
+            let n = fed.num_clients();
+            let cohort = cohort_of(n);
+            let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+            let mut sim =
+                Simulation::new(Box::new(model), fed, sp, wire_config(7, n, None, cohort));
+            let (params, elapsed) = run(&mut sim, 4, true);
+            assert_eq!(
+                params, want_params,
+                "{name} params drifted (cohort {cohort:?})"
+            );
+            assert_eq!(
+                elapsed, want_elapsed,
+                "{name} elapsed drifted (cohort {cohort:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_trajectory_matches_the_owned_client_engine() {
+    for cohort_of in [
+        (|_n: usize| None) as fn(usize) -> Option<usize>,
+        |n: usize| Some(n),
+    ] {
+        let fed = tiny_dataset(11);
+        let n = fed.num_clients();
+        let cohort = cohort_of(n);
+        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+        let mut sim = Simulation::new(
+            Box::new(model),
+            fed,
+            Box::new(FubTopK::new()),
+            wire_config(11, n, Some(chaos_model(11)), cohort),
+        );
+        let (params, elapsed) = run(&mut sim, 6, false);
+        assert_eq!(
+            params, FAULT_GOLDEN.0,
+            "fault params drifted (cohort {cohort:?})"
+        );
+        assert_eq!(
+            elapsed, FAULT_GOLDEN.1,
+            "fault elapsed drifted (cohort {cohort:?})"
+        );
+    }
+}

@@ -98,6 +98,32 @@ impl MinibatchSampler {
         self.cursor = cursor;
     }
 
+    /// Swaps the sampler's epoch state (visit order and cursor) with the
+    /// caller's buffers in O(1), without validation.
+    ///
+    /// This is the population-row hydration primitive of the FL simulator's
+    /// cohort engine: a client slot installs a stored row's epoch state
+    /// before the round and the same swap puts it back afterwards, so no
+    /// per-round allocation or permutation check happens. Callers are
+    /// responsible for only installing state captured from a sampler over a
+    /// shard of the same length (the [`MinibatchSampler::next_batch`]
+    /// length assertion still catches mismatches at draw time).
+    pub fn swap_state(&mut self, order: &mut Vec<usize>, cursor: &mut usize) {
+        std::mem::swap(&mut self.order, order);
+        std::mem::swap(&mut self.cursor, cursor);
+    }
+
+    /// Resets the sampler to the start of a fresh identity-order epoch over
+    /// a shard of `len` samples, reusing the order buffer's capacity.
+    ///
+    /// Equivalent to `MinibatchSampler::new` over the new shard, but
+    /// allocation-free once the buffer has grown.
+    pub fn reset_identity(&mut self, len: usize) {
+        self.order.clear();
+        self.order.extend(0..len);
+        self.cursor = 0;
+    }
+
     /// Draws the next mini-batch, reshuffling at epoch boundaries.
     ///
     /// Returns `(features, labels, sample_indices)`; the indices refer to rows

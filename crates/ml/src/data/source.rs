@@ -1,0 +1,288 @@
+//! Lazily materialized federated data: the [`ShardSource`] abstraction.
+//!
+//! A [`FederatedDataset`] holds every client shard in memory, which caps
+//! simulated populations in the low thousands. A [`ShardSource`] inverts
+//! the contract: it *describes* the population (client count, per-client
+//! shard sizes, label space) up front and materializes any single client's
+//! shard on demand into a caller-owned buffer. A million-client simulation
+//! then keeps O(cohort) shards resident instead of O(N).
+//!
+//! Determinism contract: `materialize_into(i, …)` must be a pure function
+//! of the source and `i` — same source, same client, same bytes — so a
+//! cohort-sampled simulation stays bit-identical regardless of which rounds
+//! touch which clients and of the order slots hydrate. [`FederatedDataset`]
+//! implements the trait by copying its eager shards;
+//! [`LazySyntheticFemnist`] regenerates a writer's shard from a per-writer
+//! RNG stream derived from the source seed.
+
+use agsfl_tensor::init;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::data::synthetic_femnist::{sample_features_into, write_writer_shard};
+use crate::data::{ClientShard, FederatedDataset, SyntheticFemnistConfig};
+use agsfl_tensor::Matrix;
+
+/// A federated client population whose shards can be materialized one at a
+/// time (see the module docs for the determinism contract).
+pub trait ShardSource: Send + Sync + std::fmt::Debug {
+    /// Number of clients `N`.
+    fn num_clients(&self) -> usize;
+
+    /// Number of label classes.
+    fn num_classes(&self) -> usize;
+
+    /// Dimension of each feature vector.
+    fn feature_dim(&self) -> usize;
+
+    /// Number of local samples `C_i` of client `client`, without
+    /// materializing the shard.
+    fn shard_len(&self, client: usize) -> usize;
+
+    /// Total number of training samples `C = Σ_i C_i`.
+    ///
+    /// The default sums [`ShardSource::shard_len`] over every client; O(1)
+    /// sources should override it.
+    fn total_samples(&self) -> usize {
+        (0..self.num_clients()).map(|i| self.shard_len(i)).sum()
+    }
+
+    /// The held-out test shard (always resident — it is O(test), not O(N)).
+    fn test(&self) -> &ClientShard;
+
+    /// Writes client `client`'s shard into `out`, reusing its buffers.
+    ///
+    /// Must be a pure function of `(self, client)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client >= num_clients()`.
+    fn materialize_into(&self, client: usize, out: &mut ClientShard);
+
+    /// Borrows the fully materialized dataset when the source is eager.
+    ///
+    /// Cohort simulations use this to keep the exact legacy evaluation
+    /// sweeps (which want `&[ClientShard]`) on eager datasets; lazy sources
+    /// return `None` and evaluation streams shard by shard instead.
+    fn as_dataset(&self) -> Option<&FederatedDataset> {
+        None
+    }
+}
+
+impl ShardSource for FederatedDataset {
+    fn num_clients(&self) -> usize {
+        FederatedDataset::num_clients(self)
+    }
+
+    fn num_classes(&self) -> usize {
+        FederatedDataset::num_classes(self)
+    }
+
+    fn feature_dim(&self) -> usize {
+        FederatedDataset::feature_dim(self)
+    }
+
+    fn shard_len(&self, client: usize) -> usize {
+        self.client(client).len()
+    }
+
+    fn total_samples(&self) -> usize {
+        FederatedDataset::total_samples(self)
+    }
+
+    fn test(&self) -> &ClientShard {
+        FederatedDataset::test(self)
+    }
+
+    fn materialize_into(&self, client: usize, out: &mut ClientShard) {
+        let src = self.client(client);
+        out.features
+            .resize_for_overwrite(src.features.rows(), src.features.cols());
+        out.features
+            .as_mut_slice()
+            .copy_from_slice(src.features.as_slice());
+        out.labels.clear();
+        out.labels.extend_from_slice(&src.labels);
+    }
+
+    fn as_dataset(&self) -> Option<&FederatedDataset> {
+        Some(self)
+    }
+}
+
+/// Mixes the source seed and a writer id into the writer's private data
+/// seed (a splitmix-style affine step; any fixed injective-ish mix works —
+/// what matters is that it is a pure function of `(seed, client)`).
+fn writer_seed(seed: u64, client: usize) -> u64 {
+    (seed ^ 0xA5A5_5EED_0F00_0001).wrapping_add((client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// [`SyntheticFemnist`](crate::data::SyntheticFemnist) as a lazy
+/// [`ShardSource`]: prototypes and the test set are generated at
+/// construction, but a writer's shard only exists while a round holds it.
+///
+/// Each writer's shard is regenerated on demand from its own
+/// `ChaCha8Rng` stream seeded by `(seed, writer)`, so `materialize_into`
+/// is pure and the resident footprint is O(prototypes + test), independent
+/// of `num_clients`. Note the stream layout differs from the eager
+/// generator (which interleaves every writer on one master RNG), so a lazy
+/// source and an eager dataset built from the same seed hold *different*
+/// (equally distributed) data.
+#[derive(Debug, Clone)]
+pub struct LazySyntheticFemnist {
+    config: SyntheticFemnistConfig,
+    seed: u64,
+    prototypes: Matrix,
+    test: ClientShard,
+}
+
+impl LazySyntheticFemnist {
+    /// Creates the source: draws class prototypes and the held-out test set
+    /// from a master RNG seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SyntheticFemnistConfig`]).
+    pub fn new(config: SyntheticFemnistConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let prototypes = super::synthetic_femnist::class_prototypes(
+            config.num_classes,
+            config.feature_dim,
+            &mut rng,
+        );
+        // Test set: unseen writers, uniform over classes (same recipe as the
+        // eager generator's test block).
+        let mut test = ClientShard::empty(config.feature_dim);
+        test.features
+            .resize_for_overwrite(config.test_samples, config.feature_dim);
+        for row in 0..config.test_samples {
+            let class = rng.gen_range(0..config.num_classes);
+            let style =
+                init::normal_vec(config.feature_dim, 0.0, config.writer_shift_std, &mut rng);
+            sample_features_into(
+                prototypes.row(class),
+                Some(&style),
+                config.noise_std,
+                &mut rng,
+                test.features.row_mut(row),
+            );
+            test.labels.push(class);
+        }
+        Self {
+            config,
+            seed,
+            prototypes,
+            test,
+        }
+    }
+
+    /// The source's configuration.
+    pub fn config(&self) -> &SyntheticFemnistConfig {
+        &self.config
+    }
+
+    /// The source seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl ShardSource for LazySyntheticFemnist {
+    fn num_clients(&self) -> usize {
+        self.config.num_clients
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.config.feature_dim
+    }
+
+    fn shard_len(&self, client: usize) -> usize {
+        assert!(
+            client < self.config.num_clients,
+            "client {client} out of range"
+        );
+        self.config.samples_per_client
+    }
+
+    fn total_samples(&self) -> usize {
+        self.config.num_clients * self.config.samples_per_client
+    }
+
+    fn test(&self) -> &ClientShard {
+        &self.test
+    }
+
+    fn materialize_into(&self, client: usize, out: &mut ClientShard) {
+        assert!(
+            client < self.config.num_clients,
+            "client {client} out of range"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(writer_seed(self.seed, client));
+        write_writer_shard(&self.config, &self.prototypes, &mut rng, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{SyntheticFemnist, SyntheticFemnistConfig};
+
+    #[test]
+    fn eager_dataset_source_copies_shards_bit_exactly() {
+        let cfg = SyntheticFemnistConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let fed = SyntheticFemnist::new(cfg).generate(&mut rng);
+        let mut out = ClientShard::empty(cfg.feature_dim);
+        for i in 0..ShardSource::num_clients(&fed) {
+            fed.materialize_into(i, &mut out);
+            assert_eq!(out.features.as_slice(), fed.client(i).features.as_slice());
+            assert_eq!(out.labels, fed.client(i).labels);
+        }
+        assert_eq!(ShardSource::total_samples(&fed), fed.total_samples());
+        assert!(fed.as_dataset().is_some());
+    }
+
+    #[test]
+    fn lazy_source_is_pure_per_client() {
+        let cfg = SyntheticFemnistConfig::tiny();
+        let src = LazySyntheticFemnist::new(cfg, 9);
+        let mut a = ClientShard::empty(cfg.feature_dim);
+        let mut b = ClientShard::empty(cfg.feature_dim);
+        // Materialize in different orders and into dirty buffers: bytes must
+        // depend only on (source, client).
+        src.materialize_into(3, &mut a);
+        src.materialize_into(0, &mut b);
+        src.materialize_into(3, &mut b);
+        assert_eq!(a.features.as_slice(), b.features.as_slice());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.len(), cfg.samples_per_client);
+        assert_eq!(src.shard_len(3), cfg.samples_per_client);
+        assert_eq!(
+            src.total_samples(),
+            cfg.num_clients * cfg.samples_per_client
+        );
+        assert_eq!(src.test().len(), cfg.test_samples);
+        assert!(src.as_dataset().is_none());
+    }
+
+    #[test]
+    fn lazy_source_distinguishes_clients_and_seeds() {
+        let cfg = SyntheticFemnistConfig::tiny();
+        let src_a = LazySyntheticFemnist::new(cfg, 1);
+        let src_b = LazySyntheticFemnist::new(cfg, 2);
+        let mut x = ClientShard::empty(cfg.feature_dim);
+        let mut y = ClientShard::empty(cfg.feature_dim);
+        src_a.materialize_into(0, &mut x);
+        src_a.materialize_into(1, &mut y);
+        assert_ne!(x.features.as_slice(), y.features.as_slice());
+        src_b.materialize_into(0, &mut y);
+        assert_ne!(x.features.as_slice(), y.features.as_slice());
+    }
+}

@@ -84,7 +84,7 @@ impl SyntheticFemnistConfig {
     /// # Panics
     ///
     /// Panics if any count is zero or `classes_per_client > num_classes`.
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.num_clients > 0, "num_clients must be positive");
         assert!(
             self.samples_per_client > 0,
@@ -146,34 +146,9 @@ impl SyntheticFemnist {
 
         let mut clients = Vec::with_capacity(cfg.num_clients);
         for _ in 0..cfg.num_clients {
-            let style = init::normal_vec(cfg.feature_dim, 0.0, cfg.writer_shift_std, rng);
-            // Pick the writer's class subset.
-            let mut class_pool: Vec<usize> = (0..cfg.num_classes).collect();
-            class_pool.shuffle(rng);
-            let writer_classes = &class_pool[..cfg.classes_per_client];
-            // Give the writer a skewed preference over its classes so label
-            // frequencies are non-uniform even within a writer.
-            let prefs: Vec<f64> = (0..writer_classes.len())
-                .map(|_| rng.gen_range(0.2f64..1.0))
-                .collect();
-
-            let mut flat = Vec::with_capacity(cfg.samples_per_client * cfg.feature_dim);
-            let mut labels = Vec::with_capacity(cfg.samples_per_client);
-            for _ in 0..cfg.samples_per_client {
-                let slot = init::sample_weighted(&prefs, rng).unwrap_or(0);
-                let class = writer_classes[slot];
-                flat.extend(sample_features(
-                    prototypes.row(class),
-                    Some(&style),
-                    cfg.noise_std,
-                    rng,
-                ));
-                labels.push(class);
-            }
-            clients.push(ClientShard::new(
-                Matrix::from_vec(cfg.samples_per_client, cfg.feature_dim, flat),
-                labels,
-            ));
+            let mut shard = ClientShard::empty(cfg.feature_dim);
+            write_writer_shard(cfg, &prototypes, rng, &mut shard);
+            clients.push(shard);
         }
 
         // Test set: unseen writers, uniform over classes.
@@ -223,14 +198,68 @@ pub(crate) fn sample_features<R: Rng + ?Sized>(
     noise_std: f32,
     rng: &mut R,
 ) -> Vec<f32> {
-    prototype
-        .iter()
-        .enumerate()
-        .map(|(j, &p)| {
-            let s = style.map(|s| s[j]).unwrap_or(0.0);
-            p + s + init::normal(0.0, noise_std, rng)
-        })
-        .collect()
+    let mut out = vec![0.0; prototype.len()];
+    sample_features_into(prototype, style, noise_std, rng, &mut out);
+    out
+}
+
+/// [`sample_features`] writing into a caller-owned row buffer: identical
+/// draws and arithmetic, no per-sample allocation.
+pub(crate) fn sample_features_into<R: Rng + ?Sized>(
+    prototype: &[f32],
+    style: Option<&[f32]>,
+    noise_std: f32,
+    rng: &mut R,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), prototype.len());
+    for (j, (o, &p)) in out.iter_mut().zip(prototype.iter()).enumerate() {
+        let s = style.map(|s| s[j]).unwrap_or(0.0);
+        *o = p + s + init::normal(0.0, noise_std, rng);
+    }
+}
+
+/// Writes one writer's shard into `out`, reusing its buffers.
+///
+/// Draws exactly the random stream the eager generator's per-client loop
+/// consumes — style vector, class-subset shuffle, preference weights, then
+/// one `(class slot, features)` draw per sample — so materializing a client
+/// from a snapshot of the RNG state at its loop position is bit-identical
+/// to the eager dataset. This is the shared kernel behind both
+/// [`SyntheticFemnist::generate`] and the lazy per-client source used by
+/// million-client simulations.
+pub(crate) fn write_writer_shard<R: Rng + ?Sized>(
+    cfg: &SyntheticFemnistConfig,
+    prototypes: &Matrix,
+    rng: &mut R,
+    out: &mut ClientShard,
+) {
+    let style = init::normal_vec(cfg.feature_dim, 0.0, cfg.writer_shift_std, rng);
+    // Pick the writer's class subset.
+    let mut class_pool: Vec<usize> = (0..cfg.num_classes).collect();
+    class_pool.shuffle(rng);
+    let writer_classes = &class_pool[..cfg.classes_per_client];
+    // Give the writer a skewed preference over its classes so label
+    // frequencies are non-uniform even within a writer.
+    let prefs: Vec<f64> = (0..writer_classes.len())
+        .map(|_| rng.gen_range(0.2f64..1.0))
+        .collect();
+
+    out.features
+        .resize_for_overwrite(cfg.samples_per_client, cfg.feature_dim);
+    out.labels.clear();
+    for row in 0..cfg.samples_per_client {
+        let slot = init::sample_weighted(&prefs, rng).unwrap_or(0);
+        let class = writer_classes[slot];
+        sample_features_into(
+            prototypes.row(class),
+            Some(&style),
+            cfg.noise_std,
+            rng,
+            out.features.row_mut(row),
+        );
+        out.labels.push(class);
+    }
 }
 
 #[cfg(test)]

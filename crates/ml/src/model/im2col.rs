@@ -14,12 +14,15 @@
 //! required.
 //!
 //! [`Im2colScratch`] owns every intermediate of that pipeline. Like
-//! `SelectionScratch` in `agsfl-sparse`, it is epoch-stamped and grow-only:
-//! [`Im2colScratch::begin`] bumps the generation counter and reshapes the
-//! buffers for the call's geometry, reusing their allocations (buffers only
-//! ever grow, and every active slot is either fully overwritten by its
+//! `SelectionScratch` in `agsfl-sparse`, it is epoch-stamped and
+//! demand-tracked: [`Im2colScratch::begin`] bumps the generation counter
+//! and reshapes the buffers for the call's geometry, reusing their
+//! allocations (every active slot is either fully overwritten by its
 //! producer pass or explicitly cleared), so a caller that holds one scratch
-//! across rounds runs the CNN hot path allocation-free in steady state. The
+//! across rounds runs the CNN hot path allocation-free in steady state.
+//! Capacity is not pinned at the high-water mark: each buffer remembers an
+//! exponentially decaying demand and releases memory once its capacity
+//! exceeds four times recent use. The
 //! workspace carries no state between generations: two identical calls on a
 //! shared scratch return identical results (pinned by the reference
 //! proptests in `crates/ml/tests/cnn_equivalence.rs`).
@@ -78,6 +81,29 @@ pub struct Im2colScratch {
     pub(crate) dpre: Matrix,
     /// Backward: gradient at the pooled activations, `B x (O·ph·pw)`.
     pub(crate) dpooled: Matrix,
+    /// Decaying demand marks (elements) for the seven buffers above, in
+    /// field order; see [`Im2colScratch::begin`].
+    demand: [usize; 7],
+}
+
+/// Smallest capacity (elements; 16 KiB of `f32`) a workspace buffer bothers
+/// shrinking below.
+const SHRINK_FLOOR: usize = 4096;
+
+/// The decaying-demand shrink policy of `agsfl_sparse`'s and `agsfl_wire`'s
+/// scratches, applied to a [`Matrix`] buffer: the element count of the
+/// generation that just ended refreshes an exponentially decaying
+/// high-water mark, and capacity is released once it exceeds four times
+/// that demand. Steady-state geometry never triggers an allocation or a
+/// release; a workspace that once served a much larger batch (e.g. an
+/// evaluation sweep's test chunks) lets go of that memory after a few
+/// smaller generations.
+fn note_demand_and_shrink(m: &mut Matrix, demand: &mut usize) {
+    let used = m.rows() * m.cols();
+    *demand = used.max(*demand / 2).max(SHRINK_FLOOR);
+    if m.capacity() > *demand * 4 {
+        m.shrink_capacity_to(*demand * 2);
+    }
 }
 
 impl Im2colScratch {
@@ -92,10 +118,87 @@ impl Im2colScratch {
         self.epoch
     }
 
+    /// Total backing capacity across all buffers, in elements (for memory
+    /// audits and the shrink tests).
+    pub fn capacity_elems(&self) -> usize {
+        [
+            &self.cols,
+            &self.pre,
+            &self.pooled,
+            &self.conv_w,
+            &self.fc_w,
+            &self.dpre,
+            &self.dpooled,
+        ]
+        .iter()
+        .map(|m| m.capacity())
+        .sum()
+    }
+
     /// Starts a new generation: bumps the epoch and returns `&mut self` for
     /// the producing pass to reshape the buffers it needs. O(1) unless the
-    /// geometry grew.
+    /// geometry grew — or unless the decayed per-buffer demand (observed
+    /// from the shapes the previous generation left behind) dropped far
+    /// below a buffer's held capacity, in which case that memory is
+    /// released rather than pinned at its high-water mark forever.
     pub(crate) fn begin(&mut self) {
+        let Self {
+            cols,
+            pre,
+            pooled,
+            conv_w,
+            fc_w,
+            dpre,
+            dpooled,
+            demand,
+            ..
+        } = self;
+        for (m, d) in [cols, pre, pooled, conv_w, fc_w, dpre, dpooled]
+            .into_iter()
+            .zip(demand.iter_mut())
+        {
+            note_demand_and_shrink(m, d);
+        }
         self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_shrink_when_batch_demand_drops() {
+        let mut scratch = Im2colScratch::new();
+        scratch.begin();
+        scratch.cols.resize_for_overwrite(512, 4096);
+        let peak = scratch.capacity_elems();
+        assert!(peak >= 512 * 4096);
+        for _ in 0..24 {
+            scratch.begin();
+            scratch.cols.resize_for_overwrite(16, 64);
+        }
+        scratch.begin();
+        assert!(
+            scratch.capacity_elems() < peak / 4,
+            "capacity {} did not shrink from peak {}",
+            scratch.capacity_elems(),
+            peak
+        );
+    }
+
+    #[test]
+    fn steady_state_capacity_is_stable() {
+        let mut scratch = Im2colScratch::new();
+        scratch.begin();
+        scratch.cols.resize_for_overwrite(64, 1024);
+        scratch.begin();
+        scratch.cols.resize_for_overwrite(64, 1024);
+        let settled = scratch.capacity_elems();
+        for _ in 0..50 {
+            scratch.begin();
+            scratch.cols.resize_for_overwrite(64, 1024);
+        }
+        assert_eq!(scratch.capacity_elems(), settled);
     }
 }

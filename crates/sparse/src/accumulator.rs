@@ -98,6 +98,18 @@ impl ResidualAccumulator {
         topk::top_k_entries_with(&self.residual, k, scratch)
     }
 
+    /// [`ResidualAccumulator::top_k_entries_with`] writing the ranked
+    /// selection into a caller-owned buffer (cleared first) — the fully
+    /// allocation-free uplink builder of the cohort engine.
+    pub fn top_k_entries_into(
+        &self,
+        k: usize,
+        scratch: &mut Vec<(usize, f32)>,
+        out: &mut Vec<(usize, f32)>,
+    ) {
+        topk::top_k_entries_into(&self.residual, k, scratch, out);
+    }
+
     /// Returns the values at the given indices (used by sparsifiers where the
     /// server dictates the coordinate set, e.g. periodic-k).
     ///
@@ -105,13 +117,54 @@ impl ResidualAccumulator {
     ///
     /// Panics if any index is out of range.
     pub fn entries_at(&self, indices: &[usize]) -> Vec<(usize, f32)> {
-        indices
-            .iter()
-            .map(|&j| {
-                assert!(j < self.residual.len(), "index {j} out of range");
-                (j, self.residual[j])
-            })
-            .collect()
+        let mut out = Vec::with_capacity(indices.len());
+        self.entries_at_into(indices, &mut out);
+        out
+    }
+
+    /// [`ResidualAccumulator::entries_at`] writing into a caller-owned
+    /// buffer (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn entries_at_into(&self, indices: &[usize], out: &mut Vec<(usize, f32)>) {
+        out.clear();
+        out.extend(indices.iter().map(|&j| {
+            assert!(j < self.residual.len(), "index {j} out of range");
+            (j, self.residual[j])
+        }));
+    }
+
+    /// Writes every coordinate `(j, a_j)` into a caller-owned buffer
+    /// (cleared first) — the [`crate::UploadPlan::Dense`] upload.
+    pub fn dense_entries_into(&self, out: &mut Vec<(usize, f32)>) {
+        out.clear();
+        out.extend(self.residual.iter().copied().enumerate());
+    }
+
+    /// Swaps the accumulator's backing storage with the caller's buffer in
+    /// O(1), without validation or copying.
+    ///
+    /// This is the population-row hydration primitive of the FL simulator's
+    /// cohort engine: a cohort slot installs a stored client's residual
+    /// before the round and the same swap puts it back afterwards. The
+    /// caller is responsible for the buffer holding a residual of the right
+    /// dimension when the accumulator is subsequently used
+    /// ([`ResidualAccumulator::add`] still asserts the length at use time).
+    pub fn swap_storage(&mut self, buf: &mut Vec<f32>) {
+        std::mem::swap(&mut self.residual, buf);
+    }
+
+    /// Resets the accumulator to a zero residual of dimension `dim`,
+    /// reusing the current buffer's capacity.
+    ///
+    /// Equivalent to `*self = ResidualAccumulator::new(dim)` without the
+    /// allocation; used when a cohort slot is hydrated for a client that
+    /// has no stored row yet.
+    pub fn reset_to_dim(&mut self, dim: usize) {
+        self.residual.clear();
+        self.residual.resize(dim, 0.0);
     }
 
     /// Resets the given coordinates to zero (Lines 16–17 of Algorithm 1:

@@ -5,6 +5,25 @@
 //! "cleared" by bumping a generation counter instead of a `memset` or a
 //! hash-map rebuild. See the crate-level docs for the complexity picture.
 
+/// Smallest size (slots or entries) a scratch buffer bothers shrinking
+/// below — tiny buffers are never worth releasing.
+pub(crate) const SHRINK_FLOOR: usize = 256;
+
+/// Grow-only-with-decay policy shared by the workspace buffers (the same
+/// policy `agsfl_wire::WireScratch` applies to its frame buffer): tracks an
+/// exponentially decaying demand high-water mark and releases capacity once
+/// it exceeds four times the recent demand. Long runs whose round footprint
+/// drops (e.g. a cohort shrinking between rounds) stop pinning their
+/// high-water-mark allocation after a few rounds, while steady-state buffers
+/// never shrink (demand stays at the observed size, so the 4× guard never
+/// trips) and thus stay allocation-free.
+pub(crate) fn note_demand_and_shrink<T>(buf: &mut Vec<T>, demand: &mut usize, used: usize) {
+    *demand = used.max(*demand / 2).max(SHRINK_FLOOR);
+    if buf.capacity() > *demand * 4 {
+        buf.shrink_to(*demand * 2);
+    }
+}
+
 /// A dense buffer whose entries are valid only when their generation stamp
 /// matches the buffer's current epoch.
 ///
@@ -16,17 +35,37 @@ pub(crate) struct StampedBuf<T> {
     epoch: u64,
     stamp: Vec<u64>,
     data: Vec<T>,
+    /// Decaying high-water mark of requested dimensions (see
+    /// [`note_demand_and_shrink`]); lets a buffer grown for a huge round
+    /// release its slots when later rounds are smaller.
+    demand: usize,
 }
 
 impl<T: Copy + Default> StampedBuf<T> {
     /// Starts a new generation covering indices `< dim`. O(1) unless the
-    /// dimension grew, in which case the buffers are extended once.
+    /// dimension grew (buffers are extended once) or the decayed demand
+    /// dropped far below the held size (buffers are truncated and their
+    /// memory released).
     pub(crate) fn begin(&mut self, dim: usize) {
+        self.demand = dim.max(self.demand / 2).max(SHRINK_FLOOR);
+        if self.stamp.len() > self.demand * 4 {
+            let keep = self.demand * 2;
+            self.stamp.truncate(keep);
+            self.stamp.shrink_to(keep);
+            self.data.truncate(keep);
+            self.data.shrink_to(keep);
+        }
         if self.stamp.len() < dim {
             self.stamp.resize(dim, 0);
             self.data.resize(dim, T::default());
         }
         self.epoch += 1;
+    }
+
+    /// Number of slots currently resident (for memory audits and tests).
+    #[cfg(test)]
+    pub(crate) fn resident_slots(&self) -> usize {
+        self.stamp.len()
     }
 
     /// Is slot `j` set in the current generation?
@@ -128,6 +167,10 @@ pub struct SelectionScratch {
     pub(crate) selected: Vec<usize>,
     /// Fill candidates `(index, value)` at prefix level `κ`.
     pub(crate) candidates: Vec<(usize, f32)>,
+    /// Decaying demand marks for the list buffers above, in field order
+    /// (`rank_counts`, `touched`, `selected`, `candidates`); updated by
+    /// [`SelectionScratch::shrink_to_recent_demand`].
+    list_demand: [usize; 4],
 }
 
 impl SelectionScratch {
@@ -211,6 +254,25 @@ impl SelectionScratch {
     pub(crate) fn sum(&self, j: usize) -> f64 {
         self.sums.get_unchecked(j)
     }
+
+    /// Applies the decaying-demand shrink policy to the list buffers, using
+    /// their current lengths (a just-finished round's footprint) as the
+    /// demand observation. Call once per round *after* selection: a
+    /// workspace that served a much larger round (bigger cohort, larger
+    /// union) releases that memory after a few smaller rounds instead of
+    /// pinning its high-water mark forever, while steady-state rounds never
+    /// trigger an allocation or release. The epoch-stamped dense buffers
+    /// shrink on their own in `begin()` when the dimension demand drops.
+    pub fn shrink_to_recent_demand(&mut self) {
+        let used = self.rank_counts.len();
+        note_demand_and_shrink(&mut self.rank_counts, &mut self.list_demand[0], used);
+        let used = self.touched.len();
+        note_demand_and_shrink(&mut self.touched, &mut self.list_demand[1], used);
+        let used = self.selected.len();
+        note_demand_and_shrink(&mut self.selected, &mut self.list_demand[2], used);
+        let used = self.candidates.len();
+        note_demand_and_shrink(&mut self.candidates, &mut self.list_demand[3], used);
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +311,64 @@ mod tests {
         assert_eq!(scratch.min_rank(5), Some(1));
         assert_eq!(scratch.observe_rank(5, 7), Some(1));
         assert_eq!(scratch.min_rank(5), Some(1));
+    }
+
+    #[test]
+    fn stamped_buf_shrinks_when_dimension_demand_drops() {
+        let mut buf: StampedBuf<f64> = StampedBuf::default();
+        buf.begin(100_000);
+        buf.set(99_999, 1.0);
+        let peak = buf.resident_slots();
+        assert!(peak >= 100_000);
+        // Many small generations decay the demand; residency must come down.
+        for _ in 0..24 {
+            buf.begin(64);
+        }
+        assert!(
+            buf.resident_slots() < peak / 4,
+            "resident {} did not shrink from peak {}",
+            buf.resident_slots(),
+            peak
+        );
+        // Epoch semantics survive the shrink and a later regrow.
+        buf.set(10, 2.0);
+        assert_eq!(buf.get(10), Some(2.0));
+        buf.begin(100_000);
+        assert_eq!(buf.get(10), None, "stale generation must not leak");
+        assert_eq!(buf.get(99_999), None);
+        buf.set(99_999, 3.0);
+        assert_eq!(buf.get(99_999), Some(3.0));
+    }
+
+    #[test]
+    fn stamped_buf_steady_state_is_stable() {
+        let mut buf: StampedBuf<usize> = StampedBuf::default();
+        buf.begin(4096);
+        let settled = buf.resident_slots();
+        for _ in 0..50 {
+            buf.begin(4096);
+        }
+        assert_eq!(buf.resident_slots(), settled);
+    }
+
+    #[test]
+    fn selection_lists_shrink_when_round_demand_drops() {
+        let mut scratch = SelectionScratch::new();
+        scratch.selected.extend(0..100_000);
+        scratch.shrink_to_recent_demand();
+        let peak = scratch.selected.capacity();
+        assert!(peak >= 100_000);
+        for _ in 0..24 {
+            scratch.selected.clear();
+            scratch.selected.extend(0..64);
+            scratch.shrink_to_recent_demand();
+        }
+        assert!(
+            scratch.selected.capacity() < peak / 4,
+            "capacity {} did not shrink from peak {}",
+            scratch.selected.capacity(),
+            peak
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ use std::sync::mpsc;
 
 use agsfl_exec::Executor;
 
-use crate::scratch::{SelectionScratch, StampedBuf};
+use crate::scratch::{note_demand_and_shrink, SelectionScratch, StampedBuf};
 use crate::sparsifier::{ClientUpload, SelectionResult};
 use crate::SparseGradient;
 
@@ -100,6 +100,10 @@ pub struct ScratchShard {
     /// aggregation/membership sweep, ascending. Merged across shards into
     /// the per-client reset lists by [`merge_reset_positions`].
     pub(crate) reset_positions: Vec<Vec<usize>>,
+    /// Decaying demand marks for the stripe-local lists, in field order
+    /// (`rank_counts`, `touched`, `selected`, `entries`); see
+    /// [`ScratchShard::shrink_to_recent_demand`].
+    list_demand: [usize; 4],
 }
 
 impl ScratchShard {
@@ -272,6 +276,24 @@ impl ScratchShard {
             }
         }
     }
+
+    /// Applies the decaying-demand shrink policy to the stripe-local lists
+    /// (the entry cache is the big one — it scales with `cohort · k / S`),
+    /// using their current lengths as the demand observation. The per-slot
+    /// reset-position lists already release excess slots in
+    /// [`ScratchShard::reset_positions_for`] (truncation drops the inner
+    /// vectors). The stamped stripe buffers shrink on their own in
+    /// `begin_*()` when the stripe width demand drops.
+    fn shrink_to_recent_demand(&mut self) {
+        let used = self.rank_counts.len();
+        note_demand_and_shrink(&mut self.rank_counts, &mut self.list_demand[0], used);
+        let used = self.touched.len();
+        note_demand_and_shrink(&mut self.touched, &mut self.list_demand[1], used);
+        let used = self.selected.len();
+        note_demand_and_shrink(&mut self.selected, &mut self.list_demand[2], used);
+        let used = self.entries.len();
+        note_demand_and_shrink(&mut self.entries, &mut self.list_demand[3], used);
+    }
 }
 
 /// A bucket-exchange channel pair per stripe worker (the "shuffle" wiring
@@ -390,6 +412,10 @@ pub struct ShardedScratch {
     pub(crate) selected: Vec<usize>,
     /// Merged fill candidates.
     pub(crate) candidates: Vec<(usize, f32)>,
+    /// Decaying demand marks for the merge buffers above, in field order
+    /// (`rank_counts`, `selected`, `candidates`); see
+    /// [`ShardedScratch::shrink_to_recent_demand`].
+    list_demand: [usize; 3],
 }
 
 impl ShardedScratch {
@@ -457,6 +483,31 @@ impl ShardedScratch {
             self.selected.extend_from_slice(&shard.selected);
         }
         self.selected.sort_unstable();
+    }
+
+    /// Applies the decaying-demand shrink policy to every reusable list in
+    /// the workspace — the merge buffers, each stripe's local lists (the
+    /// per-stripe entry caches are the dominant `O(cohort · k)` term) and
+    /// the embedded serial workspace — using current lengths as the demand
+    /// observation.
+    ///
+    /// Call once per round after selection. A workspace that served a much
+    /// larger round (bigger cohort, wider union, more uploads) releases
+    /// that memory after a few smaller rounds instead of pinning its
+    /// high-water mark forever; in steady state (stable round footprint)
+    /// the decayed demand tracks the observed sizes and no allocation or
+    /// release ever happens, preserving the allocation-free hot path.
+    pub fn shrink_to_recent_demand(&mut self) {
+        let used = self.rank_counts.len();
+        note_demand_and_shrink(&mut self.rank_counts, &mut self.list_demand[0], used);
+        let used = self.selected.len();
+        note_demand_and_shrink(&mut self.selected, &mut self.list_demand[1], used);
+        let used = self.candidates.len();
+        note_demand_and_shrink(&mut self.candidates, &mut self.list_demand[2], used);
+        for shard in &mut self.shards {
+            shard.shrink_to_recent_demand();
+        }
+        self.serial.shrink_to_recent_demand();
     }
 
     /// Emits the `(index, sum)` entries for the sorted selected set.

@@ -72,10 +72,26 @@ pub fn top_k_entries_with(
     k: usize,
     scratch: &mut Vec<(usize, f32)>,
 ) -> Vec<(usize, f32)> {
+    let mut out = Vec::new();
+    top_k_entries_into(values, k, scratch, &mut out);
+    out
+}
+
+/// [`top_k_entries_with`] writing the ranked selection into a caller-owned
+/// output buffer (cleared first): identical selection and order, zero
+/// allocation once both buffers have grown. This is the cohort engine's
+/// per-slot uplink builder.
+pub fn top_k_entries_into(
+    values: &[f32],
+    k: usize,
+    scratch: &mut Vec<(usize, f32)>,
+    out: &mut Vec<(usize, f32)>,
+) {
+    out.clear();
     scratch.clear();
     let k = k.min(values.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
     let cap = 2 * k;
     if cap >= values.len() {
@@ -107,7 +123,7 @@ pub fn top_k_entries_with(
         scratch.truncate(k);
     }
     scratch.sort_unstable_by(magnitude_then_index);
-    scratch.iter().map(|&(j, _)| (j, values[j])).collect()
+    out.extend(scratch.iter().map(|&(j, _)| (j, values[j])));
 }
 
 /// Returns the `kappa` largest-magnitude entries of an *already ranked*

@@ -176,6 +176,24 @@ pub fn decode_frame(
     out: &mut Vec<(usize, f32)>,
 ) -> Result<(usize, CodecId), WireError> {
     out.clear();
+    decode_frame_with(frame, |j, v| out.push((j, v)))
+}
+
+/// Streaming sibling of [`decode_frame`]: decodes any frame and hands every
+/// entry to `visit` in strictly increasing index order, without
+/// materializing an entry vector. Validation is identical to
+/// [`decode_frame`] (in-range sorted indices, exact counts, no trailing
+/// bytes); entries already visited when an error surfaces must be
+/// discarded by the caller.
+///
+/// This is the server's frame-to-aggregation fast path: decoded uplink
+/// frames stream straight into the selection scratch and the decoded
+/// downlink broadcast streams straight into the weight vector, with no
+/// intermediate sparse-gradient allocation.
+pub fn decode_frame_with(
+    frame: &[u8],
+    mut visit: impl FnMut(usize, f32),
+) -> Result<(usize, CodecId), WireError> {
     let id = frame_codec(frame)?;
     let mut pos = 1usize;
     let dim64 = varint::read(frame, &mut pos)?;
@@ -183,9 +201,9 @@ pub fn decode_frame(
     let dim = usize::try_from(dim64).map_err(|_| WireError::VarintOverflow)?;
     let nnz = usize::try_from(nnz64).map_err(|_| WireError::VarintOverflow)?;
     match id {
-        CodecId::CooF32 => decode_coo(frame, pos, dim, nnz, out)?,
-        CodecId::DeltaVarint => decode_delta(frame, pos, dim, nnz, out)?,
-        CodecId::Bitmap => decode_bitmap(frame, pos, dim, nnz, out)?,
+        CodecId::CooF32 => decode_coo(frame, pos, dim, nnz, &mut visit)?,
+        CodecId::DeltaVarint => decode_delta(frame, pos, dim, nnz, &mut visit)?,
+        CodecId::Bitmap => decode_bitmap(frame, pos, dim, nnz, &mut visit)?,
     }
     Ok((dim, id))
 }
@@ -221,7 +239,7 @@ fn decode_coo(
     mut pos: usize,
     dim: usize,
     nnz: usize,
-    out: &mut Vec<(usize, f32)>,
+    visit: &mut impl FnMut(usize, f32),
 ) -> Result<(), WireError> {
     let mut prev: Option<usize> = None;
     for _ in 0..nnz {
@@ -243,7 +261,7 @@ fn decode_coo(
         }
         prev = Some(j);
         let v = read_f32(frame, &mut pos)?;
-        out.push((j, v));
+        visit(j, v);
     }
     finish(frame, pos)
 }
@@ -253,7 +271,7 @@ fn decode_delta(
     mut pos: usize,
     dim: usize,
     nnz: usize,
-    out: &mut Vec<(usize, f32)>,
+    visit: &mut impl FnMut(usize, f32),
 ) -> Result<(), WireError> {
     let mut next = 0u64; // index of entry i is next + delta_i (delta_0 = j_0)
     for i in 0..nnz {
@@ -269,7 +287,7 @@ fn decode_delta(
             });
         }
         let v = read_f32(frame, &mut pos)?;
-        out.push((j as usize, v));
+        visit(j as usize, v);
         next = j;
     }
     finish(frame, pos)
@@ -280,7 +298,7 @@ fn decode_bitmap(
     mut pos: usize,
     dim: usize,
     nnz: usize,
-    out: &mut Vec<(usize, f32)>,
+    visit: &mut impl FnMut(usize, f32),
 ) -> Result<(), WireError> {
     let bm_len = dim.div_ceil(8);
     let bitmap = frame.get(pos..pos + bm_len).ok_or(WireError::Truncated)?;
@@ -314,7 +332,7 @@ fn decode_bitmap(
             bits &= bits - 1;
             let j = byte_idx * 8 + bit;
             let v = read_f32(frame, &mut pos)?;
-            out.push((j, v));
+            visit(j, v);
         }
     }
     finish(frame, pos)

@@ -55,8 +55,8 @@ mod scratch;
 mod varint;
 
 pub use codec::{
-    decode_frame, decode_gradient, frame_codec, Auto, Bitmap, Codec, CodecId, CodecSpec, CooF32,
-    DeltaVarint,
+    decode_frame, decode_frame_with, decode_gradient, frame_codec, Auto, Bitmap, Codec, CodecId,
+    CodecSpec, CooF32, DeltaVarint,
 };
 pub use error::WireError;
 pub use scratch::WireScratch;

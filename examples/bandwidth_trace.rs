@@ -57,6 +57,7 @@ fn main() {
                 channel,
             }),
             fault: None,
+            cohort: None,
         },
     );
 

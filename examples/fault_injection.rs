@@ -72,6 +72,7 @@ fn main() {
                 channel,
             }),
             fault: Some(fault),
+            cohort: None,
         },
     );
 

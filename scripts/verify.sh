@@ -27,6 +27,9 @@ cargo test -q -p agsfl-core resume
 step "decode fuzz (hostile frames never panic the wire layer)"
 cargo test -q -p agsfl-wire --test decode_fuzz
 
+step "bounded-RSS smoke (N=10^5 cohort rounds under a 256 MiB peak-RSS assertion)"
+cargo run --release --example million_clients -- --smoke
+
 if [[ "$quick" -eq 0 ]]; then
     step "cargo test --workspace -q (full suite)"
     cargo test --workspace -q
