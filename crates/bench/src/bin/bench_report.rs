@@ -52,7 +52,9 @@ use agsfl_ml::metrics;
 use agsfl_ml::model::{Im2colScratch, Model};
 use agsfl_ml::reference as ml_reference;
 use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, ShardedScratch, Sparsifier};
-use agsfl_wire::{decode_frame, reference as wire_reference, Codec, DeltaVarint, WireScratch};
+use agsfl_wire::{
+    decode_frame, reference as wire_reference, Codec, DeltaVarint, QLinear8, WireScratch,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -411,6 +413,77 @@ fn main() {
         wire_decode.speedup()
     );
 
+    // Lossy quantized codec on the same message: the allocating reference
+    // QLinear8 encoder (the executable spec of the quantized frame format,
+    // including the content-keyed stochastic-rounding stream) vs the
+    // scratch-reusing fast path, and the allocating reference decode vs
+    // `decode_frame` into a reused buffer. As with the lossless pair, the
+    // two encoders must emit byte-identical frames.
+    const QUANT_SEED: u64 = 0x9E37_79B9;
+    let quant_codec = QLinear8::new(QUANT_SEED);
+    let seed_ns = time_ns(|| {
+        black_box(wire_reference::qlinear8_encode(
+            QUANT_SEED,
+            message.dim(),
+            black_box(message.entries()),
+        ));
+    });
+    let scratch_ns = time_ns(|| {
+        black_box(quant_codec.encode_gradient_into(black_box(&message), &mut wire_scratch));
+    });
+    let quant_frame = quant_codec
+        .encode_gradient_into(&message, &mut wire_scratch)
+        .to_vec();
+    assert_eq!(
+        quant_frame,
+        wire_reference::qlinear8_encode(QUANT_SEED, message.dim(), message.entries()),
+        "reference quantizer must emit the identical frame"
+    );
+    let quant_encode = KernelReport {
+        name: "quant_encode",
+        dim: FAB_DIM,
+        clients: 1,
+        k: FAB_K,
+        threads: 1,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  quant_encode (qlinear8, {} B frame): alloc {:.0} ns, scratch {:.0} ns -> {:.2}x",
+        quant_frame.len(),
+        quant_encode.seed_ns,
+        quant_encode.scratch_ns,
+        quant_encode.speedup()
+    );
+
+    let seed_ns = time_ns(|| {
+        black_box(wire_reference::decode(black_box(&quant_frame)).expect("valid frame"));
+    });
+    let scratch_ns = time_ns(|| {
+        black_box(decode_frame(black_box(&quant_frame), &mut entries_buf).expect("valid frame"));
+    });
+    decode_frame(&quant_frame, &mut entries_buf).expect("valid frame");
+    assert_eq!(
+        entries_buf,
+        wire_reference::decode(&quant_frame).expect("valid frame").1,
+        "both quantized decoders must reconstruct the same bits"
+    );
+    let quant_decode = KernelReport {
+        name: "quant_decode",
+        dim: FAB_DIM,
+        clients: 1,
+        k: FAB_K,
+        threads: 1,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  quant_decode (qlinear8): alloc {:.0} ns, reused-buffer {:.0} ns -> {:.2}x",
+        quant_decode.seed_ns,
+        quant_decode.scratch_ns,
+        quant_decode.speedup()
+    );
+
     // Checkpoint save/load at the paper's >400k-weight scale: the fault
     // path's resume story priced as kernels. `checkpoint_save` compares the
     // allocating `save_state` against `save_state_into` reusing one buffer
@@ -531,6 +604,8 @@ fn main() {
         eval_report,
         wire_encode,
         wire_decode,
+        quant_encode,
+        quant_decode,
         ckpt_save,
         ckpt_load,
     ];

@@ -16,7 +16,7 @@
 //! faster regime affords a larger sparsity degree `k`, which is the
 //! "codec-dependent optimal k" effect the scalar proxy cannot express.
 
-use agsfl_wire::CodecSpec;
+use agsfl_wire::{CodecSpec, Precision};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ChannelSpec, ExperimentConfig, WireSpec};
@@ -92,6 +92,17 @@ impl WireSweepCell {
     }
 }
 
+/// One point on the bytes-vs-accuracy Pareto frontier: a fixed-`k` run
+/// under one [`Precision`] tier (same `k`, same channel, same seed — only
+/// the uplink value precision differs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionParetoPoint {
+    /// The precision tier's name (`f32`, `f16`, `q8`, `sign`).
+    pub precision: String,
+    /// The run's byte totals and training outcome.
+    pub cell: WireSweepCell,
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireSweepResult {
@@ -101,6 +112,9 @@ pub struct WireSweepResult {
     /// Adaptive-`k` cells: Algorithm 3 responding to the byte-priced
     /// channel.
     pub adaptive: Vec<WireSweepCell>,
+    /// Bytes-vs-accuracy Pareto frontier over the precision tiers, on the
+    /// first channel regime (ordered most → least precise).
+    pub pareto: Vec<PrecisionParetoPoint>,
 }
 
 impl WireSweepResult {
@@ -154,7 +168,12 @@ impl WireSweepResult {
         }
     }
 
-    /// Renders both tables.
+    /// The Pareto point for a precision tier, by name.
+    pub fn pareto_point(&self, precision: Precision) -> Option<&PrecisionParetoPoint> {
+        self.pareto.iter().find(|p| p.precision == precision.name())
+    }
+
+    /// Renders all three tables.
     pub fn render(&self) -> String {
         let mut out = String::from("Wire codec x channel sweep (byte-priced rounds)\n");
         Self::render_table(
@@ -167,6 +186,17 @@ impl WireSweepResult {
             "Adaptive k (Algorithm 3 against the byte-priced channel)",
             &self.adaptive,
         );
+        out.push_str("\nPrecision Pareto (fixed k; uplink bytes vs final loss)\n");
+        out.push_str(&format!(
+            "{:>10}{:>14}{:>12}{:>12}\n",
+            "precision", "up [B]", "loss", "time"
+        ));
+        for p in &self.pareto {
+            out.push_str(&format!(
+                "{:>10}{:>14}{:>12.4}{:>12.1}\n",
+                p.precision, p.cell.uplink_bytes, p.cell.final_loss, p.cell.elapsed_time
+            ));
+        }
         out
     }
 }
@@ -211,7 +241,8 @@ fn run_cell(
     }
 }
 
-/// Runs the sweep.
+/// Runs the sweep, including the precision-tier Pareto frontier on the
+/// first channel regime.
 pub fn run(config: &WireSweepConfig) -> WireSweepResult {
     assert!(!config.codecs.is_empty(), "need at least one codec");
     assert!(!config.channels.is_empty(), "need at least one channel");
@@ -223,7 +254,25 @@ pub fn run(config: &WireSweepConfig) -> WireSweepResult {
             adaptive.push(run_cell(config, label, *channel, codec, true));
         }
     }
-    WireSweepResult { fixed, adaptive }
+    let (pareto_label, pareto_channel) = &config.channels[0];
+    let pareto = Precision::ALL
+        .iter()
+        .map(|&tier| PrecisionParetoPoint {
+            precision: tier.name().to_string(),
+            cell: run_cell(
+                config,
+                pareto_label,
+                *pareto_channel,
+                tier.codec_spec(),
+                false,
+            ),
+        })
+        .collect();
+    WireSweepResult {
+        fixed,
+        adaptive,
+        pareto,
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +302,9 @@ mod tests {
                 ),
             ],
             rounds: 25,
-            fixed_k_fraction: 0.05,
+            // Large enough that per-frame headers (QLinear8's 8-byte value
+            // range) amortize the way they do at production scale.
+            fixed_k_fraction: 0.15,
         }
     }
 
@@ -302,7 +353,7 @@ mod tests {
     fn auto_records_its_choices() {
         let result = run(&tiny_sweep());
         let auto = result.fixed_cell("uniform", CodecSpec::Auto).unwrap();
-        assert_eq!(auto.codec_counts.iter().len(), 3);
+        assert_eq!(auto.codec_counts.len(), agsfl_wire::CodecId::ALL.len());
         let frames: u64 = auto.codec_counts.iter().sum();
         assert!(frames > 0, "Auto must record per-frame choices");
         let coo = result.fixed_cell("uniform", CodecSpec::Coo).unwrap();
@@ -311,7 +362,7 @@ mod tests {
     }
 
     #[test]
-    fn render_lists_both_tables() {
+    fn render_lists_all_tables() {
         let mut cfg = tiny_sweep();
         cfg.codecs = vec![CodecSpec::Auto];
         cfg.rounds = 6;
@@ -320,5 +371,48 @@ mod tests {
         assert!(text.contains("Fixed k"));
         assert!(text.contains("Adaptive k"));
         assert!(text.contains("auto"));
+        assert!(text.contains("Precision Pareto"));
+        for tier in Precision::ALL {
+            assert!(text.contains(tier.name()), "missing tier {}", tier.name());
+        }
+    }
+
+    /// The issue's byte-budget acceptance bar: at the same fixed `k`,
+    /// QLinear8 (1-byte levels + an 8-byte range header) must spend at most
+    /// 0.35× the uplink bytes of lossless CooF32 (8 bytes per entry).
+    #[test]
+    fn qlinear8_fixed_k_spends_under_035x_of_coo() {
+        let result = run(&tiny_sweep());
+        let q8 = result.pareto_point(Precision::Q8).unwrap();
+        let coo = result.fixed_cell("uniform", CodecSpec::Coo).unwrap();
+        let ratio = q8.cell.uplink_bytes as f64 / coo.uplink_bytes as f64;
+        assert!(
+            ratio <= 0.35,
+            "qlinear8 spent {} uplink bytes vs coo-f32's {} ({ratio:.3}x > 0.35x)",
+            q8.cell.uplink_bytes,
+            coo.uplink_bytes
+        );
+        // Lossier tiers keep shrinking the frontier's byte axis.
+        let f16 = result.pareto_point(Precision::F16).unwrap();
+        let sign = result.pareto_point(Precision::Sign).unwrap();
+        let f32_tier = result.pareto_point(Precision::F32).unwrap();
+        assert!(f16.cell.uplink_bytes < f32_tier.cell.uplink_bytes);
+        assert!(q8.cell.uplink_bytes < f16.cell.uplink_bytes);
+        assert!(sign.cell.uplink_bytes < q8.cell.uplink_bytes);
+    }
+
+    /// Convergence sanity for the documented tolerance: the error-feedback
+    /// loop keeps a QLinear8 run's final loss within 10% (relative) of the
+    /// lossless run at the same fixed `k`.
+    #[test]
+    fn qlinear8_final_loss_tracks_lossless() {
+        let result = run(&tiny_sweep());
+        let q8 = result.pareto_point(Precision::Q8).unwrap().cell.final_loss;
+        let lossless = result.pareto_point(Precision::F32).unwrap().cell.final_loss;
+        assert!(q8.is_finite() && lossless.is_finite());
+        assert!(
+            (q8 - lossless).abs() <= 0.10 * lossless,
+            "qlinear8 final loss {q8:.4} strays >10% from lossless {lossless:.4}"
+        );
     }
 }

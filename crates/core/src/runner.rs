@@ -7,7 +7,7 @@ use agsfl_fl::{
     CheckpointError, FedAvgConfig, FedAvgSimulation, MetricPoint, RunHistory, Simulation,
     SimulationConfig, TimeModel,
 };
-use agsfl_online::{stochastic_round, KController, RoundFeedback};
+use agsfl_online::{stochastic_round, KController, PrecisionController, RoundFeedback};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -198,6 +198,20 @@ impl Experiment {
         self.run_with_controller(controller.as_mut(), stop, spec.name())
     }
 
+    /// Runs the 2-D `(k × precision)` adaptive loop: the given controller
+    /// spec keeps authority over `k` while a deterministic
+    /// [`PrecisionController`] wrapper picks the uplink precision tier each
+    /// round. Without a wire configuration the precision axis is inert and
+    /// this reduces to [`Experiment::run_adaptive`].
+    pub fn run_adaptive_precision(
+        &mut self,
+        spec: ControllerSpec,
+        stop: &StopCondition,
+    ) -> RunHistory {
+        let mut controller = PrecisionController::new(spec.build(self.dim(), self.config.seed));
+        self.run_with_controller(&mut controller, stop, "2-D (k × precision)")
+    }
+
     /// Runs with an externally constructed controller (useful for ablations
     /// that tweak controller parameters directly).
     pub fn run_with_controller(
@@ -325,6 +339,13 @@ impl Experiment {
                 .probe_k()
                 .map(|p| p.round().max(1.0) as usize)
                 .unwrap_or(k);
+            // The second axis of the 2-D (k × precision) action space. Pure-k
+            // controllers propose `None` (keep the configured codec), so this
+            // is a no-op — and bit-identical to older runs — unless the
+            // controller actively adapts the uplink precision. The override is
+            // controller policy, not simulation state: after a resume the
+            // restored controller re-proposes it here before the next round.
+            self.sim.set_wire_precision(controller.propose_precision());
             let report = self.sim.run_round(k, Some(probe_k));
 
             let feedback = RoundFeedback {
@@ -759,6 +780,59 @@ mod tests {
             .unwrap();
         assert_eq!(resumed.points(), full.points());
         assert_eq!(resumed.fault_totals(), full.fault_totals());
+        std::fs::remove_file(&spec.path).ok();
+    }
+
+    #[test]
+    fn precision_adaptive_run_engages_lossy_tiers_and_resumes_bit_identically() {
+        use crate::config::{ChannelSpec, WireSpec};
+        use agsfl_wire::CodecSpec;
+        let mut cfg = tiny_config(10.0, 51);
+        cfg.wire = Some(WireSpec {
+            codec: CodecSpec::Auto,
+            channel: ChannelSpec::uniform(2_000.0, 4_000.0, 0.05),
+        });
+        let total = 8;
+        let mut reference = Experiment::new(&cfg);
+        let full = reference.run_adaptive_precision(
+            ControllerSpec::Algorithm3,
+            &StopCondition::after_rounds(total),
+        );
+        // The wrapper's exploration phase walks every tier, so both lossless
+        // (ids 0–2) and lossy (ids 3–5) frames must appear on the wire.
+        let counts = full.codec_counts();
+        assert!(
+            counts[..3].iter().sum::<u64>() > 0,
+            "no lossless frames: {counts:?}"
+        );
+        assert!(
+            counts[3..].iter().sum::<u64>() > 0,
+            "no lossy frames: {counts:?}"
+        );
+
+        // A checkpointed + resumed 2-D run is bit-identical to the
+        // uninterrupted one: the restored wrapper re-proposes the precision
+        // tier before each round, so the tier schedule survives the resume.
+        let spec = CheckpointSpec::new(unique_ckpt_path("precision"), 1);
+        let mut first = Experiment::new(&cfg);
+        let mut c1 =
+            PrecisionController::new(ControllerSpec::Algorithm3.build(first.dim(), cfg.seed));
+        first
+            .run_with_controller_checkpointed(
+                &mut c1,
+                &StopCondition::after_rounds(3),
+                "2-D (k × precision)",
+                &spec,
+            )
+            .unwrap();
+        let mut second = Experiment::new(&cfg);
+        let mut c2 =
+            PrecisionController::new(ControllerSpec::Algorithm3.build(second.dim(), cfg.seed));
+        let resumed = second
+            .resume_with_controller(&mut c2, &StopCondition::after_rounds(total), &spec)
+            .unwrap();
+        assert_eq!(resumed.points(), full.points());
+        assert_eq!(resumed.codec_counts(), full.codec_counts());
         std::fs::remove_file(&spec.path).ok();
     }
 

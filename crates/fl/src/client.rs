@@ -2,8 +2,8 @@
 
 use agsfl_ml::data::{ClientShard, MinibatchSampler};
 use agsfl_ml::model::Model;
-use agsfl_sparse::{ClientUpload, ResidualAccumulator, UploadPlan};
-use agsfl_wire::{Codec, WireScratch};
+use agsfl_sparse::{topk, ClientUpload, ResidualAccumulator, UploadPlan};
+use agsfl_wire::{decode_frame, Codec, WireScratch};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -33,6 +33,10 @@ pub struct Client {
     /// Reused wire-encoding workspace; byte-priced rounds encode the uplink
     /// message here without per-round allocation beyond the emitted frame.
     wire_scratch: WireScratch,
+    /// Reused buffer for the lossy tier's self-decode: the client decodes
+    /// its own encoded frame to learn the exact values `v̂` the server will
+    /// reconstruct. Round-transient — never part of the persistent state.
+    decode_scratch: Vec<(usize, f32)>,
 }
 
 impl Client {
@@ -65,6 +69,7 @@ impl Client {
             probe_sample: None,
             topk_scratch: Vec::new(),
             wire_scratch: WireScratch::new(),
+            decode_scratch: Vec::new(),
         }
     }
 
@@ -91,6 +96,7 @@ impl Client {
             probe_sample: None,
             topk_scratch: Vec::new(),
             wire_scratch: WireScratch::new(),
+            decode_scratch: Vec::new(),
         }
     }
 
@@ -256,10 +262,63 @@ impl Client {
         frame.extend_from_slice(self.wire_scratch.encode_unsorted(codec, dim, entries));
     }
 
+    /// [`Client::encode_upload_into`] for a lossy codec, with quantization
+    /// error feedback.
+    ///
+    /// Encodes `entries` into `frame`, then *self-decodes* the frame to
+    /// learn the exact reconstruction `v̂_j` the server will see, and
+    /// reports the per-entry quantization error `(j, v_j - v̂_j)` into
+    /// `errors` (index-sorted, exact deliveries omitted). The entry list is
+    /// rewritten in place with the decoded values — and re-ranked by
+    /// magnitude when `rerank` is set (the `TopKOwn` presentation order) —
+    /// so it is bit-identical to what the server's own decode produces.
+    ///
+    /// The error entries later seed the residual reset
+    /// ([`Client::apply_reset_with_errors`]): mass the quantizer dropped
+    /// this round is carried forward exactly like sparsification residuals,
+    /// in the same fused pass.
+    pub(crate) fn encode_upload_lossy_into(
+        &mut self,
+        codec: &dyn Codec,
+        dim: usize,
+        rerank: bool,
+        entries: &mut Vec<(usize, f32)>,
+        frame: &mut Vec<u8>,
+        errors: &mut Vec<(usize, f32)>,
+    ) {
+        entries.sort_unstable_by_key(|&(j, _)| j);
+        frame.clear();
+        frame.extend_from_slice(self.wire_scratch.encode_unsorted(codec, dim, entries));
+        decode_frame(frame, &mut self.decode_scratch)
+            .expect("a frame this client just encoded must decode");
+        debug_assert_eq!(self.decode_scratch.len(), entries.len());
+        errors.clear();
+        errors.extend(
+            entries
+                .iter()
+                .zip(&self.decode_scratch)
+                .filter(|(&(_, v), &(_, vhat))| v != vhat)
+                .map(|(&(j, v), &(_, vhat))| (j, v - vhat)),
+        );
+        entries.clear();
+        entries.extend_from_slice(&self.decode_scratch);
+        if rerank {
+            topk::rank_by_magnitude(entries);
+        }
+    }
+
     /// Resets the accumulator coordinates the server actually used
     /// (Lines 16–17 of Algorithm 1).
     pub fn apply_reset(&mut self, indices: &[usize]) {
         self.accumulator.reset_indices(indices);
+    }
+
+    /// [`Client::apply_reset`] seeding each transmitted coordinate with its
+    /// quantization error instead of zero — the lossy tier's error
+    /// feedback. With an empty `errors` slice this is bit-identical to
+    /// [`Client::apply_reset`].
+    pub fn apply_reset_with_errors(&mut self, indices: &[usize], errors: &[(usize, f32)]) {
+        self.accumulator.reset_indices_to(indices, errors);
     }
 
     /// Loss of the round's probe sample evaluated at `params` — the

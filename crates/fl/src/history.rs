@@ -470,7 +470,7 @@ mod tests {
             downlink_codec: CodecId::CooF32,
         });
         assert_eq!(h.wire_bytes(), (170, 35));
-        assert_eq!(h.codec_counts(), &[3, 2, 1]);
+        assert_eq!(h.codec_counts(), &[3, 2, 1, 0, 0, 0]);
     }
 
     #[test]

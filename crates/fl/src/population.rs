@@ -59,6 +59,10 @@ pub(crate) struct Slot {
     pub entries: Vec<(usize, f32)>,
     /// The encoded uplink frame (reused buffer; empty on scalar rounds).
     pub frame: Vec<u8>,
+    /// Per-entry quantization errors `(j, v - v̂)` of this round's lossy
+    /// uplink (reused buffer; empty on lossless rounds), fed back into the
+    /// residual at reset time.
+    pub errors: Vec<(usize, f32)>,
     /// Which client id the slot's shard currently holds, so a member that
     /// lands in the same slot again skips re-materialization.
     pub shard_of: Option<usize>,
@@ -77,6 +81,7 @@ impl Slot {
             loss: 0.0,
             entries: Vec::new(),
             frame: Vec::new(),
+            errors: Vec::new(),
             shard_of: None,
         }
     }

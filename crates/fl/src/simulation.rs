@@ -8,7 +8,9 @@ use agsfl_ml::metrics::{
 };
 use agsfl_ml::model::Model;
 use agsfl_sparse::{topk, ClientUpload, SelectionResult, ShardedScratch, Sparsifier, UploadPlan};
-use agsfl_wire::{decode_frame, decode_frame_with, frame_codec, Codec, WireScratch};
+use agsfl_wire::{
+    decode_frame, decode_frame_with, frame_codec, Auto, Codec, CodecSpec, Precision, WireScratch,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -27,10 +29,22 @@ use crate::time::TimeModel;
 /// uplink/downlink messages (`agsfl_wire`), the server decodes them before
 /// aggregation, and the reported `round_time` is the [`ChannelModel`] price
 /// of the emitted frames instead of the scalar-proxy
-/// [`TimeModel`](crate::TimeModel) time. Because the codecs are lossless
-/// and the rank order of top-k uploads is a total order of the values, the
-/// training trajectory is bit-identical to the un-wired run — only the cost
-/// signal the controllers see changes.
+/// [`TimeModel`](crate::TimeModel) time. With a lossless codec the
+/// trajectory is bit-identical to the un-wired run — the codecs round-trip
+/// bit-exactly and the rank order of top-k uploads is a total order of the
+/// values — so only the cost signal the controllers see changes.
+///
+/// A *lossy* uplink tier ([`agsfl_wire::CodecSpec::is_lossy`], or a
+/// [`Precision`] override via [`Simulation::set_wire_precision`]) trades
+/// that bit-identity-with-lossless for bytes: the server aggregates the
+/// quantized reconstruction, and each client feeds its per-entry
+/// quantization error back into its residual accumulator in the same fused
+/// pass that handles sparsification residuals. What the lossy tier keeps is
+/// **reproducibility** — quantization draws from its own seeded stream
+/// keyed only on `(quantization seed, frame content)`, so a lossy run is
+/// bit-identical to itself across 1–8 workers and across
+/// checkpoint/resume. The downlink broadcast always stays lossless (the
+/// server holds no residual to absorb a downlink error).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireConfig {
     /// The wire codec (use [`agsfl_wire::CodecSpec::Auto`] for per-message
@@ -105,16 +119,72 @@ impl SimulationConfig {
     }
 }
 
-/// Runtime state of the byte-priced exchange path: the built codec, the
+/// Runtime state of the byte-priced exchange path: the built codecs, the
 /// channel, and the server-side encode workspace (downlink frames and
 /// hypothetical-`k'` probe pricing reuse it across rounds).
 struct WireState {
+    /// The configured codec spec; the baseline the precision axis rebuilds
+    /// from.
+    spec: CodecSpec,
+    /// Seed of the quantization RNG stream, derived from the config seed.
+    /// Lossy codecs key their stochastic rounding on `(quant_seed, frame
+    /// content)` only, so the stream survives any worker schedule and any
+    /// checkpoint/resume point.
+    quant_seed: u64,
+    /// The controller's current precision override (`None` = run the
+    /// configured spec). Not checkpointed: the runner re-proposes it from
+    /// the restored controller state before the next round.
+    precision: Option<Precision>,
+    /// The uplink codec currently in force.
     codec: Box<dyn Codec>,
+    /// The downlink codec — always lossless: the server holds no residual
+    /// accumulator, so a downlink quantization error would be lost forever
+    /// rather than fed back.
+    downlink: Box<dyn Codec>,
+    /// Whether the uplink codec currently in force is lossy (routes the
+    /// fused pass through the error-feedback encoder).
+    lossy: bool,
     channel: ChannelModel,
     scratch: WireScratch,
 }
 
 impl WireState {
+    fn new(spec: CodecSpec, quant_seed: u64, channel: ChannelModel) -> Self {
+        let downlink: Box<dyn Codec> = if spec.is_lossy() {
+            Box::new(Auto)
+        } else {
+            spec.build()
+        };
+        Self {
+            spec,
+            quant_seed,
+            precision: None,
+            codec: spec.build_seeded(quant_seed),
+            downlink,
+            lossy: spec.is_lossy(),
+            channel,
+            scratch: WireScratch::new(),
+        }
+    }
+
+    /// Installs a precision override for subsequent rounds: `None` restores
+    /// the configured spec, [`Precision::F32`] pins a lossless uplink (the
+    /// configured spec when it is lossless, [`Auto`] otherwise), and the
+    /// lossy tiers swap in their codec seeded from the same quantization
+    /// stream. Idempotent — re-proposing the current tier rebuilds nothing.
+    fn set_precision(&mut self, precision: Option<Precision>) {
+        if precision == self.precision {
+            return;
+        }
+        self.precision = precision;
+        let spec = match precision {
+            None => self.spec,
+            Some(Precision::F32) if !self.spec.is_lossy() => self.spec,
+            Some(p) => p.codec_spec(),
+        };
+        self.codec = spec.build_seeded(self.quant_seed);
+        self.lossy = spec.is_lossy();
+    }
     /// The channel-priced time a round with sparsity `k'` would have taken:
     /// each client's hypothetical uplink is the `k'`-element prefix of the
     /// message it actually built this round (for top-k plans the prefix is
@@ -143,7 +213,9 @@ impl WireState {
                 self.channel.uplink_time(round_idx, upload.client, bytes)
             })
             .fold(0.0f64, f64::max);
-        let downlink_bytes = self.codec.encoded_len_gradient(&probe_selection.aggregated);
+        let downlink_bytes = self
+            .downlink
+            .encoded_len_gradient(&probe_selection.aggregated);
         self.channel.compute_time()
             + uplink_phase
             + self.channel.downlink_phase_time(round_idx, downlink_bytes)
@@ -282,11 +354,7 @@ impl Simulation {
                 w.channel.num_clients(),
                 num_clients
             );
-            WireState {
-                codec: w.codec.build(),
-                channel: w.channel.clone(),
-                scratch: WireScratch::new(),
-            }
+            WireState::new(w.codec, config.seed ^ QUANT_STREAM, w.channel.clone())
         });
         let executor = config.parallelism.build();
         let server_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xABCD_EF01);
@@ -486,6 +554,30 @@ impl Simulation {
         }
     }
 
+    /// Installs an uplink precision tier for subsequent rounds — the
+    /// precision half of the controllers' 2-D `(k × precision)` action
+    /// space. `None` restores the configured codec; [`Precision::F32`]
+    /// pins a lossless uplink; the lossy tiers swap in their codec seeded
+    /// from the run's dedicated quantization stream, so any sequence of
+    /// tier switches stays bit-reproducible across worker counts and
+    /// checkpoint/resume. A no-op on a simulation without a wire config
+    /// (the scalar-proxy path has no bytes to save).
+    ///
+    /// The override is deliberately not checkpointed: it is controller
+    /// policy, not simulation state, and the runner re-proposes it from the
+    /// restored controller before the next round.
+    pub fn set_wire_precision(&mut self, precision: Option<Precision>) {
+        if let Some(wire) = &mut self.wire {
+            wire.set_precision(precision);
+        }
+    }
+
+    /// Name of the uplink codec currently in force, `None` without a wire
+    /// config.
+    pub fn wire_codec_name(&self) -> Option<&'static str> {
+        self.wire.as_ref().map(|w| w.codec.name())
+    }
+
     /// Runs one round of Algorithm 1 with `k`-element sparsification.
     ///
     /// If `probe_k` is given, the round additionally evaluates the
@@ -555,6 +647,7 @@ impl Simulation {
             slot.dropped = plans.as_ref().is_some_and(|p| p[pos].dropped);
             slot.online = false;
             slot.loss = 0.0;
+            slot.errors.clear();
             if slot.shard_of != Some(id) {
                 self.source.materialize_into(id, slot.client.shard_mut());
                 slot.shard_of = Some(id);
@@ -582,9 +675,11 @@ impl Simulation {
         // byte-priced path each member additionally encodes its message
         // into its slot's wire frame in the same pass.
         let plan = self.sparsifier.upload_plan(dim, k, &mut self.server_rng);
+        let rerank = matches!(plan, UploadPlan::TopKOwn);
         let model = self.model.as_ref();
         let params = &self.params;
-        let wire_codec: Option<&dyn Codec> = self.wire.as_ref().map(|w| w.codec.as_ref());
+        let wire_codec: Option<(&dyn Codec, bool)> =
+            self.wire.as_ref().map(|w| (w.codec.as_ref(), w.lossy));
         let _: Vec<()> = self.executor.map_mut(&mut self.slots[..c], |slot| {
             if slot.offline {
                 // Mid-outage: no compute, no upload, and none of the
@@ -594,9 +689,29 @@ impl Simulation {
             }
             slot.loss = slot.client.compute_local_gradient(model, params);
             slot.client.build_upload_into(&plan, k, &mut slot.entries);
-            if let Some(codec) = wire_codec {
-                slot.client
-                    .encode_upload_into(codec, dim, &slot.entries, &mut slot.frame);
+            match wire_codec {
+                Some((codec, true)) => {
+                    // Lossy tier: encode, self-decode to learn the server's
+                    // exact reconstruction, capture the per-entry
+                    // quantization error for the residual reset, and
+                    // rewrite the entry list with the decoded values —
+                    // still in this one fused pass, per slot, with no
+                    // cross-slot state (the quantization stream is keyed on
+                    // frame content, not worker schedule).
+                    slot.client.encode_upload_lossy_into(
+                        codec,
+                        dim,
+                        rerank,
+                        &mut slot.entries,
+                        &mut slot.frame,
+                        &mut slot.errors,
+                    );
+                }
+                Some((codec, false)) => {
+                    slot.client
+                        .encode_upload_into(codec, dim, &slot.entries, &mut slot.frame);
+                }
+                None => {}
             }
             slot.online = true;
         });
@@ -699,15 +814,16 @@ impl Simulation {
         // server decodes each surviving frame *directly into* its
         // aggregation input — no intermediate per-client gradient is
         // allocated — so selection genuinely runs on what crossed the wire.
-        // The codecs are lossless and the top-k rank order is a total order
-        // of the values (`topk::compare_magnitude_then_index`), so
-        // re-ranking the decoded entries reproduces the built uploads bit
-        // for bit; the debug assertion pins that every test run.
+        // Re-ranking the decoded entries reproduces the built uploads bit
+        // for bit — on the lossless tier because decode is exact and the
+        // top-k rank order is a total order of the values
+        // (`topk::compare_magnitude_then_index`); on the lossy tier because
+        // the client already rewrote its entry list with its own decode of
+        // the same frame. The debug assertion pins both every test run.
         let s = self.survivors.len();
         while self.uploads.len() < s {
             self.uploads.push(ClientUpload::new(0, 0.0, Vec::new()));
         }
-        let rerank = matches!(plan, UploadPlan::TopKOwn);
         let wired = self.wire.is_some();
         for (u_idx, &pos) in self.survivors.iter().enumerate() {
             let slot = &self.slots[pos];
@@ -785,7 +901,7 @@ impl Simulation {
             }
             Some(wire) => {
                 let frame = wire
-                    .codec
+                    .downlink
                     .encode_gradient_into(&selection.aggregated, &mut wire.scratch);
                 let downlink_bytes = frame.len();
                 let downlink_codec = frame_codec(frame).expect("freshly encoded frame");
@@ -876,8 +992,13 @@ impl Simulation {
         // Resets and contributions target the surviving members' slots:
         // exactly the members whose uploads were aggregated get their used
         // coordinates reset, so a lost member's residual keeps its update.
+        // On the lossy tier each reset coordinate is seeded with its
+        // quantization error instead of zero (error feedback); `errors` is
+        // empty on lossless rounds, which makes this bit-identical to a
+        // plain reset.
         for (u_idx, resets) in selection.reset_indices.iter().enumerate() {
-            self.slots[self.survivors[u_idx]].client.apply_reset(resets);
+            let slot = &mut self.slots[self.survivors[u_idx]];
+            slot.client.apply_reset_with_errors(resets, &slot.errors);
         }
         self.elapsed += round_time;
 
@@ -1004,6 +1125,9 @@ impl Simulation {
         w.bool(self.config.wire.is_some());
         w.bool(self.fault.is_some());
         w.opt_usize(self.config.cohort);
+        // v3: the configured wire codec, so a lossy-tier checkpoint cannot
+        // silently resume under a different quantization scheme.
+        w.str(self.config.wire.as_ref().map_or("none", |w| w.codec.name()));
         // Mutable state. Only the *resident* population rows are written
         // (clients that participated online at least once) — an untouched
         // client's state is a pure function of `(seed, id)` and is
@@ -1030,8 +1154,8 @@ impl Simulation {
     /// Returns a typed [`CheckpointError`] on malformed or truncated bytes,
     /// on an unsupported format version, and on any fingerprint mismatch
     /// (dimension, client count, seed, batch size, sparsifier, wire/fault
-    /// presence, cohort size). On error the simulation may be partially
-    /// overwritten and must be discarded.
+    /// presence, cohort size, wire codec). On error the simulation may be
+    /// partially overwritten and must be discarded.
     pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
         let mut r = SnapshotReader::new(bytes);
         let version = r.header(SIM_MAGIC, SIM_VERSION)?;
@@ -1041,7 +1165,7 @@ impl Simulation {
             // the old format is rejected rather than silently misread.
             return Err(CheckpointError::UnsupportedVersion(version));
         }
-        let checks: [(&'static str, bool); 8] = [
+        let checks: [(&'static str, bool); 9] = [
             ("dim", r.usize()? == self.params.len()),
             ("num_clients", r.usize()? == self.source.num_clients()),
             ("seed", r.u64()? == self.config.seed),
@@ -1053,6 +1177,10 @@ impl Simulation {
             ),
             ("fault model", r.bool()? == self.fault.is_some()),
             ("cohort size", r.opt_usize()? == self.config.cohort),
+            (
+                "wire codec",
+                r.str()? == self.config.wire.as_ref().map_or("none", |w| w.codec.name()),
+            ),
         ];
         for (field, ok) in checks {
             if !ok {
@@ -1091,8 +1219,14 @@ impl Simulation {
 const SIM_MAGIC: [u8; 4] = *b"AGSF";
 /// Current simulation state format version: v2 replaced the dense
 /// per-client state section with the resident [`ClientPopulation`] rows and
-/// added the cohort stream/fingerprint (v1 blobs are rejected).
-const SIM_VERSION: u32 = 2;
+/// added the cohort stream/fingerprint (v1 blobs are rejected); v3 added
+/// the wire-codec fingerprint field guarding the lossy uplink tier.
+const SIM_VERSION: u32 = 3;
+/// XOR tweak deriving the quantization RNG stream's seed from the config
+/// seed — its own stream, like the server (`^ 0xABCD_EF01`) and cohort
+/// (`^ 0x5EED_C0C0_4071_0001`) streams, so enabling a lossy tier never
+/// perturbs any other stream.
+const QUANT_STREAM: u64 = 0x051A_771F_ED0C_0DEC;
 
 #[cfg(test)]
 mod tests {

@@ -13,6 +13,7 @@
 //!   decrease, the empirical analogue of `t(k, l)` — and feed it to EXP3 /
 //!   the one-point bandit.
 
+use agsfl_wire::Precision;
 use serde::{Deserialize, Serialize};
 
 use crate::bandit::ContinuousBandit;
@@ -32,6 +33,7 @@ const TAG_VALUE_BASED: u8 = 3;
 const TAG_FIXED_K: u8 = 4;
 const TAG_EXP3: u8 = 5;
 const TAG_BANDIT: u8 = 6;
+const TAG_PRECISION: u8 = 7;
 
 /// Builds the estimator inputs from a round's feedback, if the probe data is
 /// complete.
@@ -378,6 +380,140 @@ impl KController for BanditController {
     }
 }
 
+/// Extends any `k`-controller to the 2-D `(k × precision)` action space.
+///
+/// The wrapped controller keeps full authority over `k` (all `k`-side calls
+/// delegate); this wrapper adds the precision axis by tracking an
+/// exponential moving average of the per-round cost (the same
+/// time-per-unit-loss-decrease scalar the bandit baselines use) for each
+/// [`Precision`] tier and deterministically selecting:
+///
+/// 1. the first tier that has never been observed (most-precise first, so a
+///    run always starts on the lossless tier);
+/// 2. every `explore_every`-th round, a round-robin tier, so a tier whose
+///    cost estimate went stale keeps being revisited;
+/// 3. otherwise the tier with the lowest EMA cost, ties broken toward the
+///    most precise tier.
+///
+/// The selection is a pure function of `(round counter, cost table)` — no
+/// RNG — so the precision schedule is reproducible bit-for-bit across
+/// worker counts and checkpoint/resume.
+#[derive(Debug)]
+pub struct PrecisionController {
+    inner: Box<dyn KController>,
+    cost: [Option<f64>; 4],
+    round: usize,
+    explore_every: usize,
+}
+
+impl PrecisionController {
+    /// EMA weight kept on the old cost estimate.
+    const EMA_KEEP: f64 = 0.8;
+
+    /// Wraps `inner`, re-exploring each tier every 16th round.
+    pub fn new(inner: Box<dyn KController>) -> Self {
+        Self {
+            inner,
+            cost: [None; 4],
+            round: 0,
+            explore_every: 16,
+        }
+    }
+
+    /// The EMA cost estimate per tier, indexed like [`Precision::ALL`].
+    pub fn tier_costs(&self) -> [Option<f64>; 4] {
+        self.cost
+    }
+
+    /// The tier the deterministic policy selects for the next round.
+    fn selected(&self) -> Precision {
+        if let Some(i) = self.cost.iter().position(Option::is_none) {
+            return Precision::ALL[i];
+        }
+        if self.round.is_multiple_of(self.explore_every) {
+            return Precision::ALL[(self.round / self.explore_every) % Precision::ALL.len()];
+        }
+        let mut best = 0;
+        for i in 1..Precision::ALL.len() {
+            // Strict `<` keeps ties on the lower (more precise) index.
+            if self.cost[i].unwrap_or(f64::INFINITY) < self.cost[best].unwrap_or(f64::INFINITY) {
+                best = i;
+            }
+        }
+        Precision::ALL[best]
+    }
+}
+
+impl KController for PrecisionController {
+    fn name(&self) -> &'static str {
+        "2-D (k × precision)"
+    }
+
+    fn propose_k(&self) -> f64 {
+        self.inner.propose_k()
+    }
+
+    fn probe_k(&self) -> Option<f64> {
+        self.inner.probe_k()
+    }
+
+    fn propose_precision(&self) -> Option<Precision> {
+        Some(self.selected())
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        // `selected()` recomputes exactly the tier `propose_precision`
+        // returned before this round ran, so the cost lands on the tier
+        // that actually produced it.
+        let tier = self.selected() as usize;
+        if let Some(cost) = round_cost(feedback) {
+            self.cost[tier] = Some(self.cost[tier].map_or(cost, |old| {
+                Self::EMA_KEEP * old + (1.0 - Self::EMA_KEEP) * cost
+            }));
+        }
+        self.round += 1;
+        self.inner.observe(feedback);
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.tag(TAG_PRECISION);
+        w.usize(self.round);
+        w.usize(self.explore_every);
+        for cost in self.cost {
+            w.opt_f64(cost);
+        }
+        w.bytes(&self.inner.save_state());
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        r.tag(TAG_PRECISION, "precision wrapper")?;
+        let round = r.usize()?;
+        let explore_every = r.usize()?;
+        if explore_every != self.explore_every {
+            return Err(StateError::Invalid("explore period"));
+        }
+        let mut cost = [None; 4];
+        for slot in &mut cost {
+            let c = r.opt_f64()?;
+            if c.is_some_and(|c| !c.is_finite() || c < 0.0) {
+                return Err(StateError::Invalid("tier cost"));
+            }
+            *slot = c;
+        }
+        let inner_blob = r.bytes()?;
+        r.finish()?;
+        // The inner restore is itself atomic, so restoring it before
+        // committing the outer fields keeps the whole operation atomic.
+        self.inner.restore_state(&inner_blob)?;
+        self.round = round;
+        self.cost = cost;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +672,11 @@ mod tests {
                 restored.probe_k().map(f64::to_bits),
                 "probe k diverged at round {round}"
             );
+            assert_eq!(
+                original.propose_precision(),
+                restored.propose_precision(),
+                "precision diverged at round {round}"
+            );
             original.observe(&synthetic_feedback(round, k_a));
             restored.observe(&synthetic_feedback(round, k_b));
         }
@@ -576,6 +717,17 @@ mod tests {
                         7,
                     ),
                 ))
+            }),
+            Box::new(|| {
+                Box::new(PrecisionController::new(Box::new(SignOgd::new(
+                    SearchInterval::new(1.0, 1001.0),
+                    800.0,
+                ))))
+            }),
+            Box::new(|| {
+                Box::new(PrecisionController::new(Box::new(Exp3Controller::new(
+                    Exp3::new(Exp3::geometric_arms(10.0, 1000.0, 6), 0.2, 42),
+                ))))
             }),
         ];
         for factory in &factories {
@@ -621,6 +773,95 @@ mod tests {
             two_arms.restore_state(&snapshot),
             Err(crate::StateError::Invalid("weight count"))
         );
+    }
+
+    /// Feedback whose scalar cost is exactly `cost` (loss decrease of 1).
+    fn feedback_costing(cost: f64) -> RoundFeedback {
+        RoundFeedback {
+            loss_decrease: Some(1.0),
+            ..RoundFeedback::time_only(8, cost)
+        }
+    }
+
+    #[test]
+    fn precision_controller_explores_every_tier_then_exploits_the_cheapest() {
+        let mut c = PrecisionController::new(Box::new(FixedK::new(8.0)));
+        // Fixed per-tier costs: Q8 is cheapest.
+        let tier_cost = [8.0, 4.0, 2.0, 6.0];
+        let mut seen = Vec::new();
+        for round in 0..64 {
+            let tier = c.propose_precision().expect("wrapper always proposes");
+            seen.push((round, tier));
+            c.observe(&feedback_costing(tier_cost[tier as usize]));
+        }
+        // Rounds 0–3: first-unexplored, most-precise first.
+        assert_eq!(
+            &seen[..4],
+            &[
+                (0, Precision::F32),
+                (1, Precision::F16),
+                (2, Precision::Q8),
+                (3, Precision::Sign),
+            ]
+        );
+        // Exploitation rounds pick the cheapest tier...
+        for &(round, tier) in &seen[4..] {
+            if round % 16 != 0 {
+                assert_eq!(tier, Precision::Q8, "round {round}");
+            }
+        }
+        // ...while every 16th round round-robins so stale tiers are revisited.
+        assert_eq!(seen[16].1, Precision::F16);
+        assert_eq!(seen[32].1, Precision::Q8);
+        assert_eq!(seen[48].1, Precision::Sign);
+    }
+
+    #[test]
+    fn precision_ties_break_toward_the_more_precise_tier() {
+        let mut c = PrecisionController::new(Box::new(FixedK::new(8.0)));
+        for _ in 0..12 {
+            c.observe(&feedback_costing(3.0));
+        }
+        assert_eq!(c.propose_precision(), Some(Precision::F32));
+        assert!(c.tier_costs().iter().all(|cost| *cost == Some(3.0)));
+    }
+
+    #[test]
+    fn precision_restore_rejects_corruption_and_leaves_state_untouched() {
+        let mut donor = PrecisionController::new(Box::new(SignOgd::new(
+            SearchInterval::new(1.0, 101.0),
+            50.0,
+        )));
+        for round in 0..9 {
+            let k = donor.propose_k();
+            donor.observe(&synthetic_feedback(round, k));
+        }
+        let snapshot = donor.save_state();
+
+        // A snapshot of the bare inner controller is a typed error.
+        let mut target = PrecisionController::new(Box::new(SignOgd::new(
+            SearchInterval::new(1.0, 101.0),
+            50.0,
+        )));
+        let bare = SignOgd::new(SearchInterval::new(1.0, 101.0), 50.0).save_state();
+        assert!(matches!(
+            target.restore_state(&bare),
+            Err(crate::StateError::WrongController { .. })
+        ));
+
+        // Every truncation (including inside the nested inner blob) errors
+        // and leaves the wrapper's decisions untouched.
+        for cut in 0..snapshot.len() {
+            let before = (target.propose_k().to_bits(), target.propose_precision());
+            assert!(target.restore_state(&snapshot[..cut]).is_err());
+            let after = (target.propose_k().to_bits(), target.propose_precision());
+            assert_eq!(before, after, "cut at {cut} mutated the controller");
+        }
+
+        // The intact snapshot restores and reproduces the donor's decisions.
+        target.restore_state(&snapshot).unwrap();
+        assert_eq!(target.propose_precision(), donor.propose_precision());
+        assert_eq!(target.propose_k().to_bits(), donor.propose_k().to_bits());
     }
 
     #[test]

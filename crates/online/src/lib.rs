@@ -51,7 +51,7 @@ pub mod snapshot;
 mod value_based;
 
 pub use bandit::ContinuousBandit;
-pub use controllers::{BanditController, Exp3Controller, FixedK};
+pub use controllers::{BanditController, Exp3Controller, FixedK, PrecisionController};
 pub use estimator::{DerivativeSignEstimator, EstimatorInputs};
 pub use exp3::Exp3;
 pub use extended::{ExtendedConfig, ExtendedSignOgd};
@@ -80,6 +80,19 @@ pub trait KController: Send + std::fmt::Debug {
 
     /// Feeds back the outcome of the round that used [`KController::propose_k`].
     fn observe(&mut self, feedback: &RoundFeedback);
+
+    /// The uplink precision tier this controller wants for the next round —
+    /// the second axis of the 2-D `(k × precision)` action space.
+    ///
+    /// `None` means "no opinion": the harness leaves the configured wire
+    /// codec untouched, so pure-`k` controllers keep their lossless
+    /// bit-identity guarantees by default. Controllers that do adapt the
+    /// precision (see [`PrecisionController`]) must derive the proposal
+    /// deterministically from observed feedback so trajectories stay a pure
+    /// function of the seed.
+    fn propose_precision(&self) -> Option<agsfl_wire::Precision> {
+        None
+    }
 
     /// Serializes the controller's mutable state (bit-exact, including any
     /// internal RNG position) for checkpointing. Restoring the bytes into a

@@ -109,6 +109,13 @@ impl StateWriter {
         }
     }
 
+    /// Writes a length-prefixed opaque byte blob (used to nest one
+    /// controller's snapshot inside another's).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
     /// Writes a ChaCha8 stream position (`key`, `counter`, `cursor`).
     pub fn rng(&mut self, rng: &ChaCha8Rng) {
         let (key, counter, cursor) = rng.state();
@@ -214,6 +221,14 @@ impl<'a> StateReader<'a> {
         }
     }
 
+    /// Reads a length-prefixed opaque byte blob written by
+    /// [`StateWriter::bytes`]; a corrupt length prefix cannot trigger a huge
+    /// allocation.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, StateError> {
+        let n = self.usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
     /// Reads a ChaCha8 stream position and rebuilds the generator.
     pub fn rng(&mut self) -> Result<ChaCha8Rng, StateError> {
         let mut key = [0u32; 8];
@@ -291,6 +306,23 @@ mod tests {
         w.u64(u64::MAX / 2);
         let bogus = w.into_bytes();
         assert_eq!(StateReader::new(&bogus).f64s(), Err(StateError::Truncated));
+    }
+
+    #[test]
+    fn nested_blob_roundtrips_and_rejects_bad_lengths() {
+        let mut w = StateWriter::new();
+        w.bytes(&[7, 0, 255]);
+        w.bytes(&[]);
+        let encoded = w.into_bytes();
+        let mut r = StateReader::new(&encoded);
+        assert_eq!(r.bytes().unwrap(), vec![7, 0, 255]);
+        assert_eq!(r.bytes().unwrap(), Vec::<u8>::new());
+        r.finish().unwrap();
+        // A bogus huge length prefix must not allocate.
+        let mut w = StateWriter::new();
+        w.u64(u64::MAX / 2);
+        let bogus = w.into_bytes();
+        assert_eq!(StateReader::new(&bogus).bytes(), Err(StateError::Truncated));
     }
 
     #[test]

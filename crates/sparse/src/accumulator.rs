@@ -180,6 +180,30 @@ impl ResidualAccumulator {
         }
     }
 
+    /// Resets the given coordinates, seeding each with its quantization
+    /// error instead of zero — the lossy-tier extension of
+    /// [`ResidualAccumulator::reset_indices`].
+    ///
+    /// `errors` holds `(j, v - v̂)` pairs sorted by index: the gap between
+    /// what the client computed and what the lossy wire codec actually
+    /// delivered. A transmitted coordinate that the codec reproduced
+    /// exactly (or that has no entry in `errors`) resets to zero exactly as
+    /// before, so with an empty `errors` slice this is bit-identical to
+    /// `reset_indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn reset_indices_to(&mut self, indices: &[usize], errors: &[(usize, f32)]) {
+        for &j in indices {
+            assert!(j < self.residual.len(), "index {j} out of range");
+            self.residual[j] = errors
+                .binary_search_by_key(&j, |&(i, _)| i)
+                .map(|p| errors[p].1)
+                .unwrap_or(0.0);
+        }
+    }
+
     /// Resets the whole accumulator to zero (used by send-all / FedAvg where
     /// every coordinate is transmitted).
     pub fn reset_all(&mut self) {
@@ -247,6 +271,26 @@ mod tests {
         }
         assert!((acc.as_slice()[0] - 0.5).abs() < 1e-6);
         assert_eq!(acc.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn reset_indices_to_seeds_quantization_errors() {
+        let mut acc = ResidualAccumulator::new(4);
+        acc.add(&[1.0, 2.0, 3.0, 4.0]);
+        // Index 0 was delivered exactly, index 2 lost 0.25 to quantization.
+        acc.reset_indices_to(&[0, 2], &[(2, 0.25)]);
+        assert_eq!(acc.as_slice(), &[0.0, 2.0, 0.25, 4.0]);
+    }
+
+    #[test]
+    fn reset_indices_to_with_empty_errors_matches_reset_indices() {
+        let mut a = ResidualAccumulator::new(4);
+        let mut b = ResidualAccumulator::new(4);
+        a.add(&[1.0, -2.0, 3.0, -4.0]);
+        b.add(&[1.0, -2.0, 3.0, -4.0]);
+        a.reset_indices(&[1, 3]);
+        b.reset_indices_to(&[1, 3], &[]);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

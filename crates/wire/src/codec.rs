@@ -5,7 +5,8 @@
 //! Every codec emits a self-describing frame:
 //!
 //! ```text
-//! byte 0          codec id (CooF32 = 0, DeltaVarint = 1, Bitmap = 2)
+//! byte 0          codec id (CooF32 = 0, DeltaVarint = 1, Bitmap = 2,
+//!                 QLinear8 = 3, F16 = 4, SignNorm = 5)
 //! varint          dimension D
 //! varint          entry count n
 //! payload         codec-specific, see below
@@ -32,6 +33,14 @@
 //! baseline. [`Auto`] computes all three exact sizes per message and emits
 //! the smallest frame (ties broken by the lowest codec id), so its choice
 //! is a deterministic function of the message alone.
+//!
+//! The *lossy* tier — [`QLinear8`](crate::QLinear8), [`F16`](crate::F16)
+//! and [`SignNorm`](crate::SignNorm) — shares the same header and sorted
+//! index invariant but quantizes values; see [`crate::lossy`] for its
+//! payload table, determinism story and error-feedback contract. `Auto`
+//! deliberately ranges over the lossless codecs only: lossy tiers are a
+//! *precision* decision ([`crate::Precision`]) made above the codec layer
+//! by the controllers, never silently by a size argmin.
 
 use agsfl_sparse::SparseGradient;
 use serde::{Deserialize, Serialize};
@@ -50,11 +59,25 @@ pub enum CodecId {
     DeltaVarint = 1,
     /// Dense occupancy bitmap + packed 4-byte values.
     Bitmap = 2,
+    /// Lossy: 8-bit linear quantization with stochastic rounding.
+    QLinear8 = 3,
+    /// Lossy: IEEE binary16 values.
+    F16 = 4,
+    /// Lossy: 1-bit signs + per-frame L1 norm.
+    SignNorm = 5,
 }
 
 impl CodecId {
-    /// All concrete encodings, in id order (the [`Auto`] tie-break order).
-    pub const ALL: [CodecId; 3] = [CodecId::CooF32, CodecId::DeltaVarint, CodecId::Bitmap];
+    /// All concrete encodings, in id order. The lossless codecs come first
+    /// (they are the [`Auto`] tie-break order); the lossy tier follows.
+    pub const ALL: [CodecId; 6] = [
+        CodecId::CooF32,
+        CodecId::DeltaVarint,
+        CodecId::Bitmap,
+        CodecId::QLinear8,
+        CodecId::F16,
+        CodecId::SignNorm,
+    ];
 
     /// Human-readable name matching the codec structs.
     pub fn name(self) -> &'static str {
@@ -62,7 +85,15 @@ impl CodecId {
             CodecId::CooF32 => "coo-f32",
             CodecId::DeltaVarint => "delta-varint",
             CodecId::Bitmap => "bitmap",
+            CodecId::QLinear8 => "qlinear8",
+            CodecId::F16 => "f16",
+            CodecId::SignNorm => "sign-norm",
         }
+    }
+
+    /// Whether frames with this id quantize their values.
+    pub fn is_lossy(self) -> bool {
+        matches!(self, CodecId::QLinear8 | CodecId::F16 | CodecId::SignNorm)
     }
 
     fn from_byte(byte: u8) -> Result<Self, WireError> {
@@ -70,12 +101,15 @@ impl CodecId {
             0 => Ok(CodecId::CooF32),
             1 => Ok(CodecId::DeltaVarint),
             2 => Ok(CodecId::Bitmap),
+            3 => Ok(CodecId::QLinear8),
+            4 => Ok(CodecId::F16),
+            5 => Ok(CodecId::SignNorm),
             other => Err(WireError::UnknownCodec(other)),
         }
     }
 }
 
-/// A lossless wire encoding of a sparse gradient message.
+/// A wire encoding of a sparse gradient message (lossless or lossy).
 ///
 /// Implementations are stateless (all per-message scratch lives in the
 /// caller-owned [`WireScratch`]), so one codec value can serve every client
@@ -141,7 +175,7 @@ pub trait Codec: Send + Sync + std::fmt::Debug {
 
 /// Checks the encode contract: every index `< dim` (release) and strictly
 /// increasing order (debug), mirroring `SparseGradient::from_sorted_entries`.
-fn check_entries(dim: usize, entries: &[(usize, f32)]) {
+pub(crate) fn check_entries(dim: usize, entries: &[(usize, f32)]) {
     assert!(
         entries.iter().all(|&(j, _)| j < dim),
         "wire entry index out of range (dim {dim})"
@@ -152,11 +186,11 @@ fn check_entries(dim: usize, entries: &[(usize, f32)]) {
     );
 }
 
-fn header_len(dim: usize, nnz: usize) -> usize {
+pub(crate) fn header_len(dim: usize, nnz: usize) -> usize {
     1 + varint::len(dim as u64) + varint::len(nnz as u64)
 }
 
-fn write_header(buf: &mut Vec<u8>, id: CodecId, dim: usize, nnz: usize) {
+pub(crate) fn write_header(buf: &mut Vec<u8>, id: CodecId, dim: usize, nnz: usize) {
     buf.push(id as u8);
     varint::write(buf, dim as u64);
     varint::write(buf, nnz as u64);
@@ -204,6 +238,9 @@ pub fn decode_frame_with(
         CodecId::CooF32 => decode_coo(frame, pos, dim, nnz, &mut visit)?,
         CodecId::DeltaVarint => decode_delta(frame, pos, dim, nnz, &mut visit)?,
         CodecId::Bitmap => decode_bitmap(frame, pos, dim, nnz, &mut visit)?,
+        CodecId::QLinear8 => crate::lossy::decode_qlinear8(frame, pos, dim, nnz, &mut visit)?,
+        CodecId::F16 => crate::lossy::decode_f16(frame, pos, dim, nnz, &mut visit)?,
+        CodecId::SignNorm => crate::lossy::decode_sign_norm(frame, pos, dim, nnz, &mut visit)?,
     }
     Ok((dim, id))
 }
@@ -216,7 +253,7 @@ pub fn decode_gradient(frame: &[u8]) -> Result<SparseGradient, WireError> {
     Ok(SparseGradient::from_sorted_entries(dim, entries))
 }
 
-fn read_f32(frame: &[u8], pos: &mut usize) -> Result<f32, WireError> {
+pub(crate) fn read_f32(frame: &[u8], pos: &mut usize) -> Result<f32, WireError> {
     let bytes = frame
         .get(*pos..*pos + 4)
         .ok_or(WireError::Truncated)?
@@ -226,7 +263,7 @@ fn read_f32(frame: &[u8], pos: &mut usize) -> Result<f32, WireError> {
     Ok(f32::from_le_bytes(bytes))
 }
 
-fn finish(frame: &[u8], pos: usize) -> Result<(), WireError> {
+pub(crate) fn finish(frame: &[u8], pos: usize) -> Result<(), WireError> {
     if pos == frame.len() {
         Ok(())
     } else {
@@ -531,6 +568,7 @@ impl Codec for Auto {
             CodecId::CooF32 => CooF32.encode_into(dim, entries, scratch),
             CodecId::DeltaVarint => DeltaVarint.encode_into(dim, entries, scratch),
             CodecId::Bitmap => Bitmap.encode_into(dim, entries, scratch),
+            lossy => unreachable!("Auto ranges over lossless codecs only, chose {lossy:?}"),
         }
     }
 }
@@ -544,18 +582,37 @@ pub enum CodecSpec {
     DeltaVarint,
     /// [`Bitmap`].
     Bitmap,
-    /// [`Auto`] (smallest-per-message).
+    /// [`Auto`] (smallest-per-message, lossless).
     Auto,
+    /// [`crate::QLinear8`] (lossy; seeded via [`CodecSpec::build_seeded`]).
+    QLinear8,
+    /// [`crate::F16`] (lossy).
+    F16,
+    /// [`crate::SignNorm`] (lossy).
+    SignNorm,
 }
 
 impl CodecSpec {
-    /// Instantiates the codec.
+    /// Instantiates the codec. Lossy selectors get stochastic-rounding
+    /// stream seed 0; runs that own a quantization seed should use
+    /// [`CodecSpec::build_seeded`].
     pub fn build(&self) -> Box<dyn Codec> {
+        self.build_seeded(0)
+    }
+
+    /// Instantiates the codec with the given stochastic-rounding stream
+    /// seed (only [`CodecSpec::QLinear8`] consumes it — the other lossy
+    /// tiers round deterministically, and the lossless tiers do not round
+    /// at all).
+    pub fn build_seeded(&self, seed: u64) -> Box<dyn Codec> {
         match self {
             CodecSpec::Coo => Box::new(CooF32),
             CodecSpec::DeltaVarint => Box::new(DeltaVarint),
             CodecSpec::Bitmap => Box::new(Bitmap),
             CodecSpec::Auto => Box::new(Auto),
+            CodecSpec::QLinear8 => Box::new(crate::lossy::QLinear8::new(seed)),
+            CodecSpec::F16 => Box::new(crate::lossy::F16),
+            CodecSpec::SignNorm => Box::new(crate::lossy::SignNorm),
         }
     }
 
@@ -566,10 +623,23 @@ impl CodecSpec {
             CodecSpec::DeltaVarint => CodecId::DeltaVarint.name(),
             CodecSpec::Bitmap => CodecId::Bitmap.name(),
             CodecSpec::Auto => "auto",
+            CodecSpec::QLinear8 => CodecId::QLinear8.name(),
+            CodecSpec::F16 => CodecId::F16.name(),
+            CodecSpec::SignNorm => CodecId::SignNorm.name(),
         }
     }
 
-    /// Every selector, in a fixed order (used by the codec sweep figure).
+    /// Whether this selector quantizes values (breaks bit-identity with
+    /// the lossless trajectory).
+    pub fn is_lossy(&self) -> bool {
+        matches!(
+            self,
+            CodecSpec::QLinear8 | CodecSpec::F16 | CodecSpec::SignNorm
+        )
+    }
+
+    /// Every *lossless* selector, in a fixed order (used by the codec
+    /// sweep figure).
     pub fn all() -> [CodecSpec; 4] {
         [
             CodecSpec::Coo,
@@ -577,6 +647,11 @@ impl CodecSpec {
             CodecSpec::Bitmap,
             CodecSpec::Auto,
         ]
+    }
+
+    /// Every lossy selector, in [`CodecId`] order.
+    pub fn lossy() -> [CodecSpec; 3] {
+        [CodecSpec::QLinear8, CodecSpec::F16, CodecSpec::SignNorm]
     }
 }
 

@@ -36,6 +36,11 @@ pub enum WireError {
     },
     /// A varint ran past 10 bytes (no `u64` needs more in LEB128).
     VarintOverflow,
+    /// A lossy frame's quantization header is malformed (non-finite or
+    /// inverted `QLinear8` bounds, a negative or non-finite `SignNorm`
+    /// magnitude, nonzero sign padding bits). The payload names the check
+    /// that failed.
+    InvalidQuantization(&'static str),
 }
 
 impl fmt::Display for WireError {
@@ -55,6 +60,9 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            WireError::InvalidQuantization(what) => {
+                write!(f, "malformed quantization header: {what}")
+            }
         }
     }
 }

@@ -17,10 +17,20 @@
 //! `k/D`) — plus [`Auto`], which deterministically emits the smallest of
 //! the three per message. All four round-trip **bit-exactly** (including
 //! `-0.0` and subnormals; pinned by proptests across every sparsifier's
-//! output in `tests/codec_roundtrip.rs`), which is what lets the byte
-//! path coexist with the repository's bit-identical determinism
-//! invariant: encoding/decoding never perturbs a single bit of the
-//! training trajectory.
+//! output in `tests/codec_roundtrip.rs`), which is what lets the lossless
+//! byte path coexist with the repository's bit-identical determinism
+//! invariant: those codecs never perturb a single bit of the training
+//! trajectory.
+//!
+//! On top of the lossless tier sits a *lossy* tier — [`QLinear8`] (8-bit
+//! linear with seed-deterministic stochastic rounding), [`F16`] (IEEE
+//! binary16, round-to-nearest-even) and [`SignNorm`] (1 bit/sign + frame
+//! norm) — selected through the [`Precision`] axis of the controllers'
+//! 2-D action space. Lossy frames deliberately trade bit-identity with
+//! the lossless trajectory for bytes; what they keep is
+//! **reproducibility**: encoding is a pure function of `(seed, message)`,
+//! so a lossy run is still bit-identical to itself across worker counts
+//! and checkpoint/resume (see [`mod@lossy`]).
 //!
 //! Encoding is zero-allocation in steady state against a reusable
 //! [`WireScratch`] (the `SelectionScratch`/`Im2colScratch` house style);
@@ -50,6 +60,7 @@
 
 mod codec;
 mod error;
+pub mod lossy;
 pub mod reference;
 mod scratch;
 mod varint;
@@ -59,4 +70,5 @@ pub use codec::{
     CodecSpec, CooF32, DeltaVarint,
 };
 pub use error::WireError;
+pub use lossy::{f16_bits_to_f32, f32_to_f16_bits, Precision, QLinear8, SignNorm, F16, F16_MAX};
 pub use scratch::WireScratch;

@@ -1,0 +1,666 @@
+//! The lossy codec tier: three quantized encodings that trade value
+//! fidelity for bytes, with seed-deterministic stochastic rounding.
+//!
+//! # Frame layout
+//!
+//! Lossy frames reuse the common self-describing header (`codec id`,
+//! `varint dim`, `varint nnz`); index *positions* stay exact — only values
+//! are quantized — and travel as the same sorted-gap varints
+//! [`crate::DeltaVarint`] uses:
+//!
+//! | codec | payload after the header | bytes (header aside) |
+//! |---|---|---|
+//! | [`QLinear8`] | `f32 lo`, `f32 hi`, then `n × (varint gap, u8 level)` | `8 + n + Σ varint(Δ)` |
+//! | [`F16`] | `n × (varint gap, u16 half, LE)` | `2n + Σ varint(Δ)` |
+//! | [`SignNorm`] | `f32 magnitude`, `⌈n/8⌉` sign bytes (bit set = negative), then `n × varint gap` | `4 + ⌈n/8⌉ + Σ varint(Δ)` |
+//!
+//! [`QLinear8`] maps each value onto 256 linear levels between the frame's
+//! observed `[lo, hi]`; [`F16`] stores IEEE-754 binary16 with
+//! round-to-nearest-even (inputs saturate at ±65504, the largest finite
+//! half, so error feedback never sees an infinity); [`SignNorm`] keeps one
+//! sign bit per entry plus the frame's mean absolute value, the classic
+//! 1-bit-with-norm quantizer.
+//!
+//! # Determinism
+//!
+//! [`QLinear8`] is the only codec that rounds stochastically. Its RNG is a
+//! per-frame ChaCha8 stream keyed by `seed XOR fnv1a(dim, entries)` — a
+//! pure function of the codec's configured seed and the message content,
+//! so encoding carries **no mutable state**: the same message encodes to
+//! the same bytes no matter which worker thread encodes it, how many
+//! times, or on which side of a checkpoint/resume boundary. That
+//! content-keyed derivation is what keeps lossy training runs bit-identical
+//! across 1–8 workers even though they (deliberately) differ from lossless
+//! runs. Levels whose real-valued position is within `1e-6` of an integer
+//! snap deterministically (no RNG draw), so values that are exactly
+//! representable round-trip exactly and re-encoding a decoded frame is
+//! idempotent.
+//!
+//! # Error feedback
+//!
+//! Capturing quantization error is *not* the codec's job: the FL client
+//! self-decodes its own frame and routes `v − v̂` per entry back into its
+//! `ResidualAccumulator` (see `agsfl_fl`), the same error-feedback path
+//! top-k sparsification already uses. Decoders only promise that `v̂` is a
+//! deterministic, validated function of the frame bytes — malformed
+//! quantization headers surface as
+//! [`WireError::InvalidQuantization`](crate::WireError) instead of panics.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{check_entries, finish, header_len, read_f32, write_header, Codec, CodecId};
+use crate::error::WireError;
+use crate::scratch::WireScratch;
+use crate::varint;
+
+/// Largest finite IEEE-754 binary16 value; [`F16`] saturates here.
+pub const F16_MAX: f32 = 65504.0;
+
+/// Converts an `f32` to IEEE-754 binary16 bits with round-to-nearest-even.
+///
+/// Full IEEE semantics: values at or beyond 65520 round to infinity, NaN
+/// stays NaN (quieted), subnormal halves and signed zero are exact. The
+/// [`F16`] codec clamps its inputs to `±`[`F16_MAX`] *before* calling this,
+/// so codec frames never carry an infinity.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7FFF_FFFF;
+    if abs >= 0x7F80_0000 {
+        // Infinity or NaN (quieted: keep a set mantissa bit).
+        return sign | 0x7C00 | if abs > 0x7F80_0000 { 0x0200 } else { 0 };
+    }
+    if abs >= 0x4780_0000 {
+        // >= 65536: past every finite half even before rounding.
+        return sign | 0x7C00;
+    }
+    if abs >= 0x3880_0000 {
+        // Normal half range (>= 2^-14): rebias, truncate 13 mantissa bits,
+        // then round to nearest even. The carry of rounding up 0x7BFF
+        // lands on 0x7C00 (infinity), which is exactly RNE for
+        // [65520, 65536).
+        let mut half = ((abs - (112 << 23)) >> 13) as u16;
+        let round_bits = abs & 0x1FFF;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && half & 1 == 1) {
+            half += 1;
+        }
+        return sign | half;
+    }
+    // Subnormal-or-zero target: quantize to multiples of 2^-24.
+    let e = (abs >> 23) as i32;
+    if e == 0 {
+        // f32 subnormals are < 2^-126, far below half the smallest
+        // half-subnormal step.
+        return sign;
+    }
+    let shift = 126 - e;
+    if shift > 24 {
+        return sign;
+    }
+    let m24 = (abs & 0x007F_FFFF) | 0x0080_0000;
+    let mut q = m24 >> shift;
+    let dropped = m24 & ((1u32 << shift) - 1);
+    let half_point = 1u32 << (shift - 1);
+    if dropped > half_point || (dropped == half_point && q & 1 == 1) {
+        // A carry to 0x0400 is the smallest normal half — still correct.
+        q += 1;
+    }
+    sign | q as u16
+}
+
+/// Converts IEEE-754 binary16 bits to the exactly-representing `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = u32::from(h >> 10) & 0x1F;
+    let mant = u32::from(h & 0x3FF);
+    if exp == 0x1F {
+        return f32::from_bits(sign | 0x7F80_0000 | (mant << 13));
+    }
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign);
+        }
+        // Half subnormal: mant * 2^-24, renormalized for f32.
+        let p = 31 - mant.leading_zeros();
+        let m = (mant << (23 - p)) & 0x007F_FFFF;
+        return f32::from_bits(sign | ((p + 103) << 23) | m);
+    }
+    f32::from_bits(sign | ((exp + 112) << 23) | (mant << 13))
+}
+
+/// FNV-1a over the message content: `dim`, then every `(index, value
+/// bits)` in sorted order, all little-endian. Part of the frame format
+/// spec — [`QLinear8`]'s per-frame RNG stream is keyed by this hash, so the
+/// reference encoder must derive it identically.
+pub(crate) fn frame_hash(dim: usize, entries: &[(usize, f32)]) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = BASIS;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(&(dim as u64).to_le_bytes());
+    for &(j, v) in entries {
+        mix(&(j as u64).to_le_bytes());
+        mix(&v.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// The per-frame stochastic-rounding stream: content-keyed, so it is a pure
+/// function of `(codec seed, message)`.
+pub(crate) fn frame_rng(seed: u64, dim: usize, entries: &[(usize, f32)]) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ frame_hash(dim, entries))
+}
+
+/// Asserts the lossy-encode contract: every value finite. (Lossless codecs
+/// carry arbitrary bit patterns; a lossy frame's header fields must be
+/// finite for the decoder to accept them, so the encoder refuses the
+/// inputs that could not round-trip.)
+fn check_finite(entries: &[(usize, f32)]) {
+    assert!(
+        entries.iter().all(|&(_, v)| v.is_finite()),
+        "lossy codecs require finite values"
+    );
+}
+
+fn gaps_len(entries: &[(usize, f32)]) -> usize {
+    let mut len = 0usize;
+    let mut prev = 0u64;
+    for &(j, _) in entries {
+        len += varint::len(j as u64 - prev);
+        prev = j as u64;
+    }
+    len
+}
+
+/// The quantization step shared by encoder, decoder and error feedback:
+/// computed in `f64` so `hi − lo` never overflows even at `±f32::MAX`.
+fn q8_step(lo: f32, hi: f32) -> f64 {
+    (f64::from(hi) - f64::from(lo)) / 255.0
+}
+
+/// Dequantizes level `q` — the one reconstruction expression, used
+/// verbatim on both sides so the encoder's error accounting matches the
+/// decoder bit-for-bit.
+fn q8_value(lo: f32, step: f64, q: u8) -> f32 {
+    (f64::from(lo) + f64::from(q) * step) as f32
+}
+
+fn q8_bounds(entries: &[(usize, f32)]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &(_, v) in entries {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if entries.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Quantizes one value to a level in `0..=255`.
+///
+/// Levels within `1e-6` of an integer snap deterministically (exact
+/// round-trip for representable values, and no RNG draw); everything else
+/// rounds stochastically — down with probability `1 − frac`, up with
+/// probability `frac` — so the quantizer is unbiased in expectation.
+fn q8_quantize(v: f32, lo: f32, step: f64, rng: &mut ChaCha8Rng) -> u8 {
+    if step == 0.0 {
+        return 0;
+    }
+    let q_real = (f64::from(v) - f64::from(lo)) / step;
+    let nearest = q_real.round();
+    let q = if (q_real - nearest).abs() < 1e-6 {
+        nearest
+    } else {
+        let floor = q_real.floor();
+        let frac = q_real - floor;
+        floor + f64::from(rng.gen::<f64>() < frac)
+    };
+    q.clamp(0.0, 255.0) as u8
+}
+
+/// 8-bit linear quantizer over the frame's own `[lo, hi]` value range with
+/// seed-deterministic stochastic rounding (see the [module docs](self) for
+/// the per-frame RNG derivation).
+///
+/// Two frames with the same content always encode identically; the `seed`
+/// distinguishes independent experiments, exactly like the simulation's
+/// other named RNG streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QLinear8 {
+    seed: u64,
+}
+
+impl QLinear8 {
+    /// Creates the quantizer with its stochastic-rounding stream seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Codec for QLinear8 {
+    fn name(&self) -> &'static str {
+        CodecId::QLinear8.name()
+    }
+
+    fn choose(&self, _dim: usize, _entries: &[(usize, f32)]) -> CodecId {
+        CodecId::QLinear8
+    }
+
+    fn encoded_len(&self, dim: usize, entries: &[(usize, f32)]) -> usize {
+        header_len(dim, entries.len()) + 8 + entries.len() + gaps_len(entries)
+    }
+
+    fn encode_into<'a>(
+        &self,
+        dim: usize,
+        entries: &[(usize, f32)],
+        scratch: &'a mut WireScratch,
+    ) -> &'a [u8] {
+        check_entries(dim, entries);
+        check_finite(entries);
+        let (lo, hi) = q8_bounds(entries);
+        let step = q8_step(lo, hi);
+        let mut rng = frame_rng(self.seed, dim, entries);
+        let buf = scratch.begin();
+        write_header(buf, CodecId::QLinear8, dim, entries.len());
+        buf.extend_from_slice(&lo.to_le_bytes());
+        buf.extend_from_slice(&hi.to_le_bytes());
+        let mut prev = 0u64;
+        for &(j, v) in entries {
+            varint::write(buf, j as u64 - prev);
+            prev = j as u64;
+            buf.push(q8_quantize(v, lo, step, &mut rng));
+        }
+        scratch.frame()
+    }
+}
+
+pub(crate) fn decode_qlinear8(
+    frame: &[u8],
+    mut pos: usize,
+    dim: usize,
+    nnz: usize,
+    visit: &mut impl FnMut(usize, f32),
+) -> Result<(), WireError> {
+    let lo = read_f32(frame, &mut pos)?;
+    let hi = read_f32(frame, &mut pos)?;
+    if !lo.is_finite() || !hi.is_finite() || lo > hi {
+        return Err(WireError::InvalidQuantization("qlinear8 bounds"));
+    }
+    let step = q8_step(lo, hi);
+    let mut next = 0u64;
+    for i in 0..nnz {
+        let delta = varint::read(frame, &mut pos)?;
+        if i > 0 && delta == 0 {
+            return Err(WireError::NotSorted);
+        }
+        let j = next.checked_add(delta).ok_or(WireError::VarintOverflow)?;
+        if j >= dim as u64 {
+            return Err(WireError::IndexOutOfRange {
+                index: j,
+                dim: dim as u64,
+            });
+        }
+        let &q = frame.get(pos).ok_or(WireError::Truncated)?;
+        pos += 1;
+        visit(j as usize, q8_value(lo, step, q));
+        next = j;
+    }
+    finish(frame, pos)
+}
+
+/// IEEE-754 binary16 values with round-to-nearest-even, saturating at
+/// `±`[`F16_MAX`] so error feedback never sees an infinity. Deterministic:
+/// carries no RNG at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct F16;
+
+impl Codec for F16 {
+    fn name(&self) -> &'static str {
+        CodecId::F16.name()
+    }
+
+    fn choose(&self, _dim: usize, _entries: &[(usize, f32)]) -> CodecId {
+        CodecId::F16
+    }
+
+    fn encoded_len(&self, dim: usize, entries: &[(usize, f32)]) -> usize {
+        header_len(dim, entries.len()) + 2 * entries.len() + gaps_len(entries)
+    }
+
+    fn encode_into<'a>(
+        &self,
+        dim: usize,
+        entries: &[(usize, f32)],
+        scratch: &'a mut WireScratch,
+    ) -> &'a [u8] {
+        check_entries(dim, entries);
+        check_finite(entries);
+        let buf = scratch.begin();
+        write_header(buf, CodecId::F16, dim, entries.len());
+        let mut prev = 0u64;
+        for &(j, v) in entries {
+            varint::write(buf, j as u64 - prev);
+            prev = j as u64;
+            let half = f32_to_f16_bits(v.clamp(-F16_MAX, F16_MAX));
+            buf.extend_from_slice(&half.to_le_bytes());
+        }
+        scratch.frame()
+    }
+}
+
+pub(crate) fn decode_f16(
+    frame: &[u8],
+    mut pos: usize,
+    dim: usize,
+    nnz: usize,
+    visit: &mut impl FnMut(usize, f32),
+) -> Result<(), WireError> {
+    let mut next = 0u64;
+    for i in 0..nnz {
+        let delta = varint::read(frame, &mut pos)?;
+        if i > 0 && delta == 0 {
+            return Err(WireError::NotSorted);
+        }
+        let j = next.checked_add(delta).ok_or(WireError::VarintOverflow)?;
+        if j >= dim as u64 {
+            return Err(WireError::IndexOutOfRange {
+                index: j,
+                dim: dim as u64,
+            });
+        }
+        let bytes: [u8; 2] = frame
+            .get(pos..pos + 2)
+            .ok_or(WireError::Truncated)?
+            .try_into()
+            .expect("2-byte slice");
+        pos += 2;
+        visit(j as usize, f16_bits_to_f32(u16::from_le_bytes(bytes)));
+        next = j;
+    }
+    finish(frame, pos)
+}
+
+/// One sign bit per entry plus the frame's mean absolute value — the
+/// 1-bit-with-norm quantizer. Every decoded value is `±magnitude`, where
+/// `magnitude = (Σ|vᵢ|)/n` accumulated in `f64` over the sorted entries.
+/// Deterministic: carries no RNG at all.
+///
+/// The sign bytes precede the gap varints so the streaming decoder can
+/// locate them without a first parsing pass; padding bits of the last sign
+/// byte must be zero (validated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SignNorm;
+
+fn sign_norm_magnitude(entries: &[(usize, f32)]) -> f32 {
+    if entries.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = entries.iter().map(|&(_, v)| f64::from(v).abs()).sum();
+    (sum / entries.len() as f64) as f32
+}
+
+impl Codec for SignNorm {
+    fn name(&self) -> &'static str {
+        CodecId::SignNorm.name()
+    }
+
+    fn choose(&self, _dim: usize, _entries: &[(usize, f32)]) -> CodecId {
+        CodecId::SignNorm
+    }
+
+    fn encoded_len(&self, dim: usize, entries: &[(usize, f32)]) -> usize {
+        header_len(dim, entries.len()) + 4 + entries.len().div_ceil(8) + gaps_len(entries)
+    }
+
+    fn encode_into<'a>(
+        &self,
+        dim: usize,
+        entries: &[(usize, f32)],
+        scratch: &'a mut WireScratch,
+    ) -> &'a [u8] {
+        check_entries(dim, entries);
+        check_finite(entries);
+        let magnitude = sign_norm_magnitude(entries);
+        let buf = scratch.begin();
+        write_header(buf, CodecId::SignNorm, dim, entries.len());
+        buf.extend_from_slice(&magnitude.to_le_bytes());
+        let signs_start = buf.len();
+        buf.resize(signs_start + entries.len().div_ceil(8), 0);
+        for (i, &(_, v)) in entries.iter().enumerate() {
+            if v.is_sign_negative() {
+                buf[signs_start + i / 8] |= 1 << (i % 8);
+            }
+        }
+        let mut prev = 0u64;
+        for &(j, _) in entries {
+            varint::write(buf, j as u64 - prev);
+            prev = j as u64;
+        }
+        scratch.frame()
+    }
+}
+
+pub(crate) fn decode_sign_norm(
+    frame: &[u8],
+    mut pos: usize,
+    dim: usize,
+    nnz: usize,
+    visit: &mut impl FnMut(usize, f32),
+) -> Result<(), WireError> {
+    let magnitude = read_f32(frame, &mut pos)?;
+    if !magnitude.is_finite() || magnitude < 0.0 {
+        return Err(WireError::InvalidQuantization("sign-norm magnitude"));
+    }
+    let signs_len = nnz.div_ceil(8);
+    let signs_start = pos;
+    if frame.len() < signs_start + signs_len {
+        return Err(WireError::Truncated);
+    }
+    if !nnz.is_multiple_of(8) && frame[signs_start + signs_len - 1] >> (nnz % 8) != 0 {
+        return Err(WireError::InvalidQuantization("sign-norm padding bits"));
+    }
+    pos += signs_len;
+    let mut next = 0u64;
+    for i in 0..nnz {
+        let delta = varint::read(frame, &mut pos)?;
+        if i > 0 && delta == 0 {
+            return Err(WireError::NotSorted);
+        }
+        let j = next.checked_add(delta).ok_or(WireError::VarintOverflow)?;
+        if j >= dim as u64 {
+            return Err(WireError::IndexOutOfRange {
+                index: j,
+                dim: dim as u64,
+            });
+        }
+        let negative = frame[signs_start + i / 8] & (1 << (i % 8)) != 0;
+        visit(j as usize, if negative { -magnitude } else { magnitude });
+        next = j;
+    }
+    finish(frame, pos)
+}
+
+/// A value-precision tier — the second axis of the controllers' 2-D
+/// `(k × precision)` action space.
+///
+/// [`Precision::F32`] is the lossless tier (the smallest-frame
+/// [`crate::Auto`] codec): selecting it reproduces the lossless trajectory
+/// exactly, which is the zero-error end of the bytes-vs-accuracy frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Precision {
+    /// Lossless `f32` frames ([`crate::Auto`]).
+    F32 = 0,
+    /// IEEE binary16 values ([`F16`]).
+    F16 = 1,
+    /// 8-bit linear quantization ([`QLinear8`]).
+    Q8 = 2,
+    /// 1-bit sign + frame norm ([`SignNorm`]).
+    Sign = 3,
+}
+
+impl Precision {
+    /// Every tier, ordered from most to least precise — also the
+    /// deterministic tie-break order (lowest index wins).
+    pub const ALL: [Precision; 4] = [
+        Precision::F32,
+        Precision::F16,
+        Precision::Q8,
+        Precision::Sign,
+    ];
+
+    /// Human-readable tier name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Q8 => "q8",
+            Precision::Sign => "sign",
+        }
+    }
+
+    /// The codec selector implementing this tier.
+    pub fn codec_spec(self) -> crate::CodecSpec {
+        match self {
+            Precision::F32 => crate::CodecSpec::Auto,
+            Precision::F16 => crate::CodecSpec::F16,
+            Precision::Q8 => crate::CodecSpec::QLinear8,
+            Precision::Sign => crate::CodecSpec::SignNorm,
+        }
+    }
+
+    /// Inverse of `tier as u8` (snapshot restore).
+    pub fn from_index(index: u8) -> Option<Precision> {
+        Precision::ALL.get(index as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode_frame;
+
+    #[test]
+    fn f16_conversion_is_exact_on_known_values() {
+        for (x, bits) in [
+            (0.0f32, 0x0000u16),
+            (-0.0, 0x8000),
+            (1.0, 0x3C00),
+            (-2.0, 0xC000),
+            (65504.0, 0x7BFF),
+            (0.5, 0x3800),
+            (6.1035156e-5, 0x0400), // smallest normal half
+            (5.9604645e-8, 0x0001), // smallest subnormal half
+            (6.097555e-5, 0x03FF),  // largest subnormal half
+            (f32::INFINITY, 0x7C00),
+        ] {
+            assert_eq!(f32_to_f16_bits(x), bits, "{x}");
+            assert_eq!(f16_bits_to_f32(bits).to_bits(), x.to_bits(), "{bits:#06x}");
+        }
+        assert_eq!(f32_to_f16_bits(f32::NAN) & 0x7C00, 0x7C00);
+        assert_ne!(f32_to_f16_bits(f32::NAN) & 0x03FF, 0);
+    }
+
+    #[test]
+    fn f16_rne_rounds_ties_to_even() {
+        // 1.0 + 2^-11 sits exactly between 1.0 (even) and 1.0009766 (odd).
+        let tie = f32::from_bits(0x3F80_1000);
+        assert_eq!(f32_to_f16_bits(tie), 0x3C00);
+        // The next f32 up must round away from 1.0.
+        let above = f32::from_bits(0x3F80_1001);
+        assert_eq!(f32_to_f16_bits(above), 0x3C01);
+        // Overflow by rounding: 65520 is the first value that reaches inf.
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00);
+        assert_eq!(f32_to_f16_bits(65519.996), 0x7BFF);
+    }
+
+    #[test]
+    fn every_f16_round_trips_bit_exactly_through_f32() {
+        for h in 0u16..=u16::MAX {
+            let x = f16_bits_to_f32(h);
+            if x.is_nan() {
+                assert_eq!(f32_to_f16_bits(x) & 0x7C00, 0x7C00);
+                continue;
+            }
+            assert_eq!(f32_to_f16_bits(x), h, "{h:#06x}");
+        }
+    }
+
+    #[test]
+    fn qlinear8_same_content_encodes_identically() {
+        let entries: Vec<(usize, f32)> = (0..40).map(|j| (j * 3, (j as f32).sin())).collect();
+        let codec = QLinear8::new(7);
+        let mut s1 = WireScratch::new();
+        let mut s2 = WireScratch::new();
+        let a = codec.encode_into(200, &entries, &mut s1).to_vec();
+        let b = codec.encode_into(200, &entries, &mut s2).to_vec();
+        assert_eq!(a, b);
+        // A different seed draws a different stochastic stream.
+        let c = QLinear8::new(8)
+            .encode_into(200, &entries, &mut s1)
+            .to_vec();
+        assert_ne!(a, c);
+        assert_eq!(a.len(), c.len(), "seed changes levels, never the length");
+    }
+
+    #[test]
+    fn qlinear8_reencoding_decoded_values_is_idempotent() {
+        let entries: Vec<(usize, f32)> = (0..64).map(|j| (j, (j as f32) * 0.37 - 9.0)).collect();
+        let codec = QLinear8::new(3);
+        let mut scratch = WireScratch::new();
+        let frame = codec.encode_into(64, &entries, &mut scratch).to_vec();
+        let mut decoded = Vec::new();
+        decode_frame(&frame, &mut decoded).unwrap();
+        // Decoded values sit exactly on levels, so the snap path encodes
+        // them without touching the RNG — bit-identical values come back.
+        let frame2 = codec.encode_into(64, &decoded, &mut scratch).to_vec();
+        let mut decoded2 = Vec::new();
+        decode_frame(&frame2, &mut decoded2).unwrap();
+        let bits = |v: &[(usize, f32)]| -> Vec<(usize, u32)> {
+            v.iter().map(|&(j, x)| (j, x.to_bits())).collect()
+        };
+        assert_eq!(bits(&decoded), bits(&decoded2));
+    }
+
+    #[test]
+    fn sign_norm_padding_bits_are_validated() {
+        let entries = vec![(1usize, -1.0f32), (4, 2.0), (9, -3.0)];
+        let mut scratch = WireScratch::new();
+        let mut frame = SignNorm.encode_into(16, &entries, &mut scratch).to_vec();
+        let mut out = Vec::new();
+        decode_frame(&frame, &mut out).unwrap();
+        assert_eq!(out.iter().map(|&(j, _)| j).collect::<Vec<_>>(), [1, 4, 9]);
+        assert!(out[0].1 < 0.0 && out[1].1 > 0.0 && out[2].1 < 0.0);
+        // Flip a padding bit in the single sign byte (entries use bits 0–2).
+        let sign_byte = frame.len() - 3 - 1; // three 1-byte gaps at the tail
+        frame[sign_byte] |= 0b1000_0000;
+        assert_eq!(
+            decode_frame(&frame, &mut out),
+            Err(WireError::InvalidQuantization("sign-norm padding bits"))
+        );
+    }
+
+    #[test]
+    fn precision_tiers_map_to_their_codecs() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::from_index(p as u8), Some(p));
+        }
+        assert_eq!(Precision::from_index(4), None);
+        assert_eq!(Precision::F32.codec_spec().name(), "auto");
+        assert_eq!(Precision::Q8.codec_spec().name(), "qlinear8");
+        assert_eq!(Precision::F16.codec_spec().name(), "f16");
+        assert_eq!(Precision::Sign.codec_spec().name(), "sign-norm");
+    }
+}

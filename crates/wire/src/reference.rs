@@ -9,8 +9,13 @@
 //! in `tests/codec_roundtrip.rs`), so the `bench-report` encode/decode
 //! pairs measure pure implementation overhead, not format drift.
 
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
 use crate::codec::CodecId;
 use crate::error::WireError;
+use crate::lossy::{f16_bits_to_f32, f32_to_f16_bits, F16_MAX};
 
 fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -73,6 +78,105 @@ pub fn bitmap_encode(dim: usize, entries: &[(usize, f32)]) -> Vec<u8> {
         for b in v.to_le_bytes() {
             out.push(b);
         }
+    }
+    out
+}
+
+/// Allocating [`crate::QLinear8`] encoder. The content-keyed FNV-1a
+/// stream derivation and the snap-vs-stochastic rounding rule are part of
+/// the frame format spec, so both are re-derived here from scratch; the
+/// frames are byte-identical to the fast path's for every `(seed,
+/// message)` pair.
+pub fn qlinear8_encode(seed: u64, dim: usize, entries: &[(usize, f32)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_header(&mut out, CodecId::QLinear8, dim, entries.len());
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &(_, v) in entries {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if entries.is_empty() {
+        lo = 0.0;
+        hi = 0.0;
+    }
+    for b in lo.to_le_bytes() {
+        out.push(b);
+    }
+    for b in hi.to_le_bytes() {
+        out.push(b);
+    }
+    // Independent FNV-1a re-derivation of the per-frame stream key.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut message: Vec<u8> = (dim as u64).to_le_bytes().to_vec();
+    for &(j, v) in entries {
+        message.extend_from_slice(&(j as u64).to_le_bytes());
+        message.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for b in message {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ h);
+    let step = (f64::from(hi) - f64::from(lo)) / 255.0;
+    let mut prev = 0u64;
+    for &(j, v) in entries {
+        push_varint(&mut out, j as u64 - prev);
+        prev = j as u64;
+        let q = if step == 0.0 {
+            0.0
+        } else {
+            let q_real = (f64::from(v) - f64::from(lo)) / step;
+            let nearest = q_real.round();
+            if (q_real - nearest).abs() < 1e-6 {
+                nearest
+            } else {
+                q_real.floor() + f64::from(rng.gen::<f64>() < q_real - q_real.floor())
+            }
+        };
+        out.push(q.clamp(0.0, 255.0) as u8);
+    }
+    out
+}
+
+/// Allocating [`crate::F16`] encoder.
+pub fn f16_encode(dim: usize, entries: &[(usize, f32)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_header(&mut out, CodecId::F16, dim, entries.len());
+    let mut prev = 0u64;
+    for &(j, v) in entries {
+        push_varint(&mut out, j as u64 - prev);
+        prev = j as u64;
+        for b in f32_to_f16_bits(v.clamp(-F16_MAX, F16_MAX)).to_le_bytes() {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Allocating [`crate::SignNorm`] encoder.
+pub fn sign_norm_encode(dim: usize, entries: &[(usize, f32)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_header(&mut out, CodecId::SignNorm, dim, entries.len());
+    let magnitude = if entries.is_empty() {
+        0.0f32
+    } else {
+        let sum: f64 = entries.iter().map(|&(_, v)| f64::from(v).abs()).sum();
+        (sum / entries.len() as f64) as f32
+    };
+    for b in magnitude.to_le_bytes() {
+        out.push(b);
+    }
+    let mut signs = vec![0u8; entries.len().div_ceil(8)];
+    for (i, &(_, v)) in entries.iter().enumerate() {
+        if v.is_sign_negative() {
+            signs[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend_from_slice(&signs);
+    let mut prev = 0u64;
+    for &(j, _) in entries {
+        push_varint(&mut out, j as u64 - prev);
+        prev = j as u64;
     }
     out
 }
@@ -164,6 +268,70 @@ pub fn decode(frame: &[u8]) -> Result<(usize, Vec<(usize, f32)>), WireError> {
             }
             for _ in 0..nnz {
                 values.push(read_value(frame, &mut pos)?);
+            }
+        }
+        3 => {
+            let lo = read_value(frame, &mut pos)?;
+            let hi = read_value(frame, &mut pos)?;
+            if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                return Err(WireError::InvalidQuantization("qlinear8 bounds"));
+            }
+            let step = (f64::from(hi) - f64::from(lo)) / 255.0;
+            let mut prev = 0u64;
+            for i in 0..nnz {
+                let delta = read_varint(frame, &mut pos)?;
+                if i > 0 && delta == 0 {
+                    return Err(WireError::NotSorted);
+                }
+                prev = prev.checked_add(delta).ok_or(WireError::VarintOverflow)?;
+                indices.push(prev as usize);
+                let &q = frame.get(pos).ok_or(WireError::Truncated)?;
+                pos += 1;
+                values.push((f64::from(lo) + f64::from(q) * step) as f32);
+            }
+        }
+        4 => {
+            let mut prev = 0u64;
+            for i in 0..nnz {
+                let delta = read_varint(frame, &mut pos)?;
+                if i > 0 && delta == 0 {
+                    return Err(WireError::NotSorted);
+                }
+                prev = prev.checked_add(delta).ok_or(WireError::VarintOverflow)?;
+                indices.push(prev as usize);
+                let bytes: [u8; 2] = frame
+                    .get(pos..pos + 2)
+                    .ok_or(WireError::Truncated)?
+                    .try_into()
+                    .expect("2-byte slice");
+                pos += 2;
+                values.push(f16_bits_to_f32(u16::from_le_bytes(bytes)));
+            }
+        }
+        5 => {
+            let magnitude = read_value(frame, &mut pos)?;
+            if !magnitude.is_finite() || magnitude < 0.0 {
+                return Err(WireError::InvalidQuantization("sign-norm magnitude"));
+            }
+            let signs_len = nnz.div_ceil(8);
+            let signs = frame
+                .get(pos..pos + signs_len)
+                .ok_or(WireError::Truncated)?
+                .to_vec();
+            pos += signs_len;
+            if !nnz.is_multiple_of(8) && signs[signs_len - 1] >> (nnz % 8) != 0 {
+                return Err(WireError::InvalidQuantization("sign-norm padding bits"));
+            }
+            let mut prev = 0u64;
+            for i in 0..nnz {
+                let delta = read_varint(frame, &mut pos)?;
+                if i > 0 && delta == 0 {
+                    return Err(WireError::NotSorted);
+                }
+                prev = prev.checked_add(delta).ok_or(WireError::VarintOverflow)?;
+                indices.push(prev as usize);
+                let negative = signs[i / 8] & (1 << (i % 8)) != 0;
+                values.push(if negative { -magnitude } else { magnitude });
             }
         }
         other => return Err(WireError::UnknownCodec(other)),

@@ -8,18 +8,24 @@
 //! an out-of-range index, never a huge speculative allocation.
 
 use agsfl_sparse::SparseGradient;
-use agsfl_wire::{decode_frame, Auto, Bitmap, Codec, CooF32, DeltaVarint, WireError, WireScratch};
+use agsfl_wire::{
+    decode_frame, Auto, Bitmap, Codec, CooF32, DeltaVarint, QLinear8, SignNorm, WireError,
+    WireScratch, F16,
+};
 use proptest::prelude::*;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn codecs() -> [Box<dyn Codec>; 4] {
-    [
+fn codecs() -> Vec<Box<dyn Codec>> {
+    vec![
         Box::new(CooF32),
         Box::new(DeltaVarint),
         Box::new(Bitmap),
         Box::new(Auto),
+        Box::new(QLinear8::new(9)),
+        Box::new(F16),
+        Box::new(SignNorm),
     ]
 }
 
@@ -114,6 +120,81 @@ fn length_prefixes_cannot_demand_absurd_allocations() {
             *b = 0xFF;
         }
         assert_decode_is_total(&huge);
+    }
+}
+
+/// A valid lossy frame with one-byte `dim`/`nnz` varints, so the
+/// quantization header sits at a known offset (byte 3) for surgical
+/// corruption.
+fn small_lossy_frame(codec: &dyn Codec, n: usize) -> Vec<u8> {
+    let entries: Vec<(usize, f32)> = (0..n).map(|i| (i * 7, 1.5 - i as f32)).collect();
+    let mut scratch = WireScratch::new();
+    let frame = codec.encode_into(64, &entries, &mut scratch).to_vec();
+    let mut out = Vec::new();
+    decode_frame(&frame, &mut out).expect("pristine lossy frame must decode");
+    frame
+}
+
+#[test]
+fn qlinear8_malformed_bounds_yield_typed_errors() {
+    let frame = small_lossy_frame(&QLinear8::new(3), 8);
+    let mut out = Vec::new();
+    // lo occupies bytes 3..7, hi bytes 7..11.
+    for bad in [
+        (3, f32::NAN),          // non-finite lo
+        (7, f32::INFINITY),     // non-finite hi
+        (7, f32::NEG_INFINITY), // hi below lo
+        (3, 1.0e30),            // lo above hi
+    ] {
+        let mut corrupt = frame.clone();
+        corrupt[bad.0..bad.0 + 4].copy_from_slice(&bad.1.to_le_bytes());
+        let err = decode_frame(&corrupt, &mut out).unwrap_err();
+        assert!(
+            matches!(err, WireError::InvalidQuantization(_)),
+            "expected InvalidQuantization, got {err:?}"
+        );
+        assert_decode_is_total(&corrupt);
+    }
+}
+
+#[test]
+fn sign_norm_malformed_magnitude_and_padding_yield_typed_errors() {
+    // n = 5 leaves three padding bits in the single sign byte at offset 7.
+    let frame = small_lossy_frame(&SignNorm, 5);
+    let mut out = Vec::new();
+    for bad_magnitude in [f32::NAN, f32::INFINITY, -1.0f32] {
+        let mut corrupt = frame.clone();
+        corrupt[3..7].copy_from_slice(&bad_magnitude.to_le_bytes());
+        let err = decode_frame(&corrupt, &mut out).unwrap_err();
+        assert!(
+            matches!(err, WireError::InvalidQuantization(_)),
+            "expected InvalidQuantization, got {err:?}"
+        );
+        assert_decode_is_total(&corrupt);
+    }
+    let mut corrupt = frame.clone();
+    corrupt[7] |= 0b1110_0000; // set the padding bits above the 5 sign bits
+    let err = decode_frame(&corrupt, &mut out).unwrap_err();
+    assert!(
+        matches!(err, WireError::InvalidQuantization(_)),
+        "expected InvalidQuantization, got {err:?}"
+    );
+    assert_decode_is_total(&corrupt);
+}
+
+#[test]
+fn truncated_quantization_headers_are_truncation_errors() {
+    let mut out = Vec::new();
+    for (codec, header_end) in [
+        (&QLinear8::new(3) as &dyn Codec, 11usize), // id + dim + nnz + lo + hi
+        (&F16 as &dyn Codec, 3),                    // id + dim + nnz
+        (&SignNorm as &dyn Codec, 8),               // id + dim + nnz + magnitude + signs
+    ] {
+        let frame = small_lossy_frame(codec, 8);
+        for cut in 3..header_end.min(frame.len()) {
+            let err = decode_frame(&frame[..cut], &mut out).unwrap_err();
+            assert_eq!(err, WireError::Truncated, "{} cut at {cut}", codec.name());
+        }
     }
 }
 

@@ -27,6 +27,11 @@ cargo test -q -p agsfl-core resume
 step "decode fuzz (hostile frames never panic the wire layer)"
 cargo test -q -p agsfl-wire --test decode_fuzz
 
+step "lossy tier (quantize/dequantize contracts + seed-reproducibility pins)"
+cargo test -q -p agsfl-wire --test quantized_roundtrip
+cargo test -q -p agsfl-fl --test lossy_reproducibility
+cargo test -q -p agsfl-core qlinear8
+
 step "bounded-RSS smoke (N=10^5 cohort rounds under a 256 MiB peak-RSS assertion)"
 cargo run --release --example million_clients -- --smoke
 
