@@ -15,7 +15,11 @@
 //! (`agsfl_sparse::reference`), the serial scratch-reusing `select_into`
 //! fast path, and the sharded `select_parallel` path on a multi-thread
 //! executor (serial vs sharded is the `fab_select_sharded` pair), plus the
-//! client-side top-k kernel in both variants. The `cnn_forward` pair times
+//! client-side top-k kernel in both variants. The `pool_dispatch` pair
+//! prices one parallel region's *dispatch* — the historical
+//! spawn-per-region `thread::scope` baseline vs the persistent channel-fed
+//! worker pool — over a trivially small region, so the per-round overhead
+//! the pool saves is tracked explicitly. The `cnn_forward` pair times
 //! the paper-shape (~420k-weight, batch 32) CNN forward pass through the
 //! seed scalar loops (`agsfl_ml::reference`) and the im2col lowering. The
 //! `eval_sweep` pair times one evaluation point's `O(N·D)` metric sweep
@@ -215,6 +219,46 @@ fn main() {
         sharded_threads,
         fab_sharded.scratch_ns,
         fab_sharded.speedup()
+    );
+
+    // Parallel-region dispatch overhead: the historical spawn-per-region
+    // `thread::scope` path (`map_mut_scoped`, the retained baseline) vs the
+    // persistent channel-fed pool (`map_mut`), over a deliberately tiny
+    // region — trivial per-item work on a small slice — so the pair
+    // isolates what *dispatching* one region costs, not what the region
+    // computes. The round engine pays this cost several times per round;
+    // the acceptance bar is pool dispatch below the scope spawn cost.
+    const DISPATCH_ITEMS: usize = 64;
+    let dispatch_exec = Executor::new(sharded_threads).with_min_items(1);
+    let mut dispatch_items = vec![0u64; DISPATCH_ITEMS];
+    let seed_ns = time_ns(|| {
+        black_box(
+            dispatch_exec.map_mut_scoped(black_box(&mut dispatch_items), |x| {
+                *x = x.wrapping_add(1);
+                *x
+            }),
+        );
+    });
+    let scratch_ns = time_ns(|| {
+        black_box(dispatch_exec.map_mut(black_box(&mut dispatch_items), |x| {
+            *x = x.wrapping_add(1);
+            *x
+        }));
+    });
+    let pool_dispatch = KernelReport {
+        name: "pool_dispatch",
+        dim: DISPATCH_ITEMS,
+        clients: DISPATCH_ITEMS,
+        k: 0,
+        threads: sharded_threads,
+        seed_ns,
+        scratch_ns,
+    };
+    eprintln!(
+        "  pool_dispatch ({DISPATCH_ITEMS} items): scope spawn {:.0} ns, pool {:.0} ns -> {:.2}x",
+        pool_dispatch.seed_ns,
+        pool_dispatch.scratch_ns,
+        pool_dispatch.speedup()
     );
 
     // Client-side top-k extraction: the seed full-dimension-copy baseline
@@ -599,6 +643,7 @@ fn main() {
     let kernels = [
         fab,
         fab_sharded,
+        pool_dispatch,
         topk_report,
         cnn_report,
         eval_report,

@@ -2,9 +2,14 @@
 //!
 //! Every parallel region in the workspace — the fused per-client
 //! gradient/upload pass, the probe-loss sweep and the sharded server
-//! selection in `agsfl-sparse` — runs through one [`Executor`], a chunked
-//! scoped-thread runner configured once per simulation from a
-//! [`Parallelism`] knob and reused every round.
+//! selection in `agsfl-sparse` — runs through one [`Executor`], configured
+//! once per simulation from a [`Parallelism`] knob and reused every round.
+//! The executor owns a lazily spawned, **persistent** [`pool::WorkerPool`]:
+//! worker threads are created on the first parallel region and fed over a
+//! channel from then on, so a region costs a few channel sends and one
+//! condition-variable wait instead of a full `std::thread::scope`
+//! spawn/join cycle (see `pool_dispatch` in `BENCH_kernels.json` for the
+//! measured gap).
 //!
 //! # Determinism and thread safety
 //!
@@ -15,9 +20,8 @@
 //!
 //! * **Disjoint mutable state.** Every primitive hands each worker a
 //!   disjoint `&mut` chunk of the input slice (clients, shards, reset
-//!   buffers). There is no shared mutable state, no locks and no atomics;
-//!   the borrow checker proves non-interference at compile time (the
-//!   whole workspace is `#![forbid(unsafe_code)]`).
+//!   buffers). Chunks are passed through take-once slots, so no two workers
+//!   can observe the same chunk; there is no other shared mutable state.
 //! * **Owned per-item randomness.** Each federated client owns its private
 //!   RNG and mini-batch sampler, so applying a closure to clients in any
 //!   interleaving draws exactly the same random streams as a sequential
@@ -25,6 +29,10 @@
 //! * **Ordered results.** [`Executor::map_mut`]/[`Executor::map_ref`]
 //!   concatenate per-chunk outputs in chunk order, which is input order —
 //!   a parallel map returns the same `Vec` a serial `iter().map()` would.
+//!   [`Executor::pipeline_mut`] extends the same guarantee to overlapped
+//!   stages: producers run on the pool in any order, but the consumer runs
+//!   on the calling thread in strict item order over an index-ordered
+//!   completion queue.
 //! * **Exact merges downstream.** Consumers that reduce across workers
 //!   (the selection shards in `agsfl-sparse`) only merge values whose
 //!   reduction is exact — integer histograms, minima, and index sets — or
@@ -32,31 +40,42 @@
 //!   evaluated in the serial accumulation order. No floating-point
 //!   reassociation ever happens behind the caller's back.
 //!
-//! The worker pool is rebuilt per parallel region with
-//! [`std::thread::scope`]: scoped spawning is the only way in safe `std`
-//! to run borrowed closures on other threads, and it lets the executor
-//! stay a trivially copyable configuration object. The executor therefore
-//! *persists* (it is created once and reused every round), while the OS
-//! threads are cheap per-region spawns; regions are deliberately coarse
-//! (one per round phase) to amortize them.
+//! The pool replaces the per-region scoped spawn with the generation
+//! handshake documented in [`pool`]: the submitter blocks until every task
+//! of its generation has completed, which is the same borrow-outlives-use
+//! proof `std::thread::scope` provides structurally. The historical scoped
+//! path survives as [`Executor::map_mut_scoped`]/
+//! [`Executor::map_ref_scoped`] — the executable spec the pool path is
+//! pinned against in tests, and the benchmark baseline for the dispatch
+//! overhead pair.
+//!
+//! Nested regions — a worker that itself calls an executor primitive, for
+//! example the row-parallel CNN forward invoked from inside a sharded
+//! evaluation sweep — run inline on that worker (bit-identical; see
+//! [`pool::on_worker_thread`]), so the pool can never wait on itself.
 //!
 //! # Serial fallback
 //!
 //! A region falls back to an in-place sequential loop when the executor
 //! has one thread or when there are fewer than [`Executor::min_items`]
 //! work items (default [`DEFAULT_MIN_ITEMS`]) — tiny test simulations with
-//! a handful of clients should not pay thread spawns. The fallback runs
-//! the *same closures on the same data in the same order*, so it is
+//! a handful of clients should not pay dispatch. The fallback runs the
+//! *same closures on the same data in the same order*, so it is
 //! observationally identical to the parallel path.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod mem;
+pub mod pool;
 
 use std::num::NonZeroUsize;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
+
+use pool::WorkerPool;
 
 /// How many worker threads a simulation should use.
 ///
@@ -99,16 +118,35 @@ impl Parallelism {
 /// configuration instead of being hard-coded at one call site.
 pub const DEFAULT_MIN_ITEMS: usize = 4;
 
-/// A chunked scoped-thread executor.
+/// How many chunks per worker [`Executor::pipeline_mut`] splits its input
+/// into: finer chunks than the plain maps so the in-order consumer starts
+/// draining while later chunks are still producing.
+const PIPELINE_CHUNKS_PER_WORKER: usize = 4;
+
+/// A chunked parallel executor over a persistent worker pool.
 ///
-/// Configuration-only: holds a thread count and a minimum work-item
-/// threshold, and spawns scoped workers per parallel region. Copy it
-/// freely; see the crate docs for the determinism argument.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Holds a thread count, a minimum work-item threshold, and a lazily
+/// spawned [`pool::WorkerPool`] shared by every clone. Cloning is cheap
+/// (an `Arc` bump); the pool's workers are joined when the last clone is
+/// dropped. See the crate docs for the determinism argument.
+#[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
     min_items: usize,
+    /// The shared pool, spawned by the first parallel region. `Executor`s
+    /// that never parallelize (serial config, tiny inputs) never spawn a
+    /// thread.
+    pool: Arc<OnceLock<WorkerPool>>,
 }
+
+impl PartialEq for Executor {
+    fn eq(&self, other: &Self) -> bool {
+        // Configuration equality; the pool is an implementation detail.
+        self.threads == other.threads && self.min_items == other.min_items
+    }
+}
+
+impl Eq for Executor {}
 
 impl Default for Executor {
     fn default() -> Self {
@@ -119,10 +157,14 @@ impl Default for Executor {
 impl Executor {
     /// An executor with exactly `threads` workers (`0` is treated as `1`)
     /// and the default [`DEFAULT_MIN_ITEMS`] serial-fallback threshold.
+    ///
+    /// No threads are spawned until the first region actually
+    /// parallelizes.
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
             min_items: DEFAULT_MIN_ITEMS,
+            pool: Arc::new(OnceLock::new()),
         }
     }
 
@@ -137,7 +179,8 @@ impl Executor {
     }
 
     /// Overrides the serial-fallback threshold: regions with fewer than
-    /// `min_items` work items run on the calling thread.
+    /// `min_items` work items run on the calling thread. The returned
+    /// executor shares this executor's worker pool.
     pub fn with_min_items(mut self, min_items: usize) -> Self {
         self.min_items = min_items;
         self
@@ -158,8 +201,21 @@ impl Executor {
         self.threads <= 1
     }
 
+    /// Whether the persistent pool has been spawned yet (it is created by
+    /// the first region that parallelizes and reused from then on).
+    pub fn pool_started(&self) -> bool {
+        self.pool.get().is_some()
+    }
+
+    /// Regions submitted to the pool so far, across every clone of this
+    /// executor (`0` before the pool starts). Diagnostic: lifecycle tests
+    /// assert the pool is reused, not respawned.
+    pub fn pool_generations(&self) -> u64 {
+        self.pool.get().map_or(0, WorkerPool::generations)
+    }
+
     /// The fallback policy in one place: whether a region over `items` work
-    /// items is worth spawning for — multiple threads, at least
+    /// items is worth dispatching — multiple threads, at least
     /// [`Executor::min_items`] items, and at least one item. Callers that
     /// return `false` here must run their serial (bit-identical) path.
     pub fn should_parallelize(&self, items: usize) -> bool {
@@ -175,10 +231,233 @@ impl Executor {
         }
     }
 
+    /// The shared pool, spawning it on first use.
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.threads))
+    }
+
     /// Applies `f` to every item of `items`, splitting the slice across
-    /// threads in contiguous chunks. Results are returned **in item
-    /// order**, exactly as a sequential `iter_mut().map(f).collect()`.
+    /// the pool's workers in contiguous chunks. Results are returned **in
+    /// item order**, exactly as a sequential `iter_mut().map(f).collect()`.
     pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        let threads = self.plan(items.len());
+        if threads <= 1 || pool::on_worker_thread() {
+            return items.iter_mut().map(f).collect();
+        }
+        let total = items.len();
+        let chunk = total.div_ceil(threads);
+        let pool = self.pool();
+        // Take-once chunk slots plus one ordered result slot per chunk:
+        // the ordered completion queue that makes the parallel map
+        // indistinguishable from the serial one.
+        let chunks: Vec<Mutex<Option<&mut [T]>>> = items
+            .chunks_mut(chunk)
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        let results: Vec<Mutex<Option<Vec<R>>>> =
+            (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+        let f = &f;
+        let task = |i: usize| {
+            let chunk = lock(&chunks[i]).take().expect("chunk dispatched once");
+            let out: Vec<R> = chunk.iter_mut().map(f).collect();
+            *lock(&results[i]) = Some(out);
+        };
+        pool.run_region(chunks.len(), &task);
+        let mut out = Vec::with_capacity(total);
+        for slot in results {
+            out.extend(
+                slot.into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .expect("completed region filled every slot"),
+            );
+        }
+        out
+    }
+
+    /// Read-only sibling of [`Executor::map_mut`]: applies `f` to every
+    /// item of a shared slice, returning results in item order.
+    pub fn map_ref<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.plan(items.len());
+        if threads <= 1 || pool::on_worker_thread() {
+            return items.iter().map(f).collect();
+        }
+        let total = items.len();
+        let chunk = total.div_ceil(threads);
+        let pool = self.pool();
+        let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+        let results: Vec<Mutex<Option<Vec<R>>>> =
+            (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+        let f = &f;
+        let task = |i: usize| {
+            let out: Vec<R> = chunks[i].iter().map(f).collect();
+            *lock(&results[i]) = Some(out);
+        };
+        pool.run_region(chunks.len(), &task);
+        let mut out = Vec::with_capacity(total);
+        for slot in results {
+            out.extend(
+                slot.into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .expect("completed region filled every slot"),
+            );
+        }
+        out
+    }
+
+    /// Overlapped producer/consumer over one slice: `produce` runs on the
+    /// pool's workers (chunked, any order), while `consume` runs on the
+    /// calling thread **in strict item order** as chunks complete — an
+    /// index-ordered completion queue buffers out-of-order chunks.
+    ///
+    /// Bit-identical to the serial interleaving
+    /// `for (i, item) { let r = produce(item); consume(i, item, r) }`
+    /// whenever `produce` is a pure per-item function (no cross-item
+    /// state), because the consumer observes items and results in exactly
+    /// that order. This is the primitive behind the round engine's
+    /// client-encode → server-decode stage overlap.
+    ///
+    /// Falls back to the serial interleaving on one thread, under
+    /// [`Executor::min_items`], or on a pool worker.
+    pub fn pipeline_mut<T, R, F, C>(&self, items: &mut [T], produce: F, mut consume: C)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+        C: FnMut(usize, &mut T, R),
+    {
+        let threads = self.plan(items.len());
+        if threads <= 1 || pool::on_worker_thread() {
+            for (index, item) in items.iter_mut().enumerate() {
+                let produced = produce(item);
+                consume(index, item, produced);
+            }
+            return;
+        }
+        let total = items.len();
+        let n_chunks = total.min(threads * PIPELINE_CHUNKS_PER_WORKER);
+        let chunk = total.div_ceil(n_chunks);
+        let pool = self.pool();
+
+        // Messages flow from producers back to this thread: the finished
+        // chunk index, the chunk's exclusive borrow (handed back so the
+        // consumer may mutate items the producers are done with), and the
+        // per-item results — or the panic payload of a failed chunk.
+        enum PipeMsg<'a, T, R> {
+            Done(usize, &'a mut [T], Vec<R>),
+            Failed(Box<dyn std::any::Any + Send + 'static>),
+        }
+        let chunks: Vec<Mutex<Option<&mut [T]>>> = items
+            .chunks_mut(chunk)
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        let n = chunks.len();
+        let (tx, rx) = channel::<PipeMsg<'_, T, R>>();
+        let produce = &produce;
+        let task = |i: usize| {
+            let chunk = lock(&chunks[i]).take().expect("chunk dispatched once");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut out = Vec::with_capacity(chunk.len());
+                for item in chunk.iter_mut() {
+                    out.push(produce(item));
+                }
+                out
+            }));
+            // Failures are reported through the queue rather than the
+            // region, so the in-order consumer below can keep draining
+            // and the submitter re-raises after the region completes.
+            let msg = match outcome {
+                Ok(out) => PipeMsg::Done(i, chunk, out),
+                Err(payload) => PipeMsg::Failed(payload),
+            };
+            let _ = tx.send(msg);
+        };
+        let handle = pool.submit_region(n, &task);
+        let mut pending: std::collections::BTreeMap<usize, (&mut [T], Vec<R>)> =
+            std::collections::BTreeMap::new();
+        let mut next = 0usize;
+        let mut consumed_base = 0usize;
+        let mut failure: Option<Box<dyn std::any::Any + Send + 'static>> = None;
+        for _ in 0..n {
+            match rx.recv() {
+                Ok(PipeMsg::Done(i, chunk, out)) => {
+                    pending.insert(i, (chunk, out));
+                    while failure.is_none() {
+                        let Some((chunk, out)) = pending.remove(&next) else {
+                            break;
+                        };
+                        for (offset, (item, produced)) in chunk.iter_mut().zip(out).enumerate() {
+                            consume(consumed_base + offset, item, produced);
+                        }
+                        consumed_base += chunk.len();
+                        next += 1;
+                    }
+                }
+                Ok(PipeMsg::Failed(payload)) => {
+                    failure.get_or_insert(payload);
+                }
+                Err(_) => break, // unreachable: `tx` lives on this frame
+            }
+        }
+        handle.finish();
+        if let Some(payload) = failure {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Runs `a` on the calling thread and `b` on a pool worker,
+    /// concurrently, returning both results. The two closures must touch
+    /// disjoint state (the borrow checker enforces it for borrows); since
+    /// neither result depends on scheduling, the overlap cannot change
+    /// bits. Falls back to `a` then `b` serially on one thread or on a
+    /// pool worker — the same order the results tuple implies.
+    ///
+    /// A panic in either side is propagated after both sides have
+    /// completed (the pool's handshake always waits for `b`).
+    pub fn join<RA, RB, FA, FB>(&self, a: FA, b: FB) -> (RA, RB)
+    where
+        RB: Send,
+        FA: FnOnce() -> RA,
+        FB: FnOnce() -> RB + Send,
+    {
+        if self.threads <= 1 || pool::on_worker_thread() {
+            return (a(), b());
+        }
+        let pool = self.pool();
+        let b_slot: Mutex<Option<FB>> = Mutex::new(Some(b));
+        let out: Mutex<Option<RB>> = Mutex::new(None);
+        let task = |_i: usize| {
+            let b = lock(&b_slot).take().expect("join task dispatched once");
+            *lock(&out) = Some(b());
+        };
+        let handle = pool.submit_region(1, &task);
+        // If `a` panics, `handle`'s Drop still waits for `b` before the
+        // borrows above leave scope.
+        let ra = a();
+        handle.finish();
+        let rb = out
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .expect("completed join produced a result");
+        (ra, rb)
+    }
+
+    /// The historical spawn-per-region map over `std::thread::scope`,
+    /// retained as the executable spec the pool path is pinned against
+    /// (`pool_matches_scoped_*` tests) and as the benchmark baseline that
+    /// isolates dispatch overhead (`pool_dispatch` in the bench report).
+    /// Bit-identical to [`Executor::map_mut`] by construction: same
+    /// chunking, same closures, results concatenated in the same order.
+    pub fn map_mut_scoped<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
@@ -189,13 +468,14 @@ impl Executor {
             return items.iter_mut().map(f).collect();
         }
         let chunk = items.len().div_ceil(threads);
+        let total = items.len();
         std::thread::scope(|scope| {
             let f = &f;
             let handles: Vec<_> = items
                 .chunks_mut(chunk)
                 .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<R>>()))
                 .collect();
-            let mut out = Vec::with_capacity(handles.len() * chunk);
+            let mut out = Vec::with_capacity(total);
             for handle in handles {
                 match handle.join() {
                     Ok(part) => out.extend(part),
@@ -206,9 +486,8 @@ impl Executor {
         })
     }
 
-    /// Read-only sibling of [`Executor::map_mut`]: applies `f` to every
-    /// item of a shared slice, returning results in item order.
-    pub fn map_ref<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    /// Read-only sibling of [`Executor::map_mut_scoped`]; see there.
+    pub fn map_ref_scoped<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
@@ -235,6 +514,14 @@ impl Executor {
             out
         })
     }
+}
+
+/// Poison-tolerant lock (see `pool::lock_unpoisoned`; duplicated here to
+/// keep the pool module self-contained).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[cfg(test)]
@@ -267,8 +554,9 @@ mod tests {
 
     #[test]
     fn min_items_threshold_falls_back_to_serial() {
-        // With the default threshold, a 3-item region must not spawn: the
-        // closure observes it runs on the calling thread.
+        // With the default threshold, a 3-item region must not dispatch:
+        // the closure observes it runs on the calling thread, and the pool
+        // is never spawned.
         let caller = std::thread::current().id();
         let mut items = [0u8; 3];
         let exec = Executor::new(8);
@@ -276,6 +564,7 @@ mod tests {
         exec.map_mut(&mut items, |_| {
             assert_eq!(std::thread::current().id(), caller);
         });
+        assert!(!exec.pool_started());
     }
 
     #[test]
@@ -298,6 +587,45 @@ mod tests {
         assert_eq!(exec.map_mut(&mut one, |x| *x + 1), vec![6]);
     }
 
+    // Regression: the result vector used to reserve `handles.len() * chunk`
+    // elements — an over-reservation whenever `threads` does not divide
+    // `len` (and a theoretical `usize` overflow) — instead of `len`. The
+    // corners below pin the exact capacity for the empty slice and for
+    // fewer items than threads.
+    #[test]
+    fn result_reservation_is_exact() {
+        // len=5, threads=4 -> chunk=2, 3 chunks; old reservation was 6.
+        let exec = Executor::new(4).with_min_items(1);
+        let mut items: Vec<u8> = (0..5).collect();
+        let out = exec.map_mut(&mut items, |x| *x);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.capacity(), 5, "reservation must be items.len()");
+        let out = exec.map_ref(&items, |&x| x);
+        assert_eq!(out.capacity(), 5, "reservation must be items.len()");
+        // Scoped baseline gets the same fix.
+        let out = exec.map_mut_scoped(&mut items, |x| *x);
+        assert_eq!(out.capacity(), 5, "scoped reservation must be items.len()");
+    }
+
+    #[test]
+    fn empty_slice_allocates_nothing_and_spawns_nothing() {
+        let exec = Executor::new(8).with_min_items(0);
+        let mut empty: Vec<u64> = Vec::new();
+        let out = exec.map_mut(&mut empty, |x| *x);
+        assert_eq!(out.capacity(), 0);
+        assert!(!exec.pool_started(), "empty region must not spawn the pool");
+    }
+
+    #[test]
+    fn fewer_items_than_threads_uses_one_chunk_per_item() {
+        // len=2 < threads=8 with the gate lowered: 2 chunks, order kept.
+        let exec = Executor::new(8).with_min_items(1);
+        let mut items = vec![10u32, 20];
+        let out = exec.map_mut(&mut items, |x| *x + 1);
+        assert_eq!(out, vec![11, 21]);
+        assert_eq!(out.capacity(), 2);
+    }
+
     #[test]
     fn worker_panics_propagate_with_payload() {
         let exec = Executor::new(4).with_min_items(1);
@@ -313,5 +641,121 @@ mod tests {
             .downcast_ref::<String>()
             .expect("assert message preserved");
         assert!(msg.contains("boom at 11"), "{msg}");
+        // The executor (and its pool) stays usable after the panic.
+        let got = exec.map_ref(&[1u8, 2, 3], |&x| x);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones_and_reused() {
+        let exec = Executor::new(2).with_min_items(1);
+        let clone = exec.clone().with_min_items(1);
+        let mut items: Vec<u32> = (0..8).collect();
+        exec.map_mut(&mut items, |x| *x);
+        clone.map_mut(&mut items, |x| *x);
+        assert!(exec.pool_started() && clone.pool_started());
+        assert_eq!(
+            exec.pool_generations(),
+            clone.pool_generations(),
+            "clones must share one pool"
+        );
+        assert!(exec.pool_generations() >= 2);
+    }
+
+    #[test]
+    fn pool_and_scoped_paths_are_bit_identical() {
+        let exec = Executor::new(3).with_min_items(1);
+        let items: Vec<f32> = (0..101).map(|i| i as f32 * 0.37).collect();
+        let via_pool = exec.map_ref(&items, |&x| (x * x).to_bits());
+        let via_scope = exec.map_ref_scoped(&items, |&x| (x * x).to_bits());
+        assert_eq!(via_pool, via_scope);
+    }
+
+    #[test]
+    fn pipeline_matches_serial_interleaving() {
+        for threads in [1usize, 2, 4, 8] {
+            let exec = Executor::new(threads).with_min_items(1);
+            let mut items: Vec<u64> = (0..57).collect();
+            let mut seen: Vec<(usize, u64, u64)> = Vec::new();
+            exec.pipeline_mut(
+                &mut items,
+                |x| {
+                    *x += 1;
+                    *x * 2
+                },
+                |i, item, produced| seen.push((i, *item, produced)),
+            );
+            let expected: Vec<(usize, u64, u64)> = (0..57u64)
+                .map(|i| (i as usize, i + 1, (i + 1) * 2))
+                .collect();
+            assert_eq!(seen, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pipeline_consumer_may_mutate_items() {
+        let exec = Executor::new(4).with_min_items(1);
+        let mut items: Vec<u64> = (0..40).collect();
+        exec.pipeline_mut(
+            &mut items,
+            |x| *x * 10,
+            |_, item, produced| *item = produced + 1,
+        );
+        let expected: Vec<u64> = (0..40).map(|i| i * 10 + 1).collect();
+        assert_eq!(items, expected);
+    }
+
+    #[test]
+    fn pipeline_producer_panic_propagates() {
+        let exec = Executor::new(4).with_min_items(1);
+        let mut items: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.pipeline_mut(
+                &mut items,
+                |&mut x| {
+                    assert!(x != 17, "pipe boom at {x}");
+                    x
+                },
+                |_, _, _| {},
+            );
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("pipe boom at 17"), "{msg}");
+    }
+
+    #[test]
+    fn join_runs_both_sides_and_propagates_panics() {
+        for threads in [1usize, 4] {
+            let exec = Executor::new(threads);
+            let xs: Vec<u64> = (0..100).collect();
+            let (a, b) = exec.join(|| xs.iter().sum::<u64>(), || xs.iter().max().copied());
+            assert_eq!(a, 4950);
+            assert_eq!(b, Some(99));
+        }
+        let exec = Executor::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.join(|| 1u8, || panic!("join boom"))
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&'static str>().expect("str payload");
+        assert!(msg.contains("join boom"), "{msg}");
+    }
+
+    #[test]
+    fn nested_regions_run_inline_on_workers() {
+        // A region whose closure itself maps through the executor must not
+        // deadlock: the nested call runs inline on the worker.
+        let exec = Executor::new(2).with_min_items(1);
+        let inner = exec.clone();
+        let items: Vec<u32> = (0..8).collect();
+        let nested: Vec<Vec<u32>> = exec.map_ref(&items, |&x| {
+            let small: Vec<u32> = (0..4).map(|i| i + x).collect();
+            inner.map_ref(&small, |&y| y * 2)
+        });
+        for (x, row) in nested.into_iter().enumerate() {
+            let expected: Vec<u32> = (0..4).map(|i| (i + x as u32) * 2).collect();
+            assert_eq!(row, expected);
+        }
     }
 }

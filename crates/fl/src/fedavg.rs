@@ -214,7 +214,7 @@ impl FedAvgSimulation {
             // re-apply the executor's min-items gate (2 stripes on a
             // 2-thread executor must actually spawn); the is_serial/dim
             // guard above already made the parallelize decision.
-            let exec = self.executor.with_min_items(1);
+            let exec = self.executor.clone().with_min_items(1);
             exec.map_mut(&mut stripes, |(i, chunk)| {
                 let lo = *i * stripe;
                 for client in clients {

@@ -680,7 +680,7 @@ impl Simulation {
         let params = &self.params;
         let wire_codec: Option<(&dyn Codec, bool)> =
             self.wire.as_ref().map(|w| (w.codec.as_ref(), w.lossy));
-        let _: Vec<()> = self.executor.map_mut(&mut self.slots[..c], |slot| {
+        let client_pass = |slot: &mut Slot| {
             if slot.offline {
                 // Mid-outage: no compute, no upload, and none of the
                 // member's streams advance, so recovery resumes them at
@@ -714,27 +714,88 @@ impl Simulation {
                 None => {}
             }
             slot.online = true;
-        });
+        };
         let mut train_loss = 0.0f64;
         self.survivors.clear();
-        for (pos, slot) in self.slots[..c].iter().enumerate() {
-            if slot.offline {
-                if let Some(fr) = fault_report.as_mut() {
-                    fr.offline += 1;
-                }
-                continue;
+        let faulty = plans.is_some();
+        let wired = self.wire.is_some();
+        if !faulty {
+            // Clean path: every member survives, so the server can start
+            // consuming uploads while later members are still encoding. The
+            // client pass runs as the *producer* stage of a pipeline over
+            // the slot arena; the server-side decode into the aggregation
+            // inputs (historically a separate phase (1b) after a full
+            // barrier) is the *consumer*, running on this thread in strict
+            // cohort order as frames complete. The in-order consumer is
+            // what keeps the loss reduction and the upload list
+            // bit-identical to the sequential loop.
+            while self.uploads.len() < c {
+                self.uploads.push(ClientUpload::new(0, 0.0, Vec::new()));
             }
-            train_loss += slot.client.weight() * slot.loss as f64;
-            if slot.dropped {
-                // Upload lost in transit, no retry. The computed gradient
-                // stays in the member's residual accumulator (no reset will
-                // target it), so error feedback re-sends the mass later.
-                if let Some(fr) = fault_report.as_mut() {
-                    fr.dropped += 1;
+            let uploads = &mut self.uploads;
+            let survivors = &mut self.survivors;
+            self.executor
+                .pipeline_mut(&mut self.slots[..c], client_pass, |pos, slot, ()| {
+                    train_loss += slot.client.weight() * slot.loss as f64;
+                    survivors.push(pos);
+                    // (1b, fused) Decode the surviving frame *directly
+                    // into* its aggregation input — no intermediate
+                    // per-client gradient is allocated — so selection
+                    // genuinely runs on what crossed the wire. See the
+                    // faulty-path block below for the bit-identity argument
+                    // (decode is exact or client-pre-reconciled; re-ranking
+                    // is a total order); the debug assertion pins it here
+                    // too.
+                    let upload = &mut uploads[pos];
+                    upload.client = slot.client.id();
+                    upload.weight = slot.client.weight();
+                    upload.entries.clear();
+                    if wired {
+                        let (frame_dim, _) = decode_frame(&slot.frame, &mut upload.entries)
+                            .expect("self-encoded frame must decode");
+                        debug_assert_eq!(frame_dim, dim);
+                        if rerank {
+                            topk::rank_by_magnitude(&mut upload.entries);
+                        }
+                        debug_assert!(
+                            upload.entries.len() == slot.entries.len()
+                                && upload
+                                    .entries
+                                    .iter()
+                                    .zip(slot.entries.iter())
+                                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+                            "decoded uploads must be bit-identical to the built ones"
+                        );
+                    } else {
+                        upload.entries.extend_from_slice(&slot.entries);
+                    }
+                });
+        } else {
+            // Fault path: survivorship is only known after the wire-level
+            // fault pass below, so the client pass stays a plain parallel
+            // region and the decode runs afterwards over the compacted
+            // survivor list.
+            let _: Vec<()> = self.executor.map_mut(&mut self.slots[..c], client_pass);
+            for (pos, slot) in self.slots[..c].iter().enumerate() {
+                if slot.offline {
+                    if let Some(fr) = fault_report.as_mut() {
+                        fr.offline += 1;
+                    }
+                    continue;
                 }
-                continue;
+                train_loss += slot.client.weight() * slot.loss as f64;
+                if slot.dropped {
+                    // Upload lost in transit, no retry. The computed
+                    // gradient stays in the member's residual accumulator
+                    // (no reset will target it), so error feedback re-sends
+                    // the mass later.
+                    if let Some(fr) = fault_report.as_mut() {
+                        fr.dropped += 1;
+                    }
+                    continue;
+                }
+                self.survivors.push(pos);
             }
-            self.survivors.push(pos);
         }
 
         // (1a) Wire-level fault pass, serial in cohort order: replay every
@@ -810,45 +871,51 @@ impl Simulation {
         }
 
         // (1b) Fill the persistent aggregation inputs, one per surviving
-        // member, reusing their entry buffers. On the byte-priced path the
-        // server decodes each surviving frame *directly into* its
-        // aggregation input — no intermediate per-client gradient is
-        // allocated — so selection genuinely runs on what crossed the wire.
-        // Re-ranking the decoded entries reproduces the built uploads bit
-        // for bit — on the lossless tier because decode is exact and the
-        // top-k rank order is a total order of the values
-        // (`topk::compare_magnitude_then_index`); on the lossy tier because
-        // the client already rewrote its entry list with its own decode of
-        // the same frame. The debug assertion pins both every test run.
+        // member, reusing their entry buffers. On the clean path this
+        // already happened inside the pipeline consumer above (survivors
+        // are the identity mapping there, so `uploads[pos]` and
+        // `uploads[u_idx]` coincide); under fault injection it runs here,
+        // over the survivor list the wire-fault pass just compacted. On the
+        // byte-priced path the server decodes each surviving frame
+        // *directly into* its aggregation input — no intermediate
+        // per-client gradient is allocated — so selection genuinely runs on
+        // what crossed the wire. Re-ranking the decoded entries reproduces
+        // the built uploads bit for bit — on the lossless tier because
+        // decode is exact and the top-k rank order is a total order of the
+        // values (`topk::compare_magnitude_then_index`); on the lossy tier
+        // because the client already rewrote its entry list with its own
+        // decode of the same frame. The debug assertion pins both every
+        // test run.
         let s = self.survivors.len();
-        while self.uploads.len() < s {
-            self.uploads.push(ClientUpload::new(0, 0.0, Vec::new()));
-        }
-        let wired = self.wire.is_some();
-        for (u_idx, &pos) in self.survivors.iter().enumerate() {
-            let slot = &self.slots[pos];
-            let upload = &mut self.uploads[u_idx];
-            upload.client = slot.client.id();
-            upload.weight = slot.client.weight();
-            upload.entries.clear();
-            if wired {
-                let (frame_dim, _) = decode_frame(&slot.frame, &mut upload.entries)
-                    .expect("self-encoded frame must decode");
-                debug_assert_eq!(frame_dim, dim);
-                if rerank {
-                    topk::rank_by_magnitude(&mut upload.entries);
+        if faulty {
+            while self.uploads.len() < s {
+                self.uploads.push(ClientUpload::new(0, 0.0, Vec::new()));
+            }
+            for (u_idx, &pos) in self.survivors.iter().enumerate() {
+                let slot = &self.slots[pos];
+                let upload = &mut self.uploads[u_idx];
+                upload.client = slot.client.id();
+                upload.weight = slot.client.weight();
+                upload.entries.clear();
+                if wired {
+                    let (frame_dim, _) = decode_frame(&slot.frame, &mut upload.entries)
+                        .expect("self-encoded frame must decode");
+                    debug_assert_eq!(frame_dim, dim);
+                    if rerank {
+                        topk::rank_by_magnitude(&mut upload.entries);
+                    }
+                    debug_assert!(
+                        upload.entries.len() == slot.entries.len()
+                            && upload
+                                .entries
+                                .iter()
+                                .zip(slot.entries.iter())
+                                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
+                        "decoded uploads must be bit-identical to the built ones"
+                    );
+                } else {
+                    upload.entries.extend_from_slice(&slot.entries);
                 }
-                debug_assert!(
-                    upload.entries.len() == slot.entries.len()
-                        && upload
-                            .entries
-                            .iter()
-                            .zip(slot.entries.iter())
-                            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits()),
-                    "decoded uploads must be bit-identical to the built ones"
-                );
-            } else {
-                upload.entries.extend_from_slice(&slot.entries);
             }
         }
 
@@ -889,7 +956,16 @@ impl Simulation {
         // *decoded* before application — the weights advance by what
         // crossed the wire (bit-identical to the local aggregate because
         // the codecs are lossless; debug-asserted below).
-        let (round_time, wire_report) = match &mut self.wire {
+        //
+        // The O(N)-links broadcast *pricing* sweep
+        // (`ChannelModel::downlink_phase_time`) is deferred out of this
+        // match: it reads only the channel, so phase (4) below overlaps it
+        // with the end-of-round bookkeeping on a pool worker. Everything
+        // that feeds the next round's gradients — the weight update itself
+        // — still happens here, before the match ends: `params` is a true
+        // dependency of the next round's compute and is never raced.
+        // `time_before_downlink` carries the compute + uplink phases.
+        let (time_before_downlink, downlink_bytes, wire_report) = match &mut self.wire {
             None => {
                 selection.aggregated.apply_sgd(&mut self.params, lr);
                 let round_time = self.config.time_model.round_time(
@@ -897,7 +973,7 @@ impl Simulation {
                     selection.max_uplink_scalars(),
                     selection.downlink_scalars(),
                 );
-                (round_time, None)
+                (round_time, None, None)
             }
             Some(wire) => {
                 let frame = wire
@@ -940,7 +1016,7 @@ impl Simulation {
                     .iter()
                     .map(|&pos| frame_codec(&self.slots[pos].frame).expect("freshly encoded frame"))
                     .collect();
-                let round_time = if let Some(fr) = fault_report.as_ref() {
+                let time_before_downlink = if let Some(fr) = fault_report.as_ref() {
                     // Fault path: the uplink phase is the slowest delivery
                     // the server actually waited out — retries, backoff and
                     // straggler slowdown included, corrupt-lost members'
@@ -963,20 +1039,18 @@ impl Simulation {
                             .copied()
                             .fold(0.0f64, f64::max),
                     };
-                    wire.channel.compute_time()
-                        + uplink_phase
-                        + wire.channel.downlink_phase_time(round_idx, downlink_bytes)
+                    wire.channel.compute_time() + uplink_phase
                 } else {
                     // Clean path: the uplink phase waits for the cohort's
                     // own links; the downlink is still a broadcast priced
                     // over every link (the server pushes the global model
-                    // to the whole population). For a full cohort this is
-                    // exactly `ChannelModel::round_time`.
+                    // to the whole population) — added after the overlapped
+                    // sweep below. For a full cohort the total is exactly
+                    // `ChannelModel::round_time`.
                     wire.channel.compute_time()
                         + wire
                             .channel
                             .uplink_phase_time_for(round_idx, &cohort, &uplink_bytes)
-                        + wire.channel.downlink_phase_time(round_idx, downlink_bytes)
                 };
                 let max_uplink_bytes = uplink_bytes.iter().copied().max().unwrap_or(0);
                 let report = WireRoundReport {
@@ -986,43 +1060,72 @@ impl Simulation {
                     uplink_codecs,
                     downlink_codec,
                 };
-                (round_time, Some(report))
+                (time_before_downlink, Some(downlink_bytes), Some(report))
             }
         };
-        // Resets and contributions target the surviving members' slots:
-        // exactly the members whose uploads were aggregated get their used
-        // coordinates reset, so a lost member's residual keeps its update.
-        // On the lossy tier each reset coordinate is seeded with its
-        // quantization error instead of zero (error feedback); `errors` is
-        // empty on lossless rounds, which makes this bit-identical to a
-        // plain reset.
-        for (u_idx, resets) in selection.reset_indices.iter().enumerate() {
-            let slot = &mut self.slots[self.survivors[u_idx]];
-            slot.client.apply_reset_with_errors(resets, &slot.errors);
-        }
-        self.elapsed += round_time;
-
+        // (4) End-of-round bookkeeping, overlapped with the deferred
+        // broadcast-pricing sweep. The downlink phase price folds a max
+        // over *every* link in the channel (the server pushes the global
+        // model to the whole population), which is O(N) at million-client
+        // scale — by far the priciest read-only computation left in the
+        // round. It runs on a pool worker while this thread performs the
+        // resets, contributions, and dehydration; neither side touches the
+        // other's state (the sweep reads only the channel and two scalars),
+        // and `f64` addition of the two finished phase times afterwards is
+        // schedule-independent, so the overlap cannot change a single bit.
+        //
+        // Why not overlap the broadcast *application* with next-round
+        // gradients, as the pipelining dream goes? Because that edge is a
+        // true dependency: clients compute gradients at the post-broadcast
+        // weights. The pricing sweep is the part of the downlink with no
+        // consumer until `RoundReport`, so it is the part that legally
+        // moves off the critical path.
+        //
+        // Bookkeeping on this thread: resets and contributions target the
+        // surviving members' slots — exactly the members whose uploads were
+        // aggregated get their used coordinates reset, so a lost member's
+        // residual keeps its update. On the lossy tier each reset
+        // coordinate is seeded with its quantization error instead of zero
+        // (error feedback); `errors` is empty on lossless rounds, which
+        // makes this bit-identical to a plain reset. Dehydration then
+        // returns every member's persistent state to the population
+        // (first-time online participants get a new row; pristine offline
+        // first-timers are dropped and recreated identically on their next
+        // appearance), and the selection workspace notes this round's
+        // demand so a shrinking cohort or `k` releases capacity instead of
+        // staying priced at its high-water mark.
         let downlink_elements = selection.downlink_elements;
         let max_uplink_scalars = selection.max_uplink_scalars();
         let mut contributions = vec![0usize; c];
-        for (u_idx, used) in selection.into_contributions().into_iter().enumerate() {
-            contributions[self.survivors[u_idx]] = used;
-        }
-
-        // (4) Dehydration, serial: every member's persistent state returns
-        // to the population (first-time online participants get a new row;
-        // pristine offline first-timers are dropped and recreated
-        // identically on their next appearance). The selection workspace
-        // then notes this round's demand, so a shrinking cohort or `k`
-        // releases capacity instead of staying priced at its high-water
-        // mark.
-        for (pos, &id) in cohort.iter().enumerate() {
-            let slot = &mut self.slots[pos];
-            self.population
-                .dehydrate(id, slot.cached_row, slot.online, &mut slot.client);
-            slot.cached_row = None;
-        }
-        self.scratch.shrink_to_recent_demand();
+        let channel = self.wire.as_ref().map(|w| &w.channel);
+        let executor = &self.executor;
+        let slots = &mut self.slots;
+        let population = &mut self.population;
+        let scratch = &mut self.scratch;
+        let survivors = &self.survivors;
+        let ((), downlink_time) = executor.join(
+            || {
+                for (u_idx, resets) in selection.reset_indices.iter().enumerate() {
+                    let slot = &mut slots[survivors[u_idx]];
+                    slot.client.apply_reset_with_errors(resets, &slot.errors);
+                }
+                for (u_idx, used) in selection.into_contributions().into_iter().enumerate() {
+                    contributions[survivors[u_idx]] = used;
+                }
+                for (pos, &id) in cohort.iter().enumerate() {
+                    let slot = &mut slots[pos];
+                    population.dehydrate(id, slot.cached_row, slot.online, &mut slot.client);
+                    slot.cached_row = None;
+                }
+                scratch.shrink_to_recent_demand();
+            },
+            || match (channel, downlink_bytes) {
+                (Some(channel), Some(bytes)) => channel.downlink_phase_time(round_idx, bytes),
+                _ => 0.0,
+            },
+        );
+        let round_time = time_before_downlink + downlink_time;
+        self.elapsed += round_time;
 
         let report = RoundReport {
             round: self.round,

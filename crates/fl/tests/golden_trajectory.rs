@@ -90,13 +90,24 @@ const WIRE_GOLDEN: [(u64, u64); 5] = [
 /// The historical fault-injected trajectory (FUB-top-k, wired, chaos model).
 const FAULT_GOLDEN: (u64, u64) = (0xe4d0f29a4b5293cc, 0x406ecbb645a1cac1);
 
-fn plain_config(seed: u64, cohort: Option<usize>) -> SimulationConfig {
+/// Every golden is pinned at each of these worker counts: the serial
+/// reference path and 2/4/8 channel-fed workers through the persistent
+/// pool. Bit-identity across the whole list is the pool's ordered-
+/// completion guarantee made executable.
+const WORKER_COUNTS: [Parallelism; 4] = [
+    Parallelism::Serial,
+    Parallelism::Threads(2),
+    Parallelism::Threads(4),
+    Parallelism::Threads(8),
+];
+
+fn plain_config(seed: u64, cohort: Option<usize>, parallelism: Parallelism) -> SimulationConfig {
     SimulationConfig {
         learning_rate: 0.05,
         batch_size: 8,
         time_model: TimeModel::normalized(5.0),
         seed,
-        parallelism: Parallelism::Serial,
+        parallelism,
         wire: None,
         fault: None,
         cohort,
@@ -108,13 +119,14 @@ fn wire_config(
     num_clients: usize,
     fault: Option<FaultModel>,
     cohort: Option<usize>,
+    parallelism: Parallelism,
 ) -> SimulationConfig {
     SimulationConfig {
         learning_rate: 0.05,
         batch_size: 8,
         time_model: TimeModel::normalized(5.0),
         seed,
-        parallelism: Parallelism::Serial,
+        parallelism,
         wire: Some(WireConfig {
             codec: agsfl_wire::CodecSpec::Auto,
             channel: ChannelModel::uniform(num_clients, 1.0, 2_000.0, 4_000.0, 0.05),
@@ -128,80 +140,95 @@ fn wire_config(
 fn plain_trajectories_match_the_owned_client_engine() {
     // `None` and `Some(N)` both run the full population; both must
     // reproduce the historical hashes exactly.
-    for cohort_of in [
-        (|_n: usize| None) as fn(usize) -> Option<usize>,
-        |n: usize| Some(n),
-    ] {
-        for (sp, &(want_params, want_elapsed)) in sparsifiers().into_iter().zip(&PLAIN_GOLDEN) {
-            let name = sp.name();
-            let fed = tiny_dataset(42);
-            let cohort = cohort_of(fed.num_clients());
-            let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
-            let mut sim = Simulation::new(Box::new(model), fed, sp, plain_config(42, cohort));
-            let (params, elapsed) = run(&mut sim, 4, true);
-            assert_eq!(
-                params, want_params,
-                "{name} params drifted (cohort {cohort:?})"
-            );
-            assert_eq!(
-                elapsed, want_elapsed,
-                "{name} elapsed drifted (cohort {cohort:?})"
-            );
+    for parallelism in WORKER_COUNTS {
+        for cohort_of in [
+            (|_n: usize| None) as fn(usize) -> Option<usize>,
+            |n: usize| Some(n),
+        ] {
+            for (sp, &(want_params, want_elapsed)) in sparsifiers().into_iter().zip(&PLAIN_GOLDEN) {
+                let name = sp.name();
+                let fed = tiny_dataset(42);
+                let cohort = cohort_of(fed.num_clients());
+                let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+                let mut sim = Simulation::new(
+                    Box::new(model),
+                    fed,
+                    sp,
+                    plain_config(42, cohort, parallelism),
+                );
+                let (params, elapsed) = run(&mut sim, 4, true);
+                assert_eq!(
+                    params, want_params,
+                    "{name} params drifted (cohort {cohort:?}, {parallelism:?})"
+                );
+                assert_eq!(
+                    elapsed, want_elapsed,
+                    "{name} elapsed drifted (cohort {cohort:?}, {parallelism:?})"
+                );
+            }
         }
     }
 }
 
 #[test]
 fn wire_trajectories_match_the_owned_client_engine() {
-    for cohort_of in [
-        (|_n: usize| None) as fn(usize) -> Option<usize>,
-        |n: usize| Some(n),
-    ] {
-        for (sp, &(want_params, want_elapsed)) in sparsifiers().into_iter().zip(&WIRE_GOLDEN) {
-            let name = sp.name();
-            let fed = tiny_dataset(7);
-            let n = fed.num_clients();
-            let cohort = cohort_of(n);
-            let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
-            let mut sim =
-                Simulation::new(Box::new(model), fed, sp, wire_config(7, n, None, cohort));
-            let (params, elapsed) = run(&mut sim, 4, true);
-            assert_eq!(
-                params, want_params,
-                "{name} params drifted (cohort {cohort:?})"
-            );
-            assert_eq!(
-                elapsed, want_elapsed,
-                "{name} elapsed drifted (cohort {cohort:?})"
-            );
+    for parallelism in WORKER_COUNTS {
+        for cohort_of in [
+            (|_n: usize| None) as fn(usize) -> Option<usize>,
+            |n: usize| Some(n),
+        ] {
+            for (sp, &(want_params, want_elapsed)) in sparsifiers().into_iter().zip(&WIRE_GOLDEN) {
+                let name = sp.name();
+                let fed = tiny_dataset(7);
+                let n = fed.num_clients();
+                let cohort = cohort_of(n);
+                let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+                let mut sim = Simulation::new(
+                    Box::new(model),
+                    fed,
+                    sp,
+                    wire_config(7, n, None, cohort, parallelism),
+                );
+                let (params, elapsed) = run(&mut sim, 4, true);
+                assert_eq!(
+                    params, want_params,
+                    "{name} params drifted (cohort {cohort:?}, {parallelism:?})"
+                );
+                assert_eq!(
+                    elapsed, want_elapsed,
+                    "{name} elapsed drifted (cohort {cohort:?}, {parallelism:?})"
+                );
+            }
         }
     }
 }
 
 #[test]
 fn fault_trajectory_matches_the_owned_client_engine() {
-    for cohort_of in [
-        (|_n: usize| None) as fn(usize) -> Option<usize>,
-        |n: usize| Some(n),
-    ] {
-        let fed = tiny_dataset(11);
-        let n = fed.num_clients();
-        let cohort = cohort_of(n);
-        let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
-        let mut sim = Simulation::new(
-            Box::new(model),
-            fed,
-            Box::new(FubTopK::new()),
-            wire_config(11, n, Some(chaos_model(11)), cohort),
-        );
-        let (params, elapsed) = run(&mut sim, 6, false);
-        assert_eq!(
-            params, FAULT_GOLDEN.0,
-            "fault params drifted (cohort {cohort:?})"
-        );
-        assert_eq!(
-            elapsed, FAULT_GOLDEN.1,
-            "fault elapsed drifted (cohort {cohort:?})"
-        );
+    for parallelism in WORKER_COUNTS {
+        for cohort_of in [
+            (|_n: usize| None) as fn(usize) -> Option<usize>,
+            |n: usize| Some(n),
+        ] {
+            let fed = tiny_dataset(11);
+            let n = fed.num_clients();
+            let cohort = cohort_of(n);
+            let model = LinearSoftmax::new(fed.feature_dim(), fed.num_classes());
+            let mut sim = Simulation::new(
+                Box::new(model),
+                fed,
+                Box::new(FubTopK::new()),
+                wire_config(11, n, Some(chaos_model(11)), cohort, parallelism),
+            );
+            let (params, elapsed) = run(&mut sim, 6, false);
+            assert_eq!(
+                params, FAULT_GOLDEN.0,
+                "fault params drifted (cohort {cohort:?}, {parallelism:?})"
+            );
+            assert_eq!(
+                elapsed, FAULT_GOLDEN.1,
+                "fault elapsed drifted (cohort {cohort:?}, {parallelism:?})"
+            );
+        }
     }
 }

@@ -145,7 +145,7 @@ pub fn accuracy_parallel(
     // `row_chunks` already made the parallelize-or-not decision, so the map
     // must not re-apply the executor's min-items gate to the (small) chunk
     // count — a 2-chunk sweep on a 2-thread executor should actually spawn.
-    let counts = exec.with_min_items(1).map_ref(&chunks, |rows| {
+    let counts = exec.clone().with_min_items(1).map_ref(&chunks, |rows| {
         correct_count(model, params, &row_slice(x, rows), &labels[rows.clone()])
     });
     counts.iter().sum::<usize>() as f32 / labels.len() as f32
@@ -274,7 +274,7 @@ pub fn global_evaluation(
     // min_items = 1, because the work list already encodes that decision (a
     // few-item list on a 2-thread executor must still spawn).
     let map_exec = if exec.should_parallelize(num_shards) || items.len() > num_shards + 1 {
-        exec.with_min_items(1)
+        exec.clone().with_min_items(1)
     } else {
         Executor::serial()
     };
