@@ -48,7 +48,8 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use agsfl_bench::kernel_workload::{
     checkpoint_workload, cnn_workload, eval_workload, fab_workload, fresh_checkpoint_sim,
-    wire_workload, CKPT_CLIENTS, CNN_BATCH, EVAL_CLIENTS, FAB_CLIENTS, FAB_DIM, FAB_K,
+    telemetry_workload, wire_workload, CKPT_CLIENTS, CNN_BATCH, EVAL_CLIENTS, FAB_CLIENTS, FAB_DIM,
+    FAB_K, TELEM_CLIENTS, TELEM_K,
 };
 use agsfl_core::figures::scale_sweep::{self, ScaleSweepConfig};
 use agsfl_exec::{mem, Executor};
@@ -56,6 +57,7 @@ use agsfl_ml::metrics;
 use agsfl_ml::model::{Im2colScratch, Model};
 use agsfl_ml::reference as ml_reference;
 use agsfl_sparse::{reference, topk, FabTopK, SelectionScratch, ShardedScratch, Sparsifier};
+use agsfl_telemetry::{SpanId, StageRecorder};
 use agsfl_wire::{
     decode_frame, reference as wire_reference, Codec, DeltaVarint, QLinear8, WireScratch,
 };
@@ -589,6 +591,83 @@ fn main() {
         ckpt_load.speedup()
     );
 
+    // Telemetry: the recorded-vs-noop round pair prices what full
+    // instrumentation (stage clock reads, histogram buckets, pool
+    // counters) costs per round, and the recorder's own output — stage
+    // quantiles plus pool busy/idle fractions — goes into the snapshot so
+    // stage-share regressions in the round engine are visible across PRs.
+    let mut noop_sim = telemetry_workload();
+    let telem_dim = noop_sim.dim();
+    let seed_ns = time_ns(|| {
+        black_box(noop_sim.run_round(TELEM_K, None));
+    });
+    let mut rec_sim = telemetry_workload();
+    rec_sim.executor().set_metrics_enabled(true);
+    let mut recorder = StageRecorder::new();
+    let scratch_ns = time_ns(|| {
+        recorder.begin_round();
+        black_box(rec_sim.run_round_recorded(TELEM_K, None, &mut recorder));
+    });
+    let telemetry_record = KernelReport {
+        name: "telemetry_record",
+        dim: telem_dim,
+        clients: TELEM_CLIENTS,
+        k: TELEM_K,
+        threads: 2,
+        seed_ns,
+        scratch_ns,
+    };
+    let (telem_seed_ns, telem_scratch_ns) = (telemetry_record.seed_ns, telemetry_record.scratch_ns);
+    eprintln!(
+        "  telemetry_record: noop {telem_seed_ns:.0} ns, recorded {telem_scratch_ns:.0} ns -> {:+.1}% overhead",
+        (telem_scratch_ns / telem_seed_ns - 1.0) * 100.0
+    );
+    let telemetry_spans: Vec<String> = SpanId::ALL
+        .into_iter()
+        .filter_map(|id| {
+            let h = recorder.span_histogram(id);
+            (!h.is_empty()).then(|| {
+                format!(
+                    "{{\"span\":\"{}\",\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                    id.name(),
+                    h.count(),
+                    h.p50().unwrap_or(0),
+                    h.p95().unwrap_or(0),
+                    h.p99().unwrap_or(0)
+                )
+            })
+        })
+        .collect();
+    let telemetry_spans_json: Vec<String> = telemetry_spans
+        .iter()
+        .map(|s| format!("      {s}"))
+        .collect();
+    let pool_snapshot = rec_sim.executor().pool_metrics();
+    let telemetry_pool_json = pool_snapshot.as_ref().map_or_else(
+        || "null".to_string(),
+        |s| {
+            format!(
+                "{{\"workers\":{},\"busy_fraction\":{:.4},\"busy_ns\":{},\"idle_ns\":{},\"tasks\":{},\"queue_depth_peak\":{},\"imbalance\":{:.3}}}",
+                s.workers.len(),
+                s.busy_fraction(),
+                s.total_busy_ns(),
+                s.total_idle_ns(),
+                s.total_tasks(),
+                s.queue_depth_peak,
+                s.imbalance_ratio()
+            )
+        },
+    );
+    if let Some(s) = &pool_snapshot {
+        eprintln!(
+            "  pool: {} workers, busy fraction {:.3}, {} tasks, imbalance {:.2}",
+            s.workers.len(),
+            s.busy_fraction(),
+            s.total_tasks(),
+            s.imbalance_ratio()
+        );
+    }
+
     // Population-scale sweep: fixed-cohort rounds over lazily materialized
     // populations, with resident memory observed by the OS. This is what
     // makes the O(cohort·k) scale claim auditable next to the ns/iter
@@ -653,6 +732,7 @@ fn main() {
         quant_decode,
         ckpt_save,
         ckpt_load,
+        telemetry_record,
     ];
     let body: Vec<String> = kernels.iter().map(KernelReport::to_json).collect();
     let json = format!(
@@ -663,6 +743,10 @@ fn main() {
             "  \"cores\": {},\n",
             "  \"peak_rss_bytes\": {},\n",
             "  \"kernels\": [\n{}\n  ],\n",
+            "  \"telemetry\": {{\n",
+            "    \"spans\": [\n{}\n    ],\n",
+            "    \"pool\": {}\n",
+            "  }},\n",
             "  \"scale\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -672,6 +756,8 @@ fn main() {
         cores,
         peak_rss_json,
         body.join(",\n"),
+        telemetry_spans_json.join(",\n"),
+        telemetry_pool_json,
         scale_points_json.join(",\n")
     );
     std::fs::write(&out_path, json).expect("failed to write bench report");
@@ -702,6 +788,25 @@ fn main() {
     history
         .write_all(line.as_bytes())
         .expect("failed to append bench history");
+    // The telemetry suite gets its own history line: the recorded-vs-noop
+    // overhead pair plus the stage quantiles and pool occupancy from the
+    // recorded rounds, so both the *cost* of instrumentation and the
+    // *shape* of a round (stage shares, worker balance) are tracked.
+    let telemetry_line = format!(
+        "{{\"unix_time\":{},\"suite\":\"telemetry\",\"workload\":{{\"dim\":{},\"clients\":{},\"k\":{}}},\"noop_ns_per_round\":{:.1},\"recorded_ns_per_round\":{:.1},\"overhead_fraction\":{:.4},\"spans\":[{}],\"pool\":{}}}\n",
+        unix_secs,
+        telem_dim,
+        TELEM_CLIENTS,
+        TELEM_K,
+        telem_seed_ns,
+        telem_scratch_ns,
+        telem_scratch_ns / telem_seed_ns - 1.0,
+        telemetry_spans.join(","),
+        telemetry_pool_json
+    );
+    history
+        .write_all(telemetry_line.as_bytes())
+        .expect("failed to append telemetry history");
     // The scale sweep gets its own history line (suite "scale_sweep"):
     // per-population rounds/sec and RSS, so the flat-memory claim is
     // tracked across PRs, not just asserted once.

@@ -10,11 +10,12 @@
 //! fast paths vs the allocating reference implementations).
 
 use agsfl_exec::Parallelism;
-use agsfl_fl::{Simulation, SimulationConfig, TimeModel};
+use agsfl_fl::{ChannelModel, Simulation, SimulationConfig, TimeModel, WireConfig};
 use agsfl_ml::data::{FederatedDataset, SyntheticFemnist, SyntheticFemnistConfig};
 use agsfl_ml::model::{LinearSoftmax, Mlp, Model, SimpleCnn};
 use agsfl_sparse::{topk, ClientUpload, FabTopK, SparseGradient};
 use agsfl_tensor::Matrix;
+use agsfl_wire::CodecSpec;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -175,6 +176,51 @@ pub fn fresh_checkpoint_sim() -> Simulation {
     )
 }
 
+/// Clients of the telemetry workload.
+pub const TELEM_CLIENTS: usize = 16;
+/// Sparsity degree of the telemetry workload.
+pub const TELEM_K: usize = 16;
+
+/// Builds the telemetry workload: a wired multi-thread simulation small
+/// enough to run thousands of rounds inside the timing budget, so the
+/// recorded-vs-noop round pair prices the *instrumentation* (clock reads,
+/// histogram buckets, pool counters), not the training math. The wire
+/// layer is on so the span set covers encode/decode stages too.
+pub fn telemetry_workload() -> Simulation {
+    let mut rng = ChaCha8Rng::seed_from_u64(super::BENCH_SEED ^ 0x7e1e);
+    let dataset = SyntheticFemnist::new(SyntheticFemnistConfig {
+        num_clients: TELEM_CLIENTS,
+        samples_per_client: 16,
+        feature_dim: 32,
+        num_classes: 10,
+        classes_per_client: 4,
+        writer_shift_std: 0.5,
+        noise_std: 0.5,
+        test_samples: 32,
+    })
+    .generate(&mut rng);
+    let model = LinearSoftmax::new(dataset.feature_dim(), dataset.num_classes());
+    let num_clients = dataset.num_clients();
+    Simulation::new(
+        Box::new(model),
+        dataset,
+        Box::new(FabTopK::new()),
+        SimulationConfig {
+            learning_rate: 0.05,
+            batch_size: 8,
+            time_model: TimeModel::normalized(5.0),
+            seed: super::BENCH_SEED,
+            parallelism: Parallelism::Threads(2),
+            wire: Some(WireConfig {
+                codec: CodecSpec::Auto,
+                channel: ChannelModel::uniform(num_clients, 1.0, 2_000.0, 4_000.0, 0.05),
+            }),
+            fault: None,
+            cohort: None,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +259,18 @@ mod tests {
         assert_eq!(dataset.num_clients(), EVAL_CLIENTS);
         assert_eq!(params.len(), model.num_params());
         assert_eq!(dataset.test().len(), 400);
+    }
+
+    #[test]
+    fn telemetry_workload_records_wire_spans() {
+        use agsfl_telemetry::{CounterId, SpanId, StageRecorder};
+        let mut sim = telemetry_workload();
+        let mut rec = StageRecorder::new();
+        rec.begin_round();
+        sim.run_round_recorded(TELEM_K, None, &mut rec);
+        assert_eq!(rec.counter_total(CounterId::Rounds), 1);
+        assert!(rec.counter_total(CounterId::UplinkBytes) > 0);
+        assert_eq!(rec.span_histogram(SpanId::ClientPass).count(), 1);
     }
 
     #[test]

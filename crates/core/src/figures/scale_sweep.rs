@@ -24,6 +24,7 @@ use agsfl_fl::{Simulation, SimulationConfig, TimeModel};
 use agsfl_ml::data::{LazySyntheticFemnist, SyntheticFemnistConfig};
 use agsfl_ml::model::LinearSoftmax;
 use agsfl_sparse::FabTopK;
+use agsfl_telemetry::{SpanId, StageRecorder};
 
 /// Configuration of the scale sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -100,6 +101,12 @@ pub struct ScaleSweepPoint {
     /// points — the kernel never lowers the high-water mark — so flatness
     /// is read off `current_rss_bytes`.
     pub peak_rss_bytes: Option<u64>,
+    /// Per-stage wall time over the point's rounds, `(stage name, total
+    /// nanoseconds)` from the round engine's [`StageRecorder`] — only
+    /// stages that actually ran appear. A healthy sweep shows the same
+    /// stage shares at every `N`: hydration and the client pass scale with
+    /// the cohort, never with the population.
+    pub stage_ns: Vec<(String, u64)>,
 }
 
 /// The full sweep result.
@@ -141,35 +148,71 @@ impl ScaleSweepResult {
                 mib(p.peak_rss_bytes)
             ));
         }
+        out.push_str("\nPer-stage wall time [ms] (flat columns = O(cohort) rounds):\n");
+        let stages: Vec<&str> = self
+            .points
+            .first()
+            .map(|p| p.stage_ns.iter().map(|(n, _)| n.as_str()).collect())
+            .unwrap_or_default();
+        out.push_str(&format!("{:>12}", "N"));
+        for stage in &stages {
+            out.push_str(&format!("{:>16}", stage));
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!("{:>12}", p.population));
+            for stage in &stages {
+                let ns = p
+                    .stage_ns
+                    .iter()
+                    .find(|(n, _)| n == stage)
+                    .map_or(0, |&(_, ns)| ns);
+                out.push_str(&format!("{:>16.2}", ns as f64 / 1_000_000.0));
+            }
+            out.push('\n');
+        }
         out
     }
 
     /// One line of bench-history JSON (`suite: "scale_sweep"`), matching
     /// the hand-rolled format `bench-report` appends for the kernel suite.
     pub fn history_json_line(&self, unix_secs: u64) -> String {
-        fn opt(bytes: Option<u64>) -> String {
-            bytes.map_or_else(|| "null".to_string(), |b| b.to_string())
-        }
         let points: Vec<String> = self
             .points
             .iter()
-            .map(|p| {
-                format!(
-                    "{{\"population\":{},\"cohort\":{},\"rounds\":{},\"rounds_per_sec\":{:.2},\"resident_clients\":{},\"current_rss_bytes\":{},\"peak_rss_bytes\":{}}}",
-                    p.population,
-                    p.cohort,
-                    p.rounds,
-                    p.rounds_per_sec,
-                    p.resident_clients,
-                    opt(p.current_rss_bytes),
-                    opt(p.peak_rss_bytes)
-                )
-            })
+            .map(ScaleSweepPoint::json_object)
             .collect();
         format!(
             "{{\"unix_time\":{},\"suite\":\"scale_sweep\",\"points\":[{}]}}\n",
             unix_secs,
             points.join(",")
+        )
+    }
+}
+
+impl ScaleSweepPoint {
+    /// One self-describing JSON object for this point (no trailing
+    /// newline), used both for the `scale_sweep` bench-history suite and
+    /// the `--metrics` sink of the `million_clients` example.
+    pub fn json_object(&self) -> String {
+        fn opt(bytes: Option<u64>) -> String {
+            bytes.map_or_else(|| "null".to_string(), |b| b.to_string())
+        }
+        let stages: Vec<String> = self
+            .stage_ns
+            .iter()
+            .map(|(name, ns)| format!("\"{name}\":{ns}"))
+            .collect();
+        format!(
+            "{{\"population\":{},\"cohort\":{},\"rounds\":{},\"rounds_per_sec\":{:.2},\"resident_clients\":{},\"current_rss_bytes\":{},\"peak_rss_bytes\":{},\"stage_ns\":{{{}}}}}",
+            self.population,
+            self.cohort,
+            self.rounds,
+            self.rounds_per_sec,
+            self.resident_clients,
+            opt(self.current_rss_bytes),
+            opt(self.peak_rss_bytes),
+            stages.join(",")
         )
     }
 }
@@ -200,11 +243,22 @@ pub fn run_point(config: &ScaleSweepConfig, num_clients: usize) -> ScaleSweepPoi
         },
     );
     let k = config.k.clamp(1, sim.dim());
+    // The round engine's recorder supplies the per-stage breakdown; one
+    // outer clock read per point covers total throughput.
+    let mut rec = StageRecorder::new();
     let start = Instant::now();
     for _ in 0..config.rounds {
-        sim.run_round(k, None);
+        rec.begin_round();
+        sim.run_round_recorded(k, None, &mut rec);
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let stage_ns = SpanId::ALL
+        .into_iter()
+        .filter_map(|id| {
+            let total = rec.span_histogram(id).sum();
+            (total > 0).then(|| (id.name().to_string(), total))
+        })
+        .collect();
     ScaleSweepPoint {
         population: num_clients,
         cohort: sim.cohort_size(),
@@ -213,6 +267,7 @@ pub fn run_point(config: &ScaleSweepConfig, num_clients: usize) -> ScaleSweepPoi
         resident_clients: sim.resident_clients(),
         current_rss_bytes: mem::current_rss_bytes(),
         peak_rss_bytes: mem::peak_rss_bytes(),
+        stage_ns,
     }
 }
 
@@ -259,6 +314,11 @@ mod tests {
             // rounds · cohort clients can ever have been touched.
             assert!(p.resident_clients <= p.rounds * p.cohort, "{p:?}");
             assert!(p.resident_clients > 0, "{p:?}");
+            // The recorder saw the round stages: every point carries a
+            // hydration and client-pass share.
+            let stage = |name: &str| p.stage_ns.iter().any(|(n, ns)| n == name && *ns > 0);
+            assert!(stage("hydrate"), "{p:?}");
+            assert!(stage("client_pass"), "{p:?}");
         }
     }
 
@@ -282,6 +342,8 @@ mod tests {
         assert!(line.contains("\"suite\":\"scale_sweep\""));
         assert!(line.contains("\"unix_time\":123"));
         assert!(line.contains("\"peak_rss_bytes\":"));
+        assert!(line.contains("\"stage_ns\":{\"hydrate\":"), "{line}");
         assert!(line.ends_with('\n'));
+        assert!(table.contains("client_pass"), "{table}");
     }
 }

@@ -50,9 +50,11 @@ mod controllers;
 pub mod figures;
 pub mod report;
 mod runner;
+pub mod telemetry;
 
 pub use agsfl_exec::{Executor, Parallelism};
 pub use agsfl_fl::{CheckpointError, FaultConfigError, FaultModel, FaultRoundReport, FaultTotals};
+pub use agsfl_telemetry::{CounterId, GaugeId, Histogram, Recorder, SpanId, StageRecorder};
 pub use agsfl_wire::CodecSpec;
 pub use config::{
     ChannelSpec, ConfigError, DatasetSpec, ExperimentConfig, ExperimentConfigBuilder, Fluctuation,
@@ -60,3 +62,4 @@ pub use config::{
 };
 pub use controllers::ControllerSpec;
 pub use runner::{CheckpointSpec, Experiment, StopCondition};
+pub use telemetry::{TelemetrySpec, TelemetryState};

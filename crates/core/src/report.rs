@@ -6,6 +6,7 @@
 //! from the benchmark output and recorded in `EXPERIMENTS.md`.
 
 use agsfl_fl::RunHistory;
+use agsfl_telemetry::{CounterId, GaugeId, Histogram, SpanId, StageRecorder};
 
 /// Formats a `(time, value)` series sampled at the given time points from a
 /// set of labelled histories, using the global-loss channel.
@@ -122,6 +123,72 @@ pub fn fault_summary(histories: &[&RunHistory]) -> String {
     out
 }
 
+/// Formats the cumulative telemetry of a run: one row per observed stage
+/// span (count, p50/p95/p99 and total wall time), followed by the non-zero
+/// counters and gauge peaks. Pass the executor's drained dispatch-latency
+/// histogram (if the pool set was on) to append it as an extra row.
+///
+/// Quantiles come from the log-bucketed [`Histogram`], so they are bucket
+/// lower bounds — stable summaries, not exact order statistics.
+pub fn telemetry_summary(rec: &StageRecorder, dispatch: Option<&Histogram>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18}{:>10}{:>14}{:>14}{:>14}{:>16}\n",
+        "span", "count", "p50 [us]", "p95 [us]", "p99 [us]", "total [ms]"
+    ));
+    let span_row = |out: &mut String, name: &str, h: &Histogram| {
+        let us = |q: Option<u64>| q.unwrap_or(0) as f64 / 1_000.0;
+        out.push_str(&format!(
+            "{:<18}{:>10}{:>14.1}{:>14.1}{:>14.1}{:>16.2}\n",
+            truncate(name, 18),
+            h.count(),
+            us(h.p50()),
+            us(h.p95()),
+            us(h.p99()),
+            h.sum() as f64 / 1_000_000.0,
+        ));
+    };
+    for id in SpanId::ALL {
+        let h = rec.span_histogram(id);
+        if !h.is_empty() {
+            span_row(&mut out, id.name(), h);
+        }
+    }
+    if let Some(h) = dispatch {
+        if !h.is_empty() {
+            span_row(&mut out, "pool_dispatch", h);
+        }
+    }
+    let mut counters = String::new();
+    for id in CounterId::ALL {
+        let total = rec.counter_total(id);
+        if total > 0 {
+            counters.push_str(&format!("{:<26}{total:>16}\n", truncate(id.name(), 26)));
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str(&format!("\n{:<26}{:>16}\n", "counter", "total"));
+        out.push_str(&counters);
+    }
+    let mut gauges = String::new();
+    for id in GaugeId::ALL {
+        let peak = rec.gauge_peak(id);
+        if peak > 0 {
+            gauges.push_str(&format!(
+                "{:<26}{:>16}{:>16}\n",
+                truncate(id.name(), 26),
+                rec.gauge_value(id),
+                peak
+            ));
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str(&format!("\n{:<26}{:>16}{:>16}\n", "gauge", "last", "peak"));
+        out.push_str(&gauges);
+    }
+    out
+}
+
 /// Evenly spaced sample times from 0 to `max_time` (inclusive) with `steps`
 /// intervals.
 pub fn sample_times(max_time: f64, steps: usize) -> Vec<f64> {
@@ -224,5 +291,26 @@ mod tests {
     fn sample_times_are_increasing_and_end_at_max() {
         let times = sample_times(100.0, 4);
         assert_eq!(times, vec![25.0, 50.0, 75.0, 100.0]);
+    }
+
+    #[test]
+    fn telemetry_summary_lists_observed_spans_counters_and_gauges() {
+        use agsfl_telemetry::Recorder;
+        let mut rec = StageRecorder::new();
+        rec.span(SpanId::ClientPass, 2_000);
+        rec.span(SpanId::ClientPass, 4_000);
+        rec.counter(CounterId::UplinkBytes, 1024);
+        rec.gauge(GaugeId::QueueDepthPeak, 7);
+        let mut dispatch = Histogram::new();
+        dispatch.record(500);
+        let table = telemetry_summary(&rec, Some(&dispatch));
+        assert!(table.contains("client_pass"), "{table}");
+        assert!(table.contains("pool_dispatch"), "{table}");
+        assert!(table.contains("uplink_bytes"), "{table}");
+        assert!(table.contains("1024"), "{table}");
+        assert!(table.contains("queue_depth_peak"), "{table}");
+        // Unobserved spans and zero counters stay out of the table.
+        assert!(!table.contains("checkpoint_write"), "{table}");
+        assert!(!table.contains("fault_offline"), "{table}");
     }
 }

@@ -8,12 +8,14 @@ use agsfl_fl::{
     SimulationConfig, TimeModel,
 };
 use agsfl_online::{stochastic_round, KController, PrecisionController, RoundFeedback};
+use agsfl_telemetry::{Recorder, SpanId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
 use crate::controllers::ControllerSpec;
+use crate::telemetry::{TelemetrySpec, TelemetryState};
 
 /// Magic bytes and version of the run-level checkpoint file: the simulation
 /// blob plus the runner's own state (rounding RNG, controller state, round
@@ -116,6 +118,7 @@ pub struct Experiment {
     config: ExperimentConfig,
     sim: Simulation,
     rounding_rng: ChaCha8Rng,
+    telemetry: Option<TelemetryState>,
 }
 
 impl std::fmt::Debug for Experiment {
@@ -162,7 +165,42 @@ impl Experiment {
             config: config.clone(),
             sim,
             rounding_rng: ChaCha8Rng::seed_from_u64(config.seed ^ 0x517C_C1B7_2722_0A95),
+            telemetry: None,
         }
+    }
+
+    /// Installs a telemetry spec: opens the JSONL sink (truncating any
+    /// previous file), resets the recorder, and switches the subsequent runs
+    /// onto the recorded round path. When the spec opts into the pool or
+    /// timings sets, the executor's worker metrics and the batched-forward
+    /// kernel accounting are enabled too.
+    ///
+    /// Telemetry is observation only: a run with a spec installed is
+    /// bit-identical to one without (pinned by `telemetry_determinism.rs`
+    /// and the byte-identity test in `tests/metrics_jsonl.rs`).
+    pub fn set_telemetry(&mut self, spec: TelemetrySpec) -> std::io::Result<()> {
+        self.sim
+            .executor()
+            .set_metrics_enabled(spec.pool || spec.timings);
+        agsfl_ml::stats::set_enabled(spec.timings);
+        self.telemetry = Some(TelemetryState::open(spec)?);
+        Ok(())
+    }
+
+    /// The live telemetry state, if a spec is installed (read the recorder
+    /// from here for [`crate::report::telemetry_summary`]).
+    pub fn telemetry(&self) -> Option<&TelemetryState> {
+        self.telemetry.as_ref()
+    }
+
+    /// Uninstalls telemetry, flushing and closing the sink, and returns the
+    /// final state (recorder + dispatch histogram) for post-run summaries.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryState> {
+        self.sim.executor().set_metrics_enabled(false);
+        agsfl_ml::stats::set_enabled(false);
+        let mut state = self.telemetry.take()?;
+        state.flush().ok();
+        Some(state)
     }
 
     /// Model dimension `D`.
@@ -223,7 +261,7 @@ impl Experiment {
         let history = RunHistory::new(label, self.num_clients());
         let start_time = self.sim.elapsed_time();
         self.run_loop(controller, stop, history, 0, start_time, None)
-            .expect("a checkpoint-free run performs no I/O and cannot fail")
+            .expect("a checkpoint-free run can only fail on telemetry sink I/O")
     }
 
     /// Like [`Experiment::run_with_controller`], but atomically writes a
@@ -346,7 +384,14 @@ impl Experiment {
             // controller policy, not simulation state: after a resume the
             // restored controller re-proposes it here before the next round.
             self.sim.set_wire_precision(controller.propose_precision());
-            let report = self.sim.run_round(k, Some(probe_k));
+            let report = match self.telemetry.as_mut() {
+                Some(state) => {
+                    let rec = state.recorder_mut();
+                    rec.begin_round();
+                    self.sim.run_round_recorded(k, Some(probe_k), rec)
+                }
+                None => self.sim.run_round(k, Some(probe_k)),
+            };
 
             let feedback = RoundFeedback {
                 k_used: report.k_used,
@@ -359,13 +404,7 @@ impl Experiment {
                 loss_decrease: None,
             };
             controller.observe(&feedback);
-            history.add_cohort_contributions(&report.cohort, &report.contributions);
-            if let Some(wire) = &report.wire {
-                history.record_wire(wire);
-            }
-            if let Some(fault) = &report.fault {
-                history.record_fault(fault);
-            }
+            history.record_round(&report);
 
             // Evaluate strictly on the cadence (plus round 1). The final
             // round of a run that stops off-cadence is filled in after the
@@ -377,7 +416,10 @@ impl Experiment {
             let (global_loss, test_accuracy) = if evaluate {
                 // One fused parallel sweep for both metrics (bit-identical
                 // to the individual accessors; see Simulation::evaluate).
-                let eval = self.sim.evaluate();
+                let eval = match self.telemetry.as_mut() {
+                    Some(state) => self.sim.evaluate_recorded(state.recorder_mut()),
+                    None => self.sim.evaluate(),
+                };
                 (
                     Some(eval.train_loss as f64),
                     Some(eval.test_accuracy as f64),
@@ -395,6 +437,7 @@ impl Experiment {
             });
             if let Some(spec) = checkpoint {
                 if round_in_run.is_multiple_of(spec.every) {
+                    let t0 = self.telemetry.is_some().then(std::time::Instant::now);
                     self.save_checkpoint(
                         controller,
                         &history,
@@ -402,8 +445,15 @@ impl Experiment {
                         start_time,
                         &spec.path,
                     )?;
+                    if let (Some(t0), Some(state)) = (t0, self.telemetry.as_mut()) {
+                        state
+                            .recorder_mut()
+                            .span(SpanId::CheckpointWrite, t0.elapsed().as_nanos() as u64);
+                    }
                 }
             }
+            self.emit_telemetry_round(&report)
+                .map_err(|e| CheckpointError::Io(e.to_string()))?;
             if stop.loss_reached(global_loss) {
                 break;
             }
@@ -412,12 +462,38 @@ impl Experiment {
         // records exactly the values an in-loop evaluation would have.
         if let Some(last) = history.last_point_mut() {
             if last.global_loss.is_none() {
-                let eval = self.sim.evaluate();
+                let eval = match self.telemetry.as_mut() {
+                    Some(state) => self.sim.evaluate_recorded(state.recorder_mut()),
+                    None => self.sim.evaluate(),
+                };
                 last.global_loss = Some(eval.train_loss as f64);
                 last.test_accuracy = Some(eval.test_accuracy as f64);
             }
         }
+        if let Some(state) = self.telemetry.as_mut() {
+            state
+                .flush()
+                .map_err(|e| CheckpointError::Io(e.to_string()))?;
+        }
         Ok(history)
+    }
+
+    /// Drains per-round pool metrics into the telemetry state and emits the
+    /// round's JSONL line. A no-op without an installed spec.
+    fn emit_telemetry_round(&mut self, report: &agsfl_fl::RoundReport) -> std::io::Result<()> {
+        let Some(state) = self.telemetry.as_mut() else {
+            return Ok(());
+        };
+        let want_pool = state.spec().pool;
+        if want_pool {
+            self.sim
+                .executor()
+                .drain_dispatch_latency(state.dispatch_mut());
+        }
+        let pool = want_pool
+            .then(|| self.sim.executor().pool_metrics())
+            .flatten();
+        state.emit_round(report, pool.as_ref())
     }
 
     /// Runs with a prescribed sequence of `k` values (used by Figs. 7 and 8
@@ -442,19 +518,23 @@ impl Experiment {
             }
             let k = sequence[round_in_run.min(sequence.len() - 1)].clamp(1, dim);
             round_in_run += 1;
-            let report = self.sim.run_round(k, None);
-            history.add_cohort_contributions(&report.cohort, &report.contributions);
-            if let Some(wire) = &report.wire {
-                history.record_wire(wire);
-            }
-            if let Some(fault) = &report.fault {
-                history.record_fault(fault);
-            }
+            let report = match self.telemetry.as_mut() {
+                Some(state) => {
+                    let rec = state.recorder_mut();
+                    rec.begin_round();
+                    self.sim.run_round_recorded(k, None, rec)
+                }
+                None => self.sim.run_round(k, None),
+            };
+            history.record_round(&report);
             let evaluate = round_in_run.is_multiple_of(self.config.eval_every) || round_in_run == 1;
             let (global_loss, test_accuracy) = if evaluate {
                 // One fused parallel sweep for both metrics (bit-identical
                 // to the individual accessors; see Simulation::evaluate).
-                let eval = self.sim.evaluate();
+                let eval = match self.telemetry.as_mut() {
+                    Some(state) => self.sim.evaluate_recorded(state.recorder_mut()),
+                    None => self.sim.evaluate(),
+                };
                 (
                     Some(eval.train_loss as f64),
                     Some(eval.test_accuracy as f64),
@@ -470,9 +550,14 @@ impl Experiment {
                 global_loss,
                 test_accuracy,
             });
+            self.emit_telemetry_round(&report)
+                .expect("telemetry sink I/O failed");
             if stop.loss_reached(global_loss) {
                 break;
             }
+        }
+        if let Some(state) = self.telemetry.as_mut() {
+            state.flush().expect("telemetry sink I/O failed");
         }
         history
     }

@@ -1,0 +1,165 @@
+//! The `metrics.jsonl` contract: a run with a deterministic
+//! [`TelemetrySpec`] writes a **byte-identical** metrics file on every
+//! identically-seeded run, telemetry never perturbs the trajectory, and the
+//! opt-in wall-clock sets append their fields after the stable prefix.
+
+use agsfl_core::telemetry::TelemetrySpec;
+use agsfl_core::{
+    report, ChannelSpec, ControllerSpec, CounterId, DatasetSpec, Experiment, ExperimentConfig,
+    ModelSpec, Parallelism, SpanId, StopCondition, WireSpec,
+};
+use agsfl_wire::CodecSpec;
+
+fn wired_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .dataset(DatasetSpec::femnist_tiny())
+        .model(ModelSpec::Linear)
+        .learning_rate(0.05)
+        .batch_size(8)
+        .comm_time(10.0)
+        .eval_every(3)
+        .seed(seed)
+        .parallelism(Parallelism::Threads(2))
+        .wire(WireSpec {
+            codec: CodecSpec::Auto,
+            channel: ChannelSpec::uniform(2_000.0, 4_000.0, 0.05),
+        })
+        .build()
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("agsfl_metrics_{}_{tag}.jsonl", std::process::id()))
+}
+
+#[test]
+fn deterministic_metrics_files_are_byte_identical_across_runs() {
+    let cfg = wired_config(97);
+    let stop = StopCondition::after_rounds(7);
+    let run = |tag: &str| {
+        let path = temp_path(tag);
+        let mut exp = Experiment::new(&cfg);
+        exp.set_telemetry(TelemetrySpec::deterministic(&path))
+            .unwrap();
+        let history = exp.run_adaptive(ControllerSpec::Algorithm3, &stop);
+        exp.take_telemetry();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        (history, body)
+    };
+    let (history_a, body_a) = run("det_a");
+    let (history_b, body_b) = run("det_b");
+    assert_eq!(body_a, body_b, "deterministic metrics files diverged");
+    assert_eq!(history_a.points(), history_b.points());
+    assert_eq!(body_a.lines().count(), 7, "one line per round");
+    // The stable prefix carries the round's deterministic facts.
+    let first = body_a.lines().next().unwrap();
+    assert!(first.starts_with("{\"round\":1,\"k\":"), "{first}");
+    assert!(first.contains("\"uplink_bytes\":"), "{first}");
+    assert!(first.contains("\"downlink_codec\":"), "{first}");
+    // No wall-clock set leaked into the deterministic file.
+    assert!(!body_a.contains("\"spans_ns\""), "{first}");
+    assert!(!body_a.contains("\"pool\""), "{first}");
+    assert!(!body_a.contains("\"mem\""), "{first}");
+}
+
+#[test]
+fn telemetry_is_observation_only_at_the_runner_level() {
+    let cfg = wired_config(98);
+    let stop = StopCondition::after_rounds(6);
+    let plain = Experiment::new(&cfg).run_adaptive(ControllerSpec::Algorithm3, &stop);
+    let path = temp_path("observed");
+    let mut observed = Experiment::new(&cfg);
+    observed.set_telemetry(TelemetrySpec::full(&path)).unwrap();
+    let recorded = observed.run_adaptive(ControllerSpec::Algorithm3, &stop);
+    assert_eq!(
+        plain.points(),
+        recorded.points(),
+        "full telemetry perturbed the trajectory"
+    );
+    let state = observed.take_telemetry().unwrap();
+    std::fs::remove_file(&path).ok();
+    // The recorder saw every round and the wall-clock stages.
+    let rec = state.recorder();
+    assert_eq!(rec.counter_total(CounterId::Rounds), 6);
+    assert_eq!(rec.span_histogram(SpanId::ClientPass).count(), 6);
+    assert!(rec.span_histogram(SpanId::Evaluate).count() > 0);
+    assert!(rec.counter_total(CounterId::UplinkBytes) > 0);
+    // The summary table renders the observed stages.
+    let table = report::telemetry_summary(rec, Some(state.dispatch_histogram()));
+    assert!(table.contains("client_pass"), "{table}");
+    assert!(table.contains("uplink_bytes"), "{table}");
+}
+
+#[test]
+fn full_spec_appends_wallclock_sets_after_the_stable_prefix() {
+    let cfg = wired_config(99);
+    let path = temp_path("full");
+    let mut exp = Experiment::new(&cfg);
+    exp.set_telemetry(TelemetrySpec::full(&path)).unwrap();
+    exp.run_adaptive(ControllerSpec::Algorithm3, &StopCondition::after_rounds(4));
+    exp.take_telemetry();
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(body.lines().count(), 4);
+    for line in body.lines() {
+        assert!(line.contains("\"spans_ns\":{"), "{line}");
+        assert!(line.contains("\"client_pass\":"), "{line}");
+        assert!(line.contains("\"pool\":{"), "{line}");
+        assert!(line.contains("\"busy_ns\":"), "{line}");
+    }
+    // Memory probes sample on the flush cadence: with the default cadence
+    // of 32, only the first line carries them.
+    let with_mem = body.lines().filter(|l| l.contains("\"mem\":{")).count();
+    assert_eq!(with_mem, 1, "{body}");
+    assert!(body.lines().next().unwrap().contains("\"rss_bytes\":"));
+}
+
+#[test]
+fn checkpointed_recorded_run_resumes_bit_identically_and_times_the_write() {
+    let cfg = wired_config(96);
+    let total = 8;
+    let plain = Experiment::new(&cfg).run_adaptive(
+        ControllerSpec::Algorithm2,
+        &StopCondition::after_rounds(total),
+    );
+
+    let ckpt = temp_path("ckpt_file");
+    let metrics = temp_path("ckpt_metrics");
+    let spec = agsfl_core::CheckpointSpec::new(&ckpt, 2);
+    let mut first = Experiment::new(&cfg);
+    first
+        .set_telemetry(TelemetrySpec::deterministic(&metrics).with_timings())
+        .unwrap();
+    let mut c1 = ControllerSpec::Algorithm2.build(first.dim(), cfg.seed);
+    first
+        .run_with_controller_checkpointed(
+            c1.as_mut(),
+            &StopCondition::after_rounds(4),
+            "AGS",
+            &spec,
+        )
+        .unwrap();
+    let state = first.take_telemetry().unwrap();
+    assert_eq!(
+        state
+            .recorder()
+            .span_histogram(SpanId::CheckpointWrite)
+            .count(),
+        2,
+        "checkpoint writes on rounds 2 and 4 were timed"
+    );
+
+    // A fresh experiment resumes from the file; telemetry on the resumed
+    // run starts a fresh recorder but the trajectory stays bit-identical.
+    let mut second = Experiment::new(&cfg);
+    second
+        .set_telemetry(TelemetrySpec::deterministic(&metrics))
+        .unwrap();
+    let mut c2 = ControllerSpec::Algorithm2.build(second.dim(), cfg.seed);
+    let resumed = second
+        .resume_with_controller(c2.as_mut(), &StopCondition::after_rounds(total), &spec)
+        .unwrap();
+    assert_eq!(resumed.points(), plain.points());
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&metrics).ok();
+}

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod mem;
+pub mod metrics;
 pub mod pool;
 
 use std::num::NonZeroUsize;
@@ -75,6 +76,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
+use metrics::PoolMetricsSnapshot;
 use pool::WorkerPool;
 
 /// How many worker threads a simulation should use.
@@ -212,6 +214,43 @@ impl Executor {
     /// assert the pool is reused, not respawned.
     pub fn pool_generations(&self) -> u64 {
         self.pool.get().map_or(0, WorkerPool::generations)
+    }
+
+    /// Turns the worker pool's observation-only metrics (per-worker
+    /// busy/idle time, dispatch-latency samples, queue depth) on or off.
+    ///
+    /// Enabling on a multi-threaded executor spawns the pool if it has not
+    /// started yet — metrics only exist on the pool, and a caller that
+    /// enables them is about to use it. A serial executor has no pool and
+    /// this is a no-op. Metrics never affect scheduling or results; the
+    /// golden-trajectory pins run with them enabled.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        if self.is_serial() {
+            return;
+        }
+        self.pool().metrics().set_enabled(on);
+    }
+
+    /// Whether pool metrics are currently being recorded.
+    pub fn metrics_enabled(&self) -> bool {
+        self.pool.get().is_some_and(|p| p.metrics().enabled())
+    }
+
+    /// A point-in-time copy of the pool's cumulative metrics counters, or
+    /// `None` if the pool has not been spawned (serial executors, or no
+    /// region has parallelized yet).
+    pub fn pool_metrics(&self) -> Option<PoolMetricsSnapshot> {
+        self.pool.get().map(|p| p.metrics().snapshot())
+    }
+
+    /// Drains every worker's dispatch-latency ring into `hist` (workers
+    /// folded in index order), returning how many samples were lost to
+    /// ring overwrites since the previous drain. `0` when the pool has not
+    /// started.
+    pub fn drain_dispatch_latency(&self, hist: &mut agsfl_telemetry::Histogram) -> u64 {
+        self.pool
+            .get()
+            .map_or(0, |p| p.metrics().drain_dispatch_into(hist))
     }
 
     /// The fallback policy in one place: whether a region over `items` work
@@ -644,6 +683,31 @@ mod tests {
         // The executor (and its pool) stays usable after the panic.
         let got = exec.map_ref(&[1u8, 2, 3], |&x| x);
         assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn executor_metrics_observe_without_changing_results() {
+        let exec = Executor::new(2).with_min_items(1);
+        // Serial executors have no pool: all metrics calls are no-ops.
+        let serial = Executor::serial();
+        serial.set_metrics_enabled(true);
+        assert!(!serial.metrics_enabled());
+        assert!(serial.pool_metrics().is_none());
+        // Enabling spawns the pool and records every dispatched task.
+        exec.set_metrics_enabled(true);
+        assert!(exec.metrics_enabled());
+        let mut items: Vec<u64> = (0..32).collect();
+        let with_metrics = exec.map_mut(&mut items, |x| *x * 3);
+        let snap = exec.pool_metrics().expect("pool spawned");
+        assert!(snap.total_tasks() > 0);
+        assert_eq!(snap.queue_depth, 0, "queue must drain");
+        let mut hist = agsfl_telemetry::Histogram::new();
+        exec.drain_dispatch_latency(&mut hist);
+        assert_eq!(hist.count(), snap.total_tasks());
+        // Same computation with metrics off is identical.
+        exec.set_metrics_enabled(false);
+        let without = exec.map_mut(&mut items, |x| *x * 3);
+        assert_eq!(with_metrics, without);
     }
 
     #[test]

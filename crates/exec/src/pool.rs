@@ -50,6 +50,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::metrics::PoolMetrics;
 
 thread_local! {
     /// Set for the lifetime of a pool worker thread. Nested parallel
@@ -133,6 +136,12 @@ struct Task {
     index: usize,
     /// The region's handshake state.
     region: Arc<Region>,
+    /// Submission timestamp, stamped only while pool metrics are enabled.
+    /// Doubles as the per-task metrics marker: the dequeue-side accounting
+    /// (queue-depth decrement, dispatch latency, busy time) keys on this
+    /// being `Some`, so enabling or disabling metrics mid-flight can never
+    /// unbalance the queue-depth counter.
+    submitted_at: Option<Instant>,
 }
 
 // SAFETY: `ctx` points at a closure owned by the submitting stack frame,
@@ -167,6 +176,9 @@ pub struct WorkerPool {
     workers: Vec<JoinHandle<()>>,
     /// Region generation counter (the "epoch" of the handshake).
     generation: AtomicU64,
+    /// Observation-only pool metrics (disabled by default); shared with
+    /// every worker.
+    metrics: Arc<PoolMetrics>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -184,12 +196,14 @@ impl WorkerPool {
         let workers = workers.max(1);
         let (sender, receiver) = channel::<Task>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let metrics = Arc::new(PoolMetrics::new(workers));
         let workers = (0..workers)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("agsfl-pool-{i}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || worker_loop(&receiver, &metrics, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -197,6 +211,7 @@ impl WorkerPool {
             sender: Some(sender),
             workers,
             generation: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -208,6 +223,13 @@ impl WorkerPool {
     /// Number of regions submitted so far (the current generation).
     pub fn generations(&self) -> u64 {
         self.generation.load(Ordering::Relaxed)
+    }
+
+    /// The pool's observation-only metrics (per-worker busy/idle time,
+    /// dispatch-latency rings, queue depth). Disabled until
+    /// [`PoolMetrics::set_enabled`] flips them on.
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.metrics
     }
 
     /// Submits a region of `tasks` chunk indices to the pool and returns a
@@ -229,12 +251,19 @@ impl WorkerPool {
             .sender
             .as_ref()
             .expect("worker pool used after shutdown");
+        // One clock read per region (not per task): every task of a region
+        // is submitted in the same instant for dispatch-latency purposes.
+        let submitted_at = self.metrics.enabled().then(Instant::now);
         for index in 0..tasks {
+            if submitted_at.is_some() {
+                self.metrics.task_submitted();
+            }
             let task = Task {
                 call: call_erased::<F>,
                 ctx: (f as *const F).cast::<()>(),
                 index,
                 region: Arc::clone(&region),
+                submitted_at,
             };
             sender
                 .send(task)
@@ -310,13 +339,21 @@ impl Drop for RegionHandle<'_> {
 }
 
 /// Worker main loop: pull tasks until the pool hangs up the channel.
-fn worker_loop(receiver: &Mutex<Receiver<Task>>) {
+///
+/// Metrics accounting is observation only and never changes which task
+/// runs where: idle time is measured around the blocking dequeue when the
+/// pool-level flag is on, and per-task accounting (queue-depth decrement,
+/// dispatch latency, busy time) keys on the task's own `submitted_at`
+/// stamp so it stays paired with the submit side.
+fn worker_loop(receiver: &Mutex<Receiver<Task>>, metrics: &PoolMetrics, worker: usize) {
     IN_POOL_WORKER.with(|flag| flag.set(true));
+    let stats = metrics.worker(worker);
     loop {
         // Hold the lock across `recv`: exactly one idle worker sleeps on
         // the channel while the rest sleep on the mutex, and a send wakes
         // exactly one of them. Tasks are coarse (one per chunk), so the
         // serialized dequeue is noise.
+        let wait_start = metrics.enabled().then(Instant::now);
         let task = {
             let guard = lock_unpoisoned(receiver);
             match guard.recv() {
@@ -324,16 +361,29 @@ fn worker_loop(receiver: &Mutex<Receiver<Task>>) {
                 Err(_) => break, // pool dropped: exit
             }
         };
+        if let Some(t0) = wait_start {
+            stats.add_idle_ns(t0.elapsed().as_nanos() as u64);
+        }
         let Task {
             call,
             ctx,
             index,
             region,
+            submitted_at,
         } = task;
+        let busy_start = submitted_at.map(|t0| {
+            metrics.task_dequeued();
+            let now = Instant::now();
+            stats.record_dispatch_ns(now.duration_since(t0).as_nanos() as u64);
+            now
+        });
         // SAFETY: the submitter blocks until this region's completion
         // count reaches its task count, so `ctx` is live for the whole
         // call (see the `Task` Send impl and the module docs).
         let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { call(ctx, index) }));
+        if let Some(t0) = busy_start {
+            stats.add_busy_ns(t0.elapsed().as_nanos() as u64);
+        }
         if let Err(payload) = outcome {
             lock_unpoisoned(&region.panic).get_or_insert(payload);
         }
@@ -387,6 +437,36 @@ mod tests {
         let pool = WorkerPool::new(3);
         pool.run_region(8, &|_| {});
         drop(pool); // must not hang or leak; joined handles prove exit
+    }
+
+    #[test]
+    fn metrics_account_tasks_without_changing_results() {
+        let pool = WorkerPool::new(2);
+        // Disabled (the default): regions run, counters stay zero.
+        pool.run_region(8, &|_| {});
+        let before = pool.metrics().snapshot();
+        assert_eq!(before.total_tasks(), 0);
+        assert_eq!(before.queue_depth_peak, 0);
+        // Enabled: every task is counted, the queue drains back to zero,
+        // and the dispatch rings hold one sample per task.
+        pool.metrics().set_enabled(true);
+        let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_region(16, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let after = pool.metrics().snapshot();
+        assert_eq!(after.total_tasks(), 16);
+        assert_eq!(after.queue_depth, 0);
+        assert!(after.queue_depth_peak >= 1);
+        let mut hist = agsfl_telemetry::Histogram::new();
+        assert_eq!(pool.metrics().drain_dispatch_into(&mut hist), 0);
+        assert_eq!(hist.count(), 16);
+        // Disabling mid-life keeps the counters balanced.
+        pool.metrics().set_enabled(false);
+        pool.run_region(8, &|_| {});
+        assert_eq!(pool.metrics().snapshot().total_tasks(), 16);
+        assert_eq!(pool.metrics().snapshot().queue_depth, 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{CheckpointError, SnapshotReader, SnapshotWriter};
 use crate::fault::FaultRoundReport;
-use crate::round::WireRoundReport;
+use crate::round::{RoundReport, WireRoundReport};
 
 /// Run-level fault accounting: the per-round
 /// [`FaultRoundReport`](crate::FaultRoundReport) counters summed over every
@@ -161,6 +161,24 @@ impl RunHistory {
     /// Total contributions per client accumulated over the run.
     pub fn contributions(&self) -> &[u64] {
         &self.contributions
+    }
+
+    /// Accumulates everything a [`RoundReport`] contributes to the run
+    /// totals in one call: per-client contribution counts, the wire
+    /// accounting when the round was byte-priced, and the fault tallies
+    /// when a fault model was active. This is the single bookkeeping entry
+    /// point the runners use after every round — equivalent to calling
+    /// [`RunHistory::add_cohort_contributions`], [`RunHistory::record_wire`]
+    /// and [`RunHistory::record_fault`] by hand (pinned by a regression
+    /// test), without each caller re-deriving which sections are present.
+    pub fn record_round(&mut self, report: &RoundReport) {
+        self.add_cohort_contributions(&report.cohort, &report.contributions);
+        if let Some(wire) = &report.wire {
+            self.record_wire(wire);
+        }
+        if let Some(fault) = &report.fault {
+            self.record_fault(fault);
+        }
     }
 
     /// Accumulates a byte-priced round's wire accounting.
@@ -498,6 +516,55 @@ mod tests {
         assert_eq!(totals.lost(), 4);
         assert_eq!(totals.retransmitted_bytes, 120);
         assert_eq!(totals.min_survivors, Some(1));
+    }
+
+    #[test]
+    fn record_round_matches_the_manual_call_sequence() {
+        use crate::round::RoundReport;
+        let report = RoundReport {
+            round: 3,
+            k_used: 5,
+            train_loss: 0.7,
+            round_time: 1.0,
+            elapsed_time: 3.0,
+            downlink_elements: 5,
+            max_uplink_scalars: 5,
+            cohort: vec![2, 0],
+            contributions: vec![4, 1],
+            probe: None,
+            wire: Some(WireRoundReport {
+                uplink_bytes: vec![40, 25],
+                max_uplink_bytes: 40,
+                downlink_bytes: 12,
+                uplink_codecs: vec![CodecId::CooF32, CodecId::Bitmap],
+                downlink_codec: CodecId::DeltaVarint,
+            }),
+            fault: Some(FaultRoundReport {
+                offline: 1,
+                retries: 2,
+                retransmitted_bytes: 80,
+                survivors: 1,
+                ..FaultRoundReport::default()
+            }),
+        };
+        let mut fused = RunHistory::new("fused", 3);
+        fused.record_round(&report);
+        let mut manual = RunHistory::new("fused", 3);
+        manual.add_cohort_contributions(&report.cohort, &report.contributions);
+        manual.record_wire(report.wire.as_ref().unwrap());
+        manual.record_fault(report.fault.as_ref().unwrap());
+        assert_eq!(fused, manual);
+        // Sections absent from the report contribute nothing.
+        let plain = RoundReport {
+            wire: None,
+            fault: None,
+            ..report
+        };
+        let mut h = RunHistory::new("plain", 3);
+        h.record_round(&plain);
+        assert_eq!(h.wire_bytes(), (0, 0));
+        assert_eq!(h.fault_totals(), &FaultTotals::default());
+        assert_eq!(h.contributions(), &[1, 0, 4]);
     }
 
     #[test]

@@ -104,6 +104,7 @@ mod simulation;
 mod time;
 
 pub use agsfl_exec::{Executor, Parallelism};
+pub use agsfl_telemetry::{CounterId, GaugeId, NoopRecorder, Recorder, SpanId, StageRecorder};
 pub use channel::{ChannelModel, ClientLink};
 pub use checkpoint::CheckpointError;
 pub use client::Client;
@@ -112,5 +113,5 @@ pub use fedavg::{FedAvgConfig, FedAvgSimulation};
 pub use history::{FaultTotals, MetricPoint, RunHistory};
 pub use resource::{CompositeCost, ResourceModel};
 pub use round::{ProbeReport, RoundReport, WireRoundReport};
-pub use simulation::{Simulation, SimulationConfig, WireConfig};
+pub use simulation::{record_round_report, Simulation, SimulationConfig, WireConfig};
 pub use time::TimeModel;

@@ -8,6 +8,7 @@ use agsfl_ml::metrics::{
 };
 use agsfl_ml::model::Model;
 use agsfl_sparse::{topk, ClientUpload, SelectionResult, ShardedScratch, Sparsifier, UploadPlan};
+use agsfl_telemetry::{span_end, span_start, CounterId, GaugeId, NoopRecorder, Recorder, SpanId};
 use agsfl_wire::{
     decode_frame, decode_frame_with, frame_codec, Auto, Codec, CodecSpec, Precision, WireScratch,
 };
@@ -437,6 +438,15 @@ impl Simulation {
         &self.config
     }
 
+    /// The round engine's executor. Exposed so telemetry owners can enable
+    /// the worker pool's observation-only metrics
+    /// ([`Executor::set_metrics_enabled`]) and snapshot them between
+    /// rounds; the executor's scheduling is not otherwise configurable
+    /// after construction.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
     /// The shard source driving this run.
     pub fn source(&self) -> &dyn ShardSource {
         self.source.as_ref()
@@ -538,6 +548,23 @@ impl Simulation {
     ///
     /// Each metric is bit-identical to its individual accessor.
     pub fn evaluate(&self) -> GlobalEvaluation {
+        self.evaluate_recorded(&mut NoopRecorder)
+    }
+
+    /// [`Simulation::evaluate`] with the sweep's wall time recorded as a
+    /// [`SpanId::Evaluate`] span. Telemetry is observation only — the
+    /// metrics returned are bit-identical to [`Simulation::evaluate`]'s.
+    pub fn evaluate_recorded<R: Recorder>(&self, rec: &mut R) -> GlobalEvaluation {
+        let t_eval = span_start(rec);
+        let eval = self.evaluate_inner();
+        span_end(rec, SpanId::Evaluate, t_eval);
+        if rec.enabled() {
+            drain_batched_forward(rec);
+        }
+        eval
+    }
+
+    fn evaluate_inner(&self) -> GlobalEvaluation {
         match self.source.as_dataset() {
             Some(ds) => global_evaluation(
                 self.model.as_ref(),
@@ -590,12 +617,43 @@ impl Simulation {
     ///
     /// Panics if `k == 0`.
     pub fn run_round(&mut self, k: usize, probe_k: Option<usize>) -> RoundReport {
+        self.run_round_recorded(k, probe_k, &mut NoopRecorder)
+    }
+
+    /// [`Simulation::run_round`] with round-stage telemetry.
+    ///
+    /// Each stage of the round — hydration, the fused client pass, the
+    /// wire-fault pass, server decode, selection, the probe, the downlink,
+    /// and the overlapped bookkeeping — is timed into a [`SpanId`] span,
+    /// and the report's deterministic facts (cohort size, wire bytes,
+    /// fault counts) are mirrored into [`CounterId`]/[`GaugeId`] streams.
+    ///
+    /// Telemetry is **observation only**: it draws no randomness, touches
+    /// no simulation state, and the recorder is consulted through
+    /// [`span_start`] so a [`NoopRecorder`] never even reads the clock —
+    /// `run_round` compiles down to the uninstrumented round. The golden
+    /// trajectories are pinned bit-identical with recording on and off at
+    /// every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn run_round_recorded<R: Recorder>(
+        &mut self,
+        k: usize,
+        probe_k: Option<usize>,
+        rec: &mut R,
+    ) -> RoundReport {
         assert!(k > 0, "k must be at least 1");
         let k = k.min(self.dim());
         self.round += 1;
         let dim = self.dim();
         let lr = self.config.learning_rate;
         let round_idx = self.round - 1;
+
+        // The Hydrate span covers phases (0)–(0b): cohort draw, fault
+        // plan, and slot hydration.
+        let t_hydrate = span_start(rec);
 
         // (0) Cohort draw, serial from its dedicated stream before any
         // parallel work (a full-population cohort makes no draw at all —
@@ -663,6 +721,7 @@ impl Simulation {
                 );
             }
         }
+        span_end(rec, SpanId::Hydrate, t_hydrate);
 
         // (1) One fused parallel pass per cohort slot: local gradient
         // computation (Line 4) immediately followed by building the uplink
@@ -719,6 +778,11 @@ impl Simulation {
         self.survivors.clear();
         let faulty = plans.is_some();
         let wired = self.wire.is_some();
+        // The ClientPass span covers the fused gradient/encode pass; on
+        // the clean path that includes the pipelined server decode (the
+        // ServerDecode span then measures only the fault path's separate
+        // decode loop below).
+        let t_client = span_start(rec);
         if !faulty {
             // Clean path: every member survives, so the server can start
             // consuming uploads while later members are still encoding. The
@@ -797,6 +861,7 @@ impl Simulation {
                 self.survivors.push(pos);
             }
         }
+        span_end(rec, SpanId::ClientPass, t_client);
 
         // (1a) Wire-level fault pass, serial in cohort order: replay every
         // corrupted uplink attempt through the *real* validated decoder
@@ -808,6 +873,7 @@ impl Simulation {
         // compacted in place; uplink times are indexed parallel to the
         // cohort.
         let mut uplink_times: Vec<Option<f64>> = Vec::new();
+        let t_wire_fault = span_start(rec);
         if let (Some(plans), Some(wire), Some(fr), Some(fault)) = (
             plans.as_ref(),
             self.wire.as_ref(),
@@ -866,6 +932,7 @@ impl Simulation {
             }
             self.survivors.truncate(kept);
         }
+        span_end(rec, SpanId::WireFault, t_wire_fault);
         if let Some(fr) = fault_report.as_mut() {
             fr.survivors = self.survivors.len();
         }
@@ -887,6 +954,7 @@ impl Simulation {
         // decode of the same frame. The debug assertion pins both every
         // test run.
         let s = self.survivors.len();
+        let t_decode = span_start(rec);
         if faulty {
             while self.uploads.len() < s {
                 self.uploads.push(ClientUpload::new(0, 0.0, Vec::new()));
@@ -918,9 +986,11 @@ impl Simulation {
                 }
             }
         }
+        span_end(rec, SpanId::ServerDecode, t_decode);
 
         // (2) Server selection and aggregation, sharded across the
         // executor's workers and reusing the round workspace.
+        let t_select = span_start(rec);
         let selection = self.sparsifier.select_parallel(
             &self.uploads[..s],
             dim,
@@ -928,12 +998,14 @@ impl Simulation {
             &mut self.scratch,
             &self.executor,
         );
+        span_end(rec, SpanId::Selection, t_select);
 
         // Optional probe for the derivative-sign estimator; its second
         // selection shares the same workspace. On the byte-priced path the
         // hypothetical `θ_m(k')` is re-priced through the channel model
         // (over the surviving cohort when faults are active — the probe is
         // priced as a clean hypothetical round of those clients).
+        let t_probe = span_start(rec);
         let probe = probe_k.map(|pk| {
             let pk = pk.clamp(1, dim);
             let probe_selection = self.sparsifier.select_parallel(
@@ -950,6 +1022,7 @@ impl Simulation {
             }
             report
         });
+        span_end(rec, SpanId::Probe, t_probe);
 
         // (3) Downlink: every client applies the identical sparse update.
         // On the byte-priced path the broadcast is encoded, priced, and
@@ -965,6 +1038,7 @@ impl Simulation {
         // — still happens here, before the match ends: `params` is a true
         // dependency of the next round's compute and is never raced.
         // `time_before_downlink` carries the compute + uplink phases.
+        let t_broadcast = span_start(rec);
         let (time_before_downlink, downlink_bytes, wire_report) = match &mut self.wire {
             None => {
                 selection.aggregated.apply_sgd(&mut self.params, lr);
@@ -1063,6 +1137,7 @@ impl Simulation {
                 (time_before_downlink, Some(downlink_bytes), Some(report))
             }
         };
+        span_end(rec, SpanId::BroadcastApply, t_broadcast);
         // (4) End-of-round bookkeeping, overlapped with the deferred
         // broadcast-pricing sweep. The downlink phase price folds a max
         // over *every* link in the channel (the server pushes the global
@@ -1103,7 +1178,14 @@ impl Simulation {
         let population = &mut self.population;
         let scratch = &mut self.scratch;
         let survivors = &self.survivors;
-        let ((), downlink_time) = executor.join(
+        // The Bookkeeping span covers the whole joined region; the
+        // DownlinkPricing span is timed inside the overlapped closure (it
+        // runs on a pool worker, so its nanoseconds come back with the
+        // result and are recorded here on the round thread). The two spans
+        // overlap by construction.
+        let t_bookkeeping = span_start(rec);
+        let want_pricing_span = rec.enabled();
+        let ((), (downlink_time, pricing_ns)) = executor.join(
             || {
                 for (u_idx, resets) in selection.reset_indices.iter().enumerate() {
                     let slot = &mut slots[survivors[u_idx]];
@@ -1119,11 +1201,19 @@ impl Simulation {
                 }
                 scratch.shrink_to_recent_demand();
             },
-            || match (channel, downlink_bytes) {
-                (Some(channel), Some(bytes)) => channel.downlink_phase_time(round_idx, bytes),
-                _ => 0.0,
+            || {
+                let t0 = want_pricing_span.then(std::time::Instant::now);
+                let time = match (channel, downlink_bytes) {
+                    (Some(channel), Some(bytes)) => channel.downlink_phase_time(round_idx, bytes),
+                    _ => 0.0,
+                };
+                (time, t0.map(|t0| t0.elapsed().as_nanos() as u64))
             },
         );
+        span_end(rec, SpanId::Bookkeeping, t_bookkeeping);
+        if let Some(ns) = pricing_ns {
+            rec.span(SpanId::DownlinkPricing, ns);
+        }
         let round_time = time_before_downlink + downlink_time;
         self.elapsed += round_time;
 
@@ -1141,6 +1231,14 @@ impl Simulation {
             wire: wire_report,
             fault: fault_report,
         };
+        if rec.enabled() {
+            record_round_report(rec, &report);
+            rec.gauge(
+                GaugeId::ResidentClients,
+                self.population.resident_rows() as u64,
+            );
+            drain_batched_forward(rec);
+        }
         self.cohort = cohort;
         report
     }
@@ -1315,6 +1413,57 @@ impl Simulation {
         self.cohort_rng = cohort_rng;
         self.population = population;
         Ok(())
+    }
+}
+
+/// Mirrors a finished round's deterministic facts — cohort size, wire
+/// bytes, codec frame counts, fault tallies — into a recorder's counter and
+/// gauge streams. Called by [`Simulation::run_round_recorded`] for every
+/// round whose recorder is enabled; exposed so callers replaying stored
+/// [`RoundReport`]s (the runner's resumed histories, report tooling) can
+/// rebuild the same totals.
+///
+/// Every value recorded here is a pure function of the report, so two
+/// bit-identical trajectories produce bit-identical counter streams — the
+/// property the byte-identical `metrics.jsonl` contract rests on.
+pub fn record_round_report<R: Recorder>(rec: &mut R, report: &RoundReport) {
+    rec.counter(CounterId::Rounds, 1);
+    rec.counter(CounterId::CohortClients, report.cohort.len() as u64);
+    rec.counter(CounterId::DownlinkElements, report.downlink_elements as u64);
+    rec.gauge(GaugeId::KUsed, report.k_used as u64);
+    if let Some(wire) = &report.wire {
+        let uplink: u64 = wire.uplink_bytes.iter().map(|&b| b as u64).sum();
+        rec.counter(CounterId::UplinkBytes, uplink);
+        rec.counter(CounterId::DownlinkBytes, wire.downlink_bytes as u64);
+        rec.counter(CounterId::UplinkFrames, wire.uplink_codecs.len() as u64);
+        rec.gauge(GaugeId::MaxUplinkBytes, wire.max_uplink_bytes as u64);
+    }
+    if let Some(fault) = &report.fault {
+        rec.counter(CounterId::FaultOffline, fault.offline as u64);
+        rec.counter(CounterId::FaultDropped, fault.dropped as u64);
+        rec.counter(CounterId::FaultStragglers, fault.stragglers as u64);
+        rec.counter(CounterId::FaultCorruptFrames, fault.corrupt_frames as u64);
+        rec.counter(
+            CounterId::FaultLost,
+            (fault.corrupt_lost + fault.deadline_dropped) as u64,
+        );
+        rec.counter(CounterId::FaultRetries, fault.retries as u64);
+        rec.counter(
+            CounterId::FaultRetransmittedBytes,
+            fault.retransmitted_bytes,
+        );
+    }
+}
+
+/// Drains the process-wide batched-forward pool (`agsfl_ml::stats`) into
+/// the recorder: one [`SpanId::BatchedForward`] sample holding the drained
+/// wall time, plus the produced logit rows. A no-op while the kernel-side
+/// accounting is disabled (the pool stays empty).
+fn drain_batched_forward<R: Recorder>(rec: &mut R) {
+    let (calls, rows, nanos) = agsfl_ml::stats::take();
+    if calls > 0 {
+        rec.span(SpanId::BatchedForward, nanos);
+        rec.counter(CounterId::BatchedForwardRows, rows);
     }
 }
 

@@ -325,6 +325,22 @@ impl SimpleCnn {
         x: &Matrix,
         exec: &agsfl_exec::Executor,
     ) -> Matrix {
+        // Observation-only accounting (see `crate::stats`): disabled runs
+        // pay one relaxed load and never read the clock.
+        let t0 = crate::stats::enabled().then(std::time::Instant::now);
+        let out = self.forward_batched_inner(params, x, exec);
+        if let Some(t0) = t0 {
+            crate::stats::record(out.rows() as u64, t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    fn forward_batched_inner(
+        &self,
+        params: &[f32],
+        x: &Matrix,
+        exec: &agsfl_exec::Executor,
+    ) -> Matrix {
         check_params(self, params);
         check_input(self, x);
         let batch = x.rows();

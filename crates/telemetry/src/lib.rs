@@ -1,0 +1,63 @@
+//! Observability substrate for the AGSFL workspace: monotonic span timers
+//! over the round's stages, log-bucketed HDR-style histograms with exact
+//! count/sum, counters and gauges, and a line-buffered JSONL metrics sink.
+//!
+//! The crate is dependency-free (consistent with the workspace's
+//! vendored-shim policy) and **read-only with respect to the training
+//! trajectory**: nothing in here draws randomness, touches fold orders, or
+//! allocates on the hot path once a recorder exists. Instrumented code
+//! follows one idiom:
+//!
+//! ```
+//! use agsfl_telemetry::{span_start, span_end, NoopRecorder, Recorder, SpanId};
+//!
+//! let mut rec = NoopRecorder;
+//! let t0 = span_start(&rec);
+//! // ... the stage's work ...
+//! span_end(&mut rec, SpanId::Selection, t0);
+//! ```
+//!
+//! With the default [`NoopRecorder`] the `enabled()` gate is a constant
+//! `false`, `span_start` never reads the clock, and `span_end` is a branch
+//! on a constant `None` — after monomorphization the instrumentation
+//! compiles down to nothing, which is the overhead contract `bench-report`
+//! and `scripts/verify.sh` check. A [`StageRecorder`] collects the same
+//! calls into per-stage histograms plus per-round deltas.
+//!
+//! All histogram state is integer: shard merges fold bit-identically in
+//! worker order, exactly like every other merge in the codebase, and the
+//! bucket scheme (16 sub-buckets per octave, exact below 16) is pinned by
+//! proptests in `tests/histogram_props.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod ids;
+mod recorder;
+mod sink;
+
+use std::time::Instant;
+
+pub use hist::{Histogram, NUM_BUCKETS};
+pub use ids::{CounterId, GaugeId, SpanId};
+pub use recorder::{NoopRecorder, Recorder, StageRecorder};
+pub use sink::JsonlSink;
+
+/// Starts a span clock if — and only if — the recorder is enabled.
+///
+/// With [`NoopRecorder`] this is a constant `None`: the monotonic clock is
+/// never read on un-instrumented runs.
+#[inline]
+pub fn span_start<R: Recorder + ?Sized>(rec: &R) -> Option<Instant> {
+    rec.enabled().then(Instant::now)
+}
+
+/// Closes a span opened by [`span_start`], recording the elapsed
+/// nanoseconds under `id`. A `None` start (disabled recorder) is free.
+#[inline]
+pub fn span_end<R: Recorder + ?Sized>(rec: &mut R, id: SpanId, start: Option<Instant>) {
+    if let Some(t0) = start {
+        rec.span(id, t0.elapsed().as_nanos() as u64);
+    }
+}

@@ -1,0 +1,136 @@
+//! Line-buffered JSONL sink: one self-describing JSON object per line,
+//! each flush a single `write_all` (an atomic append from the writer's
+//! side — lines never interleave or tear even if another observer tails
+//! the file).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A JSONL metrics file. Lines are buffered and written out every
+/// `flush_every` lines (and on drop), each flush as one `write_all` call.
+#[derive(Debug)]
+pub struct JsonlSink {
+    file: File,
+    buf: String,
+    pending: usize,
+    flush_every: usize,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the metrics file at `path`. `flush_every = 1`
+    /// writes every line immediately; larger cadences batch lines into one
+    /// append.
+    pub fn create(path: impl AsRef<Path>, flush_every: usize) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            buf: String::new(),
+            pending: 0,
+            flush_every: flush_every.max(1),
+        })
+    }
+
+    /// Buffers one line (a complete JSON object, no trailing newline —
+    /// the sink adds it) and flushes if the cadence is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` contains a newline: a torn line would corrupt the
+    /// one-object-per-line contract.
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        assert!(
+            !line.contains('\n'),
+            "JSONL lines must not contain newlines"
+        );
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        self.pending += 1;
+        if self.pending >= self.flush_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes all buffered lines as one append.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(self.buf.as_bytes())?;
+            self.buf.clear();
+            self.pending = 0;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // Best-effort final flush; errors surface on explicit flush().
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("agsfl_telemetry_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn lines_round_trip_and_flush_on_drop() {
+        let path = temp_path("roundtrip");
+        {
+            let mut sink = JsonlSink::create(&path, 10).unwrap();
+            sink.write_line("{\"round\":1}").unwrap();
+            sink.write_line("{\"round\":2}").unwrap();
+            // Cadence of 10 not reached: drop must flush.
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"round\":1}\n{\"round\":2}\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cadence_flushes_without_explicit_call() {
+        let path = temp_path("cadence");
+        let mut sink = JsonlSink::create(&path, 2).unwrap();
+        sink.write_line("{\"a\":1}").unwrap();
+        sink.write_line("{\"a\":2}").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        drop(sink);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_truncates_previous_runs() {
+        let path = temp_path("truncate");
+        {
+            let mut sink = JsonlSink::create(&path, 1).unwrap();
+            sink.write_line("{\"old\":true}").unwrap();
+        }
+        {
+            let mut sink = JsonlSink::create(&path, 1).unwrap();
+            sink.write_line("{\"new\":true}").unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"new\":true}\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn embedded_newline_panics() {
+        let path = temp_path("newline");
+        let mut sink = JsonlSink::create(&path, 1).unwrap();
+        let _ = sink.write_line("{\"a\":\n1}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests pinning the histogram's bucket scheme, shard-merge
+//! bit-identity, and saturation behavior — the executable contract the
+//! round-stage telemetry rides on.
+
+use agsfl_telemetry::{Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value maps into a bucket whose floor is at or below it, the
+    /// floor maps back to the same bucket, and the next bucket's floor is
+    /// strictly above the value — bucket boundaries are exact.
+    #[test]
+    fn bucket_boundaries_are_exact(v in 0u64..=u64::MAX) {
+        let idx = Histogram::bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        let floor = Histogram::bucket_floor(idx);
+        prop_assert!(floor <= v);
+        prop_assert_eq!(Histogram::bucket_index(floor), idx);
+        if idx + 1 < NUM_BUCKETS {
+            prop_assert!(Histogram::bucket_floor(idx + 1) > v);
+        }
+    }
+
+    /// Values below 16 are recorded exactly: the bucket floor *is* the
+    /// value.
+    #[test]
+    fn unit_range_is_lossless(v in 0u64..16) {
+        prop_assert_eq!(Histogram::bucket_floor(Histogram::bucket_index(v)), v);
+    }
+
+    /// The bucket's relative error is bounded by one sub-bucket width
+    /// (1/16 of the octave base), the histogram's resolution claim.
+    #[test]
+    fn relative_error_is_bounded(v in 16u64..=u64::MAX) {
+        let floor = Histogram::bucket_floor(Histogram::bucket_index(v));
+        prop_assert!(v - floor <= floor / 16 + 1, "v={} floor={}", v, floor);
+    }
+
+    /// Sharding samples across 1–8 recorders and folding them in a fixed
+    /// (worker) order is bit-identical to recording everything into one
+    /// histogram, for every shard count and assignment.
+    #[test]
+    fn shard_merge_is_bit_identical(
+        samples in collection::vec(0u64..=u64::MAX, 0..300),
+        shards in 1usize..=8,
+    ) {
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % shards].record(s);
+        }
+        let mut folded = Histogram::new();
+        for p in &parts {
+            folded.merge(p);
+        }
+        prop_assert_eq!(folded, whole);
+    }
+
+    /// Merging is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c) bit-for-bit.
+    #[test]
+    fn merge_is_associative(
+        a in collection::vec(0u64..=u64::MAX, 0..100),
+        b in collection::vec(0u64..=u64::MAX, 0..100),
+        c in collection::vec(0u64..=u64::MAX, 0..100),
+    ) {
+        let hist = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging in either order gives identical bits (the merge is
+    /// commutative, so "fold in worker order" is a convention, not a
+    /// correctness requirement).
+    #[test]
+    fn merge_is_commutative(
+        a in collection::vec(0u64..=u64::MAX, 0..100),
+        b in collection::vec(0u64..=u64::MAX, 0..100),
+    ) {
+        let hist = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb) = (hist(&a), hist(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Count and sum saturate at u64 extremes instead of wrapping, and
+    /// quantiles stay defined.
+    #[test]
+    fn extremes_saturate(v in 0u64..=u64::MAX, n in 1u64..=u64::MAX) {
+        let mut h = Histogram::new();
+        h.record_n(v, n);
+        h.record_n(u64::MAX, u64::MAX);
+        h.record_n(u64::MAX, u64::MAX);
+        prop_assert_eq!(h.count(), u64::MAX);
+        prop_assert_eq!(h.sum(), u64::MAX);
+        prop_assert_eq!(h.max(), Some(u64::MAX));
+        prop_assert!(h.quantile(0.5).is_some());
+        prop_assert!(h.quantile(1.0).is_some());
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max buckets.
+    #[test]
+    fn quantiles_are_monotone(samples in collection::vec(0u64..=u64::MAX, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0];
+        let mut prev = None;
+        for &q in &qs {
+            let v = h.quantile(q).unwrap();
+            if let Some(p) = prev {
+                prop_assert!(v >= p, "quantile({}) regressed", q);
+            }
+            prev = Some(v);
+        }
+        let lo = Histogram::bucket_floor(Histogram::bucket_index(h.min().unwrap()));
+        let hi = Histogram::bucket_floor(Histogram::bucket_index(h.max().unwrap()));
+        prop_assert_eq!(h.quantile(0.0).unwrap(), lo);
+        prop_assert_eq!(h.quantile(1.0).unwrap(), hi);
+    }
+}

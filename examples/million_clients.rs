@@ -7,7 +7,12 @@
 //! ```bash
 //! cargo run --release --example million_clients             # full table
 //! cargo run --release --example million_clients -- --smoke  # CI assertion
+//! cargo run --release --example million_clients -- --metrics sweep.jsonl
 //! ```
+//!
+//! `--metrics <path>` additionally writes one self-describing JSON line per
+//! sweep point (throughput, residency, RSS, and the per-stage wall-time
+//! breakdown from the round engine's recorder) to `<path>`.
 //!
 //! The full mode prints the `figures::scale_sweep` table — rounds/sec and
 //! resident memory at N = 10³, 10⁴, 10⁵, 10⁶ with a fixed cohort of 256.
@@ -22,6 +27,7 @@
 //! scratch grow with N) fails fast instead of quietly eating memory.
 
 use agsfl::core::figures::scale_sweep::{self, ScaleSweepConfig};
+use agsfl::telemetry::JsonlSink;
 
 /// Peak-RSS budget for the smoke gate. The N = 10⁵ point needs a few tens
 /// of MiB (cohort shards + touched-client residuals + the binary itself);
@@ -30,15 +36,20 @@ use agsfl::core::figures::scale_sweep::{self, ScaleSweepConfig};
 const SMOKE_PEAK_RSS_LIMIT: u64 = 256 * 1024 * 1024;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let metrics = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| args.get(i + 1).expect("--metrics needs a path").clone());
     if smoke {
         run_smoke();
     } else {
-        run_table();
+        run_table(metrics.as_deref());
     }
 }
 
-fn run_table() {
+fn run_table(metrics: Option<&str>) {
     let config = ScaleSweepConfig::default();
     println!(
         "Sweeping populations {:?} with cohort {} ({} rounds each)...\n",
@@ -46,6 +57,14 @@ fn run_table() {
     );
     let result = scale_sweep::run(&config);
     print!("{}", result.render());
+    if let Some(path) = metrics {
+        let mut sink = JsonlSink::create(path, 1).expect("create metrics sink");
+        for point in &result.points {
+            sink.write_line(&point.json_object())
+                .expect("write metrics line");
+        }
+        println!("\nWrote {} metrics lines to {path}", result.points.len());
+    }
     println!(
         "\nResident state is bounded by participation (≤ rounds · cohort \
          clients), so the rss column stays flat as N grows 1000x."

@@ -5,19 +5,31 @@
 //!
 //! ```bash
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --metrics metrics.jsonl
 //! ```
 //!
 //! The example trains a small model on a tiny synthetic FEMNIST-like
 //! federated dataset, first with a fixed `k`, then with the paper's
 //! Algorithm 3 adapting `k` online, and prints the loss/accuracy achieved
 //! within the same normalized time budget.
+//!
+//! `--metrics <path>` streams one JSON line per adaptive round to `<path>`
+//! (stage timings, pool counters and memory probes included) and prints the
+//! cumulative telemetry summary at the end. Telemetry is observation only:
+//! the trained trajectory is bit-identical with or without the flag.
 
+use agsfl::core::telemetry::TelemetrySpec;
 use agsfl::core::{
-    ControllerSpec, DatasetSpec, Experiment, ExperimentConfig, ModelSpec, StopCondition,
+    report, ControllerSpec, DatasetSpec, Experiment, ExperimentConfig, ModelSpec, StopCondition,
 };
 use agsfl::exec::Parallelism;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let metrics = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| args.get(i + 1).expect("--metrics needs a path").clone());
     // `Parallelism::Auto` sizes the round engine to the machine; results are
     // bit-identical for every setting (`Serial`, `Threads(n)`, `Auto`) — the
     // knob only changes wall-clock time.
@@ -52,8 +64,13 @@ fn main() {
         fixed_history.final_test_accuracy().unwrap_or(f64::NAN),
     );
 
-    // 2. Adaptive k with the paper's Algorithm 3.
+    // 2. Adaptive k with the paper's Algorithm 3 — telemetered when asked.
     let mut adaptive = Experiment::new(&config);
+    if let Some(path) = &metrics {
+        adaptive
+            .set_telemetry(TelemetrySpec::full(path))
+            .expect("open metrics sink");
+    }
     let adaptive_history = adaptive.run_adaptive(
         ControllerSpec::Algorithm3,
         &StopCondition::after_time(time_budget),
@@ -72,4 +89,16 @@ fn main() {
         ks.iter().min().unwrap(),
         ks.iter().max().unwrap()
     );
+
+    if let Some(state) = adaptive.take_telemetry() {
+        println!("\nTelemetry summary (adaptive run):");
+        print!(
+            "{}",
+            report::telemetry_summary(state.recorder(), Some(state.dispatch_histogram()))
+        );
+        println!(
+            "Per-round metrics written to {}",
+            metrics.as_deref().unwrap_or("-")
+        );
+    }
 }

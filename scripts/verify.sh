@@ -43,6 +43,15 @@ cargo test -q -p agsfl-fl --test pool_lifecycle
 step "bounded-RSS smoke (N=10^5 cohort rounds under a 256 MiB peak-RSS assertion)"
 cargo run --release --example million_clients -- --smoke
 
+step "telemetry gate (recording is observation-only; metrics files byte-identical across runs)"
+# telemetry_determinism pins recorded == unrecorded trajectories at
+# Serial/2/4/8 workers and bounds the recorded round's overhead against
+# the noop round; metrics_jsonl pins the JSONL sink output of two
+# identical seeded runs byte-for-byte and the recorded checkpoint/resume
+# path bit-identical.
+cargo test -q -p agsfl-fl --test telemetry_determinism
+cargo test -q -p agsfl-core --test metrics_jsonl
+
 if [[ "$quick" -eq 0 ]]; then
     step "cargo test --workspace -q (full suite)"
     cargo test --workspace -q

@@ -5,5 +5,6 @@ pub use agsfl_fl as fl;
 pub use agsfl_ml as ml;
 pub use agsfl_online as online;
 pub use agsfl_sparse as sparse;
+pub use agsfl_telemetry as telemetry;
 pub use agsfl_tensor as tensor;
 pub use agsfl_wire as wire;
